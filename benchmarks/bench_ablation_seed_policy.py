@@ -1,0 +1,76 @@
+"""Ablation: seed-management policy vs attack success (the crux of §5).
+
+The TSCache hardware equals the MBPTACache hardware; the *seed policy*
+is the entire security difference.  This ablation holds the cache
+design fixed (RM L1) and sweeps the policy dimension the paper
+discusses:
+
+* shared, never changed    — the attacker can study under the victim's
+  mapping: the attack works (MBPTACache).
+* unique, never changed    — attacker profile decorrelates: protected,
+  but a seed collision or leak would be fatal forever.
+* unique + per-hyperperiod — TSCache: protected, and even a one-off
+  seed disclosure has bounded lifetime.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.setups import make_setup
+from repro.core.simulator import BernsteinCaseStudy
+
+from benchmarks.reporting import emit
+
+NUM_SAMPLES = 300_000
+
+
+def variants():
+    mbpta = make_setup("mbpta")
+    return (
+        ("shared, fixed", mbpta),
+        (
+            "unique, fixed",
+            dataclasses.replace(
+                mbpta, name="unique_fixed", shared_seed_between_parties=False
+            ),
+        ),
+        (
+            "unique, rotating",
+            dataclasses.replace(
+                mbpta,
+                name="unique_rotating",
+                shared_seed_between_parties=False,
+                reseed_every=1024,
+            ),
+        ),
+    )
+
+
+def run_variants():
+    results = []
+    for label, setup in variants():
+        study = BernsteinCaseStudy(setup, num_samples=NUM_SAMPLES,
+                                   rng_seed=7)
+        result = study.run(
+            victim_key=bytes(range(16)),
+            attacker_key=bytes(range(100, 116)),
+        )
+        results.append((label, result.report))
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-seed")
+def test_seed_policy_ablation(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    lines = [f"samples per party: {NUM_SAMPLES} (RM L1 in all variants)"]
+    for label, report in results:
+        lines.append(report.summary_row(label))
+    emit("Ablation: seed policy vs Bernstein attack", lines)
+
+    by_label = dict(results)
+    # Shared seeds leak; either uniqueness variant fully protects.
+    assert by_label["shared, fixed"].brute_force_speedup_log2 > 5
+    assert by_label["unique, fixed"].key_fully_protected
+    assert by_label["unique, rotating"].key_fully_protected

@@ -1,0 +1,81 @@
+"""Figure 5: effectiveness of Bernstein's attack against the four
+setups of §6.1.2.
+
+Paper outcomes (10^7 samples/party on a native-code simulator):
+
+    deterministic  : leaks half of the bytes, 33 bits determined,
+                     remaining key space 2^80
+    RPCache        : same bytes vulnerable, weaker: 2^108
+    MBPTACache     : different bytes vulnerable: 2^104
+    TSCache        : nothing disclosed: 2^128
+
+Shape reproduced here (3x10^5 samples/party; magnitudes scale with
+sample count, see EXPERIMENTS.md): deterministic leaks heavily on the
+Te1/Te2 bytes; RPCache leaks a weaker subset of the same bytes;
+MBPTACache leaks on a seed-dependent (different) byte set; TSCache
+discards nothing.
+"""
+
+import pytest
+
+from repro.attack.metrics import candidate_matrix, render_candidate_matrix
+from repro.core.simulator import run_all_setups
+
+from benchmarks.reporting import emit
+
+NUM_SAMPLES = 300_000
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_bernstein_all_setups(benchmark):
+    results = benchmark.pedantic(
+        run_all_setups,
+        kwargs={"num_samples": NUM_SAMPLES, "rng_seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [f"samples per party: {NUM_SAMPLES}"]
+    for name, result in results.items():
+        report = result.report
+        leaking = sorted(
+            o.byte_index for o in report.outcomes if o.num_surviving < 256
+        )
+        lines.append(report.summary_row(name) + f"   leaking bytes: {leaking}")
+    lines.append("")
+    for name, result in results.items():
+        lines.append(f"--- {name}: candidate map "
+                     "(#=key, o=kept, .=discarded) ---")
+        lines.append(render_candidate_matrix(candidate_matrix(result.report)))
+    emit("Figure 5: Bernstein attack effectiveness per setup", lines)
+
+    det = results["deterministic"].report
+    rp = results["rpcache"].report
+    mb = results["mbpta"].report
+    ts = results["tscache"].report
+
+    # TSCache: the attack discards nothing (all-grey panel).
+    assert ts.key_fully_protected
+
+    # Deterministic: a strong leak, confined to the Te1/Te2 bytes.
+    assert det.brute_force_speedup_log2 > 15
+    det_bytes = {
+        o.byte_index for o in det.outcomes if o.num_surviving < 256
+    }
+    assert det_bytes and det_bytes <= {1, 2, 5, 6, 9, 10, 13, 14}
+
+    # RPCache: leaks less than deterministic, in a subset of its bytes
+    # (the same-process conflicts RPCache cannot randomize).
+    rp_bytes = {o.byte_index for o in rp.outcomes if o.num_surviving < 256}
+    assert rp.remaining_key_space_log2 > det.remaining_key_space_log2
+    assert rp_bytes <= det_bytes
+
+    # MBPTACache (shared seeds): leaks, in different bytes than the
+    # deterministic setup.
+    mb_bytes = {o.byte_index for o in mb.outcomes if o.num_surviving < 256}
+    assert mb.brute_force_speedup_log2 > 0
+    assert mb_bytes != det_bytes
+
+    # Every setup except TSCache leaks something.
+    assert det.brute_force_speedup_log2 > 0
+    assert rp.brute_force_speedup_log2 > 0

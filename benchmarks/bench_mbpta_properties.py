@@ -1,0 +1,72 @@
+"""§3/§4 as a table: which placement designs satisfy which MBPTA
+randomness properties.
+
+The paper argues analytically that RPCache-style permutation tables
+and Aciicmez's XOR-index scheme break mbpta-p1/p2, while hashRP
+achieves Full Randomness (mbpta-p2) and Random Modulo achieves
+Partial APOP-fixed Randomness (mbpta-p3).  The property checkers make
+those arguments executable; this bench prints the verdict matrix.
+"""
+
+import pytest
+
+from repro.cache.core import CacheGeometry
+from repro.cache.placement import make_placement
+from repro.cache.rpcache import PermutationTablePlacement
+from repro.mbpta.properties import check_placement_properties
+
+from benchmarks.reporting import emit
+
+# Way size == page size (4 KB) so RM is applicable; 16 sets keep the
+# conflict probabilities of the statistical probes high.
+GEOMETRY = CacheGeometry(total_size=4096 * 4, num_ways=4, line_size=256)
+
+EXPECTED = {
+    # policy            (full p2, apop p3, compliant)
+    "modulo": (False, False, False),
+    "xor_index": (False, False, False),
+    "hashrp": (True, False, True),
+    "random_modulo": (False, True, True),
+    "rpcache_permutation": (False, False, False),
+}
+
+
+def probe_all():
+    layout = GEOMETRY.layout()
+    policies = [
+        make_placement("modulo", layout),
+        make_placement("xor_index", layout),
+        make_placement("hashrp", layout),
+        make_placement("random_modulo", layout),
+        PermutationTablePlacement(layout),
+    ]
+    return [check_placement_properties(p, num_seeds=96) for p in policies]
+
+
+@pytest.mark.benchmark(group="properties")
+def test_property_matrix(benchmark):
+    reports = benchmark.pedantic(probe_all, rounds=1, iterations=1)
+
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no "
+
+    lines = [
+        f"{'policy':<22}{'full (p2)':>10}{'apop (p3)':>11}"
+        f"{'MBPTA-compliant':>17}"
+    ]
+    for report in reports:
+        lines.append(
+            f"{report.policy:<22}"
+            f"{mark(report.full_randomness):>10}"
+            f"{mark(report.apop_fixed_randomness):>11}"
+            f"{mark(report.mbpta_compliant):>17}"
+        )
+    emit("Sections 3-4: MBPTA placement-property verdicts", lines)
+
+    for report in reports:
+        expected = EXPECTED[report.policy]
+        assert (
+            report.full_randomness,
+            report.apop_fixed_randomness,
+            report.mbpta_compliant,
+        ) == expected, f"verdict mismatch for {report.policy}"

@@ -1,0 +1,23 @@
+"""Shared console reporting for the benchmark harness.
+
+pytest captures stdout by default; run ``pytest benchmarks/
+--benchmark-only -s`` to see the reproduced tables inline.  Every
+bench also appends its rows to ``benchmarks/results.txt`` so the
+reproduction record survives captured output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit(title: str, lines: Iterable[str]) -> None:
+    """Print a titled block and append it to the results file."""
+    block = [f"== {title} =="] + list(lines) + [""]
+    text = "\n".join(block)
+    print(text)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n")

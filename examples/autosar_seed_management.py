@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Figure 3: AUTOSAR seed management on the TSCache.
+
+Builds the paper's exact example system — two applications, three
+SWCs, five runnables, hyperperiod 20 ms — schedules two hyperperiods,
+and prints the event timeline: which runnable executes under which
+seed, where the OS saves/restores seeds (pipeline drain), and where
+the hyperperiod reseed + flush happens.
+
+Run:  python examples/autosar_seed_management.py
+"""
+
+from repro.common.trace import Trace
+from repro.core.tscache import TSCacheSystem
+from repro.rtos.autosar import example_figure3_system
+from repro.rtos.scheduler import (
+    ContextSwitchEvent,
+    FlushEvent,
+    JobEvent,
+    ReseedEvent,
+)
+
+
+def main() -> None:
+    system = example_figure3_system()
+    print("System structure (paper Figure 3):")
+    for app in system.applications:
+        print(f"  {app.name}:")
+        for swc in app.components:
+            runnables = ", ".join(
+                f"{r.name} (period {r.period} ms)" for r in swc.runnables
+            )
+            print(f"    {swc.name} [pid {system.pid_of(swc.name)}]: "
+                  f"{runnables}")
+    print(f"  hyperperiod: {system.hyperperiod} ms\n")
+
+    ts = TSCacheSystem(system, prng_seed=0xF16)
+    for k, name in enumerate(("R1", "R2", "R3", "R4", "R5")):
+        base = 0x0100_0000 + k * 0x10_000
+        addresses = [
+            base + page * 0x1000 + i * 32
+            for page in range(3)
+            for i in range(128)
+        ]
+        ts.set_runnable_trace(name, Trace.from_addresses(addresses))
+
+    events = ts.scheduler.build(num_hyperperiods=2)
+    print("Schedule timeline (2 hyperperiods):")
+    for event in events:
+        if isinstance(event, JobEvent):
+            print(f"  t={event.time:3d}  run {event.runnable:<3} "
+                  f"({event.swc}, pid {event.pid}) "
+                  f"seed={event.seed:#010x}")
+        elif isinstance(event, ContextSwitchEvent):
+            print(f"  t={event.time:3d}  -- context switch pid "
+                  f"{event.from_pid} -> {event.to_pid}: save/restore "
+                  f"seed, drain pipeline ({event.drain_cycles} cycles)")
+        elif isinstance(event, ReseedEvent):
+            print(f"  t={event.time:3d}  == hyperperiod boundary: "
+                  f"fresh seeds for {sorted(event.new_seeds)} ==")
+        elif isinstance(event, FlushEvent):
+            print(f"  t={event.time:3d}  == cache flush "
+                  f"({event.flush_cycles} cycles) ==")
+
+    timings = ts.run(num_hyperperiods=2)
+    print("\nPer-job execution times (cycles):")
+    for timing in timings:
+        print(f"  hp{timing.hyperperiod_index} {timing.runnable:<3} "
+              f"seed={timing.seed:#010x}  {timing.cycles:8.0f}")
+
+    print("\nSecurity invariant — live seed collisions across SWCs:",
+          ts.seed_collisions() or "none")
+    print("OS overhead summary:", ts.overhead_summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""MBPTA from measurements to pWCET curve (Figure 1 workflow).
+
+Simulates the industrial MBPTA flow on the TSCache platform:
+
+1. run the task many times, each under a fresh random seed (the
+   analysis-phase protocol of MBPTA-compliant caches),
+2. verify the EVT admission criteria: Ljung-Box independence over 20
+   lags, Kolmogorov-Smirnov identical distribution (paper §6.2.2),
+3. fit the exponential tail and read pWCET bounds at the exceedance
+   probabilities a safety case needs,
+4. contrast with a deterministic cache, whose single measurement says
+   nothing about other memory layouts (mbpta-p1, paper §3).
+
+Run:  python examples/pwcet_analysis.py
+"""
+
+import numpy as np
+
+from repro.common.trace import Trace
+from repro.core.setups import make_setup_hierarchy
+from repro.mbpta.analysis import MBPTAAnalysis
+
+
+def task_trace(object_offset: int = 0) -> Trace:
+    """A task with four pages of data, one relocatable object and a
+    re-walk whose hit rate depends on the cache layout."""
+    base = 0x0200_0000
+    addresses = [
+        base + page * 0x1000 + i * 32
+        for page in range(4)
+        for i in range(128)
+    ]
+    addresses += [
+        base + 4 * 0x1000 + object_offset + i * 32 for i in range(64)
+    ]
+    addresses += addresses[:32]
+    return Trace.from_addresses(addresses)
+
+
+def collect(setup: str, num_runs: int, reseed: bool,
+            object_offset: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(42)
+    trace = task_trace(object_offset)
+    times = np.empty(num_runs)
+    for run in range(num_runs):
+        hierarchy = make_setup_hierarchy(setup)
+        if reseed:
+            hierarchy.set_seeds(int(rng.integers(0, 2**32)))
+        times[run] = hierarchy.run_trace(trace)
+    return times
+
+
+def main() -> None:
+    print("Collecting 300 runs on the TSCache platform "
+          "(fresh seed per run)...")
+    times = collect("tscache", 300, reseed=True)
+
+    analysis = MBPTAAnalysis(method="pot", tail_fraction=0.15)
+    report = analysis.analyse(times)
+
+    print(f"\nsamples: {report.num_samples}   "
+          f"mean: {report.sample_mean:.0f}   max: {report.sample_max:.0f}")
+    print(f"Ljung-Box (20 lags): p = {report.independence.p_value:.3f} "
+          f"-> {'PASS' if report.independence.passed else 'FAIL'}")
+    print(f"KS split-half:       p = "
+          f"{report.identical_distribution.p_value:.3f} "
+          f"-> {'PASS' if report.identical_distribution.passed else 'FAIL'}")
+
+    if not report.compliant:
+        print("admission failed:", report.notes)
+        return
+
+    print("\npWCET curve (exceedance probability -> cycles):")
+    for p, value in report.curve.series((1e-3, 1e-6, 1e-9, 1e-12, 1e-15)):
+        bar = "#" * max(1, int((value - report.sample_mean) / 50))
+        print(f"  {p:8.0e}  {value:9.0f}  {bar}")
+
+    print("\nWhy the deterministic cache cannot give this guarantee:")
+    det_a = collect("deterministic", 5, reseed=False, object_offset=0)
+    det_b = collect("deterministic", 5, reseed=False,
+                    object_offset=64 * 32)
+    print(f"  layout A (object at page offset 0):    "
+          f"{det_a[0]:.0f} cycles, every run")
+    print(f"  layout B (object moved within page):   "
+          f"{det_b[0]:.0f} cycles, every run")
+    print("  One integration-time relocation changed the task's "
+          "execution time;")
+    print("  measurements taken under layout A say nothing about "
+          "layout B (mbpta-p1).")
+
+
+if __name__ == "__main__":
+    main()

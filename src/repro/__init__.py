@@ -1,0 +1,74 @@
+"""repro — reproduction of "Cache Side-Channel Attacks and
+Time-Predictability in High-Performance Critical Real-Time Systems"
+(Trilla, Hernandez, Abella, Cazorla; DAC 2018).
+
+The package provides:
+
+* randomized cache designs: Random Modulo, hashRP, RPCache, the
+  Aciicmez XOR-index scheme and a deterministic baseline
+  (:mod:`repro.cache`);
+* the TSCache system — MBPTA-compliant random placement with
+  per-process unique seeds (:mod:`repro.core`, :mod:`repro.rtos`);
+* MBPTA: EVT pWCET estimation with i.i.d. admission tests
+  (:mod:`repro.mbpta`);
+* cache timing side-channel attacks: Bernstein, Prime+Probe,
+  Evict+Time (:mod:`repro.attack`, :mod:`repro.crypto`).
+
+Quickstart::
+
+    from repro import BernsteinCaseStudy
+    result = BernsteinCaseStudy("tscache", num_samples=20_000).run()
+    print(result.report.summary_row("tscache"))
+"""
+
+from repro.attack import BernsteinAttack, KeySpaceReport
+from repro.cache import (
+    CacheGeometry,
+    CacheHierarchy,
+    HierarchyConfig,
+    RPCache,
+    SetAssociativeCache,
+    make_placement,
+    make_replacement,
+)
+from repro.core import (
+    SETUP_NAMES,
+    AESTimingEngine,
+    BernsteinCaseStudy,
+    TSCacheSystem,
+    make_setup,
+    make_setup_hierarchy,
+)
+from repro.cpu import Processor, arm920t_processor
+from repro.crypto import AES128
+from repro.mbpta import MBPTAAnalysis, check_placement_properties
+from repro.rtos import SeedManager, SeedPolicy, System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AES128",
+    "AESTimingEngine",
+    "BernsteinAttack",
+    "BernsteinCaseStudy",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "KeySpaceReport",
+    "MBPTAAnalysis",
+    "Processor",
+    "RPCache",
+    "SETUP_NAMES",
+    "SeedManager",
+    "SeedPolicy",
+    "SetAssociativeCache",
+    "System",
+    "TSCacheSystem",
+    "arm920t_processor",
+    "check_placement_properties",
+    "make_placement",
+    "make_replacement",
+    "make_setup",
+    "make_setup_hierarchy",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Cache timing side-channel attacks (paper §2.2, §6):
+Bernstein's correlation attack on AES, Prime+Probe and Evict+Time,
+plus the key-space metrics behind Figure 5."""
+
+from repro.attack.bernstein import (
+    BernsteinAttack,
+    BernsteinResult,
+    TimingProfile,
+    profile_from_samples,
+)
+from repro.attack.evict_time import EvictTimeAttack, EvictTimeResult
+from repro.attack.metrics import (
+    ByteAttackOutcome,
+    KeySpaceReport,
+    candidate_matrix,
+)
+from repro.attack.prime_probe import PrimeProbeAttack, PrimeProbeResult
+
+__all__ = [
+    "TimingProfile",
+    "profile_from_samples",
+    "BernsteinAttack",
+    "BernsteinResult",
+    "ByteAttackOutcome",
+    "KeySpaceReport",
+    "candidate_matrix",
+    "PrimeProbeAttack",
+    "PrimeProbeResult",
+    "EvictTimeAttack",
+    "EvictTimeResult",
+]

@@ -1,0 +1,129 @@
+"""Evict+Time contention attack (paper §2.2, §6.2.1 generalization).
+
+The attacker evicts the cache set it believes holds one victim table
+entry, triggers a victim operation, and times it: the victim runs slow
+exactly when it used the evicted entry.  Scanning the eviction target
+over all entries reveals the secret index as the one with the highest
+victim latency.
+
+Like Prime+Probe, the attack presumes the attacker can create
+conflicts for *specific* victim data — the capability that per-process
+random placement removes (paper §5, §6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.prng import XorShift128
+from repro.common.trace import MemoryAccess
+from repro.cache.core import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class EvictTimeResult:
+    """Guessing accuracy over many trials."""
+
+    trials: int
+    correct: int
+    chance_level: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+    @property
+    def leaks(self) -> bool:
+        return self.accuracy > 3.0 * self.chance_level
+
+
+class EvictTimeAttack:
+    """Evict+Time against a table-lookup victim on one cache level."""
+
+    def __init__(
+        self,
+        cache_factory: Callable[[], SetAssociativeCache],
+        table_base: int = 0x0010_0000,
+        num_entries: int = 64,
+        victim_pid: int = 1,
+        attacker_pid: int = 2,
+        attacker_base: int = 0x0A00_0000,
+        miss_penalty: int = 10,
+    ) -> None:
+        self.cache_factory = cache_factory
+        self.table_base = table_base
+        self.num_entries = num_entries
+        self.victim_pid = victim_pid
+        self.attacker_pid = attacker_pid
+        self.attacker_base = attacker_base
+        self.miss_penalty = miss_penalty
+
+    # -- building blocks ---------------------------------------------------
+
+    def _entry_address(self, cache: SetAssociativeCache, entry: int) -> int:
+        return self.table_base + entry * cache.geometry.line_size
+
+    def _warm_table(self, cache: SetAssociativeCache) -> None:
+        for entry in range(self.num_entries):
+            cache.access(
+                MemoryAccess(self._entry_address(cache, entry),
+                             pid=self.victim_pid)
+            )
+
+    def _evict_attacker_view_of(self, cache: SetAssociativeCache,
+                                entry: int) -> None:
+        """Flood the set the attacker maps ``entry`` to, from its pid."""
+        target_set = cache.lookup_set(
+            MemoryAccess(self._entry_address(cache, entry),
+                         pid=self.attacker_pid)
+        )
+        geometry = cache.geometry
+        filled = 0
+        line = 0
+        # Touch attacker lines until `ways` of them landed in the set.
+        while filled < geometry.num_ways and line < geometry.num_sets * 64:
+            address = self.attacker_base + line * geometry.line_size
+            access = MemoryAccess(address, pid=self.attacker_pid)
+            if cache.lookup_set(access) == target_set:
+                cache.access(access)
+                filled += 1
+            line += 1
+
+    def _time_victim(self, cache: SetAssociativeCache, secret: int) -> int:
+        address = self._entry_address(cache, secret)
+        result = cache.access(MemoryAccess(address, pid=self.victim_pid))
+        return 1 if result.hit else 1 + self.miss_penalty
+
+    # -- experiment ----------------------------------------------------------
+
+    def run(
+        self,
+        trials: int = 50,
+        prng_seed: int = 0xE71C,
+        seed_victim: Optional[Callable[[SetAssociativeCache, int], None]] = None,
+    ) -> EvictTimeResult:
+        """Scan eviction targets over all entries, ``trials`` times."""
+        prng = XorShift128(prng_seed)
+        correct = 0
+        for trial in range(trials):
+            secret = prng.next_below(self.num_entries)
+            best_entry = 0
+            best_time = -1
+            for entry in range(self.num_entries):
+                cache = self.cache_factory()
+                if seed_victim is not None:
+                    seed_victim(cache, trial)
+                self._warm_table(cache)
+                self._evict_attacker_view_of(cache, entry)
+                victim_time = self._time_victim(cache, secret)
+                if victim_time > best_time:
+                    best_time = victim_time
+                    best_entry = entry
+            if best_entry == secret:
+                correct += 1
+        return EvictTimeResult(
+            trials=trials,
+            correct=correct,
+            chance_level=1.0 / self.num_entries,
+        )

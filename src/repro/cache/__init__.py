@@ -1,0 +1,53 @@
+"""Cache models: geometry, placement and replacement policies, the
+set-associative core, the RPCache secure design, multi-level
+hierarchies and hardware-overhead estimates."""
+
+from repro.cache.benes import BenesNetwork
+from repro.cache.core import (
+    CacheGeometry,
+    CacheResult,
+    CacheStats,
+    SetAssociativeCache,
+)
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, MemoryModel
+from repro.cache.placement import (
+    HashRPPlacement,
+    ModuloPlacement,
+    PlacementPolicy,
+    RandomModuloPlacement,
+    XorIndexPlacement,
+    make_placement,
+)
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    NRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.cache.newcache import Newcache
+from repro.cache.rpcache import RPCache
+
+__all__ = [
+    "BenesNetwork",
+    "CacheGeometry",
+    "CacheResult",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "MemoryModel",
+    "PlacementPolicy",
+    "ModuloPlacement",
+    "XorIndexPlacement",
+    "HashRPPlacement",
+    "RandomModuloPlacement",
+    "make_placement",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "NRUReplacement",
+    "RandomReplacement",
+    "make_replacement",
+    "Newcache",
+    "RPCache",
+]

@@ -1,0 +1,242 @@
+"""Benes rearrangeable permutation network (Benes [4], cited in §4).
+
+The Random Modulo cache feeds the (seed-XORed) index bits through a
+Benes network whose switches are driven by bits derived from the
+(seed-XORed) tag.  The network is rearrangeable: every permutation of
+its inputs is achievable by some switch setting, and any switch setting
+produces a permutation — the property RM relies on so that the
+index -> set mapping stays a bijection within a page (mbpta-p3).
+
+This module implements the classical recursive construction for an
+arbitrary number of wires ``n`` (the AS-Benes construction): a column
+of input switches, two recursive sub-networks of sizes ``ceil(n/2)``
+and ``floor(n/2)``, and a column of output switches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class BenesNetwork:
+    """A Benes network over ``n`` wires.
+
+    The network is represented as an ordered list of *switch stages*.
+    Each stage is a list of ``(i, j)`` wire pairs; a control bit of 1
+    swaps the values on wires ``i`` and ``j``, a control bit of 0
+    passes them through.  Stages are applied in order, consuming one
+    control bit per switch.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"network size must be >= 1, got {n}")
+        self.n = n
+        self._switches: List[tuple] = []
+        self._build(list(range(n)))
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, wires: List[int]) -> None:
+        """Recursively emit switches for the sub-network over ``wires``."""
+        n = len(wires)
+        if n <= 1:
+            return
+        if n == 2:
+            self._switches.append((wires[0], wires[1]))
+            return
+        half = n // 2
+        # Input column: pair wire 2k with 2k+1.  With odd n the last
+        # wire goes straight into the upper sub-network.
+        for k in range(half):
+            self._switches.append((wires[2 * k], wires[2 * k + 1]))
+        upper = [wires[2 * k] for k in range(half)]
+        lower = [wires[2 * k + 1] for k in range(half)]
+        if n % 2:
+            upper.append(wires[-1])
+        self._build(upper)
+        self._build(lower)
+        # Output column mirrors the input column.
+        for k in range(half):
+            self._switches.append((wires[2 * k], wires[2 * k + 1]))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        """Number of 2x2 switches, i.e. required control bits."""
+        return len(self._switches)
+
+    @property
+    def switches(self) -> Sequence[tuple]:
+        return tuple(self._switches)
+
+    # -- routing ----------------------------------------------------------
+
+    def route(self, values: Sequence, control: int) -> List:
+        """Pass ``values`` (one per wire) through the network.
+
+        ``control`` supplies one bit per switch, least-significant bit
+        first.  Returns the permuted list of values.
+        """
+        if len(values) != self.n:
+            raise ValueError(f"expected {self.n} values, got {len(values)}")
+        if control < 0:
+            raise ValueError("control word must be non-negative")
+        out = list(values)
+        for bit_pos, (i, j) in enumerate(self._switches):
+            if (control >> bit_pos) & 1:
+                out[i], out[j] = out[j], out[i]
+        return out
+
+    def permutation(self, control: int) -> List[int]:
+        """The wire permutation realised by ``control``.
+
+        ``result[k]`` is the input wire whose value ends up on output
+        wire ``k``.
+        """
+        return self.route(list(range(self.n)), control)
+
+    def permute_bits(self, value: int, control: int) -> int:
+        """Permute the bits of a ``n``-bit integer (MSB = wire 0)."""
+        bits = [(value >> (self.n - 1 - k)) & 1 for k in range(self.n)]
+        routed = self.route(bits, control)
+        result = 0
+        for bit in routed:
+            result = (result << 1) | bit
+        return result
+
+    # -- constructive rearrangeability ---------------------------------
+
+    def control_for(self, permutation: Sequence[int]) -> int:
+        """Find a control word realising a target permutation.
+
+        ``permutation[k]`` names the input wire whose value must appear
+        on output wire ``k`` (the format :meth:`permutation` returns).
+        This is the constructive form of the Benes rearrangeability
+        theorem [4] the RM design relies on, implemented with the
+        classic looping (2-colouring) algorithm, recursing along the
+        same structure as :meth:`_build` so control-bit positions line
+        up with the switch list.
+
+        Raises ``ValueError`` if ``permutation`` is not a permutation
+        of ``range(n)``.
+        """
+        if sorted(permutation) != list(range(self.n)):
+            raise ValueError("not a permutation of range(n)")
+        controls = [0] * self.num_switches
+        cursor = [0]
+        self._route_permutation(self.n, list(permutation), controls, cursor)
+        control = 0
+        for index, bit in enumerate(controls):
+            control |= bit << index
+        if self.permutation(control) != list(permutation):
+            raise AssertionError(
+                "looping algorithm produced an inconsistent routing"
+            )
+        return control
+
+    def _route_permutation(self, n: int, perm: List[int],
+                           controls: List[int], cursor: List[int]) -> None:
+        """Set the control bits realising ``perm`` on an ``n``-wire
+        sub-network, consuming switch indices in construction order."""
+        if n <= 1:
+            return
+        if n == 2:
+            index = cursor[0]
+            cursor[0] += 1
+            controls[index] = 1 if perm[0] == 1 else 0
+            return
+        half = n // 2
+        sides = self._two_colour(n, perm)
+
+        # Input column: control 1 routes input 2j to the lower network.
+        for j in range(half):
+            index = cursor[0]
+            cursor[0] += 1
+            controls[index] = 1 if sides[2 * j] == "L" else 0
+
+        # Sub-permutations in sub-network-local input positions: pair j
+        # sends its upper-side element to upper position j; an odd
+        # leftover wire enters the upper network at position ``half``.
+        def upper_pos(element: int) -> int:
+            if n % 2 and element == n - 1:
+                return half
+            return element // 2
+
+        upper_size = half + (n % 2)
+        upper_perm = [0] * upper_size
+        lower_perm = [0] * half
+        out_controls = [0] * half
+        for k in range(half):
+            a, b = perm[2 * k], perm[2 * k + 1]
+            if sides[a] == "U":
+                upper_element, lower_element = a, b
+            else:
+                upper_element, lower_element = b, a
+            upper_perm[k] = upper_pos(upper_element)
+            lower_perm[k] = lower_element // 2
+            # Output switch k: control 1 when output 2k must take the
+            # lower network's value.
+            out_controls[k] = 1 if sides[perm[2 * k]] == "L" else 0
+        if n % 2:
+            upper_perm[half] = upper_pos(perm[n - 1])
+
+        self._route_permutation(upper_size, upper_perm, controls, cursor)
+        self._route_permutation(half, lower_perm, controls, cursor)
+        for k in range(half):
+            index = cursor[0]
+            cursor[0] += 1
+            controls[index] = out_controls[k]
+
+    @staticmethod
+    def _two_colour(n: int, perm: List[int]) -> List[str]:
+        """Assign each input element to the Upper or Lower sub-network.
+
+        Constraints: the two elements of every input pair take
+        different sides, the two elements of every output pair take
+        different sides, and with odd ``n`` both the last input wire
+        and the element destined for the last output are forced Upper.
+        The constraint graph is a disjoint union of paths and cycles of
+        even length, so a BFS 2-colouring always succeeds (Benes [4]).
+        """
+        half = n // 2
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        for j in range(half):
+            adjacency[2 * j].append(2 * j + 1)
+            adjacency[2 * j + 1].append(2 * j)
+        for k in range(half):
+            a, b = perm[2 * k], perm[2 * k + 1]
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+
+        sides: List[Optional[str]] = [None] * n
+        pending: List[int] = []
+        if n % 2:
+            sides[n - 1] = "U"
+            pending.append(n - 1)
+            if sides[perm[n - 1]] is None:
+                sides[perm[n - 1]] = "U"
+            elif sides[perm[n - 1]] != "U":
+                raise AssertionError("odd-wire forcing conflict")
+            pending.append(perm[n - 1])
+
+        def flip(side: str) -> str:
+            return "L" if side == "U" else "U"
+
+        for start in list(pending) + list(range(n)):
+            if sides[start] is None:
+                sides[start] = "U"
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbour in adjacency[node]:
+                    expected = flip(sides[node])
+                    if sides[neighbour] is None:
+                        sides[neighbour] = expected
+                        stack.append(neighbour)
+                    elif sides[neighbour] != expected:
+                        raise AssertionError(
+                            "constraint graph not 2-colourable"
+                        )
+        return [s if s is not None else "U" for s in sides]

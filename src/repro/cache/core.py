@@ -1,0 +1,313 @@
+"""Set-associative cache core.
+
+The cache is placement- and replacement-policy agnostic; the designs
+studied in the paper differ only in the policy objects plugged in and
+in how seeds are managed:
+
+* deterministic cache  = modulo placement + LRU
+* Aciicmez cache       = xor_index placement + LRU
+* MBPTA cache (L1)     = random_modulo placement (+ optional random repl.)
+* MBPTA cache (L2)     = hashrp placement
+* TSCache              = the MBPTA caches with *per-process* seeds
+
+Per-process seeds are supported natively: :meth:`set_seed` either fixes
+a global seed or assigns a seed to one pid; lookups use the seed of the
+access' pid.  A line cached under one pid's mapping is invisible to the
+mapping of a pid with a different seed (it lives in a different set),
+exactly as in hardware — tags store the full line address, so there is
+never a false hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.address import AddressLayout
+from repro.common.bitops import is_power_of_two
+from repro.common.trace import AccessType, MemoryAccess
+from repro.cache.placement import PlacementPolicy
+from repro.cache.replacement import ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of one cache level."""
+
+    total_size: int
+    num_ways: int
+    line_size: int
+    address_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.total_size <= 0 or self.num_ways <= 0 or self.line_size <= 0:
+            raise ValueError("geometry fields must be positive")
+        if self.total_size % (self.num_ways * self.line_size) != 0:
+            raise ValueError(
+                f"total_size {self.total_size} not divisible by "
+                f"ways*line_size {self.num_ways * self.line_size}"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(f"num_sets {self.num_sets} must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.total_size // (self.num_ways * self.line_size)
+
+    @property
+    def way_size(self) -> int:
+        """Bytes covered by one way (relevant for the RM page constraint)."""
+        return self.num_sets * self.line_size
+
+    def layout(self) -> AddressLayout:
+        return AddressLayout(
+            line_size=self.line_size,
+            num_sets=self.num_sets,
+            address_bits=self.address_bits,
+        )
+
+
+#: ARM920T-like geometries used throughout the paper's evaluation (§6.1.2).
+ARM920T_L1_GEOMETRY = CacheGeometry(total_size=16 * 1024, num_ways=4, line_size=32)
+ARM920T_L2_GEOMETRY = CacheGeometry(total_size=256 * 1024, num_ways=4, line_size=32)
+
+
+@dataclass
+class CacheLine:
+    """State of one cache way within a set."""
+
+    valid: bool = False
+    line_address: int = 0
+    pid: int = 0
+    dirty: bool = False
+    protected: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+    stores: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+        self.stores = 0
+
+
+@dataclass(frozen=True)
+class CacheResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    set_index: int
+    way: int
+    evicted: Optional[int] = None  # line address evicted, if any
+    evicted_pid: Optional[int] = None
+
+
+@dataclass
+class SeedRegister:
+    """Seed storage: one global seed plus optional per-pid overrides.
+
+    Mirrors the hardware seed register(s) saved/restored by the OS on
+    context switches (paper §5, Figure 3).
+    """
+
+    global_seed: int = 0
+    per_pid: Dict[int, int] = field(default_factory=dict)
+
+    def seed_for(self, pid: int) -> int:
+        return self.per_pid.get(pid, self.global_seed)
+
+    def set_global(self, seed: int) -> None:
+        self.global_seed = seed
+
+    def set_for_pid(self, pid: int, seed: int) -> None:
+        self.per_pid[pid] = seed
+
+    def clear_pid_seeds(self) -> None:
+        self.per_pid.clear()
+
+
+class SetAssociativeCache:
+    """One cache level with pluggable placement and replacement."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        placement: PlacementPolicy,
+        replacement: ReplacementPolicy,
+        name: str = "cache",
+        write_allocate: bool = True,
+    ) -> None:
+        if placement.num_sets != geometry.num_sets:
+            raise ValueError(
+                f"placement built for {placement.num_sets} sets, "
+                f"geometry has {geometry.num_sets}"
+            )
+        if (replacement.num_sets, replacement.num_ways) != (
+            geometry.num_sets,
+            geometry.num_ways,
+        ):
+            raise ValueError("replacement dimensions do not match geometry")
+        self.geometry = geometry
+        self.placement = placement
+        self.replacement = replacement
+        self.name = name
+        self.write_allocate = write_allocate
+        self.layout = geometry.layout()
+        self.seeds = SeedRegister()
+        self.stats = CacheStats()
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(geometry.num_ways)]
+            for _ in range(geometry.num_sets)
+        ]
+        self._protected_ranges: List[tuple] = []
+
+    # -- seed control ------------------------------------------------------
+
+    def set_seed(self, seed: int, pid: Optional[int] = None) -> None:
+        """Set the global seed, or the seed of one pid if given."""
+        if pid is None:
+            self.seeds.set_global(seed)
+        else:
+            self.seeds.set_for_pid(pid, seed)
+
+    # -- protection (used by RPCache-style designs) -------------------------
+
+    def protect_range(self, start: int, end: int) -> None:
+        """Mark [start, end) as security-critical (sets the PP bit on fill)."""
+        if end <= start:
+            raise ValueError("empty protection range")
+        self._protected_ranges.append((start, end))
+
+    def _is_protected(self, address: int) -> bool:
+        return any(start <= address < end for start, end in self._protected_ranges)
+
+    # -- core access path ----------------------------------------------------
+
+    def lookup_set(self, access: MemoryAccess) -> int:
+        """Set an access maps to under the current seed of its pid."""
+        decoded = self.layout.decode(access.address)
+        seed = self.seeds.seed_for(access.pid)
+        return self.placement.map_set(decoded.tag, decoded.index, seed)
+
+    def probe(self, access: MemoryAccess) -> bool:
+        """Non-destructive hit check (no state update, no stats)."""
+        set_index = self.lookup_set(access)
+        line_address = self.layout.decode(access.address).line_address
+        return any(
+            line.valid and line.line_address == line_address
+            for line in self._sets[set_index]
+        )
+
+    def access(self, access: MemoryAccess) -> CacheResult:
+        """Perform one access, updating cache state and statistics."""
+        self.stats.accesses += 1
+        if access.access_type is AccessType.STORE:
+            self.stats.stores += 1
+        set_index = self.lookup_set(access)
+        line_address = self.layout.decode(access.address).line_address
+        ways = self._sets[set_index]
+
+        for way, line in enumerate(ways):
+            if line.valid and line.line_address == line_address:
+                self.stats.hits += 1
+                self.replacement.on_hit(set_index, way)
+                if access.access_type is AccessType.STORE:
+                    line.dirty = True
+                return CacheResult(hit=True, set_index=set_index, way=way)
+
+        self.stats.misses += 1
+        if access.access_type is AccessType.STORE and not self.write_allocate:
+            return CacheResult(hit=False, set_index=set_index, way=-1)
+        return self._fill(access, set_index, line_address)
+
+    def _choose_victim(self, access: MemoryAccess, set_index: int) -> int:
+        """Victim selection hook (overridden by RPCache)."""
+        ways = self._sets[set_index]
+        for way, line in enumerate(ways):
+            if not line.valid:
+                return way
+        return self.replacement.victim_way(set_index)
+
+    def _fill(self, access: MemoryAccess, set_index: int,
+              line_address: int) -> CacheResult:
+        ways = self._sets[set_index]
+        way = self._choose_victim(access, set_index)
+        line = ways[way]
+        evicted = line.line_address if line.valid else None
+        evicted_pid = line.pid if line.valid else None
+        if line.valid:
+            self.stats.evictions += 1
+        line.valid = True
+        line.line_address = line_address
+        line.pid = access.pid
+        line.dirty = access.access_type is AccessType.STORE
+        line.protected = self._is_protected(access.address)
+        self.replacement.on_fill(set_index, way)
+        return CacheResult(
+            hit=False,
+            set_index=set_index,
+            way=way,
+            evicted=evicted,
+            evicted_pid=evicted_pid,
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Invalidate all lines (required on seed change with shared data)."""
+        for ways in self._sets:
+            for line in ways:
+                line.valid = False
+                line.dirty = False
+                line.protected = False
+        self.replacement.reset()
+        self.stats.flushes += 1
+
+    def invalidate_line(self, address: int, pid: int = 0) -> bool:
+        """Invalidate the line holding ``address`` if present."""
+        access = MemoryAccess(address, AccessType.LOAD, pid=pid)
+        set_index = self.lookup_set(access)
+        line_address = self.layout.decode(address).line_address
+        for line in self._sets[set_index]:
+            if line.valid and line.line_address == line_address:
+                line.valid = False
+                return True
+        return False
+
+    # -- inspection ------------------------------------------------------------
+
+    def resident_lines(self, pid: Optional[int] = None) -> List[int]:
+        """Line addresses currently cached (optionally for one pid)."""
+        result = []
+        for ways in self._sets:
+            for line in ways:
+                if line.valid and (pid is None or line.pid == pid):
+                    result.append(line.line_address)
+        return sorted(result)
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid lines in ``set_index``."""
+        return sum(1 for line in self._sets[set_index] if line.valid)
+
+    def contains(self, address: int, pid: int = 0) -> bool:
+        return self.probe(MemoryAccess(address, AccessType.LOAD, pid=pid))

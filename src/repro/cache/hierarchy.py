@@ -1,0 +1,171 @@
+"""Multi-level cache hierarchy with latency accounting.
+
+Models the memory system of the paper's evaluation platform (§6.1.2):
+split first-level instruction/data caches backed by a unified L2 and
+main memory.  Every access returns its latency in cycles, which is the
+quantity all of the paper's experiments observe (execution-time
+variability for MBPTA, timing leakage for SCA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.trace import AccessType, MemoryAccess, Trace
+from repro.cache.core import (
+    ARM920T_L1_GEOMETRY,
+    ARM920T_L2_GEOMETRY,
+    CacheGeometry,
+    SetAssociativeCache,
+)
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Access latencies in processor cycles.
+
+    Defaults follow the ARM920T-class platform modelled by the paper:
+    single-cycle L1 hits, an order of magnitude to L2, another order of
+    magnitude to DRAM.
+    """
+
+    l1_hit: int = 1
+    l2_hit: int = 10
+    memory: int = 100
+
+    def __post_init__(self) -> None:
+        if not (0 < self.l1_hit <= self.l2_hit <= self.memory):
+            raise ValueError(
+                "latencies must satisfy 0 < l1_hit <= l2_hit <= memory"
+            )
+
+
+@dataclass
+class MemoryModel:
+    """Flat main memory: fixed latency, counts accesses."""
+
+    latency: int = 100
+    accesses: int = 0
+
+    def access(self, _: MemoryAccess) -> int:
+        self.accesses += 1
+        return self.latency
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Construction recipe for a two-level hierarchy.
+
+    ``l1_placement``/``l2_placement`` name placement policies
+    (``modulo``, ``xor_index``, ``hashrp``, ``random_modulo``); the
+    paper's MBPTACache/TSCache use RM at L1 and hashRP at L2 (§6.1.2).
+    """
+
+    l1_geometry: CacheGeometry = ARM920T_L1_GEOMETRY
+    l2_geometry: CacheGeometry = ARM920T_L2_GEOMETRY
+    l1_placement: str = "modulo"
+    l2_placement: str = "modulo"
+    l1_replacement: str = "lru"
+    l2_replacement: str = "lru"
+    latencies: LatencyConfig = field(default_factory=LatencyConfig)
+
+
+class CacheHierarchy:
+    """Split L1 I/D + unified L2 + main memory."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config if config is not None else HierarchyConfig()
+        cfg = self.config
+        self.l1i = self._build_level(
+            cfg.l1_geometry, cfg.l1_placement, cfg.l1_replacement, "l1i"
+        )
+        self.l1d = self._build_level(
+            cfg.l1_geometry, cfg.l1_placement, cfg.l1_replacement, "l1d"
+        )
+        self.l2 = self._build_level(
+            cfg.l2_geometry, cfg.l2_placement, cfg.l2_replacement, "l2"
+        )
+        self.memory = MemoryModel(latency=cfg.latencies.memory)
+
+    @staticmethod
+    def _build_level(geometry: CacheGeometry, placement_name: str,
+                     replacement_name: str, name: str) -> SetAssociativeCache:
+        layout = geometry.layout()
+        placement = make_placement(placement_name, layout)
+        replacement = make_replacement(
+            replacement_name, geometry.num_sets, geometry.num_ways
+        )
+        return SetAssociativeCache(geometry, placement, replacement, name=name)
+
+    # -- seed management -----------------------------------------------------
+
+    def set_seeds(self, seed: int, pid: Optional[int] = None) -> None:
+        """Give all levels the same seed (global or for one pid).
+
+        Distinct levels derive distinct effective seeds internally via
+        their placement hashes, so sharing the register value is safe
+        and matches the single seed register per level pair used by the
+        LEON3 implementation the paper cites.
+        """
+        for level in (self.l1i, self.l1d, self.l2):
+            level.set_seed(seed, pid=pid)
+
+    def flush(self) -> None:
+        """Flush every level (hyperperiod boundary, paper §5)."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+
+    # -- access path ------------------------------------------------------------
+
+    def _l1_for(self, access: MemoryAccess) -> SetAssociativeCache:
+        if access.access_type is AccessType.IFETCH:
+            return self.l1i
+        return self.l1d
+
+    def access(self, access: MemoryAccess) -> int:
+        """Run one access through the hierarchy; return its latency."""
+        lat = self.config.latencies
+        l1 = self._l1_for(access)
+        l1_result = l1.access(access)
+        if l1_result.hit:
+            return lat.l1_hit
+        l2_result = self.l2.access(access)
+        if l2_result.hit:
+            return lat.l1_hit + lat.l2_hit
+        self.memory.access(access)
+        return lat.l1_hit + lat.l2_hit + lat.memory
+
+    def run_trace(self, trace: Trace) -> int:
+        """Total memory latency of a trace, in cycles."""
+        return sum(self.access(access) for access in trace)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats_by_level(self) -> Dict[str, "CacheStatsView"]:
+        return {
+            "l1i": CacheStatsView(self.l1i.stats.accesses, self.l1i.stats.misses),
+            "l1d": CacheStatsView(self.l1d.stats.accesses, self.l1d.stats.misses),
+            "l2": CacheStatsView(self.l2.stats.accesses, self.l2.stats.misses),
+        }
+
+    def reset_stats(self) -> None:
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.memory.accesses = 0
+
+
+@dataclass(frozen=True)
+class CacheStatsView:
+    """Read-only snapshot of one level's counters."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,223 @@
+"""Newcache — Wang & Lee's second-generation secure cache [28]
+(paper §3).
+
+Newcache decouples memory addresses from physical cache lines through
+a fully-associative *logical-to-physical* mapping realised with
+Line-Number registers (LNregs): the cache behaves like a direct-mapped
+cache of a larger *logical* size (the ebit extends the index), and each
+logical line is dynamically bound to an arbitrary physical line.
+
+Security semantics (SecRAND replacement):
+
+* A **tag miss with an LNreg hit** (the logical line is bound but holds
+  a different tag) within the *same* protection domain replaces the
+  bound line normally.
+* Any miss that would cause *cross-domain* interference — an LNreg miss
+  replacing a line of another process, or any contention with a
+  protected line — selects a uniformly random physical line as the
+  victim, so the eviction observable by a contender carries no address
+  information.
+
+The paper's §3 verdict carries over from RPCache: the dynamic mapping
+makes timing depend on actual addresses and contender behaviour, so
+Newcache is not MBPTA-compliant either — a claim the test suite checks
+through the same probes used for RPCache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.bitops import bit_length_for, is_power_of_two
+from repro.common.prng import XorShift128
+from repro.common.trace import AccessType, MemoryAccess
+
+
+@dataclass
+class NewcacheLine:
+    """One physical line with its LNreg binding."""
+
+    valid: bool = False
+    line_address: int = 0
+    #: Logical line number currently bound to this physical line
+    #: (the LNreg content), including the process context.
+    lnreg: Optional[Tuple[int, int]] = None  # (pid, logical_index)
+    protected: bool = False
+
+
+@dataclass
+class NewcacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    tag_misses: int = 0       # LNreg hit, wrong tag (index miss excluded)
+    index_misses: int = 0     # LNreg miss
+    randomized_evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Newcache:
+    """Fully-associative dynamically-mapped secure cache.
+
+    Parameters
+    ----------
+    num_lines:
+        Physical lines (power of two).
+    line_size:
+        Bytes per line.
+    extra_index_bits:
+        The ``k`` extra bits of Newcache's logical index (the paper's
+        ebits): the logical direct-mapped space has
+        ``num_lines * 2**extra_index_bits`` slots, which is what keeps
+        the miss rate close to a conventional cache of the same size.
+    """
+
+    def __init__(
+        self,
+        num_lines: int = 512,
+        line_size: int = 32,
+        extra_index_bits: int = 4,
+        prng_seed: int = 0x5EC4E7,
+        address_bits: int = 32,
+    ) -> None:
+        if not is_power_of_two(num_lines):
+            raise ValueError(f"num_lines must be a power of two, got {num_lines}")
+        if not is_power_of_two(line_size):
+            raise ValueError(f"line_size must be a power of two, got {line_size}")
+        if extra_index_bits < 0:
+            raise ValueError("extra_index_bits must be non-negative")
+        self.num_lines = num_lines
+        self.line_size = line_size
+        self.extra_index_bits = extra_index_bits
+        self.address_bits = address_bits
+        self._offset_bits = bit_length_for(line_size)
+        self._logical_index_bits = (
+            bit_length_for(num_lines) + extra_index_bits
+        )
+        self._prng = XorShift128(prng_seed)
+        self._lines: List[NewcacheLine] = [
+            NewcacheLine() for _ in range(num_lines)
+        ]
+        # The LNreg content-addressable lookup: (pid, logical) -> line.
+        self._lnreg_map: Dict[Tuple[int, int], int] = {}
+        self._protected_ranges: List[Tuple[int, int]] = []
+        self.stats = NewcacheStats()
+
+    # -- address handling ---------------------------------------------------
+
+    def logical_index(self, address: int) -> int:
+        """The logical direct-mapped slot of an address."""
+        return (address >> self._offset_bits) & (
+            (1 << self._logical_index_bits) - 1
+        )
+
+    def _line_address(self, address: int) -> int:
+        return address & ~(self.line_size - 1)
+
+    # -- protection -----------------------------------------------------------
+
+    def protect_range(self, start: int, end: int) -> None:
+        """Mark [start, end) as security-critical."""
+        if end <= start:
+            raise ValueError("empty protection range")
+        self._protected_ranges.append((start, end))
+
+    def _is_protected(self, address: int) -> bool:
+        return any(s <= address < e for s, e in self._protected_ranges)
+
+    # -- the access path ---------------------------------------------------------
+
+    def probe(self, access: MemoryAccess) -> bool:
+        """Non-destructive hit check."""
+        key = (access.pid, self.logical_index(access.address))
+        slot = self._lnreg_map.get(key)
+        if slot is None:
+            return False
+        line = self._lines[slot]
+        return line.valid and line.line_address == self._line_address(
+            access.address
+        )
+
+    def access(self, access: MemoryAccess):
+        """Perform one access; returns (hit, physical_line_index)."""
+        self.stats.accesses += 1
+        key = (access.pid, self.logical_index(access.address))
+        line_address = self._line_address(access.address)
+        slot = self._lnreg_map.get(key)
+
+        if slot is not None:
+            line = self._lines[slot]
+            if line.valid and line.line_address == line_address:
+                self.stats.hits += 1
+                return True, slot
+            # Tag miss: the logical line is ours but holds other data
+            # from the same (pid, slot) context -> normal replacement
+            # of that very line (no information crosses domains).
+            self.stats.misses += 1
+            self.stats.tag_misses += 1
+            self._bind(slot, key, line_address, access)
+            return False, slot
+
+        # Index (LNreg) miss: pick a victim among all physical lines.
+        self.stats.misses += 1
+        self.stats.index_misses += 1
+        slot = self._choose_victim(access)
+        self._bind(slot, key, line_address, access)
+        return False, slot
+
+    def _choose_victim(self, access: MemoryAccess) -> int:
+        # Prefer an invalid line.
+        for index, line in enumerate(self._lines):
+            if not line.valid:
+                return index
+        # SecRAND: index misses always evict a *random* line, so the
+        # replacement carries no information about either party's
+        # addresses (this subsumes the cross-domain rule).
+        self.stats.randomized_evictions += 1
+        return self._prng.next_below(self.num_lines)
+
+    def _bind(self, slot: int, key: Tuple[int, int], line_address: int,
+              access: MemoryAccess) -> None:
+        line = self._lines[slot]
+        if line.lnreg is not None:
+            self._lnreg_map.pop(line.lnreg, None)
+        line.valid = True
+        line.line_address = line_address
+        line.lnreg = key
+        line.protected = self._is_protected(access.address)
+        self._lnreg_map[key] = slot
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush(self) -> None:
+        for line in self._lines:
+            line.valid = False
+            line.lnreg = None
+        self._lnreg_map.clear()
+
+    def flush_pid(self, pid: int) -> int:
+        """Invalidate all lines of one process (context teardown)."""
+        removed = 0
+        for key in [k for k in self._lnreg_map if k[0] == pid]:
+            slot = self._lnreg_map.pop(key)
+            self._lines[slot].valid = False
+            self._lines[slot].lnreg = None
+            removed += 1
+        return removed
+
+    # -- inspection ----------------------------------------------------------------
+
+    def occupancy(self, pid: Optional[int] = None) -> int:
+        """Valid lines (optionally restricted to one process)."""
+        return sum(
+            1
+            for line in self._lines
+            if line.valid and (pid is None or (line.lnreg or (None,))[0] == pid)
+        )
+
+    def contains(self, address: int, pid: int = 0) -> bool:
+        return self.probe(MemoryAccess(address, AccessType.LOAD, pid=pid))

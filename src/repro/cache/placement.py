@@ -1,0 +1,227 @@
+"""Cache placement policies.
+
+The paper contrasts four families of index functions:
+
+* :class:`ModuloPlacement`       — conventional deterministic indexing.
+* :class:`XorIndexPlacement`     — Aciicmez's XOR-with-random-number
+  scheme [2]; *looks* random but preserves the conflict structure of
+  modulo and therefore breaks mbpta-p2 (paper §3).
+* :class:`HashRPPlacement`       — hash-based parametric random
+  placement [16]: rotator blocks and XOR gates over tag+index bits and
+  a seed.  Achieves Full Randomness (mbpta-p2).
+* :class:`RandomModuloPlacement` — random modulo [15, 24]: seed-XORed
+  index bits routed through a Benes network driven by seed-XORed tag
+  bits.  Within a page the mapping is a bijection (no intra-page
+  conflicts); across pages conflicts are random per seed.  Achieves
+  Partial APOP-fixed Randomness (mbpta-p3).
+
+Every policy maps ``(tag, index, seed) -> set`` deterministically; the
+randomness across runs comes exclusively from drawing a new seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.common.address import AddressLayout
+from repro.common.bitops import mask, rotate_left
+from repro.common.prng import splitmix64_step
+from repro.cache.benes import BenesNetwork
+
+
+def _hash64(value: int) -> int:
+    """Stateless 64-bit mixing function (one SplitMix64 step)."""
+    _, out = splitmix64_step(value & mask(64))
+    return out
+
+
+class PlacementPolicy(ABC):
+    """Maps a decoded address and a seed to a cache set."""
+
+    #: Short identifier used by factories and reports.
+    name: str = "abstract"
+
+    #: MBPTA randomness class: "none", "full" (mbpta-p2) or "apop" (mbpta-p3).
+    mbpta_class: str = "none"
+
+    def __init__(self, layout: AddressLayout) -> None:
+        self.layout = layout
+
+    @property
+    def num_sets(self) -> int:
+        return self.layout.num_sets
+
+    @abstractmethod
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        """Return the cache set for an address with the given fields."""
+
+    def map_address(self, address: int, seed: int = 0) -> int:
+        """Convenience wrapper decoding ``address`` first."""
+        decoded = self.layout.decode(address)
+        return self.map_set(decoded.tag, decoded.index, seed)
+
+
+class ModuloPlacement(PlacementPolicy):
+    """Conventional placement: the index bits select the set directly."""
+
+    name = "modulo"
+    mbpta_class = "none"
+
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        return index
+
+
+class XorIndexPlacement(PlacementPolicy):
+    """Aciicmez's scheme [2]: XOR the index bits with a random number.
+
+    For a fixed seed this is a permutation of the *sets*, so two
+    addresses conflict after XOR exactly when they conflict under
+    modulo.  The paper (§3) shows this breaks mbpta-p2: conflicts are
+    systematic across seeds.
+    """
+
+    name = "xor_index"
+    mbpta_class = "none"
+
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        xor_value = _hash64(seed) & mask(self.layout.index_bits)
+        return index ^ xor_value
+
+
+class HashRPPlacement(PlacementPolicy):
+    """Hash-based parametric random placement (hashRP) [16].
+
+    Hardware structure (Figure 2a of the paper): the concatenated
+    tag+index bits are combined with seed material through a small
+    number of rotator blocks and XOR gates, then folded down to the
+    index width.  Distinct addresses conflict in a seed-dependent,
+    pseudo-random way — Full Randomness (mbpta-p2).  No page-alignment
+    constraint, which makes it suitable for L2/L3 caches whose way size
+    exceeds the page size (paper §4).
+    """
+
+    name = "hashrp"
+    mbpta_class = "full"
+
+    #: Number of rotate+XOR rounds; two suffice to decorrelate all bits,
+    #: a third adds margin (hardware cost is three rotator blocks).
+    NUM_ROUNDS = 3
+
+    def __init__(self, layout: AddressLayout) -> None:
+        super().__init__(layout)
+        self._line_bits = layout.tag_bits + layout.index_bits
+        self._seed_cache: Dict[int, tuple] = {}
+
+    def _round_material(self, seed: int) -> tuple:
+        """Per-seed rotation amounts and round keys (memoised)."""
+        material = self._seed_cache.get(seed)
+        if material is None:
+            rotations = []
+            round_keys = []
+            state = _hash64(seed ^ 0xA5A5A5A5A5A5A5A5)
+            for _ in range(self.NUM_ROUNDS):
+                state, out = splitmix64_step(state)
+                rotations.append(1 + out % (self._line_bits - 1))
+                state, out = splitmix64_step(state)
+                round_keys.append(out & mask(self._line_bits))
+            material = (tuple(rotations), tuple(round_keys))
+            if len(self._seed_cache) < 65536:
+                self._seed_cache[seed] = material
+        return material
+
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        rotations, round_keys = self._round_material(seed)
+        value = ((tag << self.layout.index_bits) | index) & mask(self._line_bits)
+        for rotation, round_key in zip(rotations, round_keys):
+            value = rotate_left(value, rotation, self._line_bits)
+            value ^= round_key
+            # A multiply-free diffusion step implementable as XOR gates:
+            # fold the top half back onto the bottom half, keeping width.
+            value ^= value >> (self._line_bits // 2)
+            value &= mask(self._line_bits)
+        # Fold down to the index width.
+        folded = 0
+        width = self.layout.index_bits
+        while value:
+            folded ^= value & mask(width)
+            value >>= width
+        return folded
+
+
+class RandomModuloPlacement(PlacementPolicy):
+    """Random Modulo (RM) placement [15, 24].
+
+    Hardware structure (Figure 2b of the paper): the index bits are
+    XORed with seed bits and routed through a Benes network; the
+    network's switch controls are derived from the seed-XORed tag bits.
+
+    Because all lines of a 4 KB page share the same tag, they see the
+    same XOR mask and the same Benes permutation, so the page's lines
+    map bijectively onto the sets: intra-page conflicts are impossible
+    (mbpta-p3 property 1).  Lines in different pages have different
+    tags, hence independent pseudo-random controls, so cross-page
+    conflicts are random per seed (mbpta-p3 property 2).
+
+    RM requires way size == page size (paper §4); the constructor
+    enforces the equivalent constraint that a page covers exactly one
+    line per set.
+    """
+
+    name = "random_modulo"
+    mbpta_class = "apop"
+
+    def __init__(self, layout: AddressLayout, page_size: int = 4096) -> None:
+        super().__init__(layout)
+        way_size = layout.num_sets * layout.line_size
+        if page_size % way_size != 0:
+            raise ValueError(
+                f"RM requires page size ({page_size}) to be a multiple of "
+                f"the way size ({way_size})"
+            )
+        self.page_size = page_size
+        self._network = BenesNetwork(layout.index_bits)
+        self._control_mask = mask(self._network.num_switches)
+        self._tag_cache: Dict[tuple, tuple] = {}
+
+    def _per_tag_material(self, tag: int, seed: int) -> tuple:
+        """(xor_mask, control) for a given tag and seed (memoised)."""
+        key = (tag, seed)
+        material = self._tag_cache.get(key)
+        if material is None:
+            seeded_tag = tag ^ (_hash64(seed) & mask(self.layout.tag_bits))
+            mixed = _hash64(seeded_tag ^ (_hash64(seed ^ 0x517CC1B727220A95)))
+            xor_mask = mixed & mask(self.layout.index_bits)
+            control = (mixed >> self.layout.index_bits) ^ _hash64(mixed)
+            control &= self._control_mask
+            material = (xor_mask, control)
+            if len(self._tag_cache) < 1 << 20:
+                self._tag_cache[key] = material
+        return material
+
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        xor_mask, control = self._per_tag_material(tag, seed)
+        return self._network.permute_bits(index ^ xor_mask, control)
+
+
+_POLICIES = {
+    ModuloPlacement.name: ModuloPlacement,
+    XorIndexPlacement.name: XorIndexPlacement,
+    HashRPPlacement.name: HashRPPlacement,
+    RandomModuloPlacement.name: RandomModuloPlacement,
+}
+
+
+def make_placement(name: str, layout: AddressLayout, **kwargs) -> PlacementPolicy:
+    """Instantiate a placement policy by name.
+
+    Recognised names: ``modulo``, ``xor_index``, ``hashrp``,
+    ``random_modulo``.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(layout, **kwargs)

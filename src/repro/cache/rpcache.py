@@ -1,0 +1,137 @@
+"""RPCache — the secure cache of Wang & Lee [27] (paper §3).
+
+Two mechanisms distinguish RPCache from a conventional cache:
+
+1. **Per-process permutation tables.**  Each process sees the sets
+   through its own random permutation ``pi_pid`` of the index space.
+   Within a process, conflicts are exactly those of modulo placement
+   (the permutation is set-granular), which is why the paper finds the
+   *same bytes* vulnerable as the deterministic baseline.
+
+2. **Randomized interference.**  When a miss would evict a line that
+   belongs to another process, or a protected (PP-bit) line, the
+   replacement target is drawn from a *random* set instead, decoupling
+   attacker-observable evictions from the victim's addresses.
+
+The paper's §3 analysis — which this class makes testable — is that
+both mechanisms make the cache's timing depend on the actual addresses
+and on contender behaviour, breaking MBPTA time composability
+(mbpta-p1) and full randomness (mbpta-p2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.prng import XorShift128
+from repro.common.trace import MemoryAccess
+from repro.cache.core import CacheGeometry, CacheResult, SetAssociativeCache
+from repro.cache.placement import PlacementPolicy
+from repro.cache.replacement import make_replacement
+
+
+class PermutationTablePlacement(PlacementPolicy):
+    """Set-granular per-process permutation, as used by RPCache.
+
+    The ``seed`` argument of :meth:`map_set` selects the permutation
+    table — the cache passes a pid-derived table id through it.
+    """
+
+    name = "rpcache_permutation"
+    mbpta_class = "none"
+
+    def __init__(self, layout) -> None:
+        super().__init__(layout)
+        self._tables: Dict[int, List[int]] = {}
+
+    def table_for(self, table_id: int) -> List[int]:
+        table = self._tables.get(table_id)
+        if table is None:
+            prng = XorShift128(seed=table_id ^ 0x9E3779B9)
+            table = list(range(self.num_sets))
+            # Fisher-Yates driven by the hardware PRNG.
+            for i in range(self.num_sets - 1, 0, -1):
+                j = prng.next_below(i + 1)
+                table[i], table[j] = table[j], table[i]
+            self._tables[table_id] = table
+        return table
+
+    def drop_table(self, table_id: int) -> None:
+        """Forget a memoised table so the next use regenerates it."""
+        self._tables.pop(table_id, None)
+
+    def map_set(self, tag: int, index: int, seed: int = 0) -> int:
+        return self.table_for(seed)[index]
+
+
+class RPCache(SetAssociativeCache):
+    """Set-associative cache with RPCache semantics."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        name: str = "rpcache",
+        replacement_name: str = "lru",
+        prng_seed: int = 0xD15EA5E,
+    ) -> None:
+        layout = geometry.layout()
+        placement = PermutationTablePlacement(layout)
+        replacement = make_replacement(
+            replacement_name, geometry.num_sets, geometry.num_ways
+        )
+        super().__init__(geometry, placement, replacement, name=name)
+        self._interference_prng = XorShift128(seed=prng_seed)
+        #: Count of interference events resolved by random-set eviction.
+        self.randomized_evictions = 0
+        # Each pid's permutation table id defaults to the pid itself.
+        self._table_ids: Dict[int, int] = {}
+
+    # -- permutation table management ---------------------------------------
+
+    def table_id_for(self, pid: int) -> int:
+        return self._table_ids.get(pid, pid)
+
+    def assign_table(self, pid: int, table_id: int) -> None:
+        """Point ``pid`` at a specific permutation table."""
+        self._table_ids[pid] = table_id
+
+    def lookup_set(self, access: MemoryAccess) -> int:
+        decoded = self.layout.decode(access.address)
+        table_id = self.table_id_for(access.pid)
+        return self.placement.map_set(decoded.tag, decoded.index, table_id)
+
+    # -- randomized interference ----------------------------------------------
+
+    def _fill(self, access: MemoryAccess, set_index: int,
+              line_address: int) -> CacheResult:
+        ways = self._sets[set_index]
+        free_way = next(
+            (w for w, line in enumerate(ways) if not line.valid), None
+        )
+        if free_way is None:
+            way = self.replacement.victim_way(set_index)
+            victim = ways[way]
+            if victim.pid != access.pid or victim.protected:
+                # Interference that could leak information: redirect
+                # the fill to a randomly selected set, so the eviction
+                # the contender can observe is in a random location.
+                self.randomized_evictions += 1
+                set_index = self._interference_prng.next_below(
+                    self.geometry.num_sets
+                )
+        return super()._fill(access, set_index, line_address)
+
+    # -- RPCache-specific maintenance -------------------------------------------
+
+    def refresh_table(self, pid: int, new_table_id: int) -> None:
+        """Swap a process to a fresh permutation and invalidate its lines.
+
+        RPCache updates a process' permutation table over time; lines
+        mapped under the old permutation must not be hit under the new
+        one, so they are invalidated.
+        """
+        self._table_ids[pid] = new_table_id
+        for ways in self._sets:
+            for line in ways:
+                if line.valid and line.pid == pid:
+                    line.valid = False

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``setups``
+    List the four evaluated processor configurations.
+``attack``
+    Run the Bernstein case study against one setup and print the
+    key-space report (Figure 5, one panel).
+``pwcet``
+    Collect execution times of the built-in synthetic task on a setup
+    and print the MBPTA admission results and pWCET curve (Figure 1).
+``missrates``
+    Miss rates of each placement policy on the synthetic workload
+    suite (§6.2.3).
+``properties``
+    MBPTA placement-property verdicts (§3/§4).
+``simulate``
+    Replay a trace file through a setup's hierarchy and print the
+    latency/statistics summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_setups(_: argparse.Namespace) -> int:
+    from repro.core.setups import SETUP_NAMES, make_setup
+
+    for name in SETUP_NAMES:
+        setup = make_setup(name)
+        print(f"{name:<14} {setup.description}")
+        print(
+            f"{'':<14} L1 {setup.l1_policy}/{setup.l1_replacement}, "
+            f"L2 {setup.l2_policy}, shared seeds: "
+            f"{setup.shared_seed_between_parties}, reseed every: "
+            f"{setup.reseed_every or 'never'}"
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.core.simulator import BernsteinCaseStudy
+
+    study = BernsteinCaseStudy(
+        args.setup, num_samples=args.samples, rng_seed=args.seed
+    )
+    result = study.run()
+    report = result.report
+    print(report.summary_row(args.setup))
+    leaking = [
+        o.byte_index for o in report.outcomes if o.num_surviving < 256
+    ]
+    print(f"leaking bytes: {leaking or 'none'}")
+    if args.heatmap:
+        from repro.attack.metrics import (
+            candidate_matrix,
+            render_candidate_matrix,
+        )
+
+        print(render_candidate_matrix(candidate_matrix(report)))
+    return 0
+
+
+def _cmd_pwcet(args: argparse.Namespace) -> int:
+    from repro.common.trace import Trace
+    from repro.core.setups import make_setup_hierarchy
+    from repro.mbpta.analysis import MBPTAAnalysis
+
+    rng = np.random.default_rng(args.seed)
+    addresses = [
+        0x0200_0000 + page * 0x1000 + i * 32
+        for page in range(5)
+        for i in range(128)
+    ]
+    addresses += addresses[: 2 * 128]
+    trace = Trace.from_addresses(addresses)
+
+    times = np.empty(args.runs)
+    for run in range(args.runs):
+        hierarchy = make_setup_hierarchy(args.setup)
+        hierarchy.set_seeds(int(rng.integers(0, 2**32)))
+        times[run] = hierarchy.run_trace(trace)
+
+    report = MBPTAAnalysis(tail_fraction=0.15).analyse(times)
+    print(f"runs: {report.num_samples}  mean: {report.sample_mean:.0f}  "
+          f"max: {report.sample_max:.0f}")
+    print(f"Ljung-Box p={report.independence.p_value:.3f}  "
+          f"KS p={report.identical_distribution.p_value:.3f}  "
+          f"compliant: {report.compliant}")
+    if report.curve is not None:
+        for p, value in report.curve.series():
+            print(f"  P(exceed) {p:8.0e} -> {value:10.0f} cycles")
+        return 0
+    print("admission failed:", "; ".join(report.notes))
+    return 1
+
+
+def _cmd_missrates(_: argparse.Namespace) -> int:
+    from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
+    from repro.cache.placement import make_placement
+    from repro.cache.replacement import make_replacement
+    from repro.workloads.generators import (
+        pointer_chase_trace,
+        random_trace,
+        reuse_trace,
+        stride_trace,
+    )
+
+    policies = ("modulo", "xor_index", "random_modulo", "hashrp")
+    workloads = {
+        "stride": stride_trace(count=2048, stride=32, repeats=3),
+        "reuse": reuse_trace(working_set=192, accesses=12000),
+        "chase": pointer_chase_trace(num_nodes=480, node_size=32,
+                                     hops=12000),
+        "random": random_trace(span=1 << 18, accesses=12000),
+    }
+    print(f"{'workload':<10}" + "".join(f"{p:>16}" for p in policies))
+    for name, trace in workloads.items():
+        row = [f"{name:<10}"]
+        for policy_name in policies:
+            geometry = ARM920T_L1_GEOMETRY
+            cache = SetAssociativeCache(
+                geometry,
+                make_placement(policy_name, geometry.layout()),
+                make_replacement("lru", geometry.num_sets,
+                                 geometry.num_ways),
+            )
+            cache.set_seed(0x1234)
+            for access in trace:
+                cache.access(access)
+            row.append(f"{cache.stats.miss_rate * 100:15.2f}%")
+        print("".join(row))
+    return 0
+
+
+def _cmd_properties(_: argparse.Namespace) -> int:
+    from repro.cache.core import CacheGeometry
+    from repro.cache.placement import make_placement
+    from repro.cache.rpcache import PermutationTablePlacement
+    from repro.mbpta.properties import check_placement_properties
+
+    geometry = CacheGeometry(total_size=4096 * 4, num_ways=4, line_size=256)
+    layout = geometry.layout()
+    policies = [
+        make_placement("modulo", layout),
+        make_placement("xor_index", layout),
+        make_placement("hashrp", layout),
+        make_placement("random_modulo", layout),
+        PermutationTablePlacement(layout),
+    ]
+    print(f"{'policy':<22}{'full(p2)':>9}{'apop(p3)':>9}{'MBPTA':>7}")
+    for policy in policies:
+        report = check_placement_properties(policy, num_seeds=96)
+        print(
+            f"{report.policy:<22}"
+            f"{'yes' if report.full_randomness else 'no':>9}"
+            f"{'yes' if report.apop_fixed_randomness else 'no':>9}"
+            f"{'yes' if report.mbpta_compliant else 'no':>7}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.common.traceio import load_trace_file
+    from repro.core.setups import make_setup_hierarchy
+
+    trace = load_trace_file(args.trace)
+    hierarchy = make_setup_hierarchy(args.setup)
+    if args.seed is not None:
+        hierarchy.set_seeds(args.seed)
+    cycles = hierarchy.run_trace(trace)
+    print(f"trace: {trace.name} ({len(trace)} accesses)")
+    print(f"total memory latency: {cycles} cycles")
+    for level, view in hierarchy.stats_by_level().items():
+        print(f"  {level}: {view.accesses} accesses, "
+              f"{view.misses} misses ({view.miss_rate * 100:.2f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSCache reproduction toolkit (Trilla et al., DAC'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("setups", help="list the evaluated configurations")
+
+    attack = sub.add_parser("attack", help="run the Bernstein case study")
+    attack.add_argument("setup", choices=(
+        "deterministic", "rpcache", "mbpta", "tscache"))
+    attack.add_argument("--samples", type=int, default=100_000)
+    attack.add_argument("--seed", type=int, default=2018)
+    attack.add_argument("--heatmap", action="store_true",
+                        help="print the Figure 5 candidate map")
+
+    pwcet = sub.add_parser("pwcet", help="MBPTA pWCET analysis")
+    pwcet.add_argument("setup", choices=(
+        "deterministic", "rpcache", "mbpta", "tscache"))
+    pwcet.add_argument("--runs", type=int, default=300)
+    pwcet.add_argument("--seed", type=int, default=5)
+
+    sub.add_parser("missrates", help="placement-policy miss rates")
+    sub.add_parser("properties", help="MBPTA placement properties")
+
+    simulate = sub.add_parser("simulate", help="replay a trace file")
+    simulate.add_argument("trace", help="trace file (.trc or .trc.gz)")
+    simulate.add_argument("--setup", default="deterministic", choices=(
+        "deterministic", "rpcache", "mbpta", "tscache"))
+    simulate.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "setups": _cmd_setups,
+    "attack": _cmd_attack,
+    "pwcet": _cmd_pwcet,
+    "missrates": _cmd_missrates,
+    "properties": _cmd_properties,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Shared low-level substrates: bit manipulation, address decomposition,
+MBPTA-grade pseudo-random number generators and memory-access traces."""
+
+from repro.common.address import AddressLayout, DecodedAddress
+from repro.common.bitops import (
+    bit_length_for,
+    extract_bits,
+    is_power_of_two,
+    parity,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+from repro.common.prng import LFSR, SplitMix64, XorShift128, make_prng
+from repro.common.trace import AccessType, MemoryAccess, Trace
+
+__all__ = [
+    "AddressLayout",
+    "DecodedAddress",
+    "bit_length_for",
+    "extract_bits",
+    "is_power_of_two",
+    "parity",
+    "reverse_bits",
+    "rotate_left",
+    "rotate_right",
+    "LFSR",
+    "SplitMix64",
+    "XorShift128",
+    "make_prng",
+    "AccessType",
+    "MemoryAccess",
+    "Trace",
+]

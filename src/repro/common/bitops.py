@@ -1,0 +1,91 @@
+"""Bit-manipulation helpers used by placement hashes and networks.
+
+All functions operate on non-negative Python integers interpreted as
+fixed-width bit vectors.  Widths are explicit arguments because cache
+hardware operates on known field widths (index bits, tag bits, ...).
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def bit_length_for(count: int) -> int:
+    """Number of bits needed to index ``count`` distinct values.
+
+    ``count`` must be a positive power of two (cache geometry invariant).
+    """
+    if not is_power_of_two(count):
+        raise ValueError(f"count must be a power of two, got {count}")
+    return count.bit_length() - 1
+
+
+def mask(width: int) -> int:
+    """Return a bit mask of ``width`` ones."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & mask(width)
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` positions."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotate_right(value: int, amount: int, width: int) -> int:
+    """Rotate a ``width``-bit value right by ``amount`` positions."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    amount %= width
+    return rotate_left(value, width - amount, width)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the bit order of a ``width``-bit value."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    if value < 0:
+        raise ValueError("parity of negative values is undefined")
+    result = 0
+    while value:
+        result ^= value & 1
+        value >>= 1
+    return result
+
+
+def bits_to_int(bits: list) -> int:
+    """Pack a list of bits (MSB first) into an integer."""
+    result = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit}")
+        result = (result << 1) | bit
+    return result
+
+
+def int_to_bits(value: int, width: int) -> list:
+    """Unpack an integer into a list of ``width`` bits (MSB first)."""
+    if value < 0 or value > mask(width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]

@@ -1,0 +1,88 @@
+"""Trace file I/O.
+
+A small line-oriented text format (optionally gzip-compressed by file
+extension) so traces can be exchanged with external tools or captured
+once and replayed:
+
+    # comment
+    L 0x00401000 4 1      <- load  address size pid
+    S 0x00402000 4 1      <- store
+    I 0x00008000 4 0      <- instruction fetch
+
+The format is deliberately trivial: greppable, diffable, and stable.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from typing import TextIO, Union
+
+from repro.common.trace import AccessType, MemoryAccess, Trace
+
+_TYPE_TO_CODE = {
+    AccessType.LOAD: "L",
+    AccessType.STORE: "S",
+    AccessType.IFETCH: "I",
+}
+_CODE_TO_TYPE = {code: kind for kind, code in _TYPE_TO_CODE.items()}
+
+
+def dump_trace(trace: Trace, stream: TextIO) -> None:
+    """Write a trace to an open text stream."""
+    stream.write(f"# trace: {trace.name}\n")
+    for access in trace:
+        code = _TYPE_TO_CODE[access.access_type]
+        stream.write(
+            f"{code} {access.address:#010x} {access.size} {access.pid}\n"
+        )
+
+
+def load_trace(stream: TextIO, name: str = "trace") -> Trace:
+    """Read a trace from an open text stream."""
+    trace = Trace(name=name)
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(
+                f"line {line_number}: expected 'T address size pid', "
+                f"got {line!r}"
+            )
+        code, address_text, size_text, pid_text = parts
+        if code not in _CODE_TO_TYPE:
+            raise ValueError(
+                f"line {line_number}: unknown access code {code!r}"
+            )
+        try:
+            address = int(address_text, 0)
+            size = int(size_text)
+            pid = int(pid_text)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: malformed numbers in {line!r}"
+            ) from None
+        trace.append(MemoryAccess(address, _CODE_TO_TYPE[code], size, pid))
+    return trace
+
+
+def _open(path: str, mode: str) -> Union[TextIO, io.TextIOWrapper]:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace_file(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` (gzip when the name ends in .gz)."""
+    with _open(path, "w") as stream:
+        dump_trace(trace, stream)
+
+
+def load_trace_file(path: str) -> Trace:
+    """Read a trace from ``path`` (gzip when the name ends in .gz)."""
+    import os
+
+    with _open(path, "r") as stream:
+        return load_trace(stream, name=os.path.basename(path))

@@ -1,0 +1,32 @@
+"""The paper's contribution and evaluation core: the four experimental
+setups of §6.1.2, the TSCache system glue, the vectorized AES timing
+engine, and the victim/attacker Bernstein experiment."""
+
+from repro.core.batch import (
+    AESTimingEngine,
+    ColdLineModel,
+    TimingSamples,
+    lookup_line_ids,
+)
+from repro.core.setups import (
+    SETUP_NAMES,
+    SetupConfig,
+    make_setup,
+    make_setup_hierarchy,
+)
+from repro.core.simulator import BernsteinCaseStudy, CaseStudyResult
+from repro.core.tscache import TSCacheSystem
+
+__all__ = [
+    "SetupConfig",
+    "SETUP_NAMES",
+    "make_setup",
+    "make_setup_hierarchy",
+    "AESTimingEngine",
+    "ColdLineModel",
+    "TimingSamples",
+    "lookup_line_ids",
+    "BernsteinCaseStudy",
+    "CaseStudyResult",
+    "TSCacheSystem",
+]

@@ -1,0 +1,409 @@
+"""Vectorized AES-encryption timing engine.
+
+The paper collects 10^7 AES timing samples per setup on a cycle-
+accurate simulator.  Re-running a scalar simulator per encryption is
+infeasible in Python at attack scale, so this engine factors the
+computation the way the physics factors:
+
+1. **Cold-line model (scalar, per seed epoch).**  The deterministic
+   background activity (see :mod:`repro.workloads.interference`)
+   evicts a *fixed* subset of the 160 AES table lines from L1 between
+   encryptions — fixed given the placement policy and the seeds.  That
+   subset (the "cold mask") is computed by replaying warm-up +
+   background through the *real* scalar cache models, once per seed
+   epoch.
+
+2. **Per-encryption timing (vectorized).**  An encryption's time is
+   the fixed pipeline+hit baseline plus one L2-hit penalty per
+   *distinct cold table line it touches* — exactly the quantity the
+   scalar hierarchy would charge, evaluated with NumPy across
+   thousands of encryptions at once (the AES lookup streams come from
+   :meth:`repro.crypto.aes.AES128.encrypt_batch`, which is verified
+   against the scalar implementation).
+
+RPCache's randomized interference is modelled faithfully to its
+semantics: the deterministic cold lines caused by *other-process*
+contention are removed (RPCache redirects those evictions to random
+sets) and replaced by per-encryption evictions of random sets, which
+hit random table lines.
+
+The consistency of (1)+(2) against the scalar hierarchy is covered by
+integration tests (``tests/test_batch_vs_scalar.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.prng import XorShift128
+from repro.common.trace import MemoryAccess
+from repro.cache.core import (
+    ARM920T_L1_GEOMETRY,
+    CacheGeometry,
+    SetAssociativeCache,
+)
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+from repro.cache.rpcache import RPCache
+from repro.core.setups import SetupConfig
+from repro.crypto.aes import (
+    AES128,
+    DEFAULT_TABLE_BASE,
+    LOOKUPS_PER_ENCRYPTION,
+    lookup_table_ids,
+)
+from repro.workloads.interference import BackgroundWorkload, bernstein_background
+
+#: Total distinct cache lines backing the five 1 KB AES tables.
+NUM_TABLE_LINES = 160
+
+#: 32-byte lines hold eight 4-byte table entries.
+ENTRIES_PER_LINE = 8
+
+VICTIM_PID = 1
+OTHER_PID = 7
+
+
+def lookup_line_ids(lookup_bytes: np.ndarray) -> np.ndarray:
+    """Map (N, 160) lookup byte indices to (N, 160) table line ids.
+
+    Line id = table * 32 + byte // 8; tables are contiguous in memory
+    so line ids also index the table region line-by-line.
+    """
+    if lookup_bytes.ndim != 2 or lookup_bytes.shape[1] != LOOKUPS_PER_ENCRYPTION:
+        raise ValueError("lookup_bytes must have shape (N, 160)")
+    table_offsets = lookup_table_ids().astype(np.int64) * 32
+    return table_offsets[None, :] + (lookup_bytes.astype(np.int64) >> 3)
+
+
+@dataclass
+class TimingSamples:
+    """A collected sample set for one party (victim or attacker)."""
+
+    plaintexts: np.ndarray  # (N, 16) uint8
+    timings: np.ndarray  # (N,) float
+    key: bytes
+    setup_name: str
+
+    def __post_init__(self) -> None:
+        if self.plaintexts.shape[0] != self.timings.shape[0]:
+            raise ValueError("plaintexts and timings must align")
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.timings.shape[0])
+
+    def key_xor_plaintexts(self) -> np.ndarray:
+        """Plaintext bytes XORed with the key (study-phase indices)."""
+        key = np.frombuffer(self.key, dtype=np.uint8)
+        return self.plaintexts ^ key[None, :]
+
+
+class ColdLineModel:
+    """Scalar-simulated per-epoch cache state for the table region.
+
+    For one placement configuration and seed assignment, determines
+    which table lines the background activity leaves cold in L1 at the
+    start of each encryption, by replaying the access pattern through
+    the real cache models.
+    """
+
+    def __init__(
+        self,
+        setup: SetupConfig,
+        background: BackgroundWorkload,
+        table_base: int = DEFAULT_TABLE_BASE,
+        geometry: CacheGeometry = ARM920T_L1_GEOMETRY,
+    ) -> None:
+        self.setup = setup
+        self.background = background
+        self.table_base = table_base
+        self.geometry = geometry
+        self.layout = geometry.layout()
+
+    # -- cache construction -------------------------------------------------
+
+    def _build_cache(self, victim_seed: int, other_seed: int,
+                     replacement_seed: int = 0) -> SetAssociativeCache:
+        if self.setup.l1_policy == "rpcache":
+            # pids already select distinct permutation tables.
+            return RPCache(self.geometry)
+        placement = make_placement(self.setup.l1_policy, self.layout)
+        if self.setup.l1_replacement == "random":
+            replacement = make_replacement(
+                "random",
+                self.geometry.num_sets,
+                self.geometry.num_ways,
+                prng=XorShift128(replacement_seed ^ 0x5EED_BA5E),
+            )
+        else:
+            replacement = make_replacement(
+                self.setup.l1_replacement,
+                self.geometry.num_sets,
+                self.geometry.num_ways,
+            )
+        cache = SetAssociativeCache(self.geometry, placement, replacement)
+        cache.set_seed(victim_seed, pid=VICTIM_PID)
+        cache.set_seed(other_seed, pid=OTHER_PID)
+        return cache
+
+    def _table_line_addresses(self) -> List[int]:
+        return [
+            self.table_base + line * self.layout.line_size
+            for line in range(NUM_TABLE_LINES)
+        ]
+
+    # -- the per-epoch state ---------------------------------------------------
+
+    def epoch_state(
+        self,
+        victim_seed: int,
+        other_seed: int,
+        include_other: bool = True,
+        replacement_seed: int = 0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(cold_mask, line_set) for one seed epoch.
+
+        ``cold_mask[l]`` — table line ``l`` is evicted from L1 by the
+        per-interval background activity (so the next encryption pays
+        an L2 hit on first touch).  ``line_set[l]`` — the L1 set the
+        line occupies under the victim's mapping (used by the RPCache
+        noise model).  With random replacement, ``replacement_seed``
+        selects one realisation of the eviction choices — callers
+        resample it periodically to model the per-interval variation.
+        """
+        cache = self._build_cache(victim_seed, other_seed, replacement_seed)
+        addresses = self._table_line_addresses()
+        # Warm-up: two passes so LRU order is the table-id order.
+        for _ in range(2):
+            for address in addresses:
+                cache.access(MemoryAccess(address, pid=VICTIM_PID))
+        # One background interval, application buffers then OS.
+        for access in self.background.same_process_trace(VICTIM_PID):
+            cache.access(access)
+        if include_other:
+            for access in self.background.other_process_trace(OTHER_PID):
+                cache.access(access)
+        cold = np.array(
+            [
+                not cache.contains(address, pid=VICTIM_PID)
+                for address in addresses
+            ],
+            dtype=bool,
+        )
+        line_set = np.array(
+            [
+                cache.lookup_set(MemoryAccess(address, pid=VICTIM_PID))
+                for address in addresses
+            ],
+            dtype=np.int64,
+        )
+        return cold, line_set
+
+    def estimate_interference_events(self, victim_seed: int,
+                                     other_seed: int) -> int:
+        """RPCache randomized evictions per steady-state interval.
+
+        Replays several full intervals (table touch + application
+        buffers + OS buffers) and counts the randomized evictions of
+        the last one, so one-time cold-start conflicts are excluded.
+        """
+        if self.setup.l1_policy != "rpcache":
+            return 0
+        cache = self._build_cache(victim_seed, other_seed)
+        assert isinstance(cache, RPCache)
+        addresses = self._table_line_addresses()
+        before = 0
+        for _ in range(4):
+            before = cache.randomized_evictions
+            for address in addresses:
+                cache.access(MemoryAccess(address, pid=VICTIM_PID))
+            for access in self.background.same_process_trace(VICTIM_PID):
+                cache.access(access)
+            for access in self.background.other_process_trace(OTHER_PID):
+                cache.access(access)
+        return cache.randomized_evictions - before
+
+
+@dataclass
+class EngineConfig:
+    """Timing parameters of the vectorized engine."""
+
+    #: Fixed cycles per encryption: pipeline work + the L1-hit cost of
+    #: all 160 lookups and the surrounding instructions.
+    base_cycles: float = 1480.0
+    #: Extra cycles for a table lookup resolved in L2 (L1 miss).
+    miss_penalty: float = 10.0
+    table_base: int = DEFAULT_TABLE_BASE
+    chunk_size: int = 16384
+    #: Encryptions per replacement-state realisation for caches with
+    #: random replacement (the eviction choices vary per background
+    #: interval; we resample them at this granularity).
+    replacement_block: int = 1024
+
+
+class AESTimingEngine:
+    """Collects attack-scale AES timing samples for one setup."""
+
+    def __init__(
+        self,
+        setup: SetupConfig,
+        background: Optional[BackgroundWorkload] = None,
+        config: Optional[EngineConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.setup = setup
+        self.background = (
+            background if background is not None else default_background()
+        )
+        self.config = config if config is not None else EngineConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(2018)
+        self.cold_model = ColdLineModel(
+            setup, self.background, table_base=self.config.table_base
+        )
+
+    # -- seed streams ---------------------------------------------------------
+
+    def _seed_plan(self, num_samples: int, party: str,
+                   campaign_seed: int) -> List[Tuple[int, int, int]]:
+        """(start, end, victim_seed) epochs covering the sample range.
+
+        ``campaign_seed`` identifies the machine/task; the attacker's
+        study machine derives the *same* placement seeds as the victim
+        exactly when the setup allows seed sharing.
+        """
+        if party not in ("victim", "attacker"):
+            raise ValueError("party must be 'victim' or 'attacker'")
+        shared = self.setup.shared_seed_between_parties
+        party_salt = 0 if (shared or party == "victim") else 0x0BAD_5EED
+        epoch_len = self.setup.reseed_every or num_samples
+        plan = []
+        start = 0
+        epoch_index = 0
+        while start < num_samples:
+            end = min(start + epoch_len, num_samples)
+            seed = (campaign_seed ^ party_salt) + 0x9E37 * epoch_index
+            plan.append((start, end, seed & 0xFFFF_FFFF))
+            start = end
+            epoch_index += 1
+        return plan
+
+    # -- collection --------------------------------------------------------------
+
+    def collect(
+        self,
+        key: bytes,
+        num_samples: int,
+        party: str = "victim",
+        campaign_seed: int = 0xC0DE,
+    ) -> TimingSamples:
+        """Simulate ``num_samples`` encryptions and their timings."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        aes = AES128(key)
+        plaintexts = self.rng.integers(
+            0, 256, size=(num_samples, 16), dtype=np.uint8
+        )
+        timings = np.empty(num_samples, dtype=float)
+        randomized_replacement = self.setup.l1_replacement == "random"
+        party_salt = 0 if party == "victim" else 0xA77A
+        for start, end, victim_seed in self._seed_plan(
+            num_samples, party, campaign_seed
+        ):
+            other_seed = victim_seed ^ 0x7E57_0123  # OS runs under its own seed
+            include_other = not self.setup.randomize_other_process
+            events = self.cold_model.estimate_interference_events(
+                victim_seed, other_seed
+            )
+            # With random replacement the cold realisation changes per
+            # background interval; resample it every replacement_block
+            # encryptions.  Deterministic replacement: one state per
+            # seed epoch.
+            block_len = (
+                self.config.replacement_block
+                if randomized_replacement
+                else end - start
+            )
+            for block_start in range(start, end, block_len):
+                block_end = min(block_start + block_len, end)
+                cold, line_set = self.cold_model.epoch_state(
+                    victim_seed,
+                    other_seed,
+                    include_other=include_other,
+                    replacement_seed=block_start ^ party_salt,
+                )
+                for chunk_start in range(
+                    block_start, block_end, self.config.chunk_size
+                ):
+                    chunk_end = min(
+                        chunk_start + self.config.chunk_size, block_end
+                    )
+                    block = plaintexts[chunk_start:chunk_end]
+                    _, lookup_bytes = aes.encrypt_batch(block)
+                    timings[chunk_start:chunk_end] = self._chunk_timings(
+                        lookup_bytes, cold, line_set, events
+                    )
+        return TimingSamples(
+            plaintexts=plaintexts,
+            timings=timings,
+            key=key,
+            setup_name=self.setup.name,
+        )
+
+    # -- timing math ----------------------------------------------------------------
+
+    def _chunk_timings(
+        self,
+        lookup_bytes: np.ndarray,
+        cold_mask: np.ndarray,
+        line_set: np.ndarray,
+        interference_events: int,
+    ) -> np.ndarray:
+        lines = lookup_line_ids(lookup_bytes)
+        n = lines.shape[0]
+        accessed = np.zeros((n, NUM_TABLE_LINES), dtype=bool)
+        accessed[np.arange(n)[:, None], lines] = True
+        cold_hits = (accessed & cold_mask[None, :]).sum(axis=1)
+        timings = self.config.base_cycles + self.config.miss_penalty * cold_hits
+        if interference_events > 0:
+            timings = timings + self._interference_noise(
+                accessed, cold_mask, line_set, interference_events
+            )
+        return timings
+
+    def _interference_noise(
+        self,
+        accessed: np.ndarray,
+        cold_mask: np.ndarray,
+        line_set: np.ndarray,
+        events: int,
+    ) -> np.ndarray:
+        """RPCache random-set evictions: per-encryption extra misses.
+
+        Each interference event evicts one line from a uniformly
+        random set; when that set holds a (warm) table line, the next
+        encryption pays a miss on it if it touches the line.
+        """
+        n = accessed.shape[0]
+        num_sets = self.cold_model.geometry.num_sets
+        # A representative table line per set (or -1): random evictions
+        # in a set push out at most one table line of interest.
+        set_to_line = np.full(num_sets, -1, dtype=np.int64)
+        for line in range(NUM_TABLE_LINES - 1, -1, -1):
+            if not cold_mask[line]:
+                set_to_line[line_set[line]] = line
+        draws = self.rng.integers(0, num_sets, size=(n, events))
+        evicted_lines = set_to_line[draws]  # (n, events), -1 = no table line
+        valid = evicted_lines >= 0
+        safe_lines = np.where(valid, evicted_lines, 0)
+        touched = accessed[np.arange(n)[:, None], safe_lines] & valid
+        return self.config.miss_penalty * touched.sum(axis=1).astype(float)
+
+
+def default_background() -> BackgroundWorkload:
+    """The case-study background interference (see
+    :func:`repro.workloads.interference.bernstein_background`)."""
+    return bernstein_background()

@@ -1,0 +1,130 @@
+"""The four experimental setups of the paper's case study (§6.1.2).
+
+(a) **deterministic** — baseline vulnerable processor with
+    time-deterministic (modulo+LRU) caches.
+(b) **rpcache**       — secure processor implementing the RPCache.
+(c) **mbpta**         — MBPTA-compliant random caches (RM at L1,
+    hashRP at L2) with *unconstrained* seed management: one seed
+    register, no per-process uniqueness, so an attacker task may run
+    under the victim's seed.
+(d) **tscache**       — the paper's proposal: same random caches, but
+    per-process unique seeds refreshed every hyperperiod.
+
+`make_setup` returns the configuration consumed by the batch engine
+and the case study; `make_setup_hierarchy` builds the corresponding
+scalar :class:`CacheHierarchy` for trace-driven experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cache.core import ARM920T_L1_GEOMETRY, ARM920T_L2_GEOMETRY
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, LatencyConfig
+
+
+@dataclass(frozen=True)
+class SetupConfig:
+    """One evaluated processor configuration."""
+
+    name: str
+    description: str
+    #: L1 data-cache policy: "modulo", "rpcache" or "random_modulo".
+    l1_policy: str
+    #: L2 policy for scalar hierarchies ("modulo" or "hashrp").
+    l2_policy: str
+    #: L1 replacement: "lru" for the deterministic designs, "random"
+    #: for the MBPTA designs (random placement + random replacement,
+    #: paper §2.1).
+    l1_replacement: str
+    #: Attacker's study machine shares the victim's placement seed
+    #: (possible when seed management imposes no uniqueness).
+    shared_seed_between_parties: bool
+    #: Encryptions per seed epoch; None = seed never changes.  The
+    #: TSCache refreshes seeds (with one flush) every hyperperiod.
+    reseed_every: Optional[int]
+    #: RPCache redirects cross-process contention to random sets.
+    randomize_other_process: bool
+
+    @property
+    def is_randomized(self) -> bool:
+        return self.l1_policy == "random_modulo"
+
+
+_SETUPS = {
+    "deterministic": SetupConfig(
+        name="deterministic",
+        description="baseline: time-deterministic modulo+LRU caches",
+        l1_policy="modulo",
+        l2_policy="modulo",
+        l1_replacement="lru",
+        shared_seed_between_parties=True,
+        reseed_every=None,
+        randomize_other_process=False,
+    ),
+    "rpcache": SetupConfig(
+        name="rpcache",
+        description="RPCache secure cache (Wang & Lee)",
+        l1_policy="rpcache",
+        l2_policy="modulo",
+        l1_replacement="lru",
+        shared_seed_between_parties=False,
+        reseed_every=None,
+        randomize_other_process=True,
+    ),
+    "mbpta": SetupConfig(
+        name="mbpta",
+        description="MBPTA-compliant random cache, unconstrained seeds",
+        l1_policy="random_modulo",
+        l2_policy="hashrp",
+        l1_replacement="random",
+        shared_seed_between_parties=True,
+        reseed_every=None,
+        randomize_other_process=False,
+    ),
+    "tscache": SetupConfig(
+        name="tscache",
+        description="TSCache: random placement + per-process unique seeds",
+        l1_policy="random_modulo",
+        l2_policy="hashrp",
+        l1_replacement="random",
+        shared_seed_between_parties=False,
+        reseed_every=1024,
+        randomize_other_process=False,
+    ),
+}
+
+SETUP_NAMES: Tuple[str, ...] = tuple(_SETUPS)
+
+
+def make_setup(name: str) -> SetupConfig:
+    """Look up one of the paper's four setups by name."""
+    try:
+        return _SETUPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown setup {name!r}; choose from {SETUP_NAMES}"
+        ) from None
+
+
+def make_setup_hierarchy(
+    name: str, latencies: LatencyConfig = LatencyConfig()
+) -> CacheHierarchy:
+    """Scalar two-level hierarchy for a setup (trace-driven studies).
+
+    The RPCache setup maps to modulo at the hierarchy level because
+    :class:`repro.cache.rpcache.RPCache` replaces the L1 data cache
+    object; use it directly for single-level RPCache experiments.
+    """
+    setup = make_setup(name)
+    l1 = setup.l1_policy if setup.l1_policy != "rpcache" else "modulo"
+    config = HierarchyConfig(
+        l1_geometry=ARM920T_L1_GEOMETRY,
+        l2_geometry=ARM920T_L2_GEOMETRY,
+        l1_placement=l1,
+        l2_placement=setup.l2_policy,
+        l1_replacement=setup.l1_replacement,
+        latencies=latencies,
+    )
+    return CacheHierarchy(config)

@@ -1,0 +1,139 @@
+"""TSCache system integration (paper §5).
+
+Combines the pieces the paper's proposal is made of:
+
+* an MBPTA-compliant cache hierarchy (RM L1 + hashRP L2),
+* a :class:`~repro.rtos.seeds.SeedManager` enforcing per-SWC unique
+  seeds with per-hyperperiod refresh,
+* the OS actions on context switch (seed save/restore + pipeline
+  drain) and hyperperiod boundary (reseed + flush).
+
+This is the object a downstream user instantiates to run scheduled
+software on a time-predictable *and* side-channel-robust platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy, LatencyConfig
+from repro.common.trace import Trace
+from repro.core.setups import make_setup_hierarchy
+from repro.cpu.pipeline import InOrderPipeline, PipelineConfig
+from repro.rtos.autosar import System
+from repro.rtos.scheduler import (
+    ContextSwitchEvent,
+    FlushEvent,
+    HyperperiodScheduler,
+    JobEvent,
+    ReseedEvent,
+)
+from repro.rtos.seeds import SeedManager, SeedPolicy
+
+
+@dataclass
+class JobTiming:
+    """Observed execution time of one job instance."""
+
+    runnable: str
+    hyperperiod_index: int
+    seed: int
+    cycles: float
+
+
+class TSCacheSystem:
+    """A scheduled TSCache platform executing runnable traces."""
+
+    def __init__(
+        self,
+        system: System,
+        seed_policy: SeedPolicy = SeedPolicy.PER_HYPERPERIOD,
+        latencies: LatencyConfig = LatencyConfig(),
+        prng_seed: int = 0x75CA,
+        hierarchy: Optional[CacheHierarchy] = None,
+    ) -> None:
+        self.system = system
+        self.hierarchy = (
+            hierarchy
+            if hierarchy is not None
+            else make_setup_hierarchy("tscache", latencies=latencies)
+        )
+        self.pipeline = InOrderPipeline(PipelineConfig())
+        self.seed_manager = SeedManager(
+            policy=seed_policy, prng_seed=prng_seed, unique_per_domain=True
+        )
+        self.scheduler = HyperperiodScheduler(
+            system, seed_manager=self.seed_manager
+        )
+        #: Trace each runnable executes per job (set by the user).
+        self.runnable_traces: Dict[str, Trace] = {}
+
+    def set_runnable_trace(self, runnable: str, trace: Trace) -> None:
+        """Register the memory trace a runnable replays per activation."""
+        self.runnable_traces[runnable] = trace
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_job(self, event: JobEvent) -> float:
+        trace = self.runnable_traces.get(event.runnable)
+        if trace is None:
+            raise KeyError(
+                f"no trace registered for runnable {event.runnable!r}"
+            )
+        self.hierarchy.set_seeds(event.seed, pid=event.pid)
+        cycles = 0.0
+        for access in trace:
+            if access.pid != event.pid:
+                # Traces are replayed under the job's seed domain.
+                access = type(access)(
+                    access.address, access.access_type, access.size, event.pid
+                )
+            cycles += self.hierarchy.access(access)
+        return cycles
+
+    def run(self, num_hyperperiods: int = 2) -> List[JobTiming]:
+        """Execute the schedule; return per-job execution times.
+
+        Applies the TSCache OS semantics: pipeline drain on SWC
+        switches, reseed + cache flush at hyperperiod boundaries.
+        """
+        events = self.scheduler.build(num_hyperperiods)
+        timings: List[JobTiming] = []
+        for event in events:
+            if isinstance(event, JobEvent):
+                cycles = self._run_job(event)
+                timings.append(
+                    JobTiming(
+                        runnable=event.runnable,
+                        hyperperiod_index=event.hyperperiod_index,
+                        seed=event.seed,
+                        cycles=cycles,
+                    )
+                )
+            elif isinstance(event, ContextSwitchEvent):
+                self.pipeline.drain()
+            elif isinstance(event, ReseedEvent):
+                for pid, seed in event.new_seeds.items():
+                    self.hierarchy.set_seeds(seed, pid=pid)
+            elif isinstance(event, FlushEvent):
+                self.hierarchy.flush()
+        return timings
+
+    # -- security invariant ------------------------------------------------------
+
+    def seed_collisions(self) -> List[tuple]:
+        """SWC pairs sharing a seed — must be empty for TSCache."""
+        return self.seed_manager.collisions()
+
+    def overhead_summary(self) -> Dict[str, float]:
+        """Cycle accounting of the OS support (paper §6.2.3)."""
+        accounting = self.scheduler.accounting
+        return {
+            "seed_changes": accounting.seed_changes,
+            "drain_cycles": accounting.drain_cycles,
+            "flushes": accounting.flushes,
+            "flush_cycles": accounting.flush_cycles,
+            "jobs": accounting.jobs,
+            "overhead_cycles": accounting.overhead_cycles(),
+        }

@@ -1,0 +1,85 @@
+"""In-order pipeline cost model.
+
+The paper's platform is a 5-stage in-order core (ARM920T).  For the
+phenomena the paper studies — execution-time variability induced by
+the memory hierarchy — an in-order pipeline contributes a *constant*
+per-instruction baseline plus full exposure of every memory-access
+stall (no overlap of misses).  This model charges exactly that, plus
+explicit costs for the pipeline-drain events the TSCache OS support
+requires on seed changes (paper §5, §6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Static timing parameters of the in-order core."""
+
+    num_stages: int = 5
+    #: Base CPI of non-memory instructions once the pipeline is full.
+    base_cpi: float = 1.0
+    #: Extra cycles charged for a taken-branch refill.
+    branch_refill: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 1:
+            raise ValueError("pipeline needs at least one stage")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+
+
+class InOrderPipeline:
+    """Accumulates cycles for instructions, stalls and drains."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()) -> None:
+        self.config = config
+        self.cycles = 0.0
+        self.instructions = 0
+        self.drains = 0
+
+    def reset(self) -> None:
+        self.cycles = 0.0
+        self.instructions = 0
+        self.drains = 0
+
+    def execute(self, count: int = 1) -> None:
+        """Charge ``count`` non-memory instructions."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.instructions += count
+        self.cycles += count * self.config.base_cpi
+
+    def memory_stall(self, latency: int) -> None:
+        """Charge a memory access of the given latency.
+
+        In-order cores expose the full latency beyond the single cycle
+        already covered by the instruction slot.
+        """
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.cycles += max(0, latency - 1)
+        self.instructions += 1
+        self.cycles += self.config.base_cpi
+
+    def branch(self, taken: bool = True) -> None:
+        """Charge a branch instruction (refill penalty if taken)."""
+        self.execute(1)
+        if taken:
+            self.cycles += self.config.branch_refill
+
+    def drain(self) -> int:
+        """Empty the pipeline (seed change / context switch, paper §5).
+
+        Returns the cycles charged: one per stage still in flight.
+        """
+        cost = self.config.num_stages
+        self.cycles += cost
+        self.drains += 1
+        return cost
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0

@@ -1,0 +1,93 @@
+"""Trace-driven processor: pipeline + cache hierarchy.
+
+`Processor.run` replays a memory-access trace through the hierarchy
+charging pipeline time, which yields the execution-time samples that
+both MBPTA (paper §2.1) and the side-channel attacks (§2.2) observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.trace import Trace
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cpu.pipeline import InOrderPipeline, PipelineConfig
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one trace."""
+
+    cycles: float
+    instructions: int
+    memory_cycles: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class Processor:
+    """A single core: in-order pipeline front-ending a cache hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: Optional[CacheHierarchy] = None,
+        pipeline_config: PipelineConfig = PipelineConfig(),
+        compute_per_access: int = 2,
+    ) -> None:
+        """``compute_per_access`` models the non-memory instructions
+        interleaved between consecutive memory references (address
+        arithmetic, ALU work)."""
+        if compute_per_access < 0:
+            raise ValueError("compute_per_access must be non-negative")
+        self.hierarchy = hierarchy if hierarchy is not None else CacheHierarchy()
+        self.pipeline = InOrderPipeline(pipeline_config)
+        self.compute_per_access = compute_per_access
+
+    def run(self, trace: Trace, reset_pipeline: bool = True) -> RunResult:
+        """Execute a trace; cache state persists across calls."""
+        if reset_pipeline:
+            self.pipeline.reset()
+        memory_cycles = 0
+        for access in trace:
+            self.pipeline.execute(self.compute_per_access)
+            latency = self.hierarchy.access(access)
+            memory_cycles += latency
+            self.pipeline.memory_stall(latency)
+        return RunResult(
+            cycles=self.pipeline.cycles,
+            instructions=self.pipeline.instructions,
+            memory_cycles=memory_cycles,
+        )
+
+    def context_switch(self) -> int:
+        """Drain the pipeline (seed save/restore path, paper §5)."""
+        return self.pipeline.drain()
+
+    def set_seeds(self, seed: int, pid: Optional[int] = None) -> None:
+        self.hierarchy.set_seeds(seed, pid=pid)
+
+    def flush_caches(self) -> None:
+        self.hierarchy.flush()
+
+
+def arm920t_processor(
+    l1_placement: str = "modulo",
+    l2_placement: str = "modulo",
+    l1_replacement: str = "lru",
+    l2_replacement: str = "lru",
+) -> Processor:
+    """Factory for the paper's evaluation platform (§6.1.2).
+
+    5-stage core; 16 KB / 128-set / 4-way L1 I and D caches; 256 KB /
+    2048-set / 4-way L2.
+    """
+    config = HierarchyConfig(
+        l1_placement=l1_placement,
+        l2_placement=l2_placement,
+        l1_replacement=l1_replacement,
+        l2_replacement=l2_replacement,
+    )
+    return Processor(CacheHierarchy(config))

@@ -1,0 +1,22 @@
+"""Table-based AES-128 (the victim workload of the paper's case study,
+§6.1.1) with memory-access-trace emission for cache simulation."""
+
+from repro.crypto.aes import (
+    AES128,
+    LOOKUPS_PER_ENCRYPTION,
+    TableLookup,
+    aes_lookup_addresses,
+    random_key,
+)
+from repro.crypto.tables import SBOX, TE_TABLES, TE4
+
+__all__ = [
+    "AES128",
+    "LOOKUPS_PER_ENCRYPTION",
+    "TableLookup",
+    "aes_lookup_addresses",
+    "random_key",
+    "SBOX",
+    "TE_TABLES",
+    "TE4",
+]

@@ -1,0 +1,93 @@
+"""AES lookup tables (Rijndael T-tables).
+
+Generated from first principles (GF(2^8) arithmetic) rather than
+transcribed, so the test suite can cross-check them against the
+algebraic definition.  Table-based AES is the input-dependent-lookup
+construction that enables cache timing attacks (paper §2.2): each of
+Te0..Te3 is 1 KB (256 x 4 bytes) and Te4 serves the final round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial 0x11B."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (AES polynomial)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    """Construct the AES S-box from the multiplicative inverse + affine map."""
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = gf_mul(value, 3)
+    exp[255] = exp[0]
+
+    def inverse(x: int) -> int:
+        if x == 0:
+            return 0
+        return exp[255 - log[x]]
+
+    sbox = [0] * 256
+    for x in range(256):
+        inv = inverse(x)
+        # Affine transformation: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63.
+        result = inv
+        for shift in (1, 2, 3, 4):
+            result ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[x] = result ^ 0x63
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+
+def _build_te_tables() -> Tuple[List[int], ...]:
+    """Te0..Te3: the four rotated MixColumns+SubBytes tables."""
+    te0 = []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = gf_mul(s, 2)
+        s3 = gf_mul(s, 3)
+        te0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+
+    def rot_right_8(word: int) -> int:
+        return ((word >> 8) | (word << 24)) & 0xFFFFFFFF
+
+    te1 = [rot_right_8(w) for w in te0]
+    te2 = [rot_right_8(w) for w in te1]
+    te3 = [rot_right_8(w) for w in te2]
+    return te0, te1, te2, te3
+
+
+TE_TABLES = _build_te_tables()
+
+#: Final-round table: the S-box output replicated into all four byte
+#: lanes (the OpenSSL "Te4" construction), 1 KB like the others.
+TE4 = [(s << 24) | (s << 16) | (s << 8) | s for s in SBOX]
+
+#: Round constants for the AES-128 key schedule.
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]

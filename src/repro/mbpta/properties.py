@@ -1,0 +1,213 @@
+"""Empirical checkers for the MBPTA placement properties (paper §2.1).
+
+The paper defines what a random-placement function must satisfy:
+
+* **mbpta-p2, Full Randomness** — for two addresses A != B:
+  (1) A maps to different sets under different seeds,
+  (2) conflicts between A and B are not systematic: some seeds map
+      them together, others apart — including same-page pairs.
+* **mbpta-p3, Partial APOP-fixed Randomness** — like p2 across page
+  boundaries, but two addresses *within the same page* must never
+  conflict, for any seed.
+
+These checkers probe a :class:`PlacementPolicy` over many seeds and
+address pairs, returning a verdict per property.  They turn the
+paper's §3/§4 analysis into executable checks: modulo and Aciicmez
+XOR-index fail both properties, hashRP achieves p2, RM achieves p3,
+and RPCache's permutation tables fail both (conflicts are invariant
+across tables).
+
+The probes are randomized; verdicts are sound up to sampling (a
+"conflicts possible" observation is definitive, its absence is
+statistical).  Use geometries with few sets and generous seed counts
+when certifying a new policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.common.prng import XorShift128
+from repro.cache.placement import PlacementPolicy
+
+
+@dataclass
+class PlacementPropertyReport:
+    """Verdicts of the property probes for one placement policy."""
+
+    policy: str
+    #: Placements of single addresses vary with the seed (p2/p3 req. 1).
+    seed_sensitive: bool
+    #: Cross-page conflicts occur for some seeds and not others (req. 2).
+    cross_page_non_systematic: bool
+    #: Same-page pairs conflict under at least one probed seed.
+    same_page_conflicts_possible: bool
+    #: Same-page pairs never conflicted under any probed seed.
+    intra_page_conflict_free: bool
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def full_randomness(self) -> bool:
+        """mbpta-p2 verdict: all pairs, even same-page, mix randomly."""
+        return (
+            self.seed_sensitive
+            and self.cross_page_non_systematic
+            and self.same_page_conflicts_possible
+        )
+
+    @property
+    def apop_fixed_randomness(self) -> bool:
+        """mbpta-p3 verdict: random across pages, bijective within."""
+        return (
+            self.seed_sensitive
+            and self.cross_page_non_systematic
+            and self.intra_page_conflict_free
+        )
+
+    @property
+    def mbpta_compliant(self) -> bool:
+        """Either property enables MBPTA (paper §2.1)."""
+        return self.full_randomness or self.apop_fixed_randomness
+
+
+def _sample_seeds(num_seeds: int, prng_seed: int) -> List[int]:
+    prng = XorShift128(prng_seed)
+    return [prng.next_bits(32) for _ in range(num_seeds)]
+
+
+def check_seed_sensitivity(
+    policy: PlacementPolicy,
+    seeds: Sequence[int],
+    addresses: Sequence[int],
+) -> Tuple[bool, str]:
+    """Requirement (1): placements vary with the seed."""
+    for address in addresses:
+        sets = {policy.map_address(address, seed) for seed in seeds}
+        if len(sets) > 1:
+            return True, "placements differ across seeds"
+    return False, "every probed address kept its set across all seeds"
+
+
+def check_cross_page(
+    policy: PlacementPolicy,
+    seeds: Sequence[int],
+    prng_seed: int,
+    page_size: int = 4096,
+    num_pairs: int = 64,
+) -> Tuple[bool, str]:
+    """Requirement (2) across pages: conflict outcomes depend on the seed."""
+    layout = policy.layout
+    prng = XorShift128(prng_seed)
+    page_bits = layout.address_bits - (page_size - 1).bit_length()
+    lines_per_page = max(1, page_size // layout.line_size)
+    saw_both = False
+    for _ in range(num_pairs):
+        page_a = prng.next_bits(page_bits) * page_size
+        page_b = prng.next_bits(page_bits) * page_size
+        if page_a == page_b:
+            continue
+        offset = prng.next_below(lines_per_page)
+        a = page_a + offset * layout.line_size
+        b = page_b + offset * layout.line_size
+        outcomes = {
+            policy.map_address(a, seed) == policy.map_address(b, seed)
+            for seed in seeds
+        }
+        if outcomes == {True}:
+            return False, (
+                f"pair {a:#x}/{b:#x} conflicts systematically for all seeds"
+            )
+        if outcomes == {True, False}:
+            saw_both = True
+    if saw_both:
+        return True, "cross-page conflicts vary with the seed"
+    return False, "no cross-page pair ever conflicted (probe too small?)"
+
+
+def check_same_page(
+    policy: PlacementPolicy,
+    seeds: Sequence[int],
+    prng_seed: int,
+    page_size: int = 4096,
+    pages_to_probe: int = 4,
+) -> Tuple[bool, bool, str]:
+    """Same-page behaviour: (conflicts_possible, conflict_free, note).
+
+    Enumerates every line of several random pages under every seed —
+    exhaustive within the probed pages, so ``conflict_free`` is a
+    strong statement for bijective designs like RM.
+    """
+    layout = policy.layout
+    lines_per_page = max(2, page_size // layout.line_size)
+    prng = XorShift128(prng_seed)
+    page_bits = layout.address_bits - (page_size - 1).bit_length()
+    conflicts_seen = False
+    for _ in range(pages_to_probe):
+        page_base = prng.next_bits(page_bits) * page_size
+        line_addresses = [
+            page_base + i * layout.line_size for i in range(lines_per_page)
+        ]
+        for seed in seeds:
+            mapped = [policy.map_address(a, seed) for a in line_addresses]
+            if len(set(mapped)) != len(mapped):
+                conflicts_seen = True
+    if conflicts_seen:
+        return True, False, "same-page conflicts occur under some seeds"
+    return False, True, "no intra-page conflicts for any probed seed"
+
+
+def check_placement_properties(
+    policy: PlacementPolicy,
+    num_seeds: int = 64,
+    prng_seed: int = 0xBEEF,
+    page_size: int = 4096,
+) -> PlacementPropertyReport:
+    """Probe all properties and assemble the report."""
+    seeds = _sample_seeds(num_seeds, prng_seed)
+    prng = XorShift128(prng_seed ^ 0x5A5A)
+    layout = policy.layout
+    addresses = [
+        prng.next_bits(layout.tag_bits + layout.index_bits)
+        << layout.offset_bits
+        for _ in range(16)
+    ]
+    sensitive, note_s = check_seed_sensitivity(policy, seeds, addresses)
+    cross_ok, note_c = check_cross_page(
+        policy, seeds, prng_seed ^ 1, page_size=page_size
+    )
+    same_possible, same_free, note_p = check_same_page(
+        policy, seeds, prng_seed ^ 2, page_size=page_size
+    )
+    return PlacementPropertyReport(
+        policy=policy.name,
+        seed_sensitive=sensitive,
+        cross_page_non_systematic=cross_ok,
+        same_page_conflicts_possible=same_possible,
+        intra_page_conflict_free=same_free,
+        details=[note_s, note_c, note_p],
+    )
+
+
+def check_full_randomness(
+    policy: PlacementPolicy,
+    num_seeds: int = 64,
+    prng_seed: int = 0xFEED,
+    page_size: int = 4096,
+) -> PlacementPropertyReport:
+    """mbpta-p2 probe (same report; read ``full_randomness``)."""
+    return check_placement_properties(
+        policy, num_seeds=num_seeds, prng_seed=prng_seed, page_size=page_size
+    )
+
+
+def check_apop_fixed_randomness(
+    policy: PlacementPolicy,
+    num_seeds: int = 64,
+    prng_seed: int = 0xFACE,
+    page_size: int = 4096,
+) -> PlacementPropertyReport:
+    """mbpta-p3 probe (same report; read ``apop_fixed_randomness``)."""
+    return check_placement_properties(
+        policy, num_seeds=num_seeds, prng_seed=prng_seed, page_size=page_size
+    )

@@ -1,0 +1,36 @@
+"""Operating-system support for the TSCache (paper §5, Figure 3):
+AUTOSAR application modelling, per-SWC seed management, and a
+hyperperiod scheduler that performs seed save/restore and flushes."""
+
+from repro.rtos.autosar import (
+    Application,
+    Runnable,
+    SoftwareComponent,
+    System,
+    Task,
+    hyperperiod,
+)
+from repro.rtos.scheduler import (
+    ContextSwitchEvent,
+    FlushEvent,
+    HyperperiodScheduler,
+    JobEvent,
+    ReseedEvent,
+)
+from repro.rtos.seeds import SeedPolicy, SeedManager
+
+__all__ = [
+    "Runnable",
+    "SoftwareComponent",
+    "Application",
+    "Task",
+    "System",
+    "hyperperiod",
+    "SeedPolicy",
+    "SeedManager",
+    "HyperperiodScheduler",
+    "JobEvent",
+    "ContextSwitchEvent",
+    "FlushEvent",
+    "ReseedEvent",
+]

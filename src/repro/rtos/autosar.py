@@ -1,0 +1,225 @@
+"""AUTOSAR-style application model (paper §5, Figure 3).
+
+Applications are divided into software components (SWC); each SWC is
+divided into runnables — the atomic unit of execution, each with an
+execution period.  Runnables of different SWCs are grouped into tasks
+by period; the task set repeats every hyperperiod (the LCM of the
+periods).  Seed management operates at SWC granularity: runnables of
+one SWC share a seed (shared memory), different SWCs must not (they
+may come from different providers and must not learn about each other
+through the cache).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Runnable:
+    """Atomic unit of execution with a fixed activation period."""
+
+    name: str
+    period: int  # in scheduler time units (e.g. ms)
+    #: Names of runnables whose output this one reads (dependencies
+    #: within the same activation).
+    reads_from: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period of {self.name} must be positive")
+
+
+@dataclass(frozen=True)
+class SoftwareComponent:
+    """A SWC: a set of runnables sharing memory (hence sharing a seed)."""
+
+    name: str
+    runnables: Tuple[Runnable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runnables:
+            raise ValueError(f"SWC {self.name} needs at least one runnable")
+        names = [r.name for r in self.runnables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate runnable names in SWC {self.name}")
+
+    def runnable(self, name: str) -> Runnable:
+        for r in self.runnables:
+            if r.name == name:
+                return r
+        raise KeyError(f"no runnable {name!r} in SWC {self.name}")
+
+
+@dataclass(frozen=True)
+class Application:
+    """A set of SWCs delivered together (possibly by several providers)."""
+
+    name: str
+    components: Tuple[SoftwareComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError(f"application {self.name} needs at least one SWC")
+
+
+@dataclass(frozen=True)
+class Task:
+    """All runnables sharing one period, scheduled together.
+
+    Mirrors the paper's example: "taskA includes all runnables with
+    period 10ms".  Within a task, runnables keep application dependency
+    order.
+    """
+
+    name: str
+    period: int
+    #: (swc name, runnable) in execution order.
+    entries: Tuple[Tuple[str, Runnable], ...]
+
+
+def hyperperiod(periods: Sequence[int]) -> int:
+    """LCM of the runnable periods."""
+    if not periods:
+        raise ValueError("need at least one period")
+    return reduce(math.lcm, periods)
+
+
+class System:
+    """A scheduled system: applications plus the derived task set."""
+
+    #: pid reserved for the operating system itself (paper §5: the OS
+    #: has its own seed).
+    OS_PID = 0
+
+    def __init__(self, applications: Sequence[Application]) -> None:
+        if not applications:
+            raise ValueError("need at least one application")
+        self.applications = tuple(applications)
+        self._swc_pids: Dict[str, int] = {}
+        next_pid = self.OS_PID + 1
+        for app in self.applications:
+            for swc in app.components:
+                if swc.name in self._swc_pids:
+                    raise ValueError(f"duplicate SWC name {swc.name!r}")
+                self._swc_pids[swc.name] = next_pid
+                next_pid += 1
+        self.tasks = self._build_tasks()
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def swc_names(self) -> List[str]:
+        return list(self._swc_pids)
+
+    def pid_of(self, swc_name: str) -> int:
+        """The pid (seed domain) of a SWC."""
+        try:
+            return self._swc_pids[swc_name]
+        except KeyError:
+            raise KeyError(f"unknown SWC {swc_name!r}") from None
+
+    def swc_of_runnable(self, runnable_name: str) -> SoftwareComponent:
+        for app in self.applications:
+            for swc in app.components:
+                for runnable in swc.runnables:
+                    if runnable.name == runnable_name:
+                        return swc
+        raise KeyError(f"unknown runnable {runnable_name!r}")
+
+    @property
+    def hyperperiod(self) -> int:
+        periods = [
+            r.period
+            for app in self.applications
+            for swc in app.components
+            for r in swc.runnables
+        ]
+        return hyperperiod(periods)
+
+    # -- task derivation ----------------------------------------------------------
+
+    def _build_tasks(self) -> List[Task]:
+        """Group runnables into per-period tasks, preserving dependencies.
+
+        Within one period group, runnables are ordered so that a
+        runnable never precedes one it reads from (stable topological
+        order over the declaration order).
+        """
+        by_period: Dict[int, List[Tuple[str, Runnable]]] = {}
+        for app in self.applications:
+            for swc in app.components:
+                for runnable in swc.runnables:
+                    by_period.setdefault(runnable.period, []).append(
+                        (swc.name, runnable)
+                    )
+        tasks = []
+        for index, period in enumerate(sorted(by_period)):
+            entries = self._dependency_order(by_period[period])
+            tasks.append(
+                Task(
+                    name=f"task{chr(ord('A') + index)}",
+                    period=period,
+                    entries=tuple(entries),
+                )
+            )
+        return tasks
+
+    @staticmethod
+    def _dependency_order(
+        entries: List[Tuple[str, Runnable]]
+    ) -> List[Tuple[str, Runnable]]:
+        ordered: List[Tuple[str, Runnable]] = []
+        remaining = list(entries)
+        placed: set = set()
+        while remaining:
+            progressed = False
+            for item in list(remaining):
+                _, runnable = item
+                deps_in_group = {
+                    dep
+                    for dep in runnable.reads_from
+                    if any(r.name == dep for _, r in entries)
+                }
+                if deps_in_group <= placed:
+                    ordered.append(item)
+                    placed.add(runnable.name)
+                    remaining.remove(item)
+                    progressed = True
+            if not progressed:
+                raise ValueError(
+                    "dependency cycle among runnables: "
+                    + ", ".join(r.name for _, r in remaining)
+                )
+        return ordered
+
+
+def example_figure3_system() -> System:
+    """The exact scenario of Figure 3.
+
+    Application 1 has SWC1 (R1, period 10) and SWC2 (R2 period 10,
+    R3 period 20 reading R2's output); application 2 has SWC3 (R4
+    period 20, R5 period 20).  Hyperperiod: 20.
+    """
+    app1 = Application(
+        "app1",
+        (
+            SoftwareComponent("SWC1", (Runnable("R1", 10),)),
+            SoftwareComponent(
+                "SWC2",
+                (Runnable("R2", 10), Runnable("R3", 20, reads_from=("R2",))),
+            ),
+        ),
+    )
+    app2 = Application(
+        "app2",
+        (
+            SoftwareComponent(
+                "SWC3", (Runnable("R4", 20), Runnable("R5", 20))
+            ),
+        ),
+    )
+    return System([app1, app2])

@@ -1,0 +1,182 @@
+"""Hyperperiod scheduler with TSCache seed handling (paper §5, Figure 3).
+
+Builds the static schedule of an AUTOSAR :class:`System` over one or
+more hyperperiods and emits the event sequence the TSCache OS support
+produces:
+
+* :class:`JobEvent` — a runnable instance executes under its SWC seed;
+* :class:`ContextSwitchEvent` — crossing SWCs: save the outgoing seed
+  in the task struct, drain the pipeline, restore the incoming seed;
+* :class:`ReseedEvent` / :class:`FlushEvent` — at each hyperperiod
+  boundary the OS draws fresh seeds and flushes the cache, making
+  execution times across hyperperiods independent.
+
+Cycle accounting follows §6.2.3: a seed change costs a pipeline drain
+("tens of cycles"); the flush happens once per hyperperiod.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.rtos.autosar import System
+from repro.rtos.seeds import SeedManager
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One runnable instance executing."""
+
+    time: int
+    runnable: str
+    swc: str
+    pid: int
+    seed: int
+    hyperperiod_index: int
+
+
+@dataclass(frozen=True)
+class ContextSwitchEvent:
+    """SWC boundary: seed save/restore plus pipeline drain."""
+
+    time: int
+    from_pid: int
+    to_pid: int
+    drain_cycles: int
+
+
+@dataclass(frozen=True)
+class ReseedEvent:
+    """Hyperperiod boundary reseed: fresh seeds for all domains."""
+
+    time: int
+    new_seeds: Dict[int, int]
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """Cache flush (once per hyperperiod)."""
+
+    time: int
+    flush_cycles: int
+
+
+ScheduleEvent = Union[JobEvent, ContextSwitchEvent, ReseedEvent, FlushEvent]
+
+
+@dataclass
+class ScheduleAccounting:
+    """Cycle overheads accumulated while executing a schedule."""
+
+    seed_changes: int = 0
+    drain_cycles: int = 0
+    flushes: int = 0
+    flush_cycles: int = 0
+    jobs: int = 0
+
+    def overhead_cycles(self) -> int:
+        return self.drain_cycles + self.flush_cycles
+
+
+class HyperperiodScheduler:
+    """Static cyclic executive over the system's hyperperiod."""
+
+    def __init__(
+        self,
+        system: System,
+        seed_manager: Optional[SeedManager] = None,
+        drain_cycles: int = 20,
+        flush_cycles: int = 1000,
+    ) -> None:
+        """``drain_cycles`` is the seed-change cost ("tens of cycles",
+        §6.2.3); ``flush_cycles`` the full-cache invalidation cost paid
+        once per hyperperiod."""
+        self.system = system
+        self.seed_manager = (
+            seed_manager if seed_manager is not None else SeedManager()
+        )
+        self.drain_cycles = drain_cycles
+        self.flush_cycles = flush_cycles
+        self.accounting = ScheduleAccounting()
+
+    def build(self, num_hyperperiods: int = 1) -> List[ScheduleEvent]:
+        """Emit the ordered event stream for ``num_hyperperiods``."""
+        if num_hyperperiods <= 0:
+            raise ValueError("num_hyperperiods must be positive")
+        events: List[ScheduleEvent] = []
+        hp = self.system.hyperperiod
+        current_pid: Optional[int] = None
+        for hp_index in range(num_hyperperiods):
+            hp_start = hp_index * hp
+            if hp_index > 0:
+                # Hyperperiod boundary: new seeds + flush (paper §5).
+                new_seeds = self.seed_manager.on_hyperperiod(hp_start)
+                events.append(ReseedEvent(hp_start, new_seeds))
+                events.append(FlushEvent(hp_start, self.flush_cycles))
+                self.accounting.flushes += 1
+                self.accounting.flush_cycles += self.flush_cycles
+                self.accounting.seed_changes += len(new_seeds)
+                current_pid = None  # seeds restored lazily at next job
+            for release in self._release_times(hp):
+                time = hp_start + release
+                for task in self.system.tasks:
+                    if release % task.period != 0:
+                        continue
+                    for swc_name, runnable in task.entries:
+                        pid = self.system.pid_of(swc_name)
+                        self.seed_manager.on_job_release(pid, time)
+                        seed = self.seed_manager.seed_for(pid, time)
+                        if current_pid is not None and current_pid != pid:
+                            events.append(
+                                ContextSwitchEvent(
+                                    time,
+                                    from_pid=current_pid,
+                                    to_pid=pid,
+                                    drain_cycles=self.drain_cycles,
+                                )
+                            )
+                            self.accounting.seed_changes += 1
+                            self.accounting.drain_cycles += self.drain_cycles
+                        current_pid = pid
+                        events.append(
+                            JobEvent(
+                                time=time,
+                                runnable=runnable.name,
+                                swc=swc_name,
+                                pid=pid,
+                                seed=seed,
+                                hyperperiod_index=hp_index,
+                            )
+                        )
+                        self.accounting.jobs += 1
+        return events
+
+    def _release_times(self, hp: int) -> Sequence[int]:
+        times = sorted(
+            {
+                t
+                for task in self.system.tasks
+                for t in range(0, hp, task.period)
+            }
+        )
+        return times
+
+    # -- execution-time simulation hooks ------------------------------------
+
+    def execute(
+        self,
+        events: Sequence[ScheduleEvent],
+        job_runner: Callable[[JobEvent], float],
+    ) -> Dict[str, List[float]]:
+        """Run a callable per job, collecting times per runnable.
+
+        ``job_runner`` receives each :class:`JobEvent` (including its
+        seed) and returns the observed execution time — typically by
+        replaying the runnable's trace through a seeded hierarchy.
+        """
+        times: Dict[str, List[float]] = {}
+        for event in events:
+            if isinstance(event, JobEvent):
+                times.setdefault(event.runnable, []).append(job_runner(event))
+        return times

@@ -1,0 +1,139 @@
+"""Seed management policies (paper §5).
+
+MBPTA constrains *when* seeds change (anywhere between "once before
+the first job" and "before every job release"); security constrains
+*who shares* a seed (no two SWCs may, or one could reproduce the
+other's cache behaviour and mount contention attacks).  The TSCache
+policy is therefore: per-SWC unique seeds, refreshed — together with
+one cache flush — every hyperperiod.
+
+:class:`SeedManager` implements that policy plus the two MBPTA
+extremes for ablation studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.prng import XorShift128
+
+
+class SeedPolicy(enum.Enum):
+    """When seeds are (re)drawn."""
+
+    #: One random seed at system start, never changed (MBPTA minimum).
+    ONCE = "once"
+    #: Fresh seeds at every hyperperiod boundary (TSCache default).
+    PER_HYPERPERIOD = "per_hyperperiod"
+    #: Fresh seed before every job release (MBPTA maximum; costly —
+    #: each change with shared data forces consistency action).
+    PER_JOB = "per_job"
+
+
+@dataclass
+class SeedAssignment:
+    """A seed value with bookkeeping of when it was drawn."""
+
+    value: int
+    drawn_at: int  # scheduler time
+    generation: int
+
+
+class SeedManager:
+    """Draws and tracks seeds for every seed domain (SWC pid + OS).
+
+    ``unique_per_domain`` is the security half of the TSCache design:
+    when True (default), a fresh draw is rejected if it collides with
+    another live domain's seed — modelling the OS enforcing distinct
+    seeds across SWCs.  When False, domains draw independently and
+    *may* collide (the MBPTACache situation the paper exploits in the
+    attack evaluation: "two different tasks could have the same seed").
+    """
+
+    def __init__(
+        self,
+        policy: SeedPolicy = SeedPolicy.PER_HYPERPERIOD,
+        prng_seed: int = 0x5EED,
+        unique_per_domain: bool = True,
+        seed_bits: int = 32,
+    ) -> None:
+        if seed_bits <= 0 or seed_bits > 64:
+            raise ValueError("seed_bits must be in 1..64")
+        self.policy = policy
+        self.unique_per_domain = unique_per_domain
+        self.seed_bits = seed_bits
+        self._prng = XorShift128(prng_seed)
+        self._assignments: Dict[int, SeedAssignment] = {}
+        self._generation = 0
+        #: History of (time, pid, seed) draws, for audit/tests.
+        self.history: List[tuple] = []
+
+    # -- draws ------------------------------------------------------------
+
+    def _draw(self) -> int:
+        value = self._prng.next_bits(self.seed_bits)
+        if self.unique_per_domain:
+            live = {a.value for a in self._assignments.values()}
+            while value in live:
+                value = self._prng.next_bits(self.seed_bits)
+        return value
+
+    def seed_for(self, pid: int, now: int = 0) -> int:
+        """Current seed of a domain, drawing one if none exists."""
+        assignment = self._assignments.get(pid)
+        if assignment is None:
+            assignment = SeedAssignment(self._draw(), now, self._generation)
+            self._assignments[pid] = assignment
+            self.history.append((now, pid, assignment.value))
+        return assignment.value
+
+    # -- policy events ---------------------------------------------------------
+
+    def on_hyperperiod(self, now: int) -> Dict[int, int]:
+        """Hyperperiod boundary: redraw all seeds if the policy says so.
+
+        Returns the new {pid: seed} mapping (empty if unchanged).
+        """
+        if self.policy is SeedPolicy.ONCE:
+            return {}
+        return self._redraw_all(now)
+
+    def on_job_release(self, pid: int, now: int) -> Optional[int]:
+        """Job release: redraw this domain's seed under PER_JOB."""
+        if self.policy is not SeedPolicy.PER_JOB:
+            return None
+        old = self._assignments.pop(pid, None)
+        seed = self.seed_for(pid, now)
+        if old is not None and old.value == seed:
+            # Redraw produced the same value; still counts as a change
+            # event for accounting purposes.
+            pass
+        return seed
+
+    def _redraw_all(self, now: int) -> Dict[int, int]:
+        self._generation += 1
+        pids = list(self._assignments)
+        self._assignments.clear()
+        return {pid: self.seed_for(pid, now) for pid in pids}
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def live_seeds(self) -> Dict[int, int]:
+        return {pid: a.value for pid, a in self._assignments.items()}
+
+    def collisions(self) -> List[tuple]:
+        """Pairs of domains currently sharing a seed (security hazard)."""
+        by_value: Dict[int, List[int]] = {}
+        for pid, assignment in self._assignments.items():
+            by_value.setdefault(assignment.value, []).append(pid)
+        return [
+            tuple(sorted(pids))
+            for pids in by_value.values()
+            if len(pids) > 1
+        ]

@@ -1,0 +1,26 @@
+"""Synthetic workloads: trace generators for miss-rate studies and the
+background-interference model that drives the Bernstein attack signal."""
+
+from repro.workloads.generators import (
+    matrix_walk_trace,
+    pointer_chase_trace,
+    random_trace,
+    reuse_trace,
+    stride_trace,
+)
+from repro.workloads.interference import (
+    BackgroundWorkload,
+    Region,
+    bernstein_background,
+)
+
+__all__ = [
+    "stride_trace",
+    "pointer_chase_trace",
+    "random_trace",
+    "reuse_trace",
+    "matrix_walk_trace",
+    "BackgroundWorkload",
+    "Region",
+    "bernstein_background",
+]

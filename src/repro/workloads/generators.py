@@ -1,0 +1,127 @@
+"""Synthetic memory-trace generators.
+
+Used by the miss-rate benchmarks (§6.2.3: RM within ~1% of modulo) and
+by tests.  All generators are deterministic given their arguments; the
+randomized ones take an explicit PRNG seed.
+"""
+
+from __future__ import annotations
+
+from repro.common.prng import XorShift128
+from repro.common.trace import Trace
+
+
+def stride_trace(
+    base: int = 0x4000_0000,
+    stride: int = 32,
+    count: int = 1024,
+    repeats: int = 4,
+    pid: int = 0,
+) -> Trace:
+    """Sequential walk over ``count`` addresses, repeated ``repeats`` times.
+
+    With stride == line size this is the classic streaming pattern;
+    strides equal to the way size produce the pathological aligned
+    conflicts that deterministic placement suffers from.
+    """
+    if stride <= 0 or count <= 0 or repeats <= 0:
+        raise ValueError("stride, count and repeats must be positive")
+    trace = Trace(name=f"stride_{stride}x{count}")
+    for _ in range(repeats):
+        for i in range(count):
+            trace.load(base + i * stride, pid=pid)
+    return trace
+
+
+def reuse_trace(
+    base: int = 0x4000_0000,
+    working_set: int = 64,
+    line_size: int = 32,
+    accesses: int = 4096,
+    reuse_fraction: float = 0.8,
+    seed: int = 7,
+    pid: int = 0,
+) -> Trace:
+    """Mix of reuses within a hot working set and cold streaming accesses."""
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValueError("reuse_fraction must be within [0, 1]")
+    prng = XorShift128(seed)
+    trace = Trace(name=f"reuse_{working_set}")
+    cold_cursor = base + working_set * line_size
+    threshold = int(reuse_fraction * 1000)
+    for _ in range(accesses):
+        if prng.next_below(1000) < threshold:
+            line = prng.next_below(working_set)
+            trace.load(base + line * line_size, pid=pid)
+        else:
+            trace.load(cold_cursor, pid=pid)
+            cold_cursor += line_size
+    return trace
+
+
+def pointer_chase_trace(
+    base: int = 0x5000_0000,
+    num_nodes: int = 512,
+    node_size: int = 64,
+    hops: int = 4096,
+    seed: int = 11,
+    pid: int = 0,
+) -> Trace:
+    """Random-permutation pointer chase: no spatial locality at all."""
+    if num_nodes <= 1:
+        raise ValueError("need at least two nodes")
+    prng = XorShift128(seed)
+    order = list(range(num_nodes))
+    for i in range(num_nodes - 1, 0, -1):
+        j = prng.next_below(i + 1)
+        order[i], order[j] = order[j], order[i]
+    trace = Trace(name=f"chase_{num_nodes}")
+    node = 0
+    for _ in range(hops):
+        trace.load(base + order[node] * node_size, pid=pid)
+        node = (node + 1) % num_nodes
+    return trace
+
+
+def random_trace(
+    base: int = 0x6000_0000,
+    span: int = 1 << 20,
+    accesses: int = 4096,
+    seed: int = 13,
+    pid: int = 0,
+    store_fraction: float = 0.2,
+) -> Trace:
+    """Uniformly random accesses over ``span`` bytes, mixed loads/stores."""
+    if span <= 0:
+        raise ValueError("span must be positive")
+    prng = XorShift128(seed)
+    trace = Trace(name="random")
+    store_threshold = int(store_fraction * 1000)
+    for _ in range(accesses):
+        address = base + (prng.next_below(span) & ~0x3)
+        if prng.next_below(1000) < store_threshold:
+            trace.store(address, pid=pid)
+        else:
+            trace.load(address, pid=pid)
+    return trace
+
+
+def matrix_walk_trace(
+    base: int = 0x7000_0000,
+    rows: int = 64,
+    cols: int = 64,
+    element_size: int = 4,
+    column_major: bool = False,
+    pid: int = 0,
+) -> Trace:
+    """Row- or column-major walk over a matrix (classic locality contrast)."""
+    trace = Trace(name=f"matrix_{rows}x{cols}_{'col' if column_major else 'row'}")
+    if column_major:
+        for c in range(cols):
+            for r in range(rows):
+                trace.load(base + (r * cols + c) * element_size, pid=pid)
+    else:
+        for r in range(rows):
+            for c in range(cols):
+                trace.load(base + (r * cols + c) * element_size, pid=pid)
+    return trace

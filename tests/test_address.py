@@ -1,0 +1,104 @@
+"""Unit and property tests for address decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.address import AddressLayout
+
+
+ARM_L1 = AddressLayout(line_size=32, num_sets=128)
+ARM_L2 = AddressLayout(line_size=32, num_sets=2048)
+
+
+class TestFieldWidths:
+    def test_arm_l1_widths(self):
+        assert ARM_L1.offset_bits == 5
+        assert ARM_L1.index_bits == 7
+        assert ARM_L1.tag_bits == 20
+
+    def test_arm_l2_widths(self):
+        assert ARM_L2.offset_bits == 5
+        assert ARM_L2.index_bits == 11
+        assert ARM_L2.tag_bits == 16
+
+    def test_widths_sum_to_address_bits(self):
+        for layout in (ARM_L1, ARM_L2):
+            assert (
+                layout.offset_bits + layout.index_bits + layout.tag_bits
+                == layout.address_bits
+            )
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_size=24, num_sets=128)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_size=32, num_sets=100)
+
+    def test_rejects_tiny_address_space(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_size=32, num_sets=128, address_bits=10)
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ARM_L1.decode(1 << 32)
+        with pytest.raises(ValueError):
+            ARM_L1.decode(-1)
+
+
+class TestDecode:
+    def test_known_decomposition(self):
+        # 0x0010_0000: offset 0, index (0x100000 >> 5) & 0x7F = 0.
+        decoded = ARM_L1.decode(0x0010_0000)
+        assert decoded.offset == 0
+        assert decoded.index == 0
+        assert decoded.tag == 0x0010_0000 >> 12
+
+    def test_offset_only(self):
+        decoded = ARM_L1.decode(0x1F)
+        assert decoded.offset == 0x1F
+        assert decoded.index == 0
+        assert decoded.tag == 0
+
+    def test_line_address_clears_offset(self):
+        decoded = ARM_L1.decode(0x12345)
+        assert decoded.line_address == 0x12345 & ~0x1F
+
+    def test_line_number(self):
+        assert ARM_L1.line_number(0x40) == 2
+        assert ARM_L1.line_number(0x5F) == 2
+
+
+class TestEncodeDecodeRoundtrip:
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip(self, address):
+        decoded = ARM_L1.decode(address)
+        rebuilt = ARM_L1.encode(decoded.tag, decoded.index, decoded.offset)
+        assert rebuilt == address
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 127), st.integers(0, 31))
+    def test_encode_then_decode(self, tag, index, offset):
+        address = ARM_L1.encode(tag, index, offset)
+        decoded = ARM_L1.decode(address)
+        assert (decoded.tag, decoded.index, decoded.offset) == (
+            tag, index, offset,
+        )
+
+    def test_encode_rejects_oversized_fields(self):
+        with pytest.raises(ValueError):
+            ARM_L1.encode(1 << 20, 0, 0)
+        with pytest.raises(ValueError):
+            ARM_L1.encode(0, 128, 0)
+        with pytest.raises(ValueError):
+            ARM_L1.encode(0, 0, 32)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_same_line_same_decomposition(self, address):
+        """All bytes of one line share tag and index."""
+        base = ARM_L1.decode(address).line_address
+        first = ARM_L1.decode(base)
+        last = ARM_L1.decode(base + 31)
+        assert (first.tag, first.index) == (last.tag, last.index)

@@ -1,0 +1,75 @@
+"""Tests for the end-to-end MBPTA pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.mbpta.analysis import MBPTAAnalysis
+
+
+RNG = np.random.default_rng(555)
+
+
+class TestAdmission:
+    def test_iid_sample_compliant(self):
+        data = RNG.exponential(scale=5.0, size=1000) + 100
+        report = MBPTAAnalysis().analyse(data)
+        assert report.compliant
+        assert report.curve is not None
+        assert report.notes == []
+
+    def test_autocorrelated_sample_rejected(self):
+        noise = RNG.normal(size=1000)
+        data = np.cumsum(noise) + 100  # random walk: heavily dependent
+        report = MBPTAAnalysis().analyse(data)
+        assert not report.compliant
+        assert report.curve is None
+        assert any("Ljung-Box" in note for note in report.notes)
+
+    def test_drifting_sample_rejected_by_ks(self):
+        data = np.concatenate([
+            RNG.normal(loc=100, size=500),
+            RNG.normal(loc=104, size=500),
+        ])
+        report = MBPTAAnalysis().analyse(data)
+        assert not report.compliant
+        assert any("KS" in note for note in report.notes)
+
+    def test_enforce_admission_off_still_fits(self):
+        data = np.cumsum(RNG.normal(size=1000)) + 1000
+        report = MBPTAAnalysis().analyse(data, enforce_admission=False)
+        assert not report.compliant
+        assert report.curve is not None
+
+
+class TestPWCETAccess:
+    def test_pwcet_monotone(self):
+        data = RNG.exponential(scale=5.0, size=2000) + 100
+        report = MBPTAAnalysis().analyse(data)
+        assert report.pwcet(1e-12) > report.pwcet(1e-6) > report.sample_mean
+
+    def test_pwcet_raises_without_curve(self):
+        data = np.cumsum(RNG.normal(size=1000)) + 100
+        report = MBPTAAnalysis().analyse(data)
+        with pytest.raises(RuntimeError):
+            report.pwcet()
+
+    def test_block_maxima_method(self):
+        data = RNG.exponential(scale=5.0, size=2000) + 100
+        report = MBPTAAnalysis(method="block_maxima").analyse(data)
+        assert report.compliant
+        assert report.pwcet(1e-9) > report.sample_max * 0.9
+
+
+class TestConfiguration:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            MBPTAAnalysis(method="weibull")
+
+    def test_small_sample_rejected_for_ks(self):
+        with pytest.raises(ValueError):
+            MBPTAAnalysis().identical_distribution(np.arange(6.0))
+
+    def test_report_counts_samples(self):
+        data = RNG.exponential(size=400) + 10
+        report = MBPTAAnalysis().analyse(data)
+        assert report.num_samples == 400

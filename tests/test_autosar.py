@@ -1,0 +1,113 @@
+"""Tests for the AUTOSAR application model (Figure 3 semantics)."""
+
+import pytest
+
+from repro.rtos.autosar import (
+    Application,
+    Runnable,
+    SoftwareComponent,
+    System,
+    example_figure3_system,
+    hyperperiod,
+)
+
+
+class TestModelValidation:
+    def test_runnable_period_positive(self):
+        with pytest.raises(ValueError):
+            Runnable("R1", 0)
+
+    def test_swc_needs_runnables(self):
+        with pytest.raises(ValueError):
+            SoftwareComponent("SWC1", ())
+
+    def test_duplicate_runnable_names_rejected(self):
+        with pytest.raises(ValueError):
+            SoftwareComponent(
+                "SWC1", (Runnable("R1", 10), Runnable("R1", 20))
+            )
+
+    def test_application_needs_components(self):
+        with pytest.raises(ValueError):
+            Application("app", ())
+
+    def test_duplicate_swc_names_rejected(self):
+        swc = SoftwareComponent("SWC1", (Runnable("R1", 10),))
+        swc2 = SoftwareComponent("SWC1", (Runnable("R2", 10),))
+        with pytest.raises(ValueError):
+            System([Application("a", (swc,)), Application("b", (swc2,))])
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        assert hyperperiod([10, 20]) == 20
+        assert hyperperiod([6, 10, 15]) == 30
+        assert hyperperiod([7]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+
+class TestFigure3System:
+    def test_structure(self):
+        system = example_figure3_system()
+        assert system.swc_names == ["SWC1", "SWC2", "SWC3"]
+        assert system.hyperperiod == 20
+
+    def test_pids_unique_and_nonzero(self):
+        system = example_figure3_system()
+        pids = [system.pid_of(name) for name in system.swc_names]
+        assert len(set(pids)) == 3
+        assert System.OS_PID not in pids
+
+    def test_tasks_grouped_by_period(self):
+        """taskA = period-10 runnables (R1, R2); taskB = period-20."""
+        system = example_figure3_system()
+        assert len(system.tasks) == 2
+        task_a, task_b = system.tasks
+        assert task_a.period == 10
+        assert [r.name for _, r in task_a.entries] == ["R1", "R2"]
+        assert task_b.period == 20
+        assert {r.name for _, r in task_b.entries} == {"R3", "R4", "R5"}
+
+    def test_swc_of_runnable(self):
+        system = example_figure3_system()
+        assert system.swc_of_runnable("R3").name == "SWC2"
+        with pytest.raises(KeyError):
+            system.swc_of_runnable("R99")
+
+    def test_pid_of_unknown(self):
+        with pytest.raises(KeyError):
+            example_figure3_system().pid_of("SWC9")
+
+
+class TestDependencyOrdering:
+    def test_reader_after_writer(self):
+        swc = SoftwareComponent(
+            "S",
+            (
+                Runnable("consumer", 10, reads_from=("producer",)),
+                Runnable("producer", 10),
+            ),
+        )
+        system = System([Application("a", (swc,))])
+        names = [r.name for _, r in system.tasks[0].entries]
+        assert names.index("producer") < names.index("consumer")
+
+    def test_cycle_detected(self):
+        swc = SoftwareComponent(
+            "S",
+            (
+                Runnable("a", 10, reads_from=("b",)),
+                Runnable("b", 10, reads_from=("a",)),
+            ),
+        )
+        with pytest.raises(ValueError):
+            System([Application("app", (swc,))])
+
+    def test_cross_period_dependency_ignored_in_group(self):
+        """R3 (period 20) reading R2 (period 10) doesn't constrain the
+        period-10 task ordering."""
+        system = example_figure3_system()
+        assert system.tasks[0].period == 10

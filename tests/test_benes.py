@@ -1,0 +1,129 @@
+"""Tests for the Benes permutation network.
+
+The property RM placement relies on: *every* control word realises a
+permutation (bijectivity within a page), and the network is
+rearrangeable enough that varying controls produce many distinct
+permutations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.benes import BenesNetwork
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(0)
+
+    def test_single_wire_has_no_switches(self):
+        assert BenesNetwork(1).num_switches == 0
+
+    def test_two_wires_one_switch(self):
+        assert BenesNetwork(2).num_switches == 1
+
+    def test_switch_count_grows_nlogn(self):
+        """Classic Benes: ~n log2 n - n/2 switches for power-of-two n."""
+        network = BenesNetwork(8)
+        assert network.num_switches == 8 * 3 - 4  # = 20
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 8, 11, 16])
+    def test_switch_indices_in_range(self, n):
+        network = BenesNetwork(n)
+        for i, j in network.switches:
+            assert 0 <= i < n
+            assert 0 <= j < n
+            assert i != j
+
+
+class TestRouting:
+    def test_identity_with_zero_control(self):
+        network = BenesNetwork(7)
+        assert network.permutation(0) == list(range(7))
+
+    def test_single_switch_swaps(self):
+        network = BenesNetwork(2)
+        assert network.route(["a", "b"], 1) == ["b", "a"]
+        assert network.route(["a", "b"], 0) == ["a", "b"]
+
+    def test_route_checks_input_length(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).route([1, 2, 3], 0)
+
+    def test_route_rejects_negative_control(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).route([1, 2, 3, 4], -1)
+
+    @given(st.integers(2, 12), st.integers(0, 2**40 - 1))
+    @settings(max_examples=200)
+    def test_every_control_is_permutation(self, n, control):
+        network = BenesNetwork(n)
+        result = network.permutation(control)
+        assert sorted(result) == list(range(n))
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_permute_bits_bijective_on_7_bits(self, control):
+        """The RM property: for any control, index mapping is 1:1."""
+        network = BenesNetwork(7)
+        images = {network.permute_bits(v, control) for v in range(128)}
+        assert len(images) == 128
+
+    def test_permute_bits_msb_convention(self):
+        network = BenesNetwork(4)
+        # Zero control: identity on bit positions.
+        assert network.permute_bits(0b1010, 0) == 0b1010
+
+    def test_controls_reach_many_permutations(self):
+        network = BenesNetwork(5)
+        perms = {
+            tuple(network.permutation(control)) for control in range(2048)
+        }
+        assert len(perms) > 50
+
+    @given(st.integers(2, 10), st.integers(0, 2**40 - 1))
+    @settings(max_examples=100)
+    def test_permutation_preserves_multiset(self, n, control):
+        network = BenesNetwork(n)
+        values = [i * 3 for i in range(n)]
+        assert sorted(network.route(values, control)) == sorted(values)
+
+
+class TestControlFor:
+    """Constructive rearrangeability: the looping algorithm."""
+
+    @given(st.integers(2, 13), st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_realises_random_permutations(self, n, rnd):
+        network = BenesNetwork(n)
+        perm = list(range(n))
+        rnd.shuffle(perm)
+        control = network.control_for(perm)
+        assert network.permutation(control) == perm
+
+    def test_identity_routable(self):
+        network = BenesNetwork(7)
+        control = network.control_for(list(range(7)))
+        assert network.permutation(control) == list(range(7))
+
+    def test_reversal_routable(self):
+        network = BenesNetwork(8)
+        target = list(reversed(range(8)))
+        control = network.control_for(target)
+        assert network.permutation(control) == target
+
+    def test_rejects_non_permutation(self):
+        network = BenesNetwork(4)
+        with pytest.raises(ValueError):
+            network.control_for([0, 0, 1, 2])
+        with pytest.raises(ValueError):
+            network.control_for([0, 1, 2])
+
+    def test_l2_index_width_fast(self):
+        """11 wires (2048 sets) routes instantly — the algorithm is
+        polynomial, not exhaustive."""
+        network = BenesNetwork(11)
+        target = [(i * 7 + 3) % 11 for i in range(11)]
+        assert sorted(target) == list(range(11))
+        control = network.control_for(target)
+        assert network.permutation(control) == target

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    bit_length_for,
+    bits_to_int,
+    extract_bits,
+    int_to_bits,
+    is_power_of_two,
+    mask,
+    parity,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, -4, -1):
+            assert not is_power_of_two(value)
+
+
+class TestBitLengthFor:
+    def test_known_values(self):
+        assert bit_length_for(1) == 0
+        assert bit_length_for(2) == 1
+        assert bit_length_for(128) == 7
+        assert bit_length_for(2048) == 11
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_length_for(100)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+
+class TestMaskExtract:
+    def test_mask_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_extract_fields(self):
+        value = 0xDEADBEEF
+        assert extract_bits(value, 0, 8) == 0xEF
+        assert extract_bits(value, 8, 8) == 0xBE
+        assert extract_bits(value, 16, 16) == 0xDEAD
+
+    def test_extract_negative_args(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 4)
+        with pytest.raises(ValueError):
+            extract_bits(1, 0, -4)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31), st.integers(0, 32))
+    def test_extract_matches_shift_and_mask(self, value, low, width):
+        assert extract_bits(value, low, width) == (value >> low) & mask(width)
+
+
+class TestRotate:
+    def test_rotate_left_known(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+        assert rotate_left(0b1001, 2, 4) == 0b0110
+
+    def test_rotate_right_known(self):
+        assert rotate_right(0b0001, 1, 4) == 0b1000
+        assert rotate_right(0b0110, 2, 4) == 0b1001
+
+    def test_rotate_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            rotate_left(1, 1, 0)
+
+    @given(st.integers(1, 64), st.integers(0, 200), st.data())
+    def test_left_right_inverse(self, width, amount, data):
+        value = data.draw(st.integers(0, mask(width)))
+        assert rotate_right(rotate_left(value, amount, width), amount,
+                            width) == value
+
+    @given(st.integers(1, 64), st.data())
+    def test_full_rotation_is_identity(self, width, data):
+        value = data.draw(st.integers(0, mask(width)))
+        assert rotate_left(value, width, width) == value
+
+    @given(st.integers(1, 64), st.integers(0, 64), st.data())
+    def test_rotation_preserves_popcount(self, width, amount, data):
+        value = data.draw(st.integers(0, mask(width)))
+        rotated = rotate_left(value, amount, width)
+        assert bin(rotated).count("1") == bin(value).count("1")
+
+
+class TestReverseBits:
+    def test_known(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+        assert reverse_bits(0b1101, 4) == 0b1011
+
+    @given(st.integers(1, 64), st.data())
+    def test_involution(self, width, data):
+        value = data.draw(st.integers(0, mask(width)))
+        assert reverse_bits(reverse_bits(value, width), width) == value
+
+
+class TestParity:
+    def test_known(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b11) == 0
+        assert parity(0b111) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parity(-1)
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_matches_popcount(self, value):
+        assert parity(value) == bin(value).count("1") % 2
+
+
+class TestBitsListConversion:
+    @given(st.integers(1, 32), st.data())
+    def test_roundtrip(self, width, data):
+        value = data.draw(st.integers(0, mask(width)))
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_bits_to_int_msb_first(self):
+        assert bits_to_int([1, 0, 1]) == 0b101
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)

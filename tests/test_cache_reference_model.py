@@ -1,0 +1,106 @@
+"""Property-based comparison of the cache core against a transparent
+reference model.
+
+The reference model keeps, per set, an explicit MRU-ordered list of
+line addresses — the textbook definition of a modulo+LRU cache.  A
+hypothesis-driven access sequence must produce identical hit/miss
+verdicts and identical resident contents.
+"""
+
+from typing import Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.core import CacheGeometry, SetAssociativeCache
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+from repro.common.trace import MemoryAccess
+
+
+GEOMETRY = CacheGeometry(total_size=8 * 32 * 2, num_ways=2, line_size=32)
+# 8 sets, 2 ways, 32-byte lines: small enough that random sequences
+# exercise every path (fills, hits, conflict evictions).
+
+
+class ReferenceLRUCache:
+    """Dict-of-lists reference: sets[index] is MRU-first."""
+
+    def __init__(self, num_sets: int, num_ways: int, line_size: int) -> None:
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.line_size = line_size
+        self.sets: Dict[int, List[int]] = {s: [] for s in range(num_sets)}
+
+    def access(self, address: int) -> bool:
+        line = address - address % self.line_size
+        index = (address // self.line_size) % self.num_sets
+        contents = self.sets[index]
+        if line in contents:
+            contents.remove(line)
+            contents.insert(0, line)
+            return True
+        contents.insert(0, line)
+        if len(contents) > self.num_ways:
+            contents.pop()
+        return False
+
+    def resident(self) -> List[int]:
+        return sorted(
+            line for contents in self.sets.values() for line in contents
+        )
+
+
+def build_real_cache() -> SetAssociativeCache:
+    return SetAssociativeCache(
+        GEOMETRY,
+        make_placement("modulo", GEOMETRY.layout()),
+        make_replacement("lru", GEOMETRY.num_sets, GEOMETRY.num_ways),
+    )
+
+
+# Addresses drawn from a window of 4x the cache size so that reuse,
+# conflicts and capacity pressure all occur.
+addresses = st.integers(0, 4 * GEOMETRY.total_size - 1)
+
+
+class TestAgainstReference:
+    @given(st.lists(addresses, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_hit_miss_sequence_identical(self, sequence):
+        real = build_real_cache()
+        reference = ReferenceLRUCache(
+            GEOMETRY.num_sets, GEOMETRY.num_ways, GEOMETRY.line_size
+        )
+        for address in sequence:
+            expected = reference.access(address)
+            actual = real.access(MemoryAccess(address)).hit
+            assert actual == expected
+
+    @given(st.lists(addresses, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_resident_contents_identical(self, sequence):
+        real = build_real_cache()
+        reference = ReferenceLRUCache(
+            GEOMETRY.num_sets, GEOMETRY.num_ways, GEOMETRY.line_size
+        )
+        for address in sequence:
+            reference.access(address)
+            real.access(MemoryAccess(address))
+        assert real.resident_lines() == reference.resident()
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_stats_invariants(self, sequence):
+        real = build_real_cache()
+        for address in sequence:
+            real.access(MemoryAccess(address))
+        stats = real.stats
+        assert stats.accesses == len(sequence)
+        assert stats.hits + stats.misses == stats.accesses
+        # Evictions never exceed fills beyond capacity.
+        capacity = GEOMETRY.num_sets * GEOMETRY.num_ways
+        assert stats.evictions <= max(0, stats.misses - 1)
+        assert len(real.resident_lines()) <= capacity
+        assert len(real.resident_lines()) == min(
+            capacity, stats.misses - stats.evictions
+        )

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.common.trace import Trace
+from repro.common.traceio import save_trace_file
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack", "tscache"])
+        assert args.setup == "tscache"
+        assert args.samples == 100_000
+
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "newcache"])
+
+
+class TestCommands:
+    def test_setups(self, capsys):
+        assert main(["setups"]) == 0
+        out = capsys.readouterr().out
+        for name in ("deterministic", "rpcache", "mbpta", "tscache"):
+            assert name in out
+
+    def test_attack_small(self, capsys):
+        assert main(["attack", "tscache", "--samples", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "remaining key space" in out
+
+    def test_pwcet(self, capsys):
+        assert main(["pwcet", "tscache", "--runs", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "compliant: True" in out
+        assert "P(exceed)" in out
+
+    def test_properties(self, capsys):
+        assert main(["properties"]) == 0
+        out = capsys.readouterr().out
+        assert "random_modulo" in out
+
+    def test_simulate(self, capsys, tmp_path):
+        trace = Trace.from_addresses(
+            [0x1000 + i * 32 for i in range(64)] * 2
+        )
+        path = str(tmp_path / "t.trc")
+        save_trace_file(trace, path)
+        assert main(["simulate", path, "--setup", "tscache",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "128 accesses" in out
+        assert "l1d" in out

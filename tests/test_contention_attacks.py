@@ -1,0 +1,96 @@
+"""Tests for Prime+Probe and Evict+Time (§6.2.1 generalization):
+contention attacks succeed against shared deterministic mappings and
+fail against per-process random placement."""
+
+import pytest
+
+from repro.cache.core import CacheGeometry, SetAssociativeCache
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+from repro.cache.rpcache import RPCache
+from repro.attack.evict_time import EvictTimeAttack
+from repro.attack.prime_probe import PrimeProbeAttack
+
+
+GEOMETRY = CacheGeometry(2048, 4, 32)  # 16 sets, 4 ways
+
+
+def deterministic_cache():
+    layout = GEOMETRY.layout()
+    return SetAssociativeCache(
+        GEOMETRY,
+        make_placement("modulo", layout),
+        make_replacement("lru", GEOMETRY.num_sets, GEOMETRY.num_ways),
+    )
+
+
+def tscache_like_cache():
+    layout = GEOMETRY.layout()
+    cache = SetAssociativeCache(
+        GEOMETRY,
+        make_placement("random_modulo", layout),
+        make_replacement("lru", GEOMETRY.num_sets, GEOMETRY.num_ways),
+    )
+    return cache
+
+
+def seed_tscache(cache, trial):
+    """Per-process unique seeds, fresh per trial (hyperperiod)."""
+    cache.set_seed(1000 + trial, pid=1)
+    cache.set_seed(2000 + trial * 7 + 3, pid=2)
+
+
+class TestPrimeProbe:
+    def test_leaks_on_deterministic(self):
+        attack = PrimeProbeAttack(deterministic_cache, num_entries=16)
+        result = attack.run(trials=60)
+        assert result.leaks
+        assert result.accuracy > 0.5
+
+    def test_defeated_by_per_process_seeds(self):
+        attack = PrimeProbeAttack(tscache_like_cache, num_entries=16)
+        result = attack.run(trials=60, seed_victim=seed_tscache)
+        assert result.accuracy < 0.3
+
+    def test_shared_seed_still_leaks(self):
+        """Random placement with a *shared* seed (MBPTACache without
+        seed constraints) gives the attacker back its aim."""
+
+        def seed_shared(cache, trial):
+            cache.set_seed(555, pid=1)
+            cache.set_seed(555, pid=2)
+
+        attack = PrimeProbeAttack(tscache_like_cache, num_entries=16)
+        result = attack.run(trials=60, seed_victim=seed_shared)
+        assert result.leaks
+
+    def test_rpcache_randomization_blocks(self):
+        attack = PrimeProbeAttack(lambda: RPCache(GEOMETRY), num_entries=16)
+        result = attack.run(trials=60)
+        assert result.accuracy < 0.3
+
+    def test_result_fields(self):
+        attack = PrimeProbeAttack(deterministic_cache, num_entries=16)
+        result = attack.run(trials=10)
+        assert result.trials == 10
+        assert 0 <= result.correct <= 10
+        assert result.chance_level == pytest.approx(1 / 16)
+
+
+class TestEvictTime:
+    def test_leaks_on_deterministic(self):
+        attack = EvictTimeAttack(deterministic_cache, num_entries=8)
+        result = attack.run(trials=12)
+        assert result.leaks
+        assert result.accuracy > 0.5
+
+    def test_defeated_by_per_process_seeds(self):
+        attack = EvictTimeAttack(tscache_like_cache, num_entries=8)
+        result = attack.run(trials=12, seed_victim=seed_tscache)
+        assert result.accuracy < 0.5
+
+    def test_result_fields(self):
+        attack = EvictTimeAttack(deterministic_cache, num_entries=8)
+        result = attack.run(trials=4)
+        assert result.trials == 4
+        assert result.chance_level == pytest.approx(1 / 8)

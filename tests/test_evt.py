@@ -1,0 +1,193 @@
+"""Tests for the EVT / pWCET machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mbpta.evt import (
+    ExponentialTailFit,
+    GumbelFit,
+    fit_exponential_tail,
+    fit_gumbel_block_maxima,
+)
+
+
+RNG = np.random.default_rng(99)
+
+
+class TestExponentialTailFit:
+    def test_exceedance_at_threshold(self):
+        fit = ExponentialTailFit(threshold=10.0, scale=2.0,
+                                 tail_fraction=0.1, num_excesses=100)
+        assert fit.exceedance_probability(10.0) == pytest.approx(0.1)
+
+    def test_exceedance_decays(self):
+        fit = ExponentialTailFit(10.0, 2.0, 0.1, 100)
+        assert fit.exceedance_probability(12.0) == pytest.approx(
+            0.1 * math.exp(-1.0)
+        )
+
+    def test_quantile_inverts_exceedance(self):
+        fit = ExponentialTailFit(10.0, 2.0, 0.1, 100)
+        for p in (1e-3, 1e-6, 1e-12):
+            assert fit.exceedance_probability(fit.quantile(p)) == (
+                pytest.approx(p, rel=1e-9)
+            )
+
+    def test_below_threshold_rejected(self):
+        fit = ExponentialTailFit(10.0, 2.0, 0.1, 100)
+        with pytest.raises(ValueError):
+            fit.exceedance_probability(9.0)
+
+    def test_degenerate_scale(self):
+        fit = ExponentialTailFit(10.0, 0.0, 0.1, 0)
+        assert fit.exceedance_probability(11.0) == 0.0
+        assert fit.quantile(1e-12) == 10.0
+
+
+class TestFitExponentialTail:
+    def test_recovers_exponential_scale(self):
+        data = RNG.exponential(scale=3.0, size=20000)
+        curve = fit_exponential_tail(data, tail_fraction=0.2)
+        assert curve.fit.scale == pytest.approx(3.0, rel=0.1)
+
+    def test_pwcet_monotone_in_exceedance(self):
+        data = RNG.exponential(scale=3.0, size=5000)
+        curve = fit_exponential_tail(data)
+        q9 = curve.pwcet(1e-9)
+        q12 = curve.pwcet(1e-12)
+        assert q12 > q9 > curve.fit.threshold
+
+    def test_pwcet_bounds_sample_max_probability(self):
+        """The fitted curve assigns small probability to values far
+        beyond the sample maximum."""
+        data = RNG.exponential(scale=1.0, size=5000) + 100.0
+        curve = fit_exponential_tail(data)
+        far = curve.sample_max + 30.0
+        assert curve.exceedance_probability(far) < 1e-9
+
+    def test_series_shape(self):
+        data = RNG.exponential(scale=1.0, size=1000)
+        curve = fit_exponential_tail(data)
+        series = curve.series((1e-3, 1e-6))
+        assert len(series) == 2
+        assert series[0][0] == 1e-3
+        assert series[1][1] > series[0][1]
+
+    def test_constant_samples_degenerate(self):
+        curve = fit_exponential_tail(np.full(100, 7.0))
+        assert curve.pwcet(1e-12) == 7.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_exponential_tail(np.arange(10.0))
+
+    def test_bad_tail_fraction(self):
+        with pytest.raises(ValueError):
+            fit_exponential_tail(np.arange(100.0), tail_fraction=1.5)
+
+
+class TestGumbel:
+    def test_quantile_inverts(self):
+        fit = GumbelFit(location=5.0, scale=1.5, block_size=50)
+        for p in (1e-3, 1e-6):
+            assert fit.exceedance_probability(fit.quantile(p)) == (
+                pytest.approx(p, rel=1e-6)
+            )
+
+    def test_block_maxima_recovers_gumbel_location(self):
+        location, scale = 20.0, 2.0
+        data = location - scale * np.log(-np.log(RNG.uniform(size=50000)))
+        # Fitting maxima-of-blocks of Gumbel data gives a shifted Gumbel.
+        curve = fit_gumbel_block_maxima(data, block_size=50)
+        expected_shift = location + scale * math.log(50)
+        assert curve.fit.location == pytest.approx(expected_shift, rel=0.05)
+        assert curve.fit.scale == pytest.approx(scale, rel=0.2)
+
+    def test_needs_enough_blocks(self):
+        with pytest.raises(ValueError):
+            fit_gumbel_block_maxima(np.arange(100.0), block_size=50)
+
+    def test_block_size_minimum(self):
+        with pytest.raises(ValueError):
+            fit_gumbel_block_maxima(np.arange(100.0), block_size=1)
+
+    def test_degenerate_maxima(self):
+        curve = fit_gumbel_block_maxima(np.full(1000, 3.0), block_size=50)
+        assert curve.pwcet(1e-9) == pytest.approx(3.0, abs=1e-6)
+
+
+class TestGPD:
+    def test_gpd_matches_exponential_when_shape_zero(self):
+        from repro.mbpta.evt import GPDTailFit
+
+        gpd = GPDTailFit(threshold=10.0, scale=2.0, shape=0.0,
+                         tail_fraction=0.1)
+        exp = ExponentialTailFit(10.0, 2.0, 0.1, 100)
+        for x in (10.0, 12.0, 20.0):
+            assert gpd.exceedance_probability(x) == pytest.approx(
+                exp.exceedance_probability(x)
+            )
+
+    def test_gpd_quantile_inverts(self):
+        from repro.mbpta.evt import GPDTailFit
+
+        for shape in (-0.3, 0.0, 0.3):
+            gpd = GPDTailFit(threshold=5.0, scale=1.0, shape=shape,
+                             tail_fraction=0.1)
+            for p in (1e-2, 1e-4):
+                assert gpd.exceedance_probability(
+                    gpd.quantile(p)
+                ) == pytest.approx(p, rel=1e-6)
+
+    def test_negative_shape_bounded_support(self):
+        from repro.mbpta.evt import GPDTailFit
+
+        gpd = GPDTailFit(threshold=0.0, scale=1.0, shape=-0.5,
+                         tail_fraction=1.0)
+        # Support ends at threshold + scale/|shape| = 2.0.
+        assert gpd.exceedance_probability(3.0) == 0.0
+
+    def test_fit_recovers_exponential_shape(self):
+        from repro.mbpta.evt import fit_gpd_tail
+
+        data = RNG.exponential(scale=2.0, size=30000)
+        curve = fit_gpd_tail(data, tail_fraction=0.2)
+        assert abs(curve.fit.shape) < 0.12
+        assert curve.fit.scale == pytest.approx(2.0, rel=0.15)
+
+    def test_fit_detects_bounded_tail(self):
+        from repro.mbpta.evt import fit_gpd_tail
+
+        data = RNG.uniform(0, 10, size=30000)  # bounded: shape = -1
+        curve = fit_gpd_tail(data, tail_fraction=0.2)
+        assert curve.fit.shape < -0.5
+
+    def test_fit_validation(self):
+        from repro.mbpta.evt import fit_gpd_tail
+
+        with pytest.raises(ValueError):
+            fit_gpd_tail(np.arange(10.0))
+        with pytest.raises(ValueError):
+            fit_gpd_tail(np.arange(100.0), tail_fraction=0.0)
+
+
+class TestExponentialityCoefficient:
+    def test_exponential_near_one(self):
+        from repro.mbpta.evt import exponentiality_coefficient
+
+        data = RNG.exponential(scale=3.0, size=30000)
+        assert exponentiality_coefficient(data) == pytest.approx(1.0,
+                                                                 abs=0.15)
+
+    def test_bounded_below_one(self):
+        from repro.mbpta.evt import exponentiality_coefficient
+
+        data = RNG.uniform(0, 1, size=30000)
+        assert exponentiality_coefficient(data) < 0.8
+
+    def test_degenerate_zero(self):
+        from repro.mbpta.evt import exponentiality_coefficient
+
+        assert exponentiality_coefficient(np.full(100, 5.0)) == 0.0

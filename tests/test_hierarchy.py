@@ -1,0 +1,117 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    HierarchyConfig,
+    LatencyConfig,
+    MemoryModel,
+)
+from repro.cache.core import CacheGeometry
+from repro.common.trace import AccessType, MemoryAccess, Trace
+
+
+SMALL = HierarchyConfig(
+    l1_geometry=CacheGeometry(2048, 4, 32),
+    l2_geometry=CacheGeometry(8192, 4, 32),
+)
+
+
+class TestLatencyConfig:
+    def test_defaults_ordered(self):
+        lat = LatencyConfig()
+        assert lat.l1_hit < lat.l2_hit < lat.memory
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            LatencyConfig(l1_hit=10, l2_hit=5, memory=100)
+
+
+class TestAccessLatencies:
+    def test_cold_miss_pays_full_path(self):
+        hierarchy = CacheHierarchy(SMALL)
+        lat = SMALL.latencies
+        cost = hierarchy.access(MemoryAccess(0x1000))
+        assert cost == lat.l1_hit + lat.l2_hit + lat.memory
+
+    def test_l1_hit_after_fill(self):
+        hierarchy = CacheHierarchy(SMALL)
+        hierarchy.access(MemoryAccess(0x1000))
+        assert hierarchy.access(MemoryAccess(0x1000)) == SMALL.latencies.l1_hit
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = CacheHierarchy(SMALL)
+        target = MemoryAccess(0x1000)
+        hierarchy.access(target)
+        # Evict from L1 (16 sets) without evicting from L2 (64 sets):
+        # five more lines with the same L1 index but spread L2 indexes.
+        l1_span = 16 * 32
+        for i in range(1, 6):
+            hierarchy.access(MemoryAccess(0x1000 + i * l1_span))
+        cost = hierarchy.access(target)
+        lat = SMALL.latencies
+        assert cost == lat.l1_hit + lat.l2_hit
+
+    def test_ifetch_uses_instruction_cache(self):
+        hierarchy = CacheHierarchy(SMALL)
+        hierarchy.access(MemoryAccess(0x1000, AccessType.IFETCH))
+        # Same address as data: separate L1, but L2 is unified -> L2 hit.
+        cost = hierarchy.access(MemoryAccess(0x1000, AccessType.LOAD))
+        lat = SMALL.latencies
+        assert cost == lat.l1_hit + lat.l2_hit
+        assert hierarchy.l1i.stats.accesses == 1
+        assert hierarchy.l1d.stats.accesses == 1
+
+    def test_run_trace_totals(self):
+        hierarchy = CacheHierarchy(SMALL)
+        trace = Trace.from_addresses([0x1000, 0x1000])
+        lat = SMALL.latencies
+        total = hierarchy.run_trace(trace)
+        assert total == (lat.l1_hit + lat.l2_hit + lat.memory) + lat.l1_hit
+
+
+class TestMaintenance:
+    def test_flush_all_levels(self):
+        hierarchy = CacheHierarchy(SMALL)
+        hierarchy.access(MemoryAccess(0x1000))
+        hierarchy.flush()
+        cost = hierarchy.access(MemoryAccess(0x1000))
+        lat = SMALL.latencies
+        assert cost == lat.l1_hit + lat.l2_hit + lat.memory
+
+    def test_set_seeds_reaches_all_levels(self):
+        config = HierarchyConfig(
+            l1_geometry=CacheGeometry(16 * 1024, 4, 32),
+            l2_geometry=CacheGeometry(64 * 1024, 4, 32),
+            l1_placement="random_modulo",
+            l2_placement="hashrp",
+        )
+        hierarchy = CacheHierarchy(config)
+        hierarchy.set_seeds(1234, pid=5)
+        for level in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2):
+            assert level.seeds.seed_for(5) == 1234
+
+    def test_reset_stats(self):
+        hierarchy = CacheHierarchy(SMALL)
+        hierarchy.access(MemoryAccess(0x1000))
+        hierarchy.reset_stats()
+        assert hierarchy.l1d.stats.accesses == 0
+        assert hierarchy.memory.accesses == 0
+
+
+class TestStatsViews:
+    def test_stats_by_level(self):
+        hierarchy = CacheHierarchy(SMALL)
+        hierarchy.access(MemoryAccess(0x1000))
+        hierarchy.access(MemoryAccess(0x1000))
+        views = hierarchy.stats_by_level()
+        assert views["l1d"].accesses == 2
+        assert views["l1d"].misses == 1
+        assert views["l1d"].miss_rate == pytest.approx(0.5)
+        assert views["l2"].accesses == 1
+
+    def test_memory_model_counts(self):
+        memory = MemoryModel(latency=50)
+        assert memory.access(MemoryAccess(0)) == 50
+        assert memory.accesses == 1

@@ -1,0 +1,115 @@
+"""Tests for the attack key-space metrics (Figure 5 bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.metrics import (
+    ByteAttackOutcome,
+    KeySpaceReport,
+    candidate_matrix,
+    render_candidate_matrix,
+)
+
+
+def outcome(byte_index=0, true_value=7, surviving=None):
+    surviving = surviving if surviving is not None else set(range(256))
+    return ByteAttackOutcome(
+        byte_index=byte_index,
+        true_value=true_value,
+        surviving_values=frozenset(surviving),
+        scores=tuple(float(i) for i in range(256)),
+    )
+
+
+def full_report(per_byte_survivors):
+    outcomes = []
+    for j, survivors in enumerate(per_byte_survivors):
+        outcomes.append(outcome(j, true_value=min(survivors),
+                                surviving=survivors))
+    return KeySpaceReport(outcomes=tuple(outcomes))
+
+
+class TestByteOutcome:
+    def test_true_value_must_survive(self):
+        with pytest.raises(ValueError):
+            outcome(true_value=7, surviving={1, 2, 3})
+
+    def test_fully_determined(self):
+        o = outcome(true_value=7, surviving={7})
+        assert o.fully_determined
+        assert o.bits_disclosed == 8.0
+
+    def test_no_information(self):
+        o = outcome(true_value=7)
+        assert not o.fully_determined
+        assert o.bits_disclosed == 0.0
+        assert o.num_surviving == 256
+
+    def test_partial_disclosure(self):
+        o = outcome(true_value=7, surviving=set(range(7, 7 + 16)))
+        assert o.bits_disclosed == pytest.approx(4.0)
+
+
+class TestKeySpaceReport:
+    def test_needs_16_bytes(self):
+        with pytest.raises(ValueError):
+            KeySpaceReport(outcomes=(outcome(),) * 15)
+
+    def test_fully_protected(self):
+        report = full_report([set(range(256))] * 16)
+        assert report.key_fully_protected
+        assert report.remaining_key_space_log2 == pytest.approx(128.0)
+        assert report.brute_force_speedup_log2 == pytest.approx(0.0)
+        assert report.bits_determined == 0
+
+    def test_paper_deterministic_shape(self):
+        """~33 bits determined and ~2^80 remaining, like the paper."""
+        survivors = (
+            [{5}] * 4                      # 4 bytes pinned: 32 bits
+            + [set(range(4))] * 8          # 8 bytes at 4 candidates
+            + [set(range(256))] * 4        # 4 bytes untouched
+        )
+        report = full_report(survivors)
+        assert report.bits_determined == 32
+        assert report.remaining_key_space_log2 == pytest.approx(
+            8 * 2 + 4 * 8
+        )
+        assert report.brute_force_speedup_log2 == pytest.approx(128 - 48)
+
+    def test_summary_row_contains_numbers(self):
+        report = full_report([set(range(256))] * 16)
+        row = report.summary_row("tscache")
+        assert "tscache" in row
+        assert "2^ 128.0" in row
+
+
+class TestCandidateMatrix:
+    def test_colour_coding(self):
+        survivors = [set(range(256))] * 16
+        survivors[3] = {10, 11, 12}
+        report = full_report(survivors)
+        matrix = candidate_matrix(report)
+        assert matrix.shape == (16, 256)
+        assert matrix[3, 10] == 2       # true value (min of survivors)
+        assert matrix[3, 11] == 1       # surviving
+        assert matrix[3, 200] == 0      # discarded
+        assert int((matrix[0] == 1).sum()) == 255  # all grey + 1 black
+
+    def test_render_shapes(self):
+        report = full_report([set(range(256))] * 16)
+        text = render_candidate_matrix(candidate_matrix(report))
+        lines = text.splitlines()
+        assert len(lines) == 16
+        assert all("byte" in line for line in lines)
+
+    def test_render_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            render_candidate_matrix(np.zeros((4, 4), dtype=np.int8))
+
+    def test_render_marks_discards(self):
+        survivors = [set(range(256))] * 16
+        survivors[0] = {0}
+        report = full_report(survivors)
+        text = render_candidate_matrix(candidate_matrix(report))
+        first = text.splitlines()[0]
+        assert "#" in first and "." in first

@@ -1,0 +1,66 @@
+"""Tests for the hardware overhead models (§6.2.3)."""
+
+import pytest
+
+from repro.cache.core import ARM920T_L1_GEOMETRY, ARM920T_L2_GEOMETRY
+from repro.cache.overheads import (
+    estimate_design,
+    estimate_hashrp,
+    estimate_modulo,
+    estimate_random_modulo,
+    estimate_xor_index,
+    total_area_fraction,
+)
+
+
+class TestIndividualEstimates:
+    def test_modulo_free(self):
+        estimate = estimate_modulo(ARM920T_L1_GEOMETRY)
+        assert estimate.extra_gates == 0
+        assert estimate.area_fraction == 0.0
+
+    def test_xor_index_tiny(self):
+        estimate = estimate_xor_index(ARM920T_L1_GEOMETRY)
+        assert 0 < estimate.extra_gates < 100
+
+    def test_rm_l1_modest(self):
+        estimate = estimate_random_modulo(ARM920T_L1_GEOMETRY)
+        assert estimate.extra_gates > 0
+        assert estimate.area_fraction < 0.01
+
+    def test_hashrp_l2_modest(self):
+        estimate = estimate_hashrp(ARM920T_L2_GEOMETRY)
+        assert estimate.extra_gates > 0
+        assert estimate.area_fraction < 0.01
+
+    def test_seed_change_is_tens_of_cycles(self):
+        """The paper: restoring a seed costs tens of cycles."""
+        estimate = estimate_random_modulo(ARM920T_L1_GEOMETRY)
+        assert 10 <= estimate.seed_change_cycles <= 100
+
+    def test_dispatch(self):
+        estimate = estimate_design("hashrp", ARM920T_L2_GEOMETRY)
+        assert estimate.design == "hashrp"
+        with pytest.raises(ValueError):
+            estimate_design("skewed", ARM920T_L1_GEOMETRY)
+
+
+class TestPaperClaim:
+    def test_full_retrofit_under_one_percent(self):
+        """§6.2.3: making all caches MBPTA-compliant cost <1% of
+        processor area.  Our structural model: RM on both L1s, hashRP
+        on the L2."""
+        fraction = total_area_fraction([
+            (ARM920T_L1_GEOMETRY, "random_modulo"),
+            (ARM920T_L1_GEOMETRY, "random_modulo"),
+            (ARM920T_L2_GEOMETRY, "hashrp"),
+        ])
+        assert 0 < fraction < 0.01
+
+    def test_depth_is_a_few_levels(self):
+        """Index-path logic depth stays small enough to avoid an extra
+        pipeline stage (no f-max degradation on the LEON3 FPGA)."""
+        rm = estimate_random_modulo(ARM920T_L1_GEOMETRY)
+        hashrp = estimate_hashrp(ARM920T_L2_GEOMETRY)
+        assert rm.extra_levels < 32
+        assert hashrp.extra_levels < 32

@@ -1,0 +1,185 @@
+"""Tests for the placement policies, including the paper's key
+structural claims about each design (§2.1, §3, §4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.address import AddressLayout
+from repro.cache.placement import (
+    HashRPPlacement,
+    ModuloPlacement,
+    RandomModuloPlacement,
+    XorIndexPlacement,
+    make_placement,
+)
+
+L1 = AddressLayout(line_size=32, num_sets=128)
+L2 = AddressLayout(line_size=32, num_sets=2048)
+
+ALL_NAMES = ("modulo", "xor_index", "hashrp", "random_modulo")
+
+
+def line_addresses_of_page(page_base, layout):
+    return [
+        page_base + i * layout.line_size
+        for i in range(4096 // layout.line_size)
+    ]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_instantiates(self, name):
+        policy = make_placement(name, L1)
+        assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_placement("skewed", L1)
+
+
+class TestOutputRange:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_set_in_range(self, name, address, seed):
+        policy = make_placement(name, L1)
+        assert 0 <= policy.map_address(address, seed) < 128
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic_given_seed(self, name):
+        policy = make_placement(name, L1)
+        assert policy.map_address(0x12340, 99) == policy.map_address(0x12340, 99)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_offset_bits_ignored(self, name):
+        """Placement must not depend on the offset within the line."""
+        policy = make_placement(name, L1)
+        for offset in (0, 4, 31):
+            assert policy.map_address(0x55500 + offset, 7) == (
+                policy.map_address(0x55500, 7)
+            )
+
+
+class TestModulo:
+    def test_set_is_index(self):
+        policy = ModuloPlacement(L1)
+        decoded = L1.decode(0x12345678)
+        assert policy.map_set(decoded.tag, decoded.index) == decoded.index
+
+    def test_seed_has_no_effect(self):
+        policy = ModuloPlacement(L1)
+        assert policy.map_address(0xABC00, 1) == policy.map_address(0xABC00, 2)
+
+    def test_mbpta_class(self):
+        assert ModuloPlacement(L1).mbpta_class == "none"
+
+
+class TestXorIndex:
+    """Aciicmez's scheme preserves the conflict structure (paper §3)."""
+
+    def test_seed_changes_set(self):
+        policy = XorIndexPlacement(L1)
+        sets = {policy.map_address(0xABC00, seed) for seed in range(32)}
+        assert len(sets) > 1
+
+    @given(st.integers(0, 2**25 - 1), st.integers(0, 2**25 - 1),
+           st.integers(0, 2**16 - 1))
+    @settings(max_examples=100)
+    def test_conflicts_invariant_across_seeds(self, line_a, line_b, seed):
+        """A and B conflict under seed s iff they conflict under seed 0."""
+        policy = XorIndexPlacement(L1)
+        a = line_a << 5
+        b = line_b << 5
+        base_conflict = policy.map_address(a, 0) == policy.map_address(b, 0)
+        seeded_conflict = policy.map_address(a, seed) == policy.map_address(
+            b, seed
+        )
+        assert base_conflict == seeded_conflict
+
+    def test_is_permutation_of_sets(self):
+        policy = XorIndexPlacement(L1)
+        images = {
+            policy.map_address(index << 5, 1234) for index in range(128)
+        }
+        assert len(images) == 128
+
+
+class TestHashRP:
+    def test_seed_changes_placement(self):
+        policy = HashRPPlacement(L2)
+        sets = {policy.map_address(0xABC00, seed) for seed in range(64)}
+        assert len(sets) > 8
+
+    def test_conflicts_depend_on_seed(self):
+        """Full randomness: some seeds collide two addresses, others not."""
+        policy = HashRPPlacement(L1)
+        a, b = 0x0010_0000, 0x0010_0040  # same page, different lines
+        outcomes = {
+            policy.map_address(a, seed) == policy.map_address(b, seed)
+            for seed in range(512)
+        }
+        assert outcomes == {True, False}
+
+    def test_spread_is_roughly_uniform(self):
+        """One address over many seeds covers most sets."""
+        policy = HashRPPlacement(L1)
+        sets = {policy.map_address(0x0077_7700, seed) for seed in range(2048)}
+        assert len(sets) > 100
+
+    def test_works_for_l2_geometry(self):
+        """hashRP is the L2 policy (way size > page size is fine)."""
+        policy = HashRPPlacement(L2)
+        assert 0 <= policy.map_address(0xDEADBE00, 42) < 2048
+
+
+class TestRandomModulo:
+    def test_intra_page_bijection(self):
+        """Same-page addresses never conflict, for any seed (mbpta-p3)."""
+        policy = RandomModuloPlacement(L1)
+        lines = line_addresses_of_page(0x0040_0000, L1)
+        for seed in (0, 1, 7, 12345, 0xFFFFFFFF):
+            mapped = [policy.map_address(a, seed) for a in lines]
+            assert len(set(mapped)) == len(mapped)
+
+    @given(st.integers(0, 2**19 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_intra_page_bijection_property(self, page_number, seed):
+        policy = RandomModuloPlacement(L1)
+        lines = line_addresses_of_page(page_number * 4096, L1)
+        mapped = [policy.map_address(a, seed) for a in lines]
+        assert sorted(mapped) == list(range(128))
+
+    def test_seed_changes_placement(self):
+        policy = RandomModuloPlacement(L1)
+        sets = {policy.map_address(0x0040_0000, seed) for seed in range(128)}
+        assert len(sets) > 16
+
+    def test_cross_page_conflicts_random(self):
+        policy = RandomModuloPlacement(L1)
+        a = 0x0040_0000
+        b = 0x0050_0000
+        outcomes = {
+            policy.map_address(a, seed) == policy.map_address(b, seed)
+            for seed in range(512)
+        }
+        assert outcomes == {True, False}
+
+    def test_uniformity_over_seeds(self):
+        """Each address is placed ~uniformly over sets (paper §4)."""
+        policy = RandomModuloPlacement(L1)
+        counts = [0] * 128
+        num_seeds = 4096
+        for seed in range(num_seeds):
+            counts[policy.map_address(0x0066_0000, seed)] += 1
+        expected = num_seeds / 128
+        assert max(counts) < 2.5 * expected
+        assert min(counts) > 0.3 * expected
+
+    def test_rejects_incompatible_page_size(self):
+        """RM requires page size to be a multiple of the way size."""
+        big_way = AddressLayout(line_size=32, num_sets=256)  # 8 KB way
+        with pytest.raises(ValueError):
+            RandomModuloPlacement(big_way, page_size=4096)
+
+    def test_mbpta_class(self):
+        assert RandomModuloPlacement(L1).mbpta_class == "apop"

@@ -1,0 +1,130 @@
+"""Tests for the hardware-style PRNGs."""
+
+import pytest
+
+from repro.common.prng import (
+    LFSR,
+    XorShift128,
+    make_prng,
+    monobit_bias,
+    serial_correlation,
+    splitmix64_step,
+)
+
+
+ALL_KINDS = ("xorshift128", "splitmix64", "lfsr")
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        for kind in ALL_KINDS:
+            prng = make_prng(kind, seed=42)
+            assert 0 <= prng.next_bits(8) < 256
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_prng("mersenne")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_same_seed_same_sequence(self, kind):
+        a = make_prng(kind, seed=1234)
+        b = make_prng(kind, seed=1234)
+        assert [a.next_bits(16) for _ in range(50)] == [
+            b.next_bits(16) for _ in range(50)
+        ]
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = make_prng(kind, seed=1)
+        b = make_prng(kind, seed=2)
+        assert [a.next_bits(16) for _ in range(20)] != [
+            b.next_bits(16) for _ in range(20)
+        ]
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_reseed_restarts_sequence(self, kind):
+        prng = make_prng(kind, seed=77)
+        first = [prng.next_bits(16) for _ in range(10)]
+        prng.reseed(77)
+        assert [prng.next_bits(16) for _ in range(10)] == first
+
+
+class TestRanges:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_next_bits_in_range(self, kind):
+        prng = make_prng(kind, seed=5)
+        for width in (1, 7, 16, 31, 32):
+            for _ in range(20):
+                value = prng.next_bits(width)
+                assert 0 <= value < (1 << width)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_next_bits_rejects_bad_width(self, kind):
+        prng = make_prng(kind, seed=5)
+        with pytest.raises(ValueError):
+            prng.next_bits(0)
+        with pytest.raises(ValueError):
+            prng.next_bits(65)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_next_below_uniform_coverage(self, kind):
+        prng = make_prng(kind, seed=5)
+        seen = {prng.next_below(10) for _ in range(500)}
+        assert seen == set(range(10))
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_next_below_rejects_nonpositive(self, kind):
+        prng = make_prng(kind, seed=5)
+        with pytest.raises(ValueError):
+            prng.next_below(0)
+
+
+class TestQuality:
+    """The PRNG-quality requirements of MBPTA (Agirre et al. [3])."""
+
+    @pytest.mark.parametrize("kind", ("xorshift128", "splitmix64"))
+    def test_monobit_balanced(self, kind):
+        assert monobit_bias(make_prng(kind, seed=99)) < 0.05
+
+    @pytest.mark.parametrize("kind", ("xorshift128", "splitmix64"))
+    def test_low_serial_correlation(self, kind):
+        assert abs(serial_correlation(make_prng(kind, seed=99))) < 0.1
+
+    def test_xorshift_period_not_tiny(self):
+        prng = XorShift128(seed=3)
+        first = prng.next_u32()
+        # No repetition of the initial output within a short horizon.
+        assert all(prng.next_u32() != first for _ in range(10_000))
+
+
+class TestSplitMix:
+    def test_step_is_pure(self):
+        state1, out1 = splitmix64_step(42)
+        state2, out2 = splitmix64_step(42)
+        assert (state1, out1) == (state2, out2)
+
+    def test_step_advances_state(self):
+        state, _ = splitmix64_step(42)
+        assert state != 42
+
+    def test_outputs_64_bits(self):
+        _, out = splitmix64_step(0xFFFFFFFFFFFFFFFF)
+        assert 0 <= out < 1 << 64
+
+
+class TestLFSR:
+    def test_zero_seed_avoided(self):
+        lfsr = LFSR(seed=0)
+        assert any(lfsr.next_bit() for _ in range(64))
+
+    def test_maximal_polynomial_cycles(self):
+        """A short state never re-enters the all-zero fixed point."""
+        lfsr = LFSR(seed=1)
+        states = set()
+        for _ in range(1000):
+            lfsr.next_bit()
+            assert lfsr._state != 0
+            states.add(lfsr._state)
+        assert len(states) > 900  # essentially no short cycles

@@ -1,0 +1,108 @@
+"""Tests for the MBPTA placement-property checkers: the executable
+version of the paper's §3/§4 analysis.
+
+The verdict matrix they must reproduce:
+
+    policy          full (p2)   apop (p3)   MBPTA-compliant
+    modulo          no          no          no
+    xor_index       no          no          no
+    hashrp          yes         no          yes
+    random_modulo   no          yes         yes
+    rpcache tables  no          no          no
+"""
+
+import pytest
+
+from repro.cache.core import CacheGeometry
+from repro.cache.placement import make_placement
+from repro.cache.rpcache import PermutationTablePlacement
+from repro.mbpta.properties import check_placement_properties
+
+
+# Small geometry: 4 KB way size == page size (valid for RM), 16 sets
+# keeps conflict probabilities high so the probes are statistically
+# robust.
+GEOMETRY = CacheGeometry(total_size=4096 * 4, num_ways=4, line_size=256)
+LAYOUT = GEOMETRY.layout()
+
+
+def report_for(name):
+    policy = make_placement(name, LAYOUT)
+    return check_placement_properties(policy, num_seeds=96)
+
+
+class TestModulo:
+    def test_not_seed_sensitive(self):
+        report = report_for("modulo")
+        assert not report.seed_sensitive
+
+    def test_fails_both_properties(self):
+        report = report_for("modulo")
+        assert not report.full_randomness
+        assert not report.apop_fixed_randomness
+        assert not report.mbpta_compliant
+
+
+class TestXorIndex:
+    def test_seed_sensitive_but_systematic(self):
+        """The paper's §3 point about Aciicmez's scheme: placements move
+        with the seed, yet conflicts never do."""
+        report = report_for("xor_index")
+        assert report.seed_sensitive
+        assert not report.cross_page_non_systematic
+
+    def test_fails_both_properties(self):
+        report = report_for("xor_index")
+        assert not report.full_randomness
+        assert not report.apop_fixed_randomness
+
+
+class TestHashRP:
+    def test_achieves_full_randomness(self):
+        report = report_for("hashrp")
+        assert report.full_randomness
+
+    def test_same_page_conflicts_possible(self):
+        report = report_for("hashrp")
+        assert report.same_page_conflicts_possible
+        assert not report.intra_page_conflict_free
+
+    def test_mbpta_compliant(self):
+        assert report_for("hashrp").mbpta_compliant
+
+
+class TestRandomModulo:
+    def test_achieves_apop_fixed(self):
+        report = report_for("random_modulo")
+        assert report.apop_fixed_randomness
+
+    def test_not_full_randomness(self):
+        """RM is only Partial APOP-fixed: same-page pairs never mix."""
+        report = report_for("random_modulo")
+        assert not report.same_page_conflicts_possible
+        assert report.intra_page_conflict_free
+        assert not report.full_randomness
+
+    def test_mbpta_compliant(self):
+        assert report_for("random_modulo").mbpta_compliant
+
+
+class TestRPCachePlacement:
+    def test_fails_both_properties(self):
+        """RPCache's permutation tables change with the table id but
+        keep the modulo conflict structure — not MBPTA-compliant
+        (paper §3)."""
+        policy = PermutationTablePlacement(LAYOUT)
+        report = check_placement_properties(policy, num_seeds=96)
+        assert report.seed_sensitive  # tables differ...
+        assert not report.cross_page_non_systematic  # ...conflicts do not
+        assert not report.mbpta_compliant
+
+
+class TestReportStructure:
+    def test_details_populated(self):
+        report = report_for("modulo")
+        assert len(report.details) == 3
+
+    def test_policy_name_recorded(self):
+        assert report_for("hashrp").policy == "hashrp"

@@ -1,0 +1,199 @@
+"""Tests for the replacement policies, including an LRU reference-model
+comparison driven by hypothesis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    NRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "nru", "random"])
+    def test_instantiates(self, name):
+        policy = make_replacement(name, 4, 2)
+        assert policy.name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_replacement("belady", 4, 2)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            LRUReplacement(0, 4)
+        with pytest.raises(ValueError):
+            LRUReplacement(4, 0)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRUReplacement(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        assert lru.victim_way(0) == 0
+        lru.on_hit(0, 0)
+        assert lru.victim_way(0) == 1
+
+    def test_sets_independent(self):
+        lru = LRUReplacement(2, 2)
+        lru.on_fill(0, 1)
+        # Set 1 untouched: victim order unchanged there.
+        assert lru.victim_way(1) in (0, 1)
+        lru.on_fill(1, 0)
+        assert lru.victim_way(1) == 1
+
+    def test_reset_forgets(self):
+        lru = LRUReplacement(1, 2)
+        lru.on_hit(0, 1)
+        lru.reset()
+        lru.on_fill(0, 0)
+        assert lru.victim_way(0) == 1
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)),
+                    max_size=60))
+    @settings(max_examples=100)
+    def test_matches_reference_model(self, events):
+        """LRU state machine vs a straightforward recency list."""
+        lru = LRUReplacement(1, 4)
+        reference = [3, 2, 1, 0]  # LRU -> MRU (initial stack reversed)
+        for is_hit, way in events:
+            if is_hit:
+                lru.on_hit(0, way)
+            else:
+                lru.on_fill(0, way)
+            reference.remove(way)
+            reference.append(way)
+            assert lru.victim_way(0) == reference[0]
+
+
+class TestFIFO:
+    def test_round_robin_on_fills(self):
+        fifo = FIFOReplacement(1, 4)
+        for expected in (0, 1, 2, 3, 0, 1):
+            victim = fifo.victim_way(0)
+            assert victim == expected
+            fifo.on_fill(0, victim)
+
+    def test_hits_do_not_change_order(self):
+        fifo = FIFOReplacement(1, 4)
+        fifo.on_fill(0, 0)
+        fifo.on_hit(0, 1)
+        assert fifo.victim_way(0) == 1
+
+    def test_out_of_order_fill_ignored(self):
+        fifo = FIFOReplacement(1, 4)
+        fifo.on_fill(0, 2)  # not the FIFO head: pointer stays
+        assert fifo.victim_way(0) == 0
+
+
+class TestNRU:
+    def test_victim_is_unreferenced(self):
+        nru = NRUReplacement(1, 4)
+        nru.on_fill(0, 0)
+        nru.on_hit(0, 1)
+        assert nru.victim_way(0) == 2
+
+    def test_all_referenced_resets_others(self):
+        nru = NRUReplacement(1, 2)
+        nru.on_hit(0, 0)
+        nru.on_hit(0, 1)  # all referenced -> clear all but way 1
+        assert nru.victim_way(0) == 0
+
+    def test_reset(self):
+        nru = NRUReplacement(1, 2)
+        nru.on_hit(0, 0)
+        nru.reset()
+        assert nru.victim_way(0) == 0
+
+
+class TestRandom:
+    def test_victims_cover_all_ways(self):
+        rnd = RandomReplacement(1, 4)
+        victims = {rnd.victim_way(0) for _ in range(200)}
+        assert victims == {0, 1, 2, 3}
+
+    def test_reproducible_with_same_prng_seed(self):
+        from repro.common.prng import XorShift128
+
+        a = RandomReplacement(1, 4, prng=XorShift128(7))
+        b = RandomReplacement(1, 4, prng=XorShift128(7))
+        assert [a.victim_way(0) for _ in range(50)] == [
+            b.victim_way(0) for _ in range(50)
+        ]
+
+    def test_reseed_restarts(self):
+        rnd = RandomReplacement(1, 4)
+        rnd.reseed(42)
+        first = [rnd.victim_way(0) for _ in range(20)]
+        rnd.reseed(42)
+        assert [rnd.victim_way(0) for _ in range(20)] == first
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        from repro.cache.replacement import TreePLRUReplacement
+
+        with pytest.raises(ValueError):
+            TreePLRUReplacement(4, 3)
+
+    def test_factory(self):
+        policy = make_replacement("plru", 4, 4)
+        assert policy.name == "plru"
+
+    def test_victim_avoids_recently_touched(self):
+        from repro.cache.replacement import TreePLRUReplacement
+
+        plru = TreePLRUReplacement(1, 4)
+        for way in (0, 1, 2, 3):
+            plru.on_fill(0, way)
+        victim = plru.victim_way(0)
+        assert victim != 3  # 3 was touched last
+
+    def test_exact_lru_for_two_ways(self):
+        """With 2 ways tree-PLRU degenerates to true LRU."""
+        from repro.cache.replacement import TreePLRUReplacement
+
+        plru = TreePLRUReplacement(1, 2)
+        lru = LRUReplacement(1, 2)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(100):
+            way = rng.randrange(2)
+            plru.on_hit(0, way)
+            lru.on_hit(0, way)
+            assert plru.victim_way(0) == lru.victim_way(0)
+
+    def test_hit_rate_close_to_lru(self):
+        """PLRU approximates LRU: on a reuse workload the victim
+        choices keep the hot set resident almost as well."""
+        from repro.cache.core import CacheGeometry, SetAssociativeCache
+        from repro.cache.placement import make_placement
+        from repro.workloads.generators import reuse_trace
+
+        trace = reuse_trace(working_set=48, accesses=6000, seed=9)
+        rates = {}
+        for name in ("lru", "plru"):
+            geometry = CacheGeometry(2048, 4, 32)
+            cache = SetAssociativeCache(
+                geometry,
+                make_placement("modulo", geometry.layout()),
+                make_replacement(name, geometry.num_sets,
+                                 geometry.num_ways),
+            )
+            for access in trace:
+                cache.access(access)
+            rates[name] = cache.stats.miss_rate
+        assert abs(rates["plru"] - rates["lru"]) < 0.05
+
+    def test_sets_independent(self):
+        from repro.cache.replacement import TreePLRUReplacement
+
+        plru = TreePLRUReplacement(2, 4)
+        plru.on_hit(0, 2)
+        assert plru.victim_way(1) == 0  # untouched set keeps default

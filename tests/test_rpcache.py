@@ -1,0 +1,125 @@
+"""Tests for the RPCache secure cache model (paper §3)."""
+
+import pytest
+
+from repro.cache.core import CacheGeometry
+from repro.cache.rpcache import PermutationTablePlacement, RPCache
+from repro.common.trace import MemoryAccess
+
+
+GEOMETRY = CacheGeometry(2048, 4, 32)  # 16 sets
+
+
+class TestPermutationTables:
+    def test_table_is_permutation(self):
+        placement = PermutationTablePlacement(GEOMETRY.layout())
+        table = placement.table_for(3)
+        assert sorted(table) == list(range(16))
+
+    def test_tables_differ_by_id(self):
+        placement = PermutationTablePlacement(GEOMETRY.layout())
+        assert placement.table_for(1) != placement.table_for(2)
+
+    def test_table_memoised(self):
+        placement = PermutationTablePlacement(GEOMETRY.layout())
+        assert placement.table_for(5) is placement.table_for(5)
+
+    def test_drop_table_regenerates_consistently(self):
+        placement = PermutationTablePlacement(GEOMETRY.layout())
+        before = list(placement.table_for(5))
+        placement.drop_table(5)
+        assert placement.table_for(5) == before  # id-deterministic
+
+    def test_conflicts_match_modulo_structure(self):
+        """Permutation is set-granular: same-index lines still collide,
+        different-index lines never do (the paper's §3 argument for why
+        WCET depends on actual addresses)."""
+        placement = PermutationTablePlacement(GEOMETRY.layout())
+        layout = GEOMETRY.layout()
+        for table_id in (1, 9):
+            a = layout.decode(0x1000)
+            b = layout.decode(0x1000 + 16 * 32)  # same index, next way span
+            c = layout.decode(0x1020)  # different index
+            assert placement.map_set(a.tag, a.index, table_id) == (
+                placement.map_set(b.tag, b.index, table_id)
+            )
+            assert placement.map_set(a.tag, a.index, table_id) != (
+                placement.map_set(c.tag, c.index, table_id)
+            )
+
+
+class TestRPCacheBehaviour:
+    def test_basic_hit_miss(self):
+        cache = RPCache(GEOMETRY)
+        access = MemoryAccess(0x1000, pid=1)
+        assert not cache.access(access).hit
+        assert cache.access(access).hit
+
+    def test_processes_have_distinct_views(self):
+        cache = RPCache(GEOMETRY)
+        address = 0x1000
+        set_1 = cache.lookup_set(MemoryAccess(address, pid=1))
+        set_2 = cache.lookup_set(MemoryAccess(address, pid=2))
+        # Permutations differ; for most addresses the sets differ too.
+        sets_differ_somewhere = any(
+            cache.lookup_set(MemoryAccess(a, pid=1))
+            != cache.lookup_set(MemoryAccess(a, pid=2))
+            for a in range(0x1000, 0x1000 + 16 * 32, 32)
+        )
+        assert sets_differ_somewhere
+        assert 0 <= set_1 < 16 and 0 <= set_2 < 16
+
+    def test_same_process_eviction_not_randomized(self):
+        """Filling one set with 5 same-pid lines evicts deterministically
+        (no randomized_evictions counted)."""
+        cache = RPCache(GEOMETRY)
+        way_span = 16 * 32
+        for i in range(5):
+            cache.access(MemoryAccess(0x1000 + i * way_span, pid=1))
+        assert cache.randomized_evictions == 0
+
+    def test_cross_process_contention_randomized(self):
+        """An eviction whose victim belongs to another pid redirects to a
+        random set and is counted."""
+        cache = RPCache(GEOMETRY)
+        way_span = 16 * 32
+        victim_addresses = [0x1000 + i * way_span for i in range(4)]
+        for address in victim_addresses:
+            cache.access(MemoryAccess(address, pid=1))
+        # Find an attacker address mapping into the victim's full set.
+        target = cache.lookup_set(MemoryAccess(victim_addresses[0], pid=1))
+        attacker_address = next(
+            a
+            for a in range(0x20000, 0x20000 + 64 * way_span, 32)
+            if cache.lookup_set(MemoryAccess(a, pid=2)) == target
+        )
+        cache.access(MemoryAccess(attacker_address, pid=2))
+        assert cache.randomized_evictions == 1
+
+    def test_protected_line_contention_randomized(self):
+        cache = RPCache(GEOMETRY)
+        cache.protect_range(0x1000, 0x1000 + 16 * 32)
+        way_span = 16 * 32
+        # Fill one set with 4 protected same-pid lines...
+        for i in range(4):
+            cache.access(MemoryAccess(0x1000 + i * way_span, pid=1))
+        # ...then overflow it from the same pid: victim is protected.
+        cache.access(MemoryAccess(0x1000 + 4 * way_span, pid=1))
+        assert cache.randomized_evictions == 1
+
+    def test_refresh_table_invalidates_process_lines(self):
+        cache = RPCache(GEOMETRY)
+        cache.access(MemoryAccess(0x1000, pid=1))
+        cache.access(MemoryAccess(0x9000, pid=2))
+        cache.refresh_table(1, new_table_id=77)
+        assert not cache.probe(MemoryAccess(0x1000, pid=1))
+        assert cache.probe(MemoryAccess(0x9000, pid=2))
+
+    def test_assign_table_aliases_processes(self):
+        """Two pids sharing a table id see identical mappings."""
+        cache = RPCache(GEOMETRY)
+        cache.assign_table(2, cache.table_id_for(1))
+        for address in range(0x3000, 0x3000 + 8 * 32, 32):
+            assert cache.lookup_set(MemoryAccess(address, pid=1)) == (
+                cache.lookup_set(MemoryAccess(address, pid=2))
+            )

@@ -1,0 +1,141 @@
+"""Tests for the hyperperiod scheduler and its TSCache OS events."""
+
+import pytest
+
+from repro.rtos.autosar import example_figure3_system
+from repro.rtos.scheduler import (
+    ContextSwitchEvent,
+    FlushEvent,
+    HyperperiodScheduler,
+    JobEvent,
+    ReseedEvent,
+)
+from repro.rtos.seeds import SeedManager, SeedPolicy
+
+
+def build(num_hyperperiods=2, policy=SeedPolicy.PER_HYPERPERIOD):
+    system = example_figure3_system()
+    scheduler = HyperperiodScheduler(
+        system, seed_manager=SeedManager(policy=policy, prng_seed=11)
+    )
+    return system, scheduler, scheduler.build(num_hyperperiods)
+
+
+def jobs_of(events):
+    return [e for e in events if isinstance(e, JobEvent)]
+
+
+class TestJobPattern:
+    def test_job_count_per_hyperperiod(self):
+        """Figure 3: per hyperperiod (20ms): R1, R2 twice; R3-R5 once."""
+        _, _, events = build(num_hyperperiods=1)
+        jobs = jobs_of(events)
+        counts = {}
+        for job in jobs:
+            counts[job.runnable] = counts.get(job.runnable, 0) + 1
+        assert counts == {"R1": 2, "R2": 2, "R3": 1, "R4": 1, "R5": 1}
+
+    def test_release_times(self):
+        _, _, events = build(num_hyperperiods=1)
+        r1_times = [j.time for j in jobs_of(events) if j.runnable == "R1"]
+        assert r1_times == [0, 10]
+
+    def test_jobs_carry_swc_seed(self):
+        system, scheduler, events = build(num_hyperperiods=1)
+        for job in jobs_of(events):
+            assert job.seed == scheduler.seed_manager.seed_for(job.pid)
+
+    def test_same_swc_same_seed_within_hyperperiod(self):
+        """The two R1 instances share SWC1's seed (paper: their timing
+        is therefore not independent within the hyperperiod)."""
+        _, _, events = build(num_hyperperiods=1)
+        r1_seeds = {j.seed for j in jobs_of(events) if j.runnable == "R1"}
+        assert len(r1_seeds) == 1
+
+    def test_different_swcs_different_seeds(self):
+        _, _, events = build(num_hyperperiods=1)
+        jobs = jobs_of(events)
+        seeds_by_swc = {}
+        for job in jobs:
+            seeds_by_swc.setdefault(job.swc, set()).add(job.seed)
+        all_seeds = [next(iter(s)) for s in seeds_by_swc.values()]
+        assert len(set(all_seeds)) == 3
+
+
+class TestHyperperiodBoundary:
+    def test_reseed_and_flush_emitted(self):
+        _, _, events = build(num_hyperperiods=3)
+        reseeds = [e for e in events if isinstance(e, ReseedEvent)]
+        flushes = [e for e in events if isinstance(e, FlushEvent)]
+        assert len(reseeds) == 2  # boundaries between 3 hyperperiods
+        assert len(flushes) == 2
+        assert [e.time for e in flushes] == [20, 40]
+
+    def test_seeds_change_across_hyperperiods(self):
+        _, _, events = build(num_hyperperiods=2)
+        r1_seeds = {
+            j.hyperperiod_index: j.seed
+            for j in jobs_of(events)
+            if j.runnable == "R1"
+        }
+        assert r1_seeds[0] != r1_seeds[1]
+
+    def test_once_policy_keeps_seeds(self):
+        _, _, events = build(num_hyperperiods=2, policy=SeedPolicy.ONCE)
+        r1_seeds = {j.seed for j in jobs_of(events) if j.runnable == "R1"}
+        assert len(r1_seeds) == 1
+        reseeds = [e for e in events if isinstance(e, ReseedEvent)]
+        assert all(e.new_seeds == {} for e in reseeds)
+
+
+class TestContextSwitches:
+    def test_switch_on_swc_boundary(self):
+        """Crossing SWCs requires a seed save/restore (red arrows of
+        Figure 3)."""
+        _, _, events = build(num_hyperperiods=1)
+        switch_indices = [
+            i for i, e in enumerate(events)
+            if isinstance(e, ContextSwitchEvent)
+        ]
+        assert switch_indices, "expected at least one context switch"
+        for i in switch_indices:
+            previous_jobs = [e for e in events[:i] if isinstance(e, JobEvent)]
+            next_job = next(
+                e for e in events[i:] if isinstance(e, JobEvent)
+            )
+            assert previous_jobs[-1].pid != next_job.pid
+
+    def test_no_switch_within_same_swc(self):
+        _, _, events = build(num_hyperperiods=1)
+        last_pid = None
+        for event in events:
+            if isinstance(event, ContextSwitchEvent):
+                assert event.from_pid != event.to_pid
+            if isinstance(event, JobEvent):
+                last_pid = event.pid
+
+    def test_accounting_totals(self):
+        _, scheduler, events = build(num_hyperperiods=2)
+        accounting = scheduler.accounting
+        switches = [
+            e for e in events if isinstance(e, ContextSwitchEvent)
+        ]
+        assert accounting.drain_cycles == 20 * len(switches)
+        assert accounting.flushes == 1
+        assert accounting.jobs == 14  # 7 jobs x 2 hyperperiods
+        assert accounting.overhead_cycles() == (
+            accounting.drain_cycles + accounting.flush_cycles
+        )
+
+
+class TestExecuteHook:
+    def test_execute_collects_per_runnable(self):
+        _, scheduler, events = build(num_hyperperiods=2)
+        times = scheduler.execute(events, lambda job: float(job.time))
+        assert set(times) == {"R1", "R2", "R3", "R4", "R5"}
+        assert times["R1"] == [0.0, 10.0, 20.0, 30.0]
+
+    def test_invalid_hyperperiod_count(self):
+        system = example_figure3_system()
+        with pytest.raises(ValueError):
+            HyperperiodScheduler(system).build(0)

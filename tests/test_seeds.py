@@ -1,0 +1,95 @@
+"""Tests for the seed-management policies (paper §5)."""
+
+import pytest
+
+from repro.rtos.seeds import SeedManager, SeedPolicy
+
+
+class TestBasicDraws:
+    def test_seed_stable_within_policy_once(self):
+        manager = SeedManager(policy=SeedPolicy.ONCE)
+        seed = manager.seed_for(1, now=0)
+        assert manager.seed_for(1, now=100) == seed
+        assert manager.on_hyperperiod(200) == {}
+        assert manager.seed_for(1, now=300) == seed
+
+    def test_seed_bits_bound(self):
+        manager = SeedManager(seed_bits=8)
+        for pid in range(20):
+            assert 0 <= manager.seed_for(pid) < 256
+
+    def test_invalid_seed_bits(self):
+        with pytest.raises(ValueError):
+            SeedManager(seed_bits=0)
+        with pytest.raises(ValueError):
+            SeedManager(seed_bits=65)
+
+    def test_history_recorded(self):
+        manager = SeedManager()
+        manager.seed_for(3, now=7)
+        assert manager.history == [(7, 3, manager.seed_for(3))]
+
+
+class TestUniqueness:
+    def test_unique_per_domain_no_collisions(self):
+        """The TSCache security constraint: all live seeds distinct."""
+        manager = SeedManager(unique_per_domain=True, seed_bits=4)
+        for pid in range(12):  # 12 of 16 possible values forced distinct
+            manager.seed_for(pid)
+        assert manager.collisions() == []
+
+    def test_non_unique_may_collide(self):
+        """MBPTACache situation: no uniqueness constraint, collisions
+        possible (and with 2-bit seeds, certain by pigeonhole)."""
+        manager = SeedManager(unique_per_domain=False, seed_bits=2)
+        for pid in range(10):
+            manager.seed_for(pid)
+        assert manager.collisions() != []
+
+
+class TestPerHyperperiod:
+    def test_reseeds_all_domains(self):
+        manager = SeedManager(policy=SeedPolicy.PER_HYPERPERIOD)
+        before = {pid: manager.seed_for(pid) for pid in (1, 2, 3)}
+        new_seeds = manager.on_hyperperiod(20)
+        assert set(new_seeds) == {1, 2, 3}
+        # Overwhelmingly likely all changed; at least the generation did.
+        assert manager.generation == 1
+        after = manager.live_seeds()
+        assert after == new_seeds
+        assert any(after[pid] != before[pid] for pid in before)
+
+    def test_generation_counts(self):
+        manager = SeedManager()
+        manager.seed_for(1)
+        manager.on_hyperperiod(20)
+        manager.on_hyperperiod(40)
+        assert manager.generation == 2
+
+
+class TestPerJob:
+    def test_job_release_redraws(self):
+        manager = SeedManager(policy=SeedPolicy.PER_JOB)
+        first = manager.seed_for(1, now=0)
+        manager.on_job_release(1, now=10)
+        second = manager.seed_for(1, now=10)
+        draws = {first, second}
+        for t in range(20, 100, 10):
+            manager.on_job_release(1, now=t)
+            draws.add(manager.seed_for(1, now=t))
+        assert len(draws) > 3
+
+    def test_other_policies_ignore_job_release(self):
+        manager = SeedManager(policy=SeedPolicy.PER_HYPERPERIOD)
+        seed = manager.seed_for(1)
+        assert manager.on_job_release(1, now=5) is None
+        assert manager.seed_for(1) == seed
+
+
+class TestDeterminism:
+    def test_same_prng_seed_reproduces(self):
+        a = SeedManager(prng_seed=42)
+        b = SeedManager(prng_seed=42)
+        assert [a.seed_for(p) for p in range(5)] == [
+            b.seed_for(p) for p in range(5)
+        ]

@@ -1,0 +1,69 @@
+"""Tests for the four experimental setups (§6.1.2)."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.setups import SETUP_NAMES, make_setup, make_setup_hierarchy
+
+
+class TestSetupConfigs:
+    def test_all_four_exist(self):
+        assert set(SETUP_NAMES) == {
+            "deterministic", "rpcache", "mbpta", "tscache",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_setup("newcache")
+
+    def test_deterministic_is_modulo_lru(self):
+        setup = make_setup("deterministic")
+        assert setup.l1_policy == "modulo"
+        assert setup.l1_replacement == "lru"
+        assert not setup.is_randomized
+        assert setup.reseed_every is None
+
+    def test_rpcache_randomizes_other_process(self):
+        setup = make_setup("rpcache")
+        assert setup.l1_policy == "rpcache"
+        assert setup.randomize_other_process
+
+    def test_mbpta_shares_seeds(self):
+        """The §5 observation: MBPTA alone puts no constraint on seeds,
+        so the attacker may run under the victim's."""
+        setup = make_setup("mbpta")
+        assert setup.shared_seed_between_parties
+        assert setup.l1_policy == "random_modulo"
+        assert setup.l2_policy == "hashrp"
+        assert setup.reseed_every is None
+
+    def test_tscache_unique_rotating_seeds(self):
+        setup = make_setup("tscache")
+        assert not setup.shared_seed_between_parties
+        assert setup.reseed_every is not None
+        assert setup.is_randomized
+
+    def test_mbpta_designs_use_random_replacement(self):
+        assert make_setup("mbpta").l1_replacement == "random"
+        assert make_setup("tscache").l1_replacement == "random"
+
+
+class TestSetupHierarchies:
+    @pytest.mark.parametrize("name", SETUP_NAMES)
+    def test_builds_arm920t_geometry(self, name):
+        hierarchy = make_setup_hierarchy(name)
+        assert isinstance(hierarchy, CacheHierarchy)
+        assert hierarchy.l1d.geometry.num_sets == 128
+        assert hierarchy.l1d.geometry.total_size == 16 * 1024
+        assert hierarchy.l2.geometry.num_sets == 2048
+        assert hierarchy.l2.geometry.total_size == 256 * 1024
+
+    def test_tscache_hierarchy_policies(self):
+        hierarchy = make_setup_hierarchy("tscache")
+        assert hierarchy.l1d.placement.name == "random_modulo"
+        assert hierarchy.l2.placement.name == "hashrp"
+
+    def test_deterministic_hierarchy_policies(self):
+        hierarchy = make_setup_hierarchy("deterministic")
+        assert hierarchy.l1d.placement.name == "modulo"
+        assert hierarchy.l2.placement.name == "modulo"

@@ -1,0 +1,85 @@
+"""Tests for trace file I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.trace import AccessType, MemoryAccess, Trace
+from repro.common.traceio import (
+    dump_trace,
+    load_trace,
+    load_trace_file,
+    save_trace_file,
+)
+
+
+def sample_trace():
+    trace = Trace(name="sample")
+    trace.load(0x1000, pid=1)
+    trace.store(0x2000, size=8, pid=2)
+    trace.fetch(0x8000)
+    return trace
+
+
+class TestStreamRoundtrip:
+    def test_roundtrip(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert loaded.accesses == trace.accesses
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\nL 0x1000 4 0\n   \nS 0x2000 4 1\n"
+        loaded = load_trace(io.StringIO(text))
+        assert len(loaded) == 2
+        assert loaded[1].access_type is AccessType.STORE
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("L 0x1000 4\n"))
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("X 0x1000 4 0\n"))
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("L zzz 4 0\n"))
+
+    access_strategy = st.builds(
+        MemoryAccess,
+        address=st.integers(0, 2**32 - 1),
+        access_type=st.sampled_from(list(AccessType)),
+        size=st.integers(1, 64),
+        pid=st.integers(0, 255),
+    )
+
+    @given(st.lists(access_strategy, max_size=50))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, accesses):
+        trace = Trace(list(accesses))
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        assert load_trace(buffer).accesses == trace.accesses
+
+
+class TestFileRoundtrip:
+    def test_plain_file(self, tmp_path):
+        path = str(tmp_path / "trace.trc")
+        save_trace_file(sample_trace(), path)
+        loaded = load_trace_file(path)
+        assert loaded.accesses == sample_trace().accesses
+        assert loaded.name == "trace.trc"
+
+    def test_gzip_file(self, tmp_path):
+        path = str(tmp_path / "trace.trc.gz")
+        save_trace_file(sample_trace(), path)
+        loaded = load_trace_file(path)
+        assert loaded.accesses == sample_trace().accesses
+        # The file really is gzip-compressed.
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"

@@ -1,0 +1,137 @@
+"""Tests for the synthetic workload generators and the background
+interference model."""
+
+import pytest
+
+from repro.common.trace import AccessType
+from repro.workloads.generators import (
+    matrix_walk_trace,
+    pointer_chase_trace,
+    random_trace,
+    reuse_trace,
+    stride_trace,
+)
+from repro.workloads.interference import (
+    BackgroundWorkload,
+    Region,
+    bernstein_background,
+)
+
+
+class TestStride:
+    def test_length(self):
+        trace = stride_trace(count=100, repeats=3)
+        assert len(trace) == 300
+
+    def test_addresses(self):
+        trace = stride_trace(base=0, stride=64, count=4, repeats=1)
+        assert trace.addresses() == [0, 64, 128, 192]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stride_trace(stride=0)
+
+
+class TestReuse:
+    def test_reuse_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            reuse_trace(reuse_fraction=1.5)
+
+    def test_hot_set_dominates(self):
+        trace = reuse_trace(base=0, working_set=8, line_size=32,
+                            accesses=2000, reuse_fraction=0.9)
+        hot = sum(1 for a in trace.addresses() if a < 8 * 32)
+        assert hot > 1600
+
+    def test_deterministic(self):
+        a = reuse_trace(seed=5).addresses()
+        b = reuse_trace(seed=5).addresses()
+        assert a == b
+
+
+class TestPointerChase:
+    def test_no_immediate_repeats(self):
+        trace = pointer_chase_trace(num_nodes=64, hops=500)
+        addresses = trace.addresses()
+        assert all(a != b for a, b in zip(addresses, addresses[1:]))
+
+    def test_visits_all_nodes(self):
+        trace = pointer_chase_trace(num_nodes=32, hops=64)
+        assert len(set(trace.addresses())) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pointer_chase_trace(num_nodes=1)
+
+
+class TestRandom:
+    def test_span_respected(self):
+        trace = random_trace(base=0x1000, span=4096, accesses=500)
+        assert all(0x1000 <= a < 0x1000 + 4096 for a in trace.addresses())
+
+    def test_mixes_stores(self):
+        trace = random_trace(accesses=500, store_fraction=0.5)
+        stores = sum(
+            1 for a in trace if a.access_type is AccessType.STORE
+        )
+        assert 100 < stores < 400
+
+
+class TestMatrixWalk:
+    def test_row_major_sequential(self):
+        trace = matrix_walk_trace(base=0, rows=2, cols=4, element_size=4)
+        assert trace.addresses() == [0, 4, 8, 12, 16, 20, 24, 28]
+
+    def test_column_major_strided(self):
+        trace = matrix_walk_trace(base=0, rows=2, cols=4, element_size=4,
+                                  column_major=True)
+        assert trace.addresses() == [0, 16, 4, 20, 8, 24, 12, 28]
+
+
+class TestRegion:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(base=0, size=0)
+        with pytest.raises(ValueError):
+            Region(base=-1, size=32)
+        with pytest.raises(ValueError):
+            Region(base=0, size=32, role="kernel")
+
+    def test_line_addresses(self):
+        region = Region(base=0x100, size=96)
+        assert region.line_addresses(32) == [0x100, 0x120, 0x140]
+
+
+class TestBackgroundWorkload:
+    def test_roles_split(self):
+        bg = bernstein_background()
+        same = bg.same_process_trace(pid=1)
+        other = bg.other_process_trace(pid=7)
+        assert all(a.pid == 1 for a in same)
+        assert all(a.pid == 7 for a in other)
+        assert len(same) > 0 and len(other) > 0
+
+    def test_combined_order(self):
+        bg = bernstein_background()
+        combined = bg.trace(victim_pid=1, other_pid=7)
+        pids = [a.pid for a in combined]
+        # Application buffers first, then the OS.
+        assert pids == sorted(pids, key=lambda p: p != 1)
+
+    def test_total_lines(self):
+        """Two full sweeps (256 lines) + eight 4-line windows."""
+        bg = bernstein_background()
+        assert bg.total_lines == 2 * 128 + 8 * 4
+
+    def test_needs_regions(self):
+        with pytest.raises(ValueError):
+            BackgroundWorkload(regions=())
+
+    def test_regions_page_contained(self):
+        """Each window region stays inside one 4 KB page, so RM maps it
+        through a single page permutation."""
+        bg = bernstein_background()
+        for region in bg.regions[1:]:
+            first_page = region.base // 4096
+            last_page = (region.base + region.size - 1) // 4096
+            assert first_page == last_page
