@@ -1,0 +1,49 @@
+"""Shared harness for the Bernstein ablation benches.
+
+Every ablation sweeps one axis of the case study as labelled
+spec-param overrides on a base setup; this module owns the common
+declaration boilerplate (fixed keys, spec construction, runner
+invocation, label pairing) so each bench is just its variant table
+plus its assertions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.campaigns import CampaignRunner, ExperimentSpec
+
+#: Fixed victim/attacker keys shared by every ablation variant, so
+#: variants differ only along the swept axis.
+KEY_PARAMS = (
+    ("victim_key", bytes(range(16)).hex()),
+    ("attacker_key", bytes(range(100, 116)).hex()),
+)
+
+#: A variant: (label, extra spec params).
+Variant = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+
+def run_bernstein_variants(
+    variants: Sequence[Variant],
+    *,
+    setup: str,
+    num_samples: int,
+    seed: int,
+) -> List[Tuple[str, object]]:
+    """Run one ``bernstein`` cell per variant; [(label, report)]."""
+    specs = [
+        ExperimentSpec(
+            kind="bernstein",
+            setup=setup,
+            num_samples=num_samples,
+            seed=seed,
+            params=KEY_PARAMS + tuple(overrides),
+        )
+        for _, overrides in variants
+    ]
+    campaign = CampaignRunner().run(specs)
+    return [
+        (label, cell.payload.report)
+        for (label, _), cell in zip(variants, campaign)
+    ]

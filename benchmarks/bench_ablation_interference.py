@@ -6,54 +6,30 @@ the background (none / narrow / wide) on the deterministic setup shows
 the leak appear and grow — and shows that with *no* interference the
 deterministic cache leaks nothing through this channel, which is why
 the attack needs a loaded system, not an idle one.
+
+Declared as a campaign: one ``bernstein`` cell per window width, the
+``background_window_lines`` param selecting the ablation background
+(:func:`repro.workloads.interference.windowed_background`).
 """
 
 import pytest
 
-from repro.core.simulator import BernsteinCaseStudy
-from repro.workloads.interference import BackgroundWorkload, Region
-
+from benchmarks.ablation_common import run_bernstein_variants
 from benchmarks.reporting import emit
 
 NUM_SAMPLES = 200_000
-LINE = 32
-WAY_BYTES = 128 * LINE
 
-
-def background(window_lines: int) -> BackgroundWorkload:
-    """Two full sweeps plus same/other windows of the given width."""
-    def page(index):
-        return 0x0018_0000 + index * 0x1_0000
-
-    regions = [Region(base=page(0), size=2 * WAY_BYTES, role="same")]
-    if window_lines:
-        size = window_lines * LINE
-        regions += [
-            Region(base=page(2) + 84 * LINE, size=size, role="same"),
-            Region(base=page(3) + 84 * LINE, size=size, role="same"),
-            Region(base=page(4) + 40 * LINE, size=size, role="other"),
-            Region(base=page(5) + 40 * LINE, size=size, role="other"),
-        ]
-    return BackgroundWorkload(regions=tuple(regions), line_size=LINE)
+VARIANTS = (
+    ("idle (no windows)", (("background_window_lines", 0),)),
+    ("narrow (4 lines)", (("background_window_lines", 4),)),
+    ("wide (12 lines)", (("background_window_lines", 12),)),
+)
 
 
 def run_variants():
-    results = []
-    for label, window in (("idle (no windows)", 0),
-                          ("narrow (4 lines)", 4),
-                          ("wide (12 lines)", 12)):
-        study = BernsteinCaseStudy(
-            "deterministic",
-            num_samples=NUM_SAMPLES,
-            background=background(window),
-            rng_seed=13,
-        )
-        result = study.run(
-            victim_key=bytes(range(16)),
-            attacker_key=bytes(range(100, 116)),
-        )
-        results.append((label, result.report))
-    return results
+    return run_bernstein_variants(
+        VARIANTS, setup="deterministic", num_samples=NUM_SAMPLES, seed=13
+    )
 
 
 @pytest.mark.benchmark(group="ablation-interference")

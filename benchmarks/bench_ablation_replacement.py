@@ -6,37 +6,28 @@ side effect on the side channel: with LRU, the per-interval eviction
 choices are deterministic, so the cold-line pattern is crisp and the
 shared-seed attack extracts more; random replacement varies the
 realisation per interval and attenuates the leak.
-"""
 
-import dataclasses
+Declared as a campaign: two ``bernstein`` cells on the ``mbpta``
+setup, one overriding ``l1_replacement`` through the spec params.
+"""
 
 import pytest
 
-from repro.core.setups import make_setup
-from repro.core.simulator import BernsteinCaseStudy
-
+from benchmarks.ablation_common import run_bernstein_variants
 from benchmarks.reporting import emit
 
 NUM_SAMPLES = 200_000
 
+VARIANTS = (
+    ("RM + LRU", (("l1_replacement", "lru"), ("variant", "mbpta_lru"))),
+    ("RM + random repl.", ()),
+)
+
 
 def run_variants():
-    mbpta = make_setup("mbpta")
-    variants = (
-        ("RM + LRU", dataclasses.replace(
-            mbpta, name="mbpta_lru", l1_replacement="lru")),
-        ("RM + random repl.", mbpta),
+    return run_bernstein_variants(
+        VARIANTS, setup="mbpta", num_samples=NUM_SAMPLES, seed=11
     )
-    results = []
-    for label, setup in variants:
-        study = BernsteinCaseStudy(setup, num_samples=NUM_SAMPLES,
-                                   rng_seed=11)
-        result = study.run(
-            victim_key=bytes(range(16)),
-            attacker_key=bytes(range(100, 116)),
-        )
-        results.append((label, result.report))
-    return results
 
 
 @pytest.mark.benchmark(group="ablation-replacement")

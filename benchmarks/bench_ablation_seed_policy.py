@@ -11,53 +11,43 @@ discusses:
   but a seed collision or leak would be fatal forever.
 * unique + per-hyperperiod — TSCache: protected, and even a one-off
   seed disclosure has bounded lifetime.
-"""
 
-import dataclasses
+Declared as a campaign: three ``bernstein`` cells on the ``mbpta``
+setup, the seed-policy axis expressed as spec-param overrides of
+``shared_seed_between_parties`` / ``reseed_every``.
+"""
 
 import pytest
 
-from repro.core.setups import make_setup
-from repro.core.simulator import BernsteinCaseStudy
-
+from benchmarks.ablation_common import run_bernstein_variants
 from benchmarks.reporting import emit
 
 NUM_SAMPLES = 300_000
 
-
-def variants():
-    mbpta = make_setup("mbpta")
-    return (
-        ("shared, fixed", mbpta),
+VARIANTS = (
+    ("shared, fixed", ()),
+    (
+        "unique, fixed",
         (
-            "unique, fixed",
-            dataclasses.replace(
-                mbpta, name="unique_fixed", shared_seed_between_parties=False
-            ),
+            ("shared_seed_between_parties", False),
+            ("variant", "unique_fixed"),
         ),
+    ),
+    (
+        "unique, rotating",
         (
-            "unique, rotating",
-            dataclasses.replace(
-                mbpta,
-                name="unique_rotating",
-                shared_seed_between_parties=False,
-                reseed_every=1024,
-            ),
+            ("shared_seed_between_parties", False),
+            ("reseed_every", 1024),
+            ("variant", "unique_rotating"),
         ),
-    )
+    ),
+)
 
 
 def run_variants():
-    results = []
-    for label, setup in variants():
-        study = BernsteinCaseStudy(setup, num_samples=NUM_SAMPLES,
-                                   rng_seed=7)
-        result = study.run(
-            victim_key=bytes(range(16)),
-            attacker_key=bytes(range(100, 116)),
-        )
-        results.append((label, result.report))
-    return results
+    return run_bernstein_variants(
+        VARIANTS, setup="mbpta", num_samples=NUM_SAMPLES, seed=7
+    )
 
 
 @pytest.mark.benchmark(group="ablation-seed")

@@ -8,46 +8,27 @@ protocol), verify the EVT admission tests, fit the tail and print the
 exceedance series.
 """
 
-import numpy as np
 import pytest
 
-from repro.common.trace import Trace
-from repro.core.setups import make_setup_hierarchy
-from repro.mbpta.analysis import MBPTAAnalysis
+from repro.campaigns import CampaignRunner, ExperimentSpec
 
 from benchmarks.reporting import emit
 
 
-def synthetic_task_trace() -> Trace:
-    """A multi-page working set with a re-walk: conflict counts (and so
-    execution time) depend on the random cache layout."""
-    addresses = [
-        0x0200_0000 + page * 0x1000 + i * 32
-        for page in range(5)
-        for i in range(128)
-    ]
-    addresses += addresses[: 2 * 128]
-    return Trace.from_addresses(addresses)
-
-
-def collect_times(num_runs: int, rng_seed: int = 5) -> np.ndarray:
-    rng = np.random.default_rng(rng_seed)
-    trace = synthetic_task_trace()
-    times = np.empty(num_runs)
-    for run in range(num_runs):
-        hierarchy = make_setup_hierarchy("tscache")
-        hierarchy.set_seeds(int(rng.integers(0, 2**32)))
-        times[run] = hierarchy.run_trace(trace)
-    return times
+def collect(num_runs: int, rng_seed: int = 5):
+    """One declarative pwcet cell: collection + MBPTA analysis."""
+    spec = ExperimentSpec(
+        kind="pwcet", setup="tscache", num_samples=num_runs, seed=rng_seed
+    )
+    return CampaignRunner().run([spec]).payloads()[0]
 
 
 @pytest.mark.benchmark(group="fig1")
 def test_fig1_pwcet_curve(benchmark):
-    times = benchmark.pedantic(
-        collect_times, args=(300,), rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        collect, args=(300,), rounds=1, iterations=1
     )
-    analysis = MBPTAAnalysis(method="pot", tail_fraction=0.15)
-    report = analysis.analyse(times)
+    report = payload.report
     assert report.compliant, report.notes
 
     lines = [

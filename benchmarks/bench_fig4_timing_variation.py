@@ -12,8 +12,7 @@ import numpy as np
 import pytest
 
 from repro.attack.bernstein import timing_variation_by_value
-from repro.core.batch import AESTimingEngine
-from repro.core.setups import make_setup
+from repro.campaigns import CampaignRunner, ExperimentSpec
 
 from benchmarks.reporting import emit
 
@@ -22,10 +21,15 @@ FLAT_BYTE = 0      # first-round table Te0 (never evicted)
 
 
 def collect(num_samples: int = 400_000):
-    engine = AESTimingEngine(
-        make_setup("deterministic"), rng=np.random.default_rng(41)
+    """One declarative timing_samples cell on the deterministic setup."""
+    spec = ExperimentSpec(
+        kind="timing_samples",
+        setup="deterministic",
+        num_samples=num_samples,
+        seed=41,
+        params=(("key", bytes(range(16)).hex()),),
     )
-    return engine.collect(bytes(range(16)), num_samples)
+    return CampaignRunner().run([spec]).payloads()[0]
 
 
 @pytest.mark.benchmark(group="fig4")
@@ -62,8 +66,12 @@ def test_fig4_timing_variation(benchmark):
     emit("Figure 4: timing variation per value of one input byte "
          "(deterministic cache)", lines)
 
-    # The leaking byte shows clear structure; the control byte does not.
-    assert leaking.max() - leaking.min() > 2 * (flat.max() - flat.min())
+    # The leaking byte shows clear structure; the control byte does
+    # not.  Compared by standard deviation: the range of the control
+    # byte is an extreme-value statistic over its (real but diffuse)
+    # second-round structure, which made the old range-based bound
+    # flaky across RNG streams.
+    assert leaking.std() > 2 * flat.std()
     # The slow values form a minority group (partial eviction).
     threshold = leaking.mean() + (leaking.max() - leaking.mean()) / 2
     assert 4 <= int((leaking > threshold).sum()) <= 96

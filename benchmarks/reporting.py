@@ -4,20 +4,24 @@ pytest captures stdout by default; run ``pytest benchmarks/
 --benchmark-only -s`` to see the reproduced tables inline.  Every
 bench also appends its rows to ``benchmarks/results.txt`` so the
 reproduction record survives captured output.
+
+Routed through :mod:`repro.reporting`: the first block a process
+emits stamps a run-header delimiter into the results file, so records
+from successive runs stay distinguishable (the file previously grew
+forever with no indication of run boundaries).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable
+
+from repro.reporting import ResultsFile
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
+_RESULTS = ResultsFile(RESULTS_PATH)
 
-def emit(title: str, lines: Iterable[str]) -> None:
+
+def emit(title: str, lines) -> None:
     """Print a titled block and append it to the results file."""
-    block = [f"== {title} =="] + list(lines) + [""]
-    text = "\n".join(block)
-    print(text)
-    with open(RESULTS_PATH, "a") as handle:
-        handle.write(text + "\n")
+    _RESULTS.emit(title, lines)

@@ -12,52 +12,44 @@ Simulates the industrial MBPTA flow on the TSCache platform:
 4. contrast with a deterministic cache, whose single measurement says
    nothing about other memory layouts (mbpta-p1, paper §3).
 
+The collection runs are declared as ``pwcet`` campaign cells: the
+task shape (four pages, one relocatable 64-line object, a re-walk)
+and the reseed protocol are spec params, executed by the shared
+campaign engine.
+
 Run:  python examples/pwcet_analysis.py
 """
 
-import numpy as np
+from repro.campaigns import CampaignRunner, ExperimentSpec
 
-from repro.common.trace import Trace
-from repro.core.setups import make_setup_hierarchy
-from repro.mbpta.analysis import MBPTAAnalysis
-
-
-def task_trace(object_offset: int = 0) -> Trace:
-    """A task with four pages of data, one relocatable object and a
-    re-walk whose hit rate depends on the cache layout."""
-    base = 0x0200_0000
-    addresses = [
-        base + page * 0x1000 + i * 32
-        for page in range(4)
-        for i in range(128)
-    ]
-    addresses += [
-        base + 4 * 0x1000 + object_offset + i * 32 for i in range(64)
-    ]
-    addresses += addresses[:32]
-    return Trace.from_addresses(addresses)
+#: The example task: four pages, a relocatable object, a short re-walk.
+TASK_SHAPE = (
+    ("pages", 4),
+    ("object_lines", 64),
+    ("rewalk_lines", 32),
+)
 
 
 def collect(setup: str, num_runs: int, reseed: bool,
-            object_offset: int = 0) -> np.ndarray:
-    rng = np.random.default_rng(42)
-    trace = task_trace(object_offset)
-    times = np.empty(num_runs)
-    for run in range(num_runs):
-        hierarchy = make_setup_hierarchy(setup)
-        if reseed:
-            hierarchy.set_seeds(int(rng.integers(0, 2**32)))
-        times[run] = hierarchy.run_trace(trace)
-    return times
+            object_offset: int = 0):
+    spec = ExperimentSpec(
+        kind="pwcet",
+        setup=setup,
+        num_samples=num_runs,
+        seed=42,
+        params=TASK_SHAPE + (
+            ("object_offset", object_offset),
+            ("reseed", reseed),
+            ("analyse", reseed),  # constant times cannot be analysed
+        ),
+    )
+    return CampaignRunner().run([spec]).payloads()[0]
 
 
 def main() -> None:
     print("Collecting 300 runs on the TSCache platform "
           "(fresh seed per run)...")
-    times = collect("tscache", 300, reseed=True)
-
-    analysis = MBPTAAnalysis(method="pot", tail_fraction=0.15)
-    report = analysis.analyse(times)
+    report = collect("tscache", 300, reseed=True).report
 
     print(f"\nsamples: {report.num_samples}   "
           f"mean: {report.sample_mean:.0f}   max: {report.sample_max:.0f}")
@@ -81,9 +73,9 @@ def main() -> None:
     det_b = collect("deterministic", 5, reseed=False,
                     object_offset=64 * 32)
     print(f"  layout A (object at page offset 0):    "
-          f"{det_a[0]:.0f} cycles, every run")
+          f"{det_a.times[0]:.0f} cycles, every run")
     print(f"  layout B (object moved within page):   "
-          f"{det_b[0]:.0f} cycles, every run")
+          f"{det_b.times[0]:.0f} cycles, every run")
     print("  One integration-time relocation changed the task's "
           "execution time;")
     print("  measurements taken under layout A say nothing about "

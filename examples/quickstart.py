@@ -13,7 +13,8 @@ Walks the package's layers bottom-up:
 Run:  python examples/quickstart.py
 """
 
-from repro import BernsteinCaseStudy, SETUP_NAMES, make_setup_hierarchy
+from repro import SETUP_NAMES, make_setup_hierarchy
+from repro.campaigns import CampaignRunner, ExperimentSpec
 from repro.common.trace import MemoryAccess
 
 
@@ -53,11 +54,21 @@ def show_random_placement() -> None:
 def run_attacks() -> None:
     print("Bernstein's attack, 60k samples per party "
           "(takes a few seconds)...")
-    victim_key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
-    attacker_key = bytes.fromhex("6465666768696a6b6c6d6e6f70717273")
-    for name in ("deterministic", "tscache"):
-        study = BernsteinCaseStudy(name, num_samples=60_000, rng_seed=7)
-        result = study.run(victim_key=victim_key, attacker_key=attacker_key)
+    # A two-cell campaign: same keys, one spec per setup.
+    specs = [
+        ExperimentSpec(
+            kind="bernstein",
+            setup=name,
+            num_samples=60_000,
+            seed=7,
+            params=(
+                ("victim_key", "000102030405060708090a0b0c0d0e0f"),
+                ("attacker_key", "6465666768696a6b6c6d6e6f70717273"),
+            ),
+        )
+        for name in ("deterministic", "tscache")
+    ]
+    for name, result in CampaignRunner().run(specs).by_setup().items():
         print("  " + result.report.summary_row(name))
     print()
     print("The deterministic cache discards key candidates; the TSCache "

@@ -12,7 +12,10 @@ The package provides:
 * MBPTA: EVT pWCET estimation with i.i.d. admission tests
   (:mod:`repro.mbpta`);
 * cache timing side-channel attacks: Bernstein, Prime+Probe,
-  Evict+Time (:mod:`repro.attack`, :mod:`repro.crypto`).
+  Evict+Time (:mod:`repro.attack`, :mod:`repro.crypto`);
+* campaign orchestration: declarative experiment grids executed
+  serially or across a process pool with bit-identical results and an
+  on-disk result cache (:mod:`repro.campaigns`, :mod:`repro.reporting`).
 
 Quickstart::
 
@@ -22,6 +25,13 @@ Quickstart::
 """
 
 from repro.attack import BernsteinAttack, KeySpaceReport
+from repro.campaigns import (
+    CampaignResult,
+    CampaignRunner,
+    ExperimentSpec,
+    build_campaign,
+    register_experiment,
+)
 from repro.cache import (
     CacheGeometry,
     CacheHierarchy,
@@ -39,6 +49,7 @@ from repro.core import (
     make_setup,
     make_setup_hierarchy,
 )
+from repro.core.simulator import run_all_setups
 from repro.cpu import Processor, arm920t_processor
 from repro.crypto import AES128
 from repro.mbpta import MBPTAAnalysis, check_placement_properties
@@ -53,6 +64,9 @@ __all__ = [
     "BernsteinCaseStudy",
     "CacheGeometry",
     "CacheHierarchy",
+    "CampaignResult",
+    "CampaignRunner",
+    "ExperimentSpec",
     "HierarchyConfig",
     "KeySpaceReport",
     "MBPTAAnalysis",
@@ -65,10 +79,13 @@ __all__ = [
     "System",
     "TSCacheSystem",
     "arm920t_processor",
+    "build_campaign",
     "check_placement_properties",
     "make_placement",
     "make_replacement",
     "make_setup",
     "make_setup_hierarchy",
+    "register_experiment",
+    "run_all_setups",
     "__version__",
 ]

@@ -1,0 +1,69 @@
+"""repro.campaigns — declarative experiment orchestration.
+
+The paper's evaluation is a grid: experiment kind x processor setup x
+sample count x seed.  This package turns each grid cell into a
+declarative :class:`ExperimentSpec` and executes whole grids through
+one :class:`CampaignRunner` — serially or across a process pool with
+bit-identical results, with an on-disk result cache so repeated sweeps
+skip finished cells.
+
+Quickstart::
+
+    from repro.campaigns import CampaignRunner, bernstein_grid
+
+    specs = bernstein_grid(num_samples=50_000, seed=7)
+    results = CampaignRunner(workers=4).run(specs)
+    for name, case in results.by_setup().items():
+        print(case.report.summary_row(name))
+
+Extending: register a new experiment kind with
+:func:`register_experiment` (a module-level function, so worker
+processes can import it) and build specs with ``kind=<your name>``.
+"""
+
+from repro.campaigns.grids import (
+    CAMPAIGNS,
+    CampaignDefinition,
+    bernstein_grid,
+    build_campaign,
+    campaign_keys,
+    missrate_grid,
+    pwcet_grid,
+)
+from repro.campaigns.registry import (
+    ExperimentKind,
+    experiment_kinds,
+    get_experiment,
+    register_experiment,
+)
+from repro.campaigns.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    ResultCache,
+    execute_cell,
+)
+from repro.campaigns.spec import ExperimentSpec
+
+# Built-in kinds register on import.
+from repro.campaigns import experiments as _experiments  # noqa: F401
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignDefinition",
+    "CampaignResult",
+    "CampaignRunner",
+    "CellResult",
+    "ExperimentKind",
+    "ExperimentSpec",
+    "ResultCache",
+    "bernstein_grid",
+    "build_campaign",
+    "campaign_keys",
+    "execute_cell",
+    "experiment_kinds",
+    "get_experiment",
+    "missrate_grid",
+    "pwcet_grid",
+    "register_experiment",
+]

@@ -1,0 +1,319 @@
+"""Built-in experiment kinds: the paper's evaluation grid as cells.
+
+Each kind is a module-level function from :class:`ExperimentSpec` to a
+picklable payload, registered under a stable name:
+
+``bernstein``
+    The full Bernstein case study (§6.1-§6.2.1) on one setup: collect
+    both parties' samples, run the correlation attack, grade the key
+    space.  Payload: :class:`repro.core.simulator.CaseStudyResult`.
+``timing_samples``
+    One party's raw :class:`TimingSamples` on a setup (the Figure 4
+    per-value timing-variation substrate).
+``pwcet``
+    Execution times of the synthetic multi-page task over many runs
+    (fresh seed per run, the MBPTA analysis-phase protocol) plus the
+    EVT admission verdicts and pWCET curve (Figure 1).
+``missrate``
+    Miss rate of one placement policy on one synthetic workload
+    (§6.2.3 overheads).
+
+All randomness is drawn from the spec's private
+:meth:`~repro.campaigns.spec.ExperimentSpec.seed_sequence`, so results
+do not depend on execution order or worker placement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.campaigns.registry import register_experiment
+from repro.campaigns.spec import ExperimentSpec
+from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+from repro.core.batch import AESTimingEngine, TimingSamples
+from repro.core.setups import SetupConfig, make_setup, make_setup_hierarchy
+from repro.mbpta.analysis import MBPTAAnalysis, MBPTAReport
+from repro.workloads.generators import (
+    matrix_walk_trace,
+    multi_page_task_trace,
+    pointer_chase_trace,
+    random_trace,
+    reuse_trace,
+    stride_trace,
+)
+from repro.workloads.interference import (
+    BackgroundWorkload,
+    windowed_background,
+)
+
+# -- shared helpers ---------------------------------------------------------
+
+#: SetupConfig fields a spec may override (the ablation axes).
+SETUP_OVERRIDE_FIELDS = (
+    "l1_replacement",
+    "shared_seed_between_parties",
+    "reseed_every",
+)
+
+
+def resolve_setup(spec: ExperimentSpec) -> SetupConfig:
+    """The spec's setup with any ablation overrides applied."""
+    if spec.setup is None:
+        raise ValueError(f"experiment {spec.kind!r} needs a setup")
+    setup = make_setup(spec.setup)
+    params = spec.params_dict()
+    overrides: Dict[str, Any] = {
+        name: params[name]
+        for name in SETUP_OVERRIDE_FIELDS
+        if name in params
+    }
+    variant = params.get("variant")
+    if overrides or variant:
+        setup = dataclasses.replace(
+            setup, name=variant or setup.name, **overrides
+        )
+    return setup
+
+
+def resolve_background(spec: ExperimentSpec) -> Optional[BackgroundWorkload]:
+    """An ablation background, or None for the case-study default."""
+    window = spec.param("background_window_lines")
+    if window is None:
+        return None
+    return windowed_background(int(window))
+
+
+def _key_param(spec: ExperimentSpec, name: str) -> Optional[bytes]:
+    value = spec.param(name)
+    if value is None:
+        return None
+    key = bytes.fromhex(value)
+    if len(key) != 16:
+        raise ValueError(f"{name} must be 16 bytes, got {len(key)}")
+    return key
+
+
+# -- bernstein --------------------------------------------------------------
+
+def _summarize_bernstein(spec: ExperimentSpec, payload: Any) -> Dict[str, Any]:
+    report = payload.report
+    leaking = sorted(
+        o.byte_index for o in report.outcomes if o.num_surviving < 256
+    )
+    return {
+        "bits_determined": report.bits_determined,
+        "remaining_key_space_log2": round(
+            report.remaining_key_space_log2, 2
+        ),
+        "brute_force_speedup_log2": round(
+            report.brute_force_speedup_log2, 2
+        ),
+        "leaking_bytes": leaking,
+        "key_fully_protected": report.key_fully_protected,
+    }
+
+
+@register_experiment("bernstein", summarize=_summarize_bernstein)
+def run_bernstein(spec: ExperimentSpec):
+    """One Figure 5 panel: the correlation attack against one setup.
+
+    Params: ``victim_key``/``attacker_key`` (hex; drawn from the cell
+    stream when absent), ``background_window_lines`` (interference
+    ablation), ``engine_campaign_seed``, ``variant`` plus the
+    :data:`SETUP_OVERRIDE_FIELDS` (setup ablations).
+    """
+    from repro.core.simulator import BernsteinCaseStudy
+
+    study = BernsteinCaseStudy(
+        resolve_setup(spec),
+        num_samples=spec.num_samples,
+        background=resolve_background(spec),
+        rng_seed=spec.seed_sequence(),
+    )
+    return study.run(
+        victim_key=_key_param(spec, "victim_key"),
+        attacker_key=_key_param(spec, "attacker_key"),
+        campaign_seed=int(spec.param("engine_campaign_seed", 0xC0DE)),
+    )
+
+
+# -- timing_samples ---------------------------------------------------------
+
+def _summarize_timing(
+    spec: ExperimentSpec, payload: TimingSamples
+) -> Dict[str, Any]:
+    return {
+        "mean_cycles": round(float(payload.timings.mean()), 2),
+        "std_cycles": round(float(payload.timings.std()), 2),
+    }
+
+
+@register_experiment("timing_samples", summarize=_summarize_timing)
+def run_timing_samples(spec: ExperimentSpec) -> TimingSamples:
+    """Raw one-party timing collection (Figure 4 substrate).
+
+    Params: ``key`` (hex, default the 00..0f pattern key), ``party``.
+    """
+    key = _key_param(spec, "key") or bytes(range(16))
+    engine = AESTimingEngine(
+        resolve_setup(spec),
+        background=resolve_background(spec),
+        rng=spec.rng(),
+    )
+    return engine.collect(
+        key,
+        spec.num_samples,
+        party=spec.param("party", "victim"),
+        campaign_seed=int(spec.param("engine_campaign_seed", 0xC0DE)),
+    )
+
+
+# -- pwcet ------------------------------------------------------------------
+
+@dataclass
+class PwcetPayload:
+    """Collected execution times plus the MBPTA verdicts."""
+
+    times: np.ndarray
+    report: Optional[MBPTAReport]
+
+
+def _summarize_pwcet(
+    spec: ExperimentSpec, payload: PwcetPayload
+) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "runs": int(payload.times.size),
+        "mean_cycles": round(float(payload.times.mean()), 1),
+        "max_cycles": round(float(payload.times.max()), 1),
+    }
+    report = payload.report
+    if report is not None:
+        record.update(
+            ljung_box_p=round(report.independence.p_value, 4),
+            ks_p=round(report.identical_distribution.p_value, 4),
+            compliant=report.compliant,
+        )
+        if report.curve is not None:
+            record["pwcet_1e-12"] = round(report.pwcet(1e-12), 1)
+    return record
+
+
+@register_experiment("pwcet", summarize=_summarize_pwcet)
+def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
+    """MBPTA collection + analysis on one setup (``num_samples`` runs).
+
+    Params: trace shape (``pages``, ``lines_per_page``,
+    ``object_lines``, ``object_offset``, ``rewalk_lines``), ``reseed``
+    (False = deterministic platform, no per-run reseeding),
+    ``analyse`` (False = collect only), ``method``, ``tail_fraction``.
+    """
+    rng = spec.rng()
+    trace = multi_page_task_trace(
+        pages=int(spec.param("pages", 5)),
+        lines_per_page=int(spec.param("lines_per_page", 128)),
+        object_lines=int(spec.param("object_lines", 0)),
+        object_offset=int(spec.param("object_offset", 0)),
+        rewalk_lines=int(spec.param("rewalk_lines", 256)),
+    )
+    reseed = bool(spec.param("reseed", True))
+    times = np.empty(spec.num_samples)
+    for run in range(spec.num_samples):
+        hierarchy = make_setup_hierarchy(spec.setup)
+        if reseed:
+            hierarchy.set_seeds(int(rng.integers(0, 2**32)))
+        times[run] = hierarchy.run_trace(trace)
+    report: Optional[MBPTAReport] = None
+    if bool(spec.param("analyse", True)):
+        analysis = MBPTAAnalysis(
+            method=spec.param("method", "pot"),
+            tail_fraction=float(spec.param("tail_fraction", 0.15)),
+        )
+        report = analysis.analyse(times)
+    return PwcetPayload(times=times, report=report)
+
+
+# -- missrate ---------------------------------------------------------------
+
+#: The §6.2.3 synthetic workload suite (plus the alignment pathology).
+WORKLOAD_BUILDERS: Dict[str, Callable[[], Any]] = {
+    "stride": lambda: stride_trace(count=2048, stride=32, repeats=3),
+    "reuse": lambda: reuse_trace(working_set=192, accesses=12000),
+    "chase": lambda: pointer_chase_trace(
+        num_nodes=480, node_size=32, hops=12000
+    ),
+    "random": lambda: random_trace(span=1 << 18, accesses=12000),
+    "matrix": lambda: matrix_walk_trace(rows=96, cols=96, column_major=True),
+    "thrash": lambda: pointer_chase_trace(
+        num_nodes=768, node_size=64, hops=12000
+    ),
+}
+
+
+@dataclass
+class MissRatePayload:
+    """One policy x workload cell of the overheads table."""
+
+    policy: str
+    workload: str
+    accesses: int
+    misses: int
+    miss_rate: float
+
+
+def _summarize_missrate(
+    spec: ExperimentSpec, payload: MissRatePayload
+) -> Dict[str, Any]:
+    return {
+        "accesses": payload.accesses,
+        "misses": payload.misses,
+        "miss_rate_pct": round(payload.miss_rate * 100, 2),
+    }
+
+
+@register_experiment("missrate", summarize=_summarize_missrate)
+def run_missrate(spec: ExperimentSpec) -> MissRatePayload:
+    """Miss rate of one placement policy on one synthetic workload.
+
+    Params: ``policy`` (placement name), ``workload`` (a
+    :data:`WORKLOAD_BUILDERS` key), ``replacement`` (default ``lru``).
+    The cache seed is the spec's root ``seed`` so the table matches
+    the historical fixed-seed (0x1234) measurements when asked to.
+    """
+    policy = spec.param("policy")
+    workload = spec.param("workload")
+    if policy is None or workload is None:
+        raise ValueError("missrate cells need 'policy' and 'workload' params")
+    try:
+        trace = WORKLOAD_BUILDERS[workload]()
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"choose from {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    geometry = ARM920T_L1_GEOMETRY
+    cache = SetAssociativeCache(
+        geometry,
+        make_placement(policy, geometry.layout()),
+        make_replacement(
+            spec.param("replacement", "lru"),
+            geometry.num_sets,
+            geometry.num_ways,
+        ),
+    )
+    cache.set_seed(spec.seed)
+    for access in trace:
+        cache.access(access)
+    stats = cache.stats
+    return MissRatePayload(
+        policy=policy,
+        workload=workload,
+        accesses=stats.accesses,
+        misses=stats.misses,
+        miss_rate=stats.miss_rate,
+    )

@@ -1,0 +1,74 @@
+"""Experiment-kind registry.
+
+An *experiment kind* maps an :class:`~repro.campaigns.spec.ExperimentSpec`
+to a result payload.  Kinds are module-level functions registered by
+name so :func:`~repro.campaigns.runner.execute_cell` can be shipped to
+``ProcessPoolExecutor`` workers by reference (closures would not
+pickle).  The built-in kinds live in
+:mod:`repro.campaigns.experiments`; benchmarks and downstream users may
+register their own with :func:`register_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.campaigns.spec import ExperimentSpec
+
+RunFn = Callable[[ExperimentSpec], Any]
+SummarizeFn = Callable[[ExperimentSpec, Any], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ExperimentKind:
+    """A named experiment: a cell runner plus a summary projector."""
+
+    name: str
+    run: RunFn
+    #: Projects a payload to flat JSON-able fields for tables/JSON.
+    summarize: SummarizeFn
+
+
+_REGISTRY: Dict[str, ExperimentKind] = {}
+
+
+def _default_summarize(spec: ExperimentSpec, payload: Any) -> Dict[str, Any]:
+    return {"payload": repr(payload)}
+
+
+def register_experiment(
+    name: str, *, summarize: Optional[SummarizeFn] = None
+) -> Callable[[RunFn], RunFn]:
+    """Decorator registering ``fn`` as the runner for kind ``name``."""
+
+    def decorator(fn: RunFn) -> RunFn:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment kind {name!r} already registered")
+        _REGISTRY[name] = ExperimentKind(
+            name=name, run=fn, summarize=summarize or _default_summarize
+        )
+        return fn
+
+    return decorator
+
+
+def get_experiment(name: str) -> ExperimentKind:
+    """Look up a kind, loading the built-ins on first use."""
+    if name not in _REGISTRY:
+        # Built-in kinds register on import; deferred to avoid a cycle
+        # with repro.core.simulator.
+        import repro.campaigns.experiments  # noqa: F401
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment kind {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def experiment_kinds() -> Tuple[str, ...]:
+    import repro.campaigns.experiments  # noqa: F401
+
+    return tuple(sorted(_REGISTRY))

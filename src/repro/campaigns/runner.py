@@ -1,0 +1,274 @@
+"""Campaign execution: serial or process-parallel, with a result cache.
+
+A *campaign* is a list of :class:`ExperimentSpec` cells.  The
+:class:`CampaignRunner` executes them
+
+* **serially** (``workers=1``) in spec order, or
+* **in parallel** across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``workers>1``) — results are bit-identical to the serial run because
+  every cell draws exclusively from its own
+  :meth:`~repro.campaigns.spec.ExperimentSpec.seed_sequence`, never
+  from shared mutable state;
+
+and, when given a ``cache_dir``, skips cells whose results are already
+on disk (keyed by :meth:`ExperimentSpec.spec_hash`), so interrupted or
+repeated sweeps only pay for unfinished cells.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.campaigns.registry import RunFn, get_experiment
+from repro.campaigns.spec import ExperimentSpec
+
+ProgressFn = Callable[["CellResult"], None]
+
+
+def execute_cell(spec: ExperimentSpec) -> Any:
+    """Run one cell and return its payload (module-level: picklable)."""
+    return get_experiment(spec.kind).run(spec)
+
+
+def _execute_timed(run_fn: RunFn, spec: ExperimentSpec) -> Tuple[Any, float]:
+    """(payload, compute seconds) for one cell.
+
+    Receives the kind's run function directly rather than re-resolving
+    ``spec.kind``: under the ``spawn`` start method a worker process
+    has an empty registry apart from the built-ins, but unpickling the
+    function reference imports its defining module — which re-runs any
+    ``register_experiment`` side effects.  Timing happens here, on the
+    worker, so parallel cells report their own compute time rather
+    than time-since-pool-start.
+    """
+    start = time.perf_counter()
+    payload = run_fn(spec)
+    return payload, time.perf_counter() - start
+
+
+@dataclass
+class CellResult:
+    """One executed (or cache-restored) cell."""
+
+    spec: ExperimentSpec
+    payload: Any
+    elapsed: float
+    from_cache: bool = False
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat JSON-able record: spec identity + kind-specific fields."""
+        record: Dict[str, Any] = {
+            "kind": self.spec.kind,
+            "setup": self.spec.setup,
+            "num_samples": self.spec.num_samples,
+            "seed": self.spec.seed,
+            "elapsed_s": round(self.elapsed, 3),
+            "from_cache": self.from_cache,
+        }
+        record.update(dict(self.spec.params))
+        kind = get_experiment(self.spec.kind)
+        record.update(kind.summarize(self.spec, self.payload))
+        return record
+
+
+@dataclass
+class CampaignResult:
+    """All cells of one campaign, in spec order."""
+
+    cells: List[CellResult] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def payloads(self) -> List[Any]:
+        return [cell.payload for cell in self.cells]
+
+    def by_setup(self) -> Dict[str, Any]:
+        """``{setup name: payload}`` (requires unique setups)."""
+        table: Dict[str, Any] = {}
+        for cell in self.cells:
+            name = cell.spec.setup
+            if name is None:
+                raise ValueError(f"cell {cell.spec.cell_id} has no setup")
+            if name in table:
+                raise ValueError(f"duplicate setup {name!r} in campaign")
+            table[name] = cell.payload
+        return table
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        return [cell.summary() for cell in self.cells]
+
+    @property
+    def total_elapsed(self) -> float:
+        """Sum of per-cell compute time (not wall clock when parallel)."""
+        return sum(cell.elapsed for cell in self.cells)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.from_cache)
+
+
+class ResultCache:
+    """Pickle-per-cell on-disk cache keyed by the stable spec hash."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.cache_dir, spec.spec_hash() + ".pkl")
+
+    def get(self, spec: ExperimentSpec) -> Optional[Any]:
+        """The cached payload, or None on miss/corruption.
+
+        Any load failure — truncated pickles, but also stale entries
+        referencing payload classes a newer version renamed or moved
+        (AttributeError/ImportError) — degrades to a recompute rather
+        than aborting the campaign.
+        """
+        path = self._path(spec)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def put(self, spec: ExperimentSpec, payload: Any) -> None:
+        """Store atomically (write-then-rename) so readers never see
+        a partial pickle."""
+        path = self._path(spec)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+class CampaignRunner:
+    """Executes campaigns of experiment cells.
+
+    Parameters
+    ----------
+    workers:
+        1 = serial in-process execution; >1 = a process pool of that
+        size.  Payloads are identical either way.
+    cache_dir:
+        Directory for the on-disk result cache; None disables caching.
+    progress:
+        Optional callback invoked with each finished :class:`CellResult`
+        (in completion order when parallel).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> CampaignResult:
+        """Execute every cell, returning results in spec order."""
+        specs = list(specs)
+        # Validate kinds up front: a typo should fail before any
+        # (possibly hours-long) cell executes.
+        for spec in specs:
+            get_experiment(spec.kind)
+
+        results: List[Optional[CellResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache else None
+            if cached is not None:
+                results[index] = CellResult(
+                    spec=spec, payload=cached, elapsed=0.0, from_cache=True
+                )
+                self._report(results[index])
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                self._run_serial(specs, pending, results)
+            else:
+                self._run_parallel(specs, pending, results)
+
+        assert all(result is not None for result in results)
+        return CampaignResult(cells=[r for r in results if r is not None])
+
+    def _finish(
+        self,
+        results: List[Optional[CellResult]],
+        index: int,
+        spec: ExperimentSpec,
+        payload: Any,
+        elapsed: float,
+    ) -> None:
+        if self.cache:
+            self.cache.put(spec, payload)
+        results[index] = CellResult(
+            spec=spec, payload=payload, elapsed=elapsed
+        )
+        self._report(results[index])
+
+    def _run_serial(
+        self,
+        specs: Sequence[ExperimentSpec],
+        pending: Sequence[int],
+        results: List[Optional[CellResult]],
+    ) -> None:
+        for index in pending:
+            run_fn = get_experiment(specs[index].kind).run
+            payload, elapsed = _execute_timed(run_fn, specs[index])
+            self._finish(results, index, specs[index], payload, elapsed)
+
+    def _run_parallel(
+        self,
+        specs: Sequence[ExperimentSpec],
+        pending: Sequence[int],
+        results: List[Optional[CellResult]],
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_timed,
+                    get_experiment(specs[index].kind).run,
+                    specs[index],
+                ): index
+                for index in pending
+            }
+            # Completion order, so finished cells hit the cache (and
+            # the progress callback) immediately instead of waiting
+            # behind a slow earlier cell.
+            for future in as_completed(futures):
+                index = futures[future]
+                payload, elapsed = future.result()
+                self._finish(results, index, specs[index], payload, elapsed)
+
+    def _report(self, cell: Optional[CellResult]) -> None:
+        if self.progress is not None and cell is not None:
+            self.progress(cell)

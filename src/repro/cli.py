@@ -19,15 +19,19 @@ Commands
 ``simulate``
     Replay a trace file through a setup's hierarchy and print the
     latency/statistics summary.
+``campaign``
+    Run a named experiment grid (``bernstein``/``pwcet``/``missrates``)
+    through the campaign engine — serially or with ``--workers N``
+    across a process pool (bit-identical results) — and emit a table
+    or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
-
-import numpy as np
 
 
 def _cmd_setups(_: argparse.Namespace) -> int:
@@ -69,26 +73,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_pwcet(args: argparse.Namespace) -> int:
-    from repro.common.trace import Trace
-    from repro.core.setups import make_setup_hierarchy
-    from repro.mbpta.analysis import MBPTAAnalysis
+    from repro.campaigns import CampaignRunner, ExperimentSpec
 
-    rng = np.random.default_rng(args.seed)
-    addresses = [
-        0x0200_0000 + page * 0x1000 + i * 32
-        for page in range(5)
-        for i in range(128)
-    ]
-    addresses += addresses[: 2 * 128]
-    trace = Trace.from_addresses(addresses)
-
-    times = np.empty(args.runs)
-    for run in range(args.runs):
-        hierarchy = make_setup_hierarchy(args.setup)
-        hierarchy.set_seeds(int(rng.integers(0, 2**32)))
-        times[run] = hierarchy.run_trace(trace)
-
-    report = MBPTAAnalysis(tail_fraction=0.15).analyse(times)
+    spec = ExperimentSpec(
+        kind="pwcet", setup=args.setup, num_samples=args.runs,
+        seed=args.seed,
+    )
+    payload = CampaignRunner().run([spec]).payloads()[0]
+    report = payload.report
     print(f"runs: {report.num_samples}  mean: {report.sample_mean:.0f}  "
           f"max: {report.sample_max:.0f}")
     print(f"Ljung-Box p={report.independence.p_value:.3f}  "
@@ -102,41 +94,27 @@ def _cmd_pwcet(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_missrates(_: argparse.Namespace) -> int:
-    from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
-    from repro.cache.placement import make_placement
-    from repro.cache.replacement import make_replacement
-    from repro.workloads.generators import (
-        pointer_chase_trace,
-        random_trace,
-        reuse_trace,
-        stride_trace,
+def _cmd_missrates(args: argparse.Namespace) -> int:
+    from repro.campaigns import (
+        CampaignRunner,
+        missrate_grid,
     )
+    from repro.campaigns.grids import MISSRATE_POLICIES, MISSRATE_WORKLOADS
+    from repro.reporting import format_table
 
-    policies = ("modulo", "xor_index", "random_modulo", "hashrp")
-    workloads = {
-        "stride": stride_trace(count=2048, stride=32, repeats=3),
-        "reuse": reuse_trace(working_set=192, accesses=12000),
-        "chase": pointer_chase_trace(num_nodes=480, node_size=32,
-                                     hops=12000),
-        "random": random_trace(span=1 << 18, accesses=12000),
+    workers = getattr(args, "workers", 1)
+    campaign = CampaignRunner(workers=workers).run(missrate_grid())
+    rates = {
+        (cell.spec.param("workload"), cell.spec.param("policy")):
+            cell.payload.miss_rate
+        for cell in campaign
     }
-    print(f"{'workload':<10}" + "".join(f"{p:>16}" for p in policies))
-    for name, trace in workloads.items():
-        row = [f"{name:<10}"]
-        for policy_name in policies:
-            geometry = ARM920T_L1_GEOMETRY
-            cache = SetAssociativeCache(
-                geometry,
-                make_placement(policy_name, geometry.layout()),
-                make_replacement("lru", geometry.num_sets,
-                                 geometry.num_ways),
-            )
-            cache.set_seed(0x1234)
-            for access in trace:
-                cache.access(access)
-            row.append(f"{cache.stats.miss_rate * 100:15.2f}%")
-        print("".join(row))
+    rows = [
+        [workload]
+        + [f"{rates[(workload, p)] * 100:.2f}%" for p in MISSRATE_POLICIES]
+        for workload in MISSRATE_WORKLOADS
+    ]
+    print(format_table(["workload", *MISSRATE_POLICIES], rows))
     return 0
 
 
@@ -184,7 +162,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Spec params hidden from table output (bulky hex keys); JSON output
+#: stays complete.
+_TABLE_DETAIL_KEYS = frozenset({"victim_key", "attacker_key", "key"})
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaigns import CampaignRunner, build_campaign
+    from repro.reporting import format_table, render_json
+
+    specs = build_campaign(
+        args.name, num_samples=args.samples, seed=args.seed
+    )
+
+    def progress(cell) -> None:
+        origin = "cache" if cell.from_cache else f"{cell.elapsed:.1f}s"
+        print(f"  done {cell.spec.cell_id} ({origin})", file=sys.stderr)
+
+    started = time.perf_counter()
+    try:
+        runner = CampaignRunner(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=progress if not args.json else None,
+        )
+        result = runner.run(specs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - started
+
+    summaries = result.summaries()
+    if args.json:
+        print(render_json({
+            "campaign": args.name,
+            "workers": args.workers,
+            "wall_seconds": round(wall, 3),
+            "cache_hits": result.cache_hits,
+            "cells": summaries,
+        }))
+        return 0
+
+    headers: List[str] = []
+    for summary in summaries:
+        for key in summary:
+            if key not in headers and key not in _TABLE_DETAIL_KEYS:
+                headers.append(key)
+    rows = [
+        [summary.get(key, "") for key in headers] for summary in summaries
+    ]
+    print(format_table(headers, rows))
+    print(
+        f"{len(result)} cells ({result.cache_hits} cached), "
+        f"wall {wall:.1f}s, compute {result.total_elapsed:.1f}s, "
+        f"workers {args.workers}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.campaigns.grids import CAMPAIGNS
+    from repro.core.setups import SETUP_NAMES
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TSCache reproduction toolkit (Trilla et al., DAC'18)",
@@ -194,27 +232,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("setups", help="list the evaluated configurations")
 
     attack = sub.add_parser("attack", help="run the Bernstein case study")
-    attack.add_argument("setup", choices=(
-        "deterministic", "rpcache", "mbpta", "tscache"))
+    attack.add_argument("setup", choices=SETUP_NAMES)
     attack.add_argument("--samples", type=int, default=100_000)
     attack.add_argument("--seed", type=int, default=2018)
     attack.add_argument("--heatmap", action="store_true",
                         help="print the Figure 5 candidate map")
 
     pwcet = sub.add_parser("pwcet", help="MBPTA pWCET analysis")
-    pwcet.add_argument("setup", choices=(
-        "deterministic", "rpcache", "mbpta", "tscache"))
+    pwcet.add_argument("setup", choices=SETUP_NAMES)
     pwcet.add_argument("--runs", type=int, default=300)
     pwcet.add_argument("--seed", type=int, default=5)
 
-    sub.add_parser("missrates", help="placement-policy miss rates")
+    missrates = sub.add_parser(
+        "missrates", help="placement-policy miss rates")
+    missrates.add_argument("--workers", type=int, default=1)
     sub.add_parser("properties", help="MBPTA placement properties")
 
     simulate = sub.add_parser("simulate", help="replay a trace file")
     simulate.add_argument("trace", help="trace file (.trc or .trc.gz)")
-    simulate.add_argument("--setup", default="deterministic", choices=(
-        "deterministic", "rpcache", "mbpta", "tscache"))
+    simulate.add_argument("--setup", default="deterministic",
+                          choices=SETUP_NAMES)
     simulate.add_argument("--seed", type=int, default=None)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a named experiment grid via the campaign engine",
+    )
+    campaign.add_argument("name", choices=sorted(CAMPAIGNS))
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="process-pool size (1 = serial; results "
+                               "are bit-identical either way)")
+    campaign.add_argument("--samples", type=int, default=None,
+                          help="samples (or runs) per cell; campaign "
+                               "default when omitted")
+    campaign.add_argument("--seed", type=int, default=None,
+                          help="campaign root seed")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="on-disk result cache; finished cells "
+                               "are skipped on re-runs")
+    campaign.add_argument("--json", action="store_true",
+                          help="emit JSON instead of a table")
 
     return parser
 
@@ -226,6 +283,7 @@ _COMMANDS = {
     "missrates": _cmd_missrates,
     "properties": _cmd_properties,
     "simulate": _cmd_simulate,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -1,0 +1,127 @@
+"""Shared result reporting for every experiment consumer.
+
+One place for the three output shapes the toolkit produces:
+
+* aligned text tables (:func:`format_table`) for CLI commands and
+  benchmark summaries,
+* JSON documents (:func:`render_json`) that tolerate NumPy scalars,
+  arrays, bytes and dataclasses, for machine-readable campaign output,
+* run-stamped results files (:class:`ResultsFile`) — append-only
+  records where each process run is delimited by a header, so a file
+  that accumulates across many invocations stays legible.
+
+The benchmark harness (``benchmarks/reporting.py``) and the campaign
+CLI both route through this module instead of hand-rolling printing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from datetime import datetime, timezone
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    padding: int = 2,
+) -> str:
+    """Render rows as a left-aligned monospace table.
+
+    Every cell is stringified; column widths fit the longest cell.
+    """
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(widths):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(widths)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    gap = " " * padding
+
+    def line(cells: Sequence[str]) -> str:
+        return gap.join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in string_rows)
+    return "\n".join(out)
+
+
+def json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback covering the types experiments emit."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return obj.hex()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    # NumPy scalars and arrays, without importing numpy eagerly.
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not JSON serializable"
+    )
+
+
+def render_json(payload: Any, *, indent: Optional[int] = 2) -> str:
+    """Serialize ``payload`` to JSON, tolerating NumPy/dataclasses."""
+    return json.dumps(payload, indent=indent, default=json_default)
+
+
+def run_header(note: str = "") -> str:
+    """A one-line delimiter stamping one process run of a results file."""
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    command = " ".join(sys.argv) or "(interactive)"
+    suffix = f"  {note}" if note else ""
+    return f"#### run {stamp} · {command}{suffix} ####"
+
+
+class ResultsFile:
+    """Append-only results record, stamped once per process run.
+
+    The first block emitted by a process writes a :func:`run_header`
+    delimiter before its content, so successive runs appending to the
+    same file remain distinguishable (previously the benchmark results
+    file grew forever with no indication of where one run ended and
+    the next began).
+    """
+
+    def __init__(self, path: str, *, echo: bool = True) -> None:
+        self.path = path
+        self.echo = echo
+        self._stamped = False
+
+    def emit(self, title: str, lines: Iterable[str]) -> None:
+        """Print a titled block and append it to the results file."""
+        block = [f"== {title} =="] + list(lines) + [""]
+        text = "\n".join(block)
+        if self.echo:
+            print(text)
+        with open(self.path, "a") as handle:
+            if not self._stamped:
+                handle.write("\n" + run_header() + "\n\n")
+                self._stamped = True
+            handle.write(text + "\n")
+
+
+def emit_block(
+    title: str,
+    lines: Iterable[str],
+    *,
+    path: Optional[str] = None,
+) -> None:
+    """One-shot convenience: print a block, optionally append to a file."""
+    if path is not None:
+        ResultsFile(path).emit(title, lines)
+        return
+    block: List[str] = [f"== {title} =="] + list(lines) + [""]
+    print("\n".join(block))

@@ -125,3 +125,43 @@ def matrix_walk_trace(
             for c in range(cols):
                 trace.load(base + (r * cols + c) * element_size, pid=pid)
     return trace
+
+
+def multi_page_task_trace(
+    base: int = 0x0200_0000,
+    pages: int = 5,
+    lines_per_page: int = 128,
+    line_size: int = 32,
+    object_lines: int = 0,
+    object_offset: int = 0,
+    rewalk_lines: int = 256,
+    pid: int = 0,
+) -> Trace:
+    """The pWCET experiments' synthetic task: a multi-page working set,
+    an optional relocatable object, and a re-walk of the first lines.
+
+    Conflict counts — and therefore execution time — depend on the
+    random cache layout, which is what makes the task a useful probe
+    for MBPTA admission (Figure 1) and for the time-composability
+    contrast (mbpta-p1): ``object_offset`` is the object's placement
+    within its page, the degree of freedom a software integration
+    changes.
+    """
+    if pages <= 0 or lines_per_page <= 0:
+        raise ValueError("pages and lines_per_page must be positive")
+    if object_lines < 0 or rewalk_lines < 0:
+        raise ValueError("object_lines and rewalk_lines must be non-negative")
+    addresses = [
+        base + page * 0x1000 + i * line_size
+        for page in range(pages)
+        for i in range(lines_per_page)
+    ]
+    addresses += [
+        base + pages * 0x1000 + object_offset + i * line_size
+        for i in range(object_lines)
+    ]
+    addresses += addresses[:rewalk_lines]
+    trace = Trace(name=f"task_{pages}p{lines_per_page}")
+    for address in addresses:
+        trace.load(address, pid=pid)
+    return trace

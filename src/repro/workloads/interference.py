@@ -90,6 +90,36 @@ class BackgroundWorkload:
         return sum(r.size // self.line_size for r in self.regions)
 
 
+def windowed_background(
+    window_lines: int, line_size: int = 32, num_sets: int = 128
+) -> BackgroundWorkload:
+    """Ablation variant: two full sweeps plus parametric windows.
+
+    The interference-intensity ablation sweeps the eviction-window
+    width: 0 lines = idle system (full sweeps only, nothing evicted),
+    otherwise two same-process windows over sets 84.. and two
+    other-process windows over sets 40.. of ``window_lines`` lines
+    each.  The Bernstein signal appears and grows with the width.
+    """
+    if window_lines < 0:
+        raise ValueError("window_lines must be non-negative")
+    way_bytes = num_sets * line_size
+
+    def page(index: int) -> int:
+        return 0x0018_0000 + index * 0x1_0000
+
+    regions = [Region(base=page(0), size=2 * way_bytes, role="same")]
+    if window_lines:
+        size = window_lines * line_size
+        regions += [
+            Region(base=page(2) + 84 * line_size, size=size, role="same"),
+            Region(base=page(3) + 84 * line_size, size=size, role="same"),
+            Region(base=page(4) + 40 * line_size, size=size, role="other"),
+            Region(base=page(5) + 40 * line_size, size=size, role="other"),
+        ]
+    return BackgroundWorkload(regions=tuple(regions), line_size=line_size)
+
+
 def bernstein_background(
     line_size: int = 32, num_sets: int = 128
 ) -> BackgroundWorkload:

@@ -1,0 +1,315 @@
+"""Tests for the campaign orchestration layer (repro.campaigns)."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    CampaignRunner,
+    ExperimentSpec,
+    bernstein_grid,
+    build_campaign,
+    campaign_keys,
+    execute_cell,
+    experiment_kinds,
+    get_experiment,
+    missrate_grid,
+    pwcet_grid,
+    register_experiment,
+)
+from repro.campaigns.runner import ResultCache
+from repro.core.simulator import run_all_setups
+
+
+class TestExperimentSpec:
+    def test_params_sorted_and_frozen(self):
+        spec = ExperimentSpec(
+            kind="missrate", params=(("b", 2), ("a", 1))
+        )
+        assert spec.params == (("a", 1), ("b", 2))
+        assert spec.param("a") == 1
+        assert spec.param("missing", "default") == "default"
+
+    def test_params_mapping_accepted(self):
+        spec = ExperimentSpec(kind="missrate", params={"z": 1, "a": 2})
+        assert spec.params == (("a", 2), ("z", 1))
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentSpec(kind="missrate", params=(("a", 1), ("a", 2)))
+
+    def test_with_params_merges(self):
+        spec = ExperimentSpec(kind="missrate", params=(("a", 1),))
+        updated = spec.with_params(b=2)
+        assert updated.params == (("a", 1), ("b", 2))
+        assert spec.params == (("a", 1),)  # original untouched
+
+    def test_hash_stable_across_param_order(self):
+        one = ExperimentSpec(kind="bernstein", setup="tscache",
+                             num_samples=10, seed=3,
+                             params=(("a", 1), ("b", 2)))
+        two = ExperimentSpec(kind="bernstein", setup="tscache",
+                             num_samples=10, seed=3,
+                             params=(("b", 2), ("a", 1)))
+        assert one.spec_hash() == two.spec_hash()
+
+    def test_hash_distinguishes_cells(self):
+        base = ExperimentSpec(kind="bernstein", setup="tscache",
+                              num_samples=10, seed=3)
+        assert base.spec_hash() != base.with_params(x=1).spec_hash()
+        for field, value in (("setup", "mbpta"), ("num_samples", 11),
+                             ("seed", 4), ("kind", "pwcet")):
+            import dataclasses
+            other = dataclasses.replace(base, **{field: value})
+            assert base.spec_hash() != other.spec_hash(), field
+
+    def test_seed_streams_independent_per_cell(self):
+        one = ExperimentSpec(kind="bernstein", setup="mbpta", seed=3)
+        two = ExperimentSpec(kind="bernstein", setup="tscache", seed=3)
+        state_one = one.seed_sequence().generate_state(4)
+        state_two = two.seed_sequence().generate_state(4)
+        assert not np.array_equal(state_one, state_two)
+
+    def test_seed_streams_reproducible(self):
+        spec = ExperimentSpec(kind="bernstein", setup="mbpta", seed=3)
+        again = ExperimentSpec(kind="bernstein", setup="mbpta", seed=3)
+        assert np.array_equal(
+            spec.seed_sequence().generate_state(4),
+            again.seed_sequence().generate_state(4),
+        )
+
+    def test_anagram_setups_get_distinct_streams(self):
+        """Regression for the old per-setup salt
+        (sum(ord(c)) % 1000), which collided for anagram names."""
+        one = ExperimentSpec(kind="bernstein", setup="abcd", seed=2018)
+        two = ExperimentSpec(kind="bernstein", setup="dcba", seed=2018)
+        assert not np.array_equal(
+            one.seed_sequence().generate_state(4),
+            two.seed_sequence().generate_state(4),
+        )
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        kinds = experiment_kinds()
+        for name in ("bernstein", "pwcet", "missrate", "timing_samples"):
+            assert name in kinds
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            get_experiment("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment("bernstein")(lambda spec: None)
+
+    def test_custom_kind_roundtrip(self):
+        @register_experiment("_test_echo")
+        def _echo(spec):
+            return {"seed": spec.seed}
+
+        try:
+            result = CampaignRunner().run(
+                [ExperimentSpec(kind="_test_echo", seed=9)]
+            )
+            assert result.payloads() == [{"seed": 9}]
+        finally:
+            from repro.campaigns import registry
+            del registry._REGISTRY["_test_echo"]
+
+
+class TestMissRateKind:
+    def test_known_workload(self):
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+        payload = execute_cell(spec)
+        assert payload.accesses == 12000
+        assert 0.0 < payload.miss_rate < 1.0
+
+    def test_unknown_workload_rejected(self):
+        spec = ExperimentSpec(
+            kind="missrate",
+            params=(("policy", "modulo"), ("workload", "nope")),
+        )
+        with pytest.raises(ValueError, match="unknown workload"):
+            execute_cell(spec)
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            execute_cell(ExperimentSpec(kind="missrate"))
+
+
+class TestPwcetKind:
+    def test_tscache_compliant(self):
+        spec = ExperimentSpec(
+            kind="pwcet", setup="tscache", num_samples=120, seed=5
+        )
+        payload = execute_cell(spec)
+        assert payload.times.size == 120
+        assert payload.report is not None
+        assert payload.report.compliant
+        summary = get_experiment("pwcet").summarize(spec, payload)
+        assert summary["compliant"] is True
+        assert "pwcet_1e-12" in summary
+
+    def test_analyse_false_collects_only(self):
+        spec = ExperimentSpec(
+            kind="pwcet", setup="deterministic", num_samples=5,
+            params=(("reseed", False), ("analyse", False)),
+        )
+        payload = execute_cell(spec)
+        assert payload.report is None
+        # Deterministic platform, no reseeding: one repeated time.
+        assert np.ptp(payload.times) == 0.0
+
+
+class TestCampaignRunner:
+    @pytest.fixture(scope="class")
+    def small_specs(self):
+        return bernstein_grid(
+            num_samples=4_000, seed=7, setups=("deterministic", "tscache")
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_result(self, small_specs):
+        return CampaignRunner(workers=1).run(small_specs)
+
+    def test_parallel_bit_identical_to_serial(self, small_specs,
+                                              serial_result):
+        parallel = CampaignRunner(workers=2).run(small_specs)
+        assert len(parallel) == len(serial_result)
+        for ser, par in zip(serial_result, parallel):
+            assert ser.spec == par.spec
+            assert np.array_equal(
+                ser.payload.victim_samples.timings,
+                par.payload.victim_samples.timings,
+            )
+            assert np.array_equal(
+                ser.payload.attacker_samples.plaintexts,
+                par.payload.attacker_samples.plaintexts,
+            )
+            assert (
+                ser.payload.report.remaining_key_space_log2
+                == par.payload.report.remaining_key_space_log2
+            )
+
+    def test_results_in_spec_order(self, small_specs, serial_result):
+        assert [c.spec.setup for c in serial_result] == [
+            s.setup for s in small_specs
+        ]
+
+    def test_by_setup(self, serial_result):
+        table = serial_result.by_setup()
+        assert set(table) == {"deterministic", "tscache"}
+        assert table["tscache"].report.key_fully_protected
+
+    def test_summaries_flat_and_jsonable(self, serial_result):
+        import json
+
+        from repro.reporting import render_json
+
+        summaries = serial_result.summaries()
+        assert summaries[0]["kind"] == "bernstein"
+        assert "remaining_key_space_log2" in summaries[0]
+        json.loads(render_json(summaries))  # round-trips
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+    def test_unknown_kind_fails_before_execution(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            CampaignRunner().run([ExperimentSpec(kind="nope")])
+
+
+class TestResultCache:
+    def test_repeated_spec_hits_cache(self, tmp_path):
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+        first = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        second = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert not first.cells[0].from_cache
+        assert second.cells[0].from_cache
+        assert second.cache_hits == 1
+        assert (
+            first.cells[0].payload.miss_rate
+            == second.cells[0].payload.miss_rate
+        )
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ExperimentSpec(kind="missrate", seed=1,
+                              params=(("policy", "modulo"),
+                                      ("workload", "reuse")))
+        cache.put(spec, {"x": 1})
+        assert cache.get(spec) == {"x": 1}
+        assert cache.get(spec.with_params(extra=1)) is None
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+        cache_file = tmp_path / (spec.spec_hash() + ".pkl")
+        cache_file.write_bytes(b"not a pickle")
+        result = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert not result.cells[0].from_cache
+        assert result.cells[0].payload.accesses == 12000
+
+
+class TestGrids:
+    def test_campaign_keys_deterministic(self):
+        assert campaign_keys(7) == campaign_keys(7)
+        assert campaign_keys(7) != campaign_keys(8)
+
+    def test_bernstein_grid_shares_keys(self):
+        specs = bernstein_grid(num_samples=10, seed=7)
+        assert [s.setup for s in specs] == [
+            "deterministic", "rpcache", "mbpta", "tscache"
+        ]
+        keys = {(s.param("victim_key"), s.param("attacker_key"))
+                for s in specs}
+        assert len(keys) == 1  # same keys throughout (Figure 5)
+
+    def test_pwcet_and_missrate_grids(self):
+        assert len(pwcet_grid(num_samples=10)) == 4
+        assert len(missrate_grid()) == 16
+
+    def test_build_campaign_overrides(self):
+        specs = build_campaign("bernstein", num_samples=123, seed=9)
+        assert all(s.num_samples == 123 and s.seed == 9 for s in specs)
+
+    def test_build_campaign_unknown(self):
+        with pytest.raises(ValueError, match="unknown campaign"):
+            build_campaign("nope")
+
+
+class TestRunAllSetups:
+    def test_parallel_matches_serial(self):
+        serial = run_all_setups(
+            num_samples=3_000, rng_seed=7,
+            setups=("deterministic", "tscache"),
+        )
+        parallel = run_all_setups(
+            num_samples=3_000, rng_seed=7,
+            setups=("deterministic", "tscache"), workers=2,
+        )
+        assert set(serial) == set(parallel) == {"deterministic", "tscache"}
+        for name in serial:
+            assert np.array_equal(
+                serial[name].victim_samples.timings,
+                parallel[name].victim_samples.timings,
+            )
+            assert serial[name].victim_key == parallel[name].victim_key
+
+    def test_same_keys_across_setups(self):
+        results = run_all_setups(
+            num_samples=2_000, rng_seed=7,
+            setups=("deterministic", "tscache"),
+        )
+        keys = {r.victim_key for r in results.values()}
+        assert len(keys) == 1

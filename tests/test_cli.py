@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,24 @@ class TestParser:
     def test_unknown_setup_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "newcache"])
+
+    def test_setup_choices_follow_registry(self):
+        """Choices derive from SETUP_NAMES, not hard-coded copies."""
+        from repro.core.setups import SETUP_NAMES
+
+        for name in SETUP_NAMES:
+            assert build_parser().parse_args(
+                ["pwcet", name]).setup == name
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "bernstein"])
+        assert args.workers == 1
+        assert args.samples is None
+        assert not args.json
+
+    def test_campaign_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "nope"])
 
 
 class TestCommands:
@@ -44,6 +64,35 @@ class TestCommands:
         assert main(["properties"]) == 0
         out = capsys.readouterr().out
         assert "random_modulo" in out
+
+    def test_campaign_missrates_table(self, capsys):
+        assert main(["campaign", "missrates"]) == 0
+        out = capsys.readouterr().out
+        assert "miss_rate_pct" in out
+        assert "random_modulo" in out
+        assert "16 cells" in out
+
+    def test_campaign_json_with_cache(self, capsys, tmp_path):
+        argv = ["campaign", "missrates", "--json",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["campaign"] == "missrates"
+        assert len(first["cells"]) == 16
+        assert first["cache_hits"] == 0
+        # Re-run: every cell restored from the on-disk cache.
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hits"] == 16
+        assert [c["miss_rate_pct"] for c in first["cells"]] == [
+            c["miss_rate_pct"] for c in second["cells"]
+        ]
+
+    def test_campaign_pwcet_small(self, capsys):
+        assert main(["campaign", "pwcet", "--samples", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "compliant" in out
+        assert "tscache" in out
 
     def test_simulate(self, capsys, tmp_path):
         trace = Trace.from_addresses(

@@ -1,0 +1,109 @@
+"""Tests for the shared reporting module (repro.reporting)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    ResultsFile,
+    emit_block,
+    format_table,
+    render_json,
+    run_header,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].index("1") == lines[3].index("2")  # aligned column
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_cells_stringified(self):
+        table = format_table(["x"], [[1.5], [None]])
+        assert "1.5" in table and "None" in table
+
+
+class TestRenderJson:
+    def test_numpy_and_bytes(self):
+        doc = render_json({
+            "array": np.arange(3),
+            "scalar": np.float64(1.5),
+            "blob": b"\x01\x02",
+        })
+        parsed = json.loads(doc)
+        assert parsed["array"] == [0, 1, 2]
+        assert parsed["scalar"] == 1.5
+        assert parsed["blob"] == "0102"
+
+    def test_dataclass_and_set(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        parsed = json.loads(render_json({
+            "point": Point(1, 2), "tags": {"b", "a"},
+        }))
+        assert parsed["point"] == {"x": 1, "y": 2}
+        assert parsed["tags"] == ["a", "b"]
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            render_json({"f": object()})
+
+
+class TestResultsFile:
+    def test_stamps_header_once_per_process(self, tmp_path, capsys):
+        path = tmp_path / "results.txt"
+        results = ResultsFile(str(path))
+        results.emit("first", ["line 1"])
+        results.emit("second", ["line 2"])
+        text = path.read_text()
+        assert text.count("#### run ") == 1
+        assert text.index("#### run ") < text.index("== first ==")
+        assert "== second ==" in text
+        out = capsys.readouterr().out
+        assert "== first ==" in out and "line 1" in out
+
+    def test_new_process_run_appends_new_header(self, tmp_path):
+        path = tmp_path / "results.txt"
+        ResultsFile(str(path)).emit("run A", ["a"])
+        # A fresh ResultsFile models a fresh process run.
+        ResultsFile(str(path)).emit("run B", ["b"])
+        text = path.read_text()
+        assert text.count("#### run ") == 2
+        assert text.index("run A") < text.index("run B")
+
+    def test_echo_disabled(self, tmp_path, capsys):
+        results = ResultsFile(str(tmp_path / "r.txt"), echo=False)
+        results.emit("quiet", ["x"])
+        assert capsys.readouterr().out == ""
+
+
+class TestHelpers:
+    def test_run_header_shape(self):
+        header = run_header("note")
+        assert header.startswith("#### run ")
+        assert header.endswith("####")
+        assert "note" in header
+
+    def test_emit_block_without_path(self, capsys):
+        emit_block("title", ["a", "b"])
+        out = capsys.readouterr().out
+        assert out.startswith("== title ==")
+
+    def test_emit_block_with_path(self, tmp_path, capsys):
+        path = tmp_path / "out.txt"
+        emit_block("title", ["a"], path=str(path))
+        assert "== title ==" in path.read_text()
+        assert "== title ==" in capsys.readouterr().out
