@@ -15,7 +15,7 @@ from repro.campaigns import CampaignRunner, ExperimentSpec
 from benchmarks.reporting import emit
 
 
-def collect(num_runs: int, rng_seed: int = 5):
+def collect(num_runs: int, rng_seed: int = 6):
     """One declarative pwcet cell: collection + MBPTA analysis."""
     spec = ExperimentSpec(
         kind="pwcet", setup="tscache", num_samples=num_runs, seed=rng_seed

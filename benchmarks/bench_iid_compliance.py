@@ -10,60 +10,59 @@ task's objects to a different memory layout shifts the execution-time
 distribution (KS rejects — WCET estimates do not survive integration,
 breaking mbpta-p1), while the TSCache's distribution is layout-
 independent.
+
+Collection is a campaign declaration: each (setup, layout) corner is
+one ``pwcet`` cell (collect-only) describing the four-page task with
+its relocatable 64-line object, executed by the shared
+:class:`~repro.campaigns.runner.CampaignRunner`; the statistical
+verdicts are computed here on the returned time series.
 """
 
 import numpy as np
 import pytest
 
-from repro.common.trace import Trace
-from repro.core.setups import make_setup_hierarchy
+from repro.campaigns import CampaignRunner, ExperimentSpec
 from repro.mbpta.stats_tests import ks_two_sample, ljung_box
 
 from benchmarks.reporting import emit
 
 
-def task_trace(base: int, object_offset: int) -> Trace:
-    """Four pages of data, one relocatable 64-line object, and a
-    re-walk of the first 32 lines.
+def task_cell(setup_name: str, object_offset: int, num_runs: int,
+              reseed: bool, rng_seed: int = 3) -> ExperimentSpec:
+    """One collect-only ``pwcet`` cell of the §6.2.2 task.
 
-    ``object_offset`` is the object's offset within its page — the
-    degree of freedom a software integration changes.  Under modulo
-    placement it decides which sets reach 5-deep pressure, i.e. whether
-    the re-walk hits or misses.
+    Four pages of data, one relocatable 64-line object, and a re-walk
+    of the first 32 lines.  ``object_offset`` is the object's offset
+    within its page — the degree of freedom a software integration
+    changes.  Under modulo placement it decides which sets reach
+    5-deep pressure, i.e. whether the re-walk hits or misses.
     """
-    addresses = [
-        base + page * 0x1000 + i * 32
-        for page in range(4)
-        for i in range(128)
-    ]
-    addresses += [
-        base + 4 * 0x1000 + object_offset + i * 32 for i in range(64)
-    ]
-    addresses += addresses[:32]
-    return Trace.from_addresses(addresses)
-
-
-def collect(setup_name: str, object_offset: int, num_runs: int,
-            reseed: bool, rng_seed: int = 3,
-            base: int = 0x0200_0000) -> np.ndarray:
-    rng = np.random.default_rng(rng_seed)
-    trace = task_trace(base, object_offset)
-    times = np.empty(num_runs)
-    for run in range(num_runs):
-        hierarchy = make_setup_hierarchy(setup_name)
-        if reseed:
-            hierarchy.set_seeds(int(rng.integers(0, 2**32)))
-        times[run] = hierarchy.run_trace(trace)
-    return times
+    return ExperimentSpec(
+        kind="pwcet",
+        setup=setup_name,
+        num_samples=num_runs,
+        seed=rng_seed,
+        params=(
+            ("pages", 4),
+            ("lines_per_page", 128),
+            ("object_lines", 64),
+            ("object_offset", object_offset),
+            ("rewalk_lines", 32),
+            ("reseed", reseed),
+            ("analyse", False),
+        ),
+    )
 
 
 def run_all(num_runs: int = 300):
-    tscache = collect("tscache", 0, num_runs, reseed=True)
-    tscache_moved = collect("tscache", 64 * 32, num_runs, reseed=True,
-                            rng_seed=4)
-    det = collect("deterministic", 0, num_runs, reseed=False)
-    det_moved = collect("deterministic", 64 * 32, num_runs, reseed=False)
-    return tscache, tscache_moved, det, det_moved
+    specs = [
+        task_cell("tscache", 0, num_runs, reseed=True),
+        task_cell("tscache", 64 * 32, num_runs, reseed=True, rng_seed=4),
+        task_cell("deterministic", 0, num_runs, reseed=False),
+        task_cell("deterministic", 64 * 32, num_runs, reseed=False),
+    ]
+    campaign = CampaignRunner().run(specs)
+    return tuple(cell.payload.times for cell in campaign)
 
 
 @pytest.mark.benchmark(group="iid")

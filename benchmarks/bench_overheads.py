@@ -12,70 +12,42 @@ Three claims reproduced:
 3. **OS cost** — seed changes cost a pipeline drain (tens of cycles)
    per SWC switch and the cache flush happens once per hyperperiod
    (scheduler accounting on the Figure 3 system).
+
+The miss-rate sweep is a campaign declaration: one ``missrate`` cell
+per policy x workload, executed by the shared
+:class:`~repro.campaigns.runner.CampaignRunner` (the historical
+fixed-seed 0x1234 + LRU measurement is exactly the grid's default).
 """
 
 import pytest
 
-from repro.cache.core import (
-    ARM920T_L1_GEOMETRY,
-    ARM920T_L2_GEOMETRY,
-    SetAssociativeCache,
-)
+from repro.cache.core import ARM920T_L1_GEOMETRY, ARM920T_L2_GEOMETRY
 from repro.cache.overheads import estimate_design, total_area_fraction
-from repro.cache.placement import make_placement
-from repro.cache.replacement import make_replacement
+from repro.campaigns import CampaignRunner, missrate_grid
 from repro.rtos.autosar import example_figure3_system
 from repro.rtos.scheduler import HyperperiodScheduler
-from repro.workloads.generators import (
-    matrix_walk_trace,
-    pointer_chase_trace,
-    random_trace,
-    reuse_trace,
-    stride_trace,
-)
 
 from benchmarks.reporting import emit
 
 POLICIES = ("modulo", "xor_index", "random_modulo", "hashrp")
 
-
-def workloads():
-    return {
-        "stride": stride_trace(count=2048, stride=32, repeats=3),
-        "reuse": reuse_trace(working_set=192, accesses=12000),
-        "chase": pointer_chase_trace(num_nodes=480, node_size=32,
-                                     hops=12000),
-        "random": random_trace(span=1 << 18, accesses=12000),
-        "matrix": matrix_walk_trace(rows=96, cols=96, column_major=True),
-    }
-
-
-#: A working set that cycles through 6 lines per set under modulo+LRU:
-#: the classic alignment pathology where deterministic placement
-#: thrashes and randomization recovers hits.
-def pathological_workload():
-    return pointer_chase_trace(num_nodes=768, node_size=64, hops=12000)
-
-
-def miss_rate(policy_name: str, trace, seed: int = 0x1234) -> float:
-    geometry = ARM920T_L1_GEOMETRY
-    cache = SetAssociativeCache(
-        geometry,
-        make_placement(policy_name, geometry.layout()),
-        make_replacement("lru", geometry.num_sets, geometry.num_ways),
-    )
-    cache.set_seed(seed)
-    for access in trace:
-        cache.access(access)
-    return cache.stats.miss_rate
+#: §6.2.3 workload suite plus the alignment pathology ("thrash": a
+#: working set cycling through 6 lines per set, where modulo+LRU
+#: thrashes and randomization recovers hits).  All are
+#: :data:`repro.campaigns.experiments.WORKLOAD_BUILDERS` keys.
+WORKLOADS = ("stride", "reuse", "chase", "random", "matrix", "thrash")
 
 
 def measure_all():
-    table = {}
-    for name, trace in workloads().items():
-        table[name] = {p: miss_rate(p, trace) for p in POLICIES}
-    pathological = pathological_workload()
-    table["thrash*"] = {p: miss_rate(p, pathological) for p in POLICIES}
+    """{workload: {policy: miss rate}} via one missrate campaign."""
+    specs = missrate_grid(workloads=WORKLOADS, policies=POLICIES)
+    campaign = CampaignRunner().run(specs)
+    table = {workload: {} for workload in WORKLOADS}
+    for cell in campaign:
+        payload = cell.payload
+        table[payload.workload][payload.policy] = payload.miss_rate
+    # The pathology rides under a starred label in the report.
+    table["thrash*"] = table.pop("thrash")
     return table
 
 

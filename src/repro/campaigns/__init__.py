@@ -40,10 +40,13 @@ from repro.campaigns.runner import (
     CampaignResult,
     CampaignRunner,
     CellResult,
+    ProgressEvent,
     ResultCache,
+    cell_weight,
     execute_cell,
 )
 from repro.campaigns.spec import ExperimentSpec
+from repro.core.batch import Shard, ShardPlan
 
 # Built-in kinds register on import.
 from repro.campaigns import experiments as _experiments  # noqa: F401
@@ -56,10 +59,14 @@ __all__ = [
     "CellResult",
     "ExperimentKind",
     "ExperimentSpec",
+    "ProgressEvent",
     "ResultCache",
+    "Shard",
+    "ShardPlan",
     "bernstein_grid",
     "build_campaign",
     "campaign_keys",
+    "cell_weight",
     "execute_cell",
     "experiment_kinds",
     "get_experiment",

@@ -21,13 +21,21 @@ picklable payload, registered under a stable name:
 All randomness is drawn from the spec's private
 :meth:`~repro.campaigns.spec.ExperimentSpec.seed_sequence`, so results
 do not depend on execution order or worker placement.
+
+The sample-range kinds (``bernstein``, ``timing_samples``, ``pwcet``)
+are additionally *shardable*: their ``plan_shards``/``run_shard``/
+``merge_shards`` hooks let :class:`~repro.campaigns.runner.CampaignRunner`
+fan one big cell out across the process pool (``max_shards_per_cell``)
+and merge the partial payloads bit-identically to an unsharded run —
+each shard worker reconstructs the cell's state from the spec alone,
+so no coordination or shared mutable state is involved.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -36,7 +44,14 @@ from repro.campaigns.spec import ExperimentSpec
 from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
 from repro.cache.placement import make_placement
 from repro.cache.replacement import make_replacement
-from repro.core.batch import AESTimingEngine, TimingSamples
+from repro.core.batch import (
+    AESTimingEngine,
+    Shard,
+    ShardPlan,
+    ShardSamples,
+    TimingSamples,
+    merge_shard_samples,
+)
 from repro.core.setups import SetupConfig, make_setup, make_setup_hierarchy
 from repro.mbpta.analysis import MBPTAAnalysis, MBPTAReport
 from repro.workloads.generators import (
@@ -119,7 +134,71 @@ def _summarize_bernstein(spec: ExperimentSpec, payload: Any) -> Dict[str, Any]:
     }
 
 
-@register_experiment("bernstein", summarize=_summarize_bernstein)
+def _bernstein_study(spec: ExperimentSpec):
+    """The cell's case study, reconstructed identically anywhere.
+
+    Every shard worker (and the merge step) builds the same object
+    from the spec alone: same engine entropy root, same resolved keys.
+    """
+    from repro.core.simulator import BernsteinCaseStudy
+
+    return BernsteinCaseStudy(
+        resolve_setup(spec),
+        num_samples=spec.num_samples,
+        background=resolve_background(spec),
+        rng_seed=spec.seed_sequence(),
+    )
+
+
+def _engine_campaign_seed(spec: ExperimentSpec) -> int:
+    return int(spec.param("engine_campaign_seed", 0xC0DE))
+
+
+def plan_bernstein_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
+    study = _bernstein_study(spec)
+    return study.engine.shard_plan(spec.num_samples, max_shards)
+
+
+def run_bernstein_shard(
+    spec: ExperimentSpec, shard: Shard
+) -> Dict[str, ShardSamples]:
+    """Both parties' sample slice for one shard."""
+    study = _bernstein_study(spec)
+    victim_key, attacker_key = study.resolve_keys(
+        _key_param(spec, "victim_key"), _key_param(spec, "attacker_key")
+    )
+    campaign_seed = _engine_campaign_seed(spec)
+    return {
+        "attacker": study.engine.collect_shard(
+            attacker_key, spec.num_samples, shard,
+            party="attacker", campaign_seed=campaign_seed,
+        ),
+        "victim": study.engine.collect_shard(
+            victim_key, spec.num_samples, shard,
+            party="victim", campaign_seed=campaign_seed,
+        ),
+    }
+
+
+def merge_bernstein_shards(
+    spec: ExperimentSpec, parts: Sequence[Dict[str, ShardSamples]]
+):
+    study = _bernstein_study(spec)
+    victim_key, _ = study.resolve_keys(
+        _key_param(spec, "victim_key"), _key_param(spec, "attacker_key")
+    )
+    victim_samples = merge_shard_samples([p["victim"] for p in parts])
+    attacker_samples = merge_shard_samples([p["attacker"] for p in parts])
+    return study.attack(victim_samples, attacker_samples, victim_key)
+
+
+@register_experiment(
+    "bernstein",
+    summarize=_summarize_bernstein,
+    plan_shards=plan_bernstein_shards,
+    run_shard=run_bernstein_shard,
+    merge_shards=merge_bernstein_shards,
+)
 def run_bernstein(spec: ExperimentSpec):
     """One Figure 5 panel: the correlation attack against one setup.
 
@@ -128,18 +207,11 @@ def run_bernstein(spec: ExperimentSpec):
     ablation), ``engine_campaign_seed``, ``variant`` plus the
     :data:`SETUP_OVERRIDE_FIELDS` (setup ablations).
     """
-    from repro.core.simulator import BernsteinCaseStudy
-
-    study = BernsteinCaseStudy(
-        resolve_setup(spec),
-        num_samples=spec.num_samples,
-        background=resolve_background(spec),
-        rng_seed=spec.seed_sequence(),
-    )
+    study = _bernstein_study(spec)
     return study.run(
         victim_key=_key_param(spec, "victim_key"),
         attacker_key=_key_param(spec, "attacker_key"),
-        campaign_seed=int(spec.param("engine_campaign_seed", 0xC0DE)),
+        campaign_seed=_engine_campaign_seed(spec),
     )
 
 
@@ -154,23 +226,53 @@ def _summarize_timing(
     }
 
 
-@register_experiment("timing_samples", summarize=_summarize_timing)
+def _timing_engine(spec: ExperimentSpec) -> AESTimingEngine:
+    return AESTimingEngine(
+        resolve_setup(spec),
+        background=resolve_background(spec),
+        rng=spec.rng(),
+    )
+
+
+def plan_timing_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
+    return _timing_engine(spec).shard_plan(spec.num_samples, max_shards)
+
+
+def run_timing_shard(spec: ExperimentSpec, shard: Shard) -> ShardSamples:
+    key = _key_param(spec, "key") or bytes(range(16))
+    return _timing_engine(spec).collect_shard(
+        key,
+        spec.num_samples,
+        shard,
+        party=spec.param("party", "victim"),
+        campaign_seed=_engine_campaign_seed(spec),
+    )
+
+
+def merge_timing_shards(
+    spec: ExperimentSpec, parts: Sequence[ShardSamples]
+) -> TimingSamples:
+    return merge_shard_samples(parts)
+
+
+@register_experiment(
+    "timing_samples",
+    summarize=_summarize_timing,
+    plan_shards=plan_timing_shards,
+    run_shard=run_timing_shard,
+    merge_shards=merge_timing_shards,
+)
 def run_timing_samples(spec: ExperimentSpec) -> TimingSamples:
     """Raw one-party timing collection (Figure 4 substrate).
 
     Params: ``key`` (hex, default the 00..0f pattern key), ``party``.
     """
     key = _key_param(spec, "key") or bytes(range(16))
-    engine = AESTimingEngine(
-        resolve_setup(spec),
-        background=resolve_background(spec),
-        rng=spec.rng(),
-    )
-    return engine.collect(
+    return _timing_engine(spec).collect(
         key,
         spec.num_samples,
         party=spec.param("party", "victim"),
-        campaign_seed=int(spec.param("engine_campaign_seed", 0xC0DE)),
+        campaign_seed=_engine_campaign_seed(spec),
     )
 
 
@@ -204,30 +306,42 @@ def _summarize_pwcet(
     return record
 
 
-@register_experiment("pwcet", summarize=_summarize_pwcet)
-def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
-    """MBPTA collection + analysis on one setup (``num_samples`` runs).
-
-    Params: trace shape (``pages``, ``lines_per_page``,
-    ``object_lines``, ``object_offset``, ``rewalk_lines``), ``reseed``
-    (False = deterministic platform, no per-run reseeding),
-    ``analyse`` (False = collect only), ``method``, ``tail_fraction``.
-    """
-    rng = spec.rng()
-    trace = multi_page_task_trace(
+def _pwcet_trace(spec: ExperimentSpec):
+    return multi_page_task_trace(
         pages=int(spec.param("pages", 5)),
         lines_per_page=int(spec.param("lines_per_page", 128)),
         object_lines=int(spec.param("object_lines", 0)),
         object_offset=int(spec.param("object_offset", 0)),
         rewalk_lines=int(spec.param("rewalk_lines", 256)),
     )
+
+
+def _pwcet_times(spec: ExperimentSpec, start: int, end: int) -> np.ndarray:
+    """Execution times of runs ``[start, end)`` of the cell's budget.
+
+    Run ``i`` reseeds from the ``i``-th child of the cell's seed
+    stream — constructed directly by position (identical to
+    ``seed_sequence().spawn(n)[i]``, without materialising the whole
+    budget's children in every shard) — so a run's platform seed
+    depends only on its position, never on which shard executes it or
+    in what order.
+    """
+    trace = _pwcet_trace(spec)
     reseed = bool(spec.param("reseed", True))
-    times = np.empty(spec.num_samples)
-    for run in range(spec.num_samples):
+    root = spec.seed_sequence() if reseed else None
+    times = np.empty(end - start)
+    for offset, run in enumerate(range(start, end)):
         hierarchy = make_setup_hierarchy(spec.setup)
-        if reseed:
-            hierarchy.set_seeds(int(rng.integers(0, 2**32)))
-        times[run] = hierarchy.run_trace(trace)
+        if root is not None:
+            child = np.random.SeedSequence(
+                entropy=root.entropy, spawn_key=root.spawn_key + (run,)
+            )
+            hierarchy.set_seeds(int(child.generate_state(1)[0]))
+        times[offset] = hierarchy.run_trace(trace)
+    return times
+
+
+def _pwcet_payload(spec: ExperimentSpec, times: np.ndarray) -> PwcetPayload:
     report: Optional[MBPTAReport] = None
     if bool(spec.param("analyse", True)):
         analysis = MBPTAAnalysis(
@@ -236,6 +350,38 @@ def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
         )
         report = analysis.analyse(times)
     return PwcetPayload(times=times, report=report)
+
+
+def plan_pwcet_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
+    return ShardPlan.even(spec.num_samples, max_shards)
+
+
+def run_pwcet_shard(spec: ExperimentSpec, shard: Shard) -> np.ndarray:
+    return _pwcet_times(spec, shard.start, shard.end)
+
+
+def merge_pwcet_shards(
+    spec: ExperimentSpec, parts: Sequence[np.ndarray]
+) -> PwcetPayload:
+    return _pwcet_payload(spec, np.concatenate(list(parts)))
+
+
+@register_experiment(
+    "pwcet",
+    summarize=_summarize_pwcet,
+    plan_shards=plan_pwcet_shards,
+    run_shard=run_pwcet_shard,
+    merge_shards=merge_pwcet_shards,
+)
+def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
+    """MBPTA collection + analysis on one setup (``num_samples`` runs).
+
+    Params: trace shape (``pages``, ``lines_per_page``,
+    ``object_lines``, ``object_offset``, ``rewalk_lines``), ``reseed``
+    (False = deterministic platform, no per-run reseeding),
+    ``analyse`` (False = collect only), ``method``, ``tail_fraction``.
+    """
+    return _pwcet_payload(spec, _pwcet_times(spec, 0, spec.num_samples))
 
 
 # -- missrate ---------------------------------------------------------------

@@ -12,22 +12,50 @@ register their own with :func:`register_experiment`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.campaigns.spec import ExperimentSpec
+from repro.core.batch import Shard, ShardPlan
 
 RunFn = Callable[[ExperimentSpec], Any]
 SummarizeFn = Callable[[ExperimentSpec, Any], Dict[str, Any]]
+PlanShardsFn = Callable[[ExperimentSpec, int], ShardPlan]
+RunShardFn = Callable[[ExperimentSpec, Shard], Any]
+MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 
 
 @dataclass(frozen=True)
 class ExperimentKind:
-    """A named experiment: a cell runner plus a summary projector."""
+    """A named experiment: a cell runner plus a summary projector.
+
+    A kind may additionally be *shardable*: ``plan_shards`` partitions
+    one cell's budget into a :class:`~repro.core.batch.ShardPlan`,
+    ``run_shard`` computes one shard's partial payload, and
+    ``merge_shards`` (given the partials **in shard order**) rebuilds
+    the exact payload ``run`` would have produced.  Like ``run``, the
+    shard hooks must be module-level functions so process-pool workers
+    can unpickle them by reference.
+    """
 
     name: str
     run: RunFn
     #: Projects a payload to flat JSON-able fields for tables/JSON.
     summarize: SummarizeFn
+    plan_shards: Optional[PlanShardsFn] = None
+    run_shard: Optional[RunShardFn] = None
+    merge_shards: Optional[MergeShardsFn] = None
+
+    @property
+    def shardable(self) -> bool:
+        return self.run_shard is not None
+
+    def __post_init__(self) -> None:
+        hooks = (self.plan_shards, self.run_shard, self.merge_shards)
+        if any(h is not None for h in hooks) and None in hooks:
+            raise ValueError(
+                f"kind {self.name!r} must define all of plan_shards/"
+                "run_shard/merge_shards, or none"
+            )
 
 
 _REGISTRY: Dict[str, ExperimentKind] = {}
@@ -38,7 +66,12 @@ def _default_summarize(spec: ExperimentSpec, payload: Any) -> Dict[str, Any]:
 
 
 def register_experiment(
-    name: str, *, summarize: Optional[SummarizeFn] = None
+    name: str,
+    *,
+    summarize: Optional[SummarizeFn] = None,
+    plan_shards: Optional[PlanShardsFn] = None,
+    run_shard: Optional[RunShardFn] = None,
+    merge_shards: Optional[MergeShardsFn] = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering ``fn`` as the runner for kind ``name``."""
 
@@ -46,7 +79,12 @@ def register_experiment(
         if name in _REGISTRY:
             raise ValueError(f"experiment kind {name!r} already registered")
         _REGISTRY[name] = ExperimentKind(
-            name=name, run=fn, summarize=summarize or _default_summarize
+            name=name,
+            run=fn,
+            summarize=summarize or _default_summarize,
+            plan_shards=plan_shards,
+            run_shard=run_shard,
+            merge_shards=merge_shards,
         )
         return fn
 

@@ -13,6 +13,23 @@ A *campaign* is a list of :class:`ExperimentSpec` cells.  The
 and, when given a ``cache_dir``, skips cells whose results are already
 on disk (keyed by :meth:`ExperimentSpec.spec_hash`), so interrupted or
 repeated sweeps only pay for unfinished cells.
+
+**Intra-cell sharding** (``max_shards_per_cell > 1``): cells whose
+kind is shardable (``bernstein``, ``timing_samples``, ``pwcet``) are
+split into block-aligned :class:`~repro.core.batch.Shard` s that fan
+out across the pool individually, so one big cell no longer bounds a
+sweep's wall clock.  Shard partials are merged **in shard order**
+regardless of completion order, and each shard's randomness is keyed
+to its absolute sample positions, so the merged payload is
+bit-identical to an unsharded run.
+
+**Progress**: the ``progress`` callback receives a
+:class:`ProgressEvent` for every completed unit — each shard, each
+cell, and each cache-restored cell (marked ``from_cache`` so ETA math
+can count it complete without letting its zero cost skew the
+throughput estimate; a previous revision surfaced cache hits
+indistinguishably from fresh computes, which stalled ETA estimates on
+resumed sweeps).
 """
 
 from __future__ import annotations
@@ -23,12 +40,27 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.campaigns.registry import RunFn, get_experiment
+from repro.campaigns.registry import (
+    ExperimentKind,
+    RunFn,
+    RunShardFn,
+    get_experiment,
+)
 from repro.campaigns.spec import ExperimentSpec
+from repro.core.batch import Shard, ShardPlan
 
-ProgressFn = Callable[["CellResult"], None]
+ProgressFn = Callable[["ProgressEvent"], None]
 
 
 def execute_cell(spec: ExperimentSpec) -> Any:
@@ -52,14 +84,29 @@ def _execute_timed(run_fn: RunFn, spec: ExperimentSpec) -> Tuple[Any, float]:
     return payload, time.perf_counter() - start
 
 
+def _execute_shard_timed(
+    run_fn: RunShardFn, spec: ExperimentSpec, shard: Shard
+) -> Tuple[Any, float]:
+    """(partial payload, compute seconds) for one shard of a cell."""
+    start = time.perf_counter()
+    payload = run_fn(spec, shard)
+    return payload, time.perf_counter() - start
+
+
 @dataclass
 class CellResult:
     """One executed (or cache-restored) cell."""
 
     spec: ExperimentSpec
     payload: Any
+    #: Compute seconds: one timed execution for whole cells; for
+    #: sharded cells the *sum* over shards plus the merge — i.e.
+    #: total CPU cost, which exceeds wall clock when shards ran
+    #: concurrently (cache restores report 0).
     elapsed: float
     from_cache: bool = False
+    #: Shards the cell was split into (1 = executed whole).
+    num_shards: int = 1
 
     def summary(self) -> Dict[str, Any]:
         """Flat JSON-able record: spec identity + kind-specific fields."""
@@ -75,6 +122,45 @@ class CellResult:
         kind = get_experiment(self.spec.kind)
         record.update(kind.summarize(self.spec, self.payload))
         return record
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed unit of campaign progress.
+
+    ``event`` is ``"cell"`` (a cell finished — fresh, merged, or
+    cache-restored) or ``"shard"`` (one shard of a sharded cell
+    finished).  ``work`` is the number of samples this event newly
+    completes: shard events carry their shard's size and the final
+    merged-cell event carries 0, so consumers summing ``work`` never
+    double-count; cells executed whole (or restored from cache) carry
+    the full cell weight.  ``elapsed`` is the unit's compute seconds
+    (for a sharded cell's final event: the sum over its shards plus
+    the merge — CPU cost, not wall clock).
+    """
+
+    event: str
+    spec: ExperimentSpec
+    elapsed: float
+    work: int
+    from_cache: bool = False
+    shard: Optional[Shard] = None
+    result: Optional[CellResult] = None
+
+    @property
+    def label(self) -> str:
+        """Human-readable unit label for progress lines."""
+        if self.shard is not None:
+            return (
+                f"{self.spec.cell_id} "
+                f"shard {self.shard.index + 1}/{self.shard.num_shards}"
+            )
+        return self.spec.cell_id
+
+
+def cell_weight(spec: ExperimentSpec) -> int:
+    """Progress weight of one cell (≥ 1 even for sample-less kinds)."""
+    return max(spec.num_samples, 1)
 
 
 @dataclass
@@ -161,6 +247,18 @@ class ResultCache:
             raise
 
 
+@dataclass
+class _PendingCell:
+    """Book-keeping for one not-yet-finished cell."""
+
+    index: int
+    spec: ExperimentSpec
+    kind: ExperimentKind
+    plan: Optional[ShardPlan] = None
+    parts: Dict[int, Any] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
 class CampaignRunner:
     """Executes campaigns of experiment cells.
 
@@ -172,8 +270,13 @@ class CampaignRunner:
     cache_dir:
         Directory for the on-disk result cache; None disables caching.
     progress:
-        Optional callback invoked with each finished :class:`CellResult`
-        (in completion order when parallel).
+        Optional callback invoked with each :class:`ProgressEvent` —
+        per-shard and per-cell completions, in completion order when
+        parallel, cache restores included (marked ``from_cache``).
+    max_shards_per_cell:
+        Upper bound on the intra-cell fan-out of shardable kinds; 1
+        disables sharding.  Sharded, parallel and serial runs all
+        produce bit-identical payloads.
     """
 
     def __init__(
@@ -181,12 +284,16 @@ class CampaignRunner:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         progress: Optional[ProgressFn] = None,
+        max_shards_per_cell: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_shards_per_cell < 1:
+            raise ValueError("max_shards_per_cell must be >= 1")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
+        self.max_shards_per_cell = max_shards_per_cell
 
     # -- execution ---------------------------------------------------------
 
@@ -199,76 +306,158 @@ class CampaignRunner:
             get_experiment(spec.kind)
 
         results: List[Optional[CellResult]] = [None] * len(specs)
-        pending: List[int] = []
+        pending: List[_PendingCell] = []
         for index, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache else None
             if cached is not None:
                 results[index] = CellResult(
                     spec=spec, payload=cached, elapsed=0.0, from_cache=True
                 )
-                self._report(results[index])
+                self._report(ProgressEvent(
+                    event="cell",
+                    spec=spec,
+                    elapsed=0.0,
+                    work=cell_weight(spec),
+                    from_cache=True,
+                    result=results[index],
+                ))
             else:
-                pending.append(index)
+                pending.append(_PendingCell(
+                    index=index,
+                    spec=spec,
+                    kind=get_experiment(spec.kind),
+                    plan=self._shard_plan(spec),
+                ))
 
         if pending:
-            if self.workers == 1 or len(pending) == 1:
-                self._run_serial(specs, pending, results)
+            total_tasks = sum(
+                len(cell.plan) if cell.plan else 1 for cell in pending
+            )
+            if self.workers == 1 or total_tasks == 1:
+                self._run_serial(pending, results)
             else:
-                self._run_parallel(specs, pending, results)
+                self._run_parallel(pending, results)
 
         assert all(result is not None for result in results)
         return CampaignResult(cells=[r for r in results if r is not None])
 
+    def _shard_plan(self, spec: ExperimentSpec) -> Optional[ShardPlan]:
+        """The cell's shard plan, or None to execute it whole."""
+        if self.max_shards_per_cell <= 1:
+            return None
+        kind = get_experiment(spec.kind)
+        if not kind.shardable or spec.num_samples <= 0:
+            return None
+        plan = kind.plan_shards(spec, self.max_shards_per_cell)
+        return plan if len(plan) > 1 else None
+
+    def _merge(self, cell: _PendingCell) -> Any:
+        """Merge a sharded cell's partials (shard order, not completion
+        order) into the payload an unsharded run would produce."""
+        assert cell.plan is not None
+        start = time.perf_counter()
+        parts = [cell.parts[i] for i in range(len(cell.plan))]
+        payload = cell.kind.merge_shards(cell.spec, parts)
+        cell.elapsed += time.perf_counter() - start
+        return payload
+
     def _finish(
         self,
         results: List[Optional[CellResult]],
-        index: int,
-        spec: ExperimentSpec,
+        cell: _PendingCell,
         payload: Any,
-        elapsed: float,
     ) -> None:
         if self.cache:
-            self.cache.put(spec, payload)
-        results[index] = CellResult(
-            spec=spec, payload=payload, elapsed=elapsed
+            self.cache.put(cell.spec, payload)
+        num_shards = len(cell.plan) if cell.plan else 1
+        results[cell.index] = CellResult(
+            spec=cell.spec,
+            payload=payload,
+            elapsed=cell.elapsed,
+            num_shards=num_shards,
         )
-        self._report(results[index])
+        self._report(ProgressEvent(
+            event="cell",
+            spec=cell.spec,
+            elapsed=cell.elapsed,
+            # Sharded cells already reported their work shard by shard.
+            work=0 if cell.plan else cell_weight(cell.spec),
+            result=results[cell.index],
+        ))
+
+    def _shard_done(
+        self, cell: _PendingCell, shard: Shard, payload: Any, elapsed: float
+    ) -> None:
+        cell.parts[shard.index] = payload
+        cell.elapsed += elapsed
+        self._report(ProgressEvent(
+            event="shard",
+            spec=cell.spec,
+            elapsed=elapsed,
+            work=shard.num_samples,
+            shard=shard,
+        ))
 
     def _run_serial(
         self,
-        specs: Sequence[ExperimentSpec],
-        pending: Sequence[int],
+        pending: Sequence[_PendingCell],
         results: List[Optional[CellResult]],
     ) -> None:
-        for index in pending:
-            run_fn = get_experiment(specs[index].kind).run
-            payload, elapsed = _execute_timed(run_fn, specs[index])
-            self._finish(results, index, specs[index], payload, elapsed)
+        for cell in pending:
+            if cell.plan is None:
+                payload, elapsed = _execute_timed(cell.kind.run, cell.spec)
+                cell.elapsed = elapsed
+            else:
+                for shard in cell.plan:
+                    part, elapsed = _execute_shard_timed(
+                        cell.kind.run_shard, cell.spec, shard
+                    )
+                    self._shard_done(cell, shard, part, elapsed)
+                payload = self._merge(cell)
+            self._finish(results, cell, payload)
 
     def _run_parallel(
         self,
-        specs: Sequence[ExperimentSpec],
-        pending: Sequence[int],
+        pending: Sequence[_PendingCell],
         results: List[Optional[CellResult]],
     ) -> None:
-        max_workers = min(self.workers, len(pending))
+        total_tasks = sum(
+            len(cell.plan) if cell.plan else 1 for cell in pending
+        )
+        max_workers = min(self.workers, total_tasks)
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _execute_timed,
-                    get_experiment(specs[index].kind).run,
-                    specs[index],
-                ): index
-                for index in pending
-            }
+            futures: Dict[Any, Tuple[_PendingCell, Optional[Shard]]] = {}
+            for cell in pending:
+                if cell.plan is None:
+                    future = pool.submit(
+                        _execute_timed, cell.kind.run, cell.spec
+                    )
+                    futures[future] = (cell, None)
+                else:
+                    for shard in cell.plan:
+                        future = pool.submit(
+                            _execute_shard_timed,
+                            cell.kind.run_shard,
+                            cell.spec,
+                            shard,
+                        )
+                        futures[future] = (cell, shard)
             # Completion order, so finished cells hit the cache (and
             # the progress callback) immediately instead of waiting
-            # behind a slow earlier cell.
+            # behind a slow earlier cell.  Shard partials are keyed by
+            # shard index, so the merge below is completion-order
+            # independent.
             for future in as_completed(futures):
-                index = futures[future]
+                cell, shard = futures[future]
                 payload, elapsed = future.result()
-                self._finish(results, index, specs[index], payload, elapsed)
+                if shard is None:
+                    cell.elapsed = elapsed
+                    self._finish(results, cell, payload)
+                else:
+                    self._shard_done(cell, shard, payload, elapsed)
+                    if len(cell.parts) == len(cell.plan):
+                        self._finish(results, cell, self._merge(cell))
 
-    def _report(self, cell: Optional[CellResult]) -> None:
-        if self.progress is not None and cell is not None:
-            self.progress(cell)
+    def _report(self, event: ProgressEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)

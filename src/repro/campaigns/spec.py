@@ -31,7 +31,13 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 #: Bump to invalidate cached results when cell semantics change.
-SPEC_SCHEMA_VERSION = 1
+#: (2: block-keyed engine RNG streams + position-keyed pwcet run
+#: seeds — pre-sharding cached payloads are not reproducible by the
+#: current engine.)  The bump changes every spec_hash, so stale
+#: entries are simply never looked up again; it does NOT perturb
+#: seed_sequence(), which hashes the cell identity without the schema
+#: version.
+SPEC_SCHEMA_VERSION = 2
 
 ParamItems = Tuple[Tuple[str, Any], ...]
 
@@ -138,10 +144,14 @@ class ExperimentSpec:
         digest of the cell's identity (kind, setup, sample count,
         params — everything but the seed), so two distinct cells under
         one campaign root never share a stream, and re-running a cell
-        always reproduces it.
+        always reproduces it.  The schema version is deliberately
+        excluded: bumping it invalidates the result cache without
+        changing any cell's randomness.
         """
+        doc = self.canonical(include_seed=False)
+        doc.pop("schema")
         digest = hashlib.sha256(
-            self.canonical_json(include_seed=False).encode()
+            json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
         ).digest()
         spawn_key = tuple(
             int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4)

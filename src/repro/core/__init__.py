@@ -5,8 +5,12 @@ engine, and the victim/attacker Bernstein experiment."""
 from repro.core.batch import (
     AESTimingEngine,
     ColdLineModel,
+    Shard,
+    ShardPlan,
+    ShardSamples,
     TimingSamples,
     lookup_line_ids,
+    merge_shard_samples,
 )
 from repro.core.setups import (
     SETUP_NAMES,
@@ -24,8 +28,12 @@ __all__ = [
     "make_setup_hierarchy",
     "AESTimingEngine",
     "ColdLineModel",
+    "Shard",
+    "ShardPlan",
+    "ShardSamples",
     "TimingSamples",
     "lookup_line_ids",
+    "merge_shard_samples",
     "BernsteinCaseStudy",
     "CaseStudyResult",
     "TSCacheSystem",

@@ -27,14 +27,30 @@ contention are removed (RPCache redirects those evictions to random
 sets) and replaced by per-encryption evictions of random sets, which
 hit random table lines.
 
+3. **Block-structured randomness (intra-cell sharding).**  The sample
+   budget is partitioned into *collection blocks* whose boundaries
+   depend only on the setup and the engine config — never on how the
+   work is split across workers.  Every block draws its plaintexts and
+   interference noise from a private :class:`numpy.random.SeedSequence`
+   child stream keyed by the block's absolute start position, so the
+   samples of block ``[s, e)`` are a pure function of the engine's
+   entropy root, the party, the campaign seed and ``s``.  A
+   :class:`ShardPlan` groups whole blocks into contiguous shards;
+   :meth:`AESTimingEngine.collect_shard` computes one shard's slice and
+   :func:`merge_shard_samples` reassembles them **bit-identically** to
+   the serial :meth:`AESTimingEngine.collect` path, for any shard count
+   and any completion order.
+
 The consistency of (1)+(2) against the scalar hierarchy is covered by
-integration tests (``tests/test_batch_vs_scalar.py``).
+integration tests (``tests/test_batch.py``); the shard/serial
+equivalence by the golden-trace suite (``tests/test_golden_traces.py``).
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +116,192 @@ class TimingSamples:
         """Plaintext bytes XORed with the key (study-phase indices)."""
         key = np.frombuffer(self.key, dtype=np.uint8)
         return self.plaintexts ^ key[None, :]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, end)`` of a cell's sample budget."""
+
+    index: int
+    num_shards: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"bad shard range [{self.start}, {self.end})")
+        if not 0 <= self.index < self.num_shards:
+            raise ValueError(
+                f"shard index {self.index} outside 0..{self.num_shards - 1}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return self.end - self.start
+
+
+class ShardPlan:
+    """A partition of ``[0, num_samples)`` into contiguous shards.
+
+    Shard boundaries must land on *allowed* split points (for the AES
+    engine: collection-block boundaries, so cold-mask epochs and RNG
+    blocks are never torn across shards).  The plan is deterministic in
+    its inputs; executing shards in any order and merging by shard
+    index reproduces the unsharded computation bit for bit.
+    """
+
+    def __init__(self, num_samples: int, shards: Sequence[Shard]) -> None:
+        shards = tuple(shards)
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if not shards:
+            raise ValueError("a plan needs at least one shard")
+        expected = 0
+        for i, shard in enumerate(shards):
+            if shard.index != i or shard.num_shards != len(shards):
+                raise ValueError("shard indexes must be 0..k-1 in order")
+            if shard.start != expected:
+                raise ValueError(
+                    f"shard {i} starts at {shard.start}, expected {expected}"
+                )
+            expected = shard.end
+        if expected != num_samples:
+            raise ValueError(
+                f"shards cover [0, {expected}), budget is {num_samples}"
+            )
+        self.num_samples = num_samples
+        self.shards = shards
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __getitem__(self, index: int) -> Shard:
+        return self.shards[index]
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{s.start},{s.end})" for s in self.shards)
+        return f"ShardPlan({self.num_samples}: {ranges})"
+
+    @classmethod
+    def even(cls, num_samples: int, max_shards: int) -> "ShardPlan":
+        """Near-equal split with unit granularity (no alignment rule)."""
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        k = min(max_shards, num_samples)
+        edges = sorted({num_samples * i // k for i in range(k + 1)})
+        return cls._from_edges(num_samples, edges)
+
+    @classmethod
+    def from_boundaries(
+        cls,
+        num_samples: int,
+        max_shards: int,
+        boundaries: Sequence[int],
+    ) -> "ShardPlan":
+        """Balanced split whose cuts snap to allowed ``boundaries``.
+
+        Each ideal cut (``i * num_samples / max_shards``) moves to the
+        nearest allowed boundary still to the right of the previous
+        cut; when no boundary fits, the plan simply has fewer shards.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        candidates = sorted({b for b in boundaries if 0 < b < num_samples})
+        cuts: List[int] = []
+        prev = 0
+        for i in range(1, max_shards):
+            target = i * num_samples / max_shards
+            low = bisect.bisect_right(candidates, prev)
+            if low >= len(candidates):
+                break
+            pos = bisect.bisect_left(candidates, target, low)
+            choices = [
+                candidates[j]
+                for j in (pos - 1, pos)
+                if low <= j < len(candidates)
+            ]
+            if not choices:
+                continue
+            best = min(choices, key=lambda c: (abs(c - target), c))
+            cuts.append(best)
+            prev = best
+        return cls._from_edges(num_samples, [0] + cuts + [num_samples])
+
+    @classmethod
+    def _from_edges(cls, num_samples: int, edges: Sequence[int]) -> "ShardPlan":
+        edges = sorted(set(edges))
+        k = len(edges) - 1
+        return cls(
+            num_samples,
+            [
+                Shard(index=i, num_shards=k, start=edges[i], end=edges[i + 1])
+                for i in range(k)
+            ],
+        )
+
+
+@dataclass
+class ShardSamples:
+    """One shard's slice of a collection (see :func:`merge_shard_samples`)."""
+
+    shard: Shard
+    plaintexts: np.ndarray  # (shard.num_samples, 16) uint8
+    timings: np.ndarray  # (shard.num_samples,) float
+    key: bytes
+    setup_name: str
+    total_samples: int
+
+    def __post_init__(self) -> None:
+        if self.plaintexts.shape[0] != self.shard.num_samples:
+            raise ValueError("plaintexts do not match the shard range")
+        if self.timings.shape[0] != self.shard.num_samples:
+            raise ValueError("timings do not match the shard range")
+
+
+def merge_shard_samples(parts: Sequence[ShardSamples]) -> TimingSamples:
+    """Reassemble a full :class:`TimingSamples` from every shard.
+
+    Accepts the parts in **any** order (they are sorted by shard
+    index); validates that together they tile ``[0, total_samples)``
+    exactly and belong to one collection (same key/setup/budget).
+    """
+    if not parts:
+        raise ValueError("no shards to merge")
+    ordered = sorted(parts, key=lambda p: p.shard.index)
+    first = ordered[0]
+    expected_k = first.shard.num_shards
+    if len(ordered) != expected_k:
+        raise ValueError(
+            f"have {len(ordered)} shards, plan had {expected_k}"
+        )
+    cursor = 0
+    for i, part in enumerate(ordered):
+        if part.shard.index != i:
+            raise ValueError(f"duplicate or missing shard index {i}")
+        if part.key != first.key or part.setup_name != first.setup_name:
+            raise ValueError("shards come from different collections")
+        if part.total_samples != first.total_samples:
+            raise ValueError("shards disagree on the total budget")
+        if part.shard.start != cursor:
+            raise ValueError(
+                f"shard {i} starts at {part.shard.start}, expected {cursor}"
+            )
+        cursor = part.shard.end
+    if cursor != first.total_samples:
+        raise ValueError(
+            f"shards cover [0, {cursor}), budget is {first.total_samples}"
+        )
+    return TimingSamples(
+        plaintexts=np.concatenate([p.plaintexts for p in ordered], axis=0),
+        timings=np.concatenate([p.timings for p in ordered]),
+        key=first.key,
+        setup_name=first.setup_name,
+    )
 
 
 class ColdLineModel:
@@ -243,24 +445,62 @@ class EngineConfig:
     #: random replacement (the eviction choices vary per background
     #: interval; we resample them at this granularity).
     replacement_block: int = 1024
+    #: RNG-block granularity: every multiple of this position starts a
+    #: fresh per-block sample stream, and is therefore an allowed
+    #: shard boundary.  Smaller = finer sharding of setups without
+    #: natural epoch/realisation boundaries, at slightly more stream
+    #: setup overhead.
+    shard_block: int = 1024
+
+    @property
+    def rng_block(self) -> int:
+        """The effective RNG-block quantum (also caps batch memory)."""
+        return min(self.chunk_size, self.shard_block)
+
+
+#: spawn_key tags separating the two parties' block streams.
+_PARTY_TAGS = {"victim": 0x56C7, "attacker": 0xA77C}
 
 
 class AESTimingEngine:
-    """Collects attack-scale AES timing samples for one setup."""
+    """Collects attack-scale AES timing samples for one setup.
+
+    Parameters
+    ----------
+    rng:
+        Entropy source for the per-block sample streams: a
+        :class:`numpy.random.Generator` (four words are drawn from it
+        once, at construction), an int seed, a ``SeedSequence``, or
+        None for the historical default seed.  Collection itself is a
+        pure function of (entropy root, key, party, campaign seed,
+        sample budget): calling :meth:`collect` twice with the same
+        arguments returns identical samples, and sharded collection is
+        bit-identical to serial collection.
+    """
 
     def __init__(
         self,
         setup: SetupConfig,
         background: Optional[BackgroundWorkload] = None,
         config: Optional[EngineConfig] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng=None,
     ) -> None:
         self.setup = setup
         self.background = (
             background if background is not None else default_background()
         )
         self.config = config if config is not None else EngineConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(2018)
+        source = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(2018 if rng is None else rng)
+        )
+        #: Entropy words rooting every per-block sample stream.
+        self._entropy: Tuple[int, ...] = tuple(
+            int(word)
+            for word in source.integers(0, 1 << 32, size=4, dtype=np.uint64)
+        )
+        self.rng = source
         self.cold_model = ColdLineModel(
             setup, self.background, table_base=self.config.table_base
         )
@@ -291,6 +531,52 @@ class AESTimingEngine:
             epoch_index += 1
         return plan
 
+    # -- block structure -------------------------------------------------------
+
+    def collection_blocks(self, num_samples: int) -> List[Tuple[int, int]]:
+        """The ``(start, end)`` collection blocks tiling the budget.
+
+        Boundaries are the union of seed-epoch starts, replacement-
+        realisation starts (random replacement only) and multiples of
+        the chunk size — every position at which the engine's timing
+        state or RNG stream turns over.  They depend only on the setup
+        and the engine config, never on shard count, which is what
+        makes any block-aligned partition merge bit-identically.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        bounds = set(range(0, num_samples, self.config.rng_block))
+        randomized = self.setup.l1_replacement == "random"
+        for start, end, _ in self._seed_plan(num_samples, "victim", 0):
+            bounds.add(start)
+            if randomized:
+                bounds.update(
+                    range(start, end, self.config.replacement_block)
+                )
+        bounds.add(num_samples)
+        edges = sorted(bounds)
+        return list(zip(edges, edges[1:]))
+
+    def shard_plan(self, num_samples: int, max_shards: int) -> ShardPlan:
+        """A block-aligned :class:`ShardPlan` for ``num_samples``."""
+        boundaries = [start for start, _ in self.collection_blocks(num_samples)]
+        return ShardPlan.from_boundaries(num_samples, max_shards, boundaries)
+
+    def _block_rng(
+        self, party: str, campaign_seed: int, block_start: int
+    ) -> np.random.Generator:
+        """The private sample stream of the block starting at ``block_start``."""
+        sequence = np.random.SeedSequence(
+            entropy=self._entropy,
+            spawn_key=(
+                _PARTY_TAGS[party],
+                campaign_seed & 0xFFFF_FFFF,
+                (campaign_seed >> 32) & 0xFFFF_FFFF,
+                block_start,
+            ),
+        )
+        return np.random.default_rng(sequence)
+
     # -- collection --------------------------------------------------------------
 
     def collect(
@@ -303,16 +589,77 @@ class AESTimingEngine:
         """Simulate ``num_samples`` encryptions and their timings."""
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
-        aes = AES128(key)
-        plaintexts = self.rng.integers(
-            0, 256, size=(num_samples, 16), dtype=np.uint8
+        plaintexts, timings = self._collect_range(
+            key, num_samples, 0, num_samples, party, campaign_seed
         )
-        timings = np.empty(num_samples, dtype=float)
+        return TimingSamples(
+            plaintexts=plaintexts,
+            timings=timings,
+            key=key,
+            setup_name=self.setup.name,
+        )
+
+    def collect_shard(
+        self,
+        key: bytes,
+        num_samples: int,
+        shard: Shard,
+        party: str = "victim",
+        campaign_seed: int = 0xC0DE,
+    ) -> ShardSamples:
+        """One shard's slice of a ``num_samples`` collection.
+
+        ``shard`` must be block-aligned (see :meth:`shard_plan`);
+        merging every shard of a plan with :func:`merge_shard_samples`
+        reproduces :meth:`collect` byte for byte.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if shard.end > num_samples:
+            raise ValueError(
+                f"shard ends at {shard.end}, budget is {num_samples}"
+            )
+        allowed = {start for start, _ in self.collection_blocks(num_samples)}
+        allowed.add(num_samples)
+        for position in (shard.start, shard.end):
+            if position not in allowed:
+                raise ValueError(
+                    f"shard boundary {position} is not block-aligned "
+                    "(use AESTimingEngine.shard_plan)"
+                )
+        plaintexts, timings = self._collect_range(
+            key, num_samples, shard.start, shard.end, party, campaign_seed
+        )
+        return ShardSamples(
+            shard=shard,
+            plaintexts=plaintexts,
+            timings=timings,
+            key=key,
+            setup_name=self.setup.name,
+            total_samples=num_samples,
+        )
+
+    def _collect_range(
+        self,
+        key: bytes,
+        num_samples: int,
+        lo: int,
+        hi: int,
+        party: str,
+        campaign_seed: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(plaintexts, timings) for samples ``[lo, hi)`` of the budget."""
+        aes = AES128(key)
+        plaintexts = np.empty((hi - lo, 16), dtype=np.uint8)
+        timings = np.empty(hi - lo, dtype=float)
         randomized_replacement = self.setup.l1_replacement == "random"
         party_salt = 0 if party == "victim" else 0xA77A
+        chunk = self.config.rng_block
         for start, end, victim_seed in self._seed_plan(
             num_samples, party, campaign_seed
         ):
+            if end <= lo or start >= hi:
+                continue
             other_seed = victim_seed ^ 0x7E57_0123  # OS runs under its own seed
             include_other = not self.setup.randomize_other_process
             events = self.cold_model.estimate_interference_events(
@@ -329,29 +676,38 @@ class AESTimingEngine:
             )
             for block_start in range(start, end, block_len):
                 block_end = min(block_start + block_len, end)
+                if block_end <= lo or block_start >= hi:
+                    continue
                 cold, line_set = self.cold_model.epoch_state(
                     victim_seed,
                     other_seed,
                     include_other=include_other,
                     replacement_seed=block_start ^ party_salt,
                 )
-                for chunk_start in range(
-                    block_start, block_end, self.config.chunk_size
-                ):
-                    chunk_end = min(
-                        chunk_start + self.config.chunk_size, block_end
-                    )
-                    block = plaintexts[chunk_start:chunk_end]
-                    _, lookup_bytes = aes.encrypt_batch(block)
-                    timings[chunk_start:chunk_end] = self._chunk_timings(
-                        lookup_bytes, cold, line_set, events
-                    )
-        return TimingSamples(
-            plaintexts=plaintexts,
-            timings=timings,
-            key=key,
-            setup_name=self.setup.name,
-        )
+                # RNG blocks: split the realisation at absolute
+                # rng_block multiples.  Each owns a child stream keyed
+                # by its start position, so output never depends on
+                # which shard computes it.
+                rng_start = block_start
+                while rng_start < block_end:
+                    rng_end = min(block_end, (rng_start // chunk + 1) * chunk)
+                    if rng_end > lo and rng_start < hi:
+                        block_rng = self._block_rng(
+                            party, campaign_seed, rng_start
+                        )
+                        block = block_rng.integers(
+                            0, 256,
+                            size=(rng_end - rng_start, 16),
+                            dtype=np.uint8,
+                        )
+                        _, lookup_bytes = aes.encrypt_batch(block)
+                        out = slice(rng_start - lo, rng_end - lo)
+                        plaintexts[out] = block
+                        timings[out] = self._chunk_timings(
+                            lookup_bytes, cold, line_set, events, block_rng
+                        )
+                    rng_start = rng_end
+        return plaintexts, timings
 
     # -- timing math ----------------------------------------------------------------
 
@@ -361,6 +717,7 @@ class AESTimingEngine:
         cold_mask: np.ndarray,
         line_set: np.ndarray,
         interference_events: int,
+        rng: np.random.Generator,
     ) -> np.ndarray:
         lines = lookup_line_ids(lookup_bytes)
         n = lines.shape[0]
@@ -370,7 +727,7 @@ class AESTimingEngine:
         timings = self.config.base_cycles + self.config.miss_penalty * cold_hits
         if interference_events > 0:
             timings = timings + self._interference_noise(
-                accessed, cold_mask, line_set, interference_events
+                accessed, cold_mask, line_set, interference_events, rng
             )
         return timings
 
@@ -380,6 +737,7 @@ class AESTimingEngine:
         cold_mask: np.ndarray,
         line_set: np.ndarray,
         events: int,
+        rng: np.random.Generator,
     ) -> np.ndarray:
         """RPCache random-set evictions: per-encryption extra misses.
 
@@ -395,7 +753,7 @@ class AESTimingEngine:
         for line in range(NUM_TABLE_LINES - 1, -1, -1):
             if not cold_mask[line]:
                 set_to_line[line_set[line]] = line
-        draws = self.rng.integers(0, num_sets, size=(n, events))
+        draws = rng.integers(0, num_sets, size=(n, events))
         evicted_lines = set_to_line[draws]  # (n, events), -1 = no table line
         valid = evicted_lines >= 0
         safe_lines = np.where(valid, evicted_lines, 0)

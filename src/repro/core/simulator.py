@@ -75,31 +75,31 @@ class BernsteinCaseStudy:
             rng=self.rng,
         )
 
-    def run(
+    def resolve_keys(
         self,
         victim_key: Optional[bytes] = None,
         attacker_key: Optional[bytes] = None,
-        campaign_seed: int = 0xC0DE,
-    ) -> CaseStudyResult:
-        """Collect both parties' samples and run the correlation attack."""
+    ) -> Tuple[bytes, bytes]:
+        """(victim, attacker) keys, drawing any missing one from the
+        case study's stream (victim first — the :meth:`run` order).
+
+        Reconstructing the case study from the same seed always
+        resolves the same keys, which is what lets shard workers agree
+        on them without coordination.
+        """
         if victim_key is None:
             victim_key = random_key(self.rng)
         if attacker_key is None:
             attacker_key = random_key(self.rng)
+        return victim_key, attacker_key
 
-        attacker_samples = self.engine.collect(
-            attacker_key,
-            self.num_samples,
-            party="attacker",
-            campaign_seed=campaign_seed,
-        )
-        victim_samples = self.engine.collect(
-            victim_key,
-            self.num_samples,
-            party="victim",
-            campaign_seed=campaign_seed,
-        )
-
+    def attack(
+        self,
+        victim_samples: TimingSamples,
+        attacker_samples: TimingSamples,
+        victim_key: bytes,
+    ) -> CaseStudyResult:
+        """The correlation attack over already-collected samples."""
         # Study profile: indexed by p ^ k_a (the attacker knows its key).
         study = profile_from_samples(
             attacker_samples.key_xor_plaintexts(), attacker_samples.timings
@@ -116,6 +116,28 @@ class BernsteinCaseStudy:
             attacker_samples=attacker_samples,
             victim_key=victim_key,
         )
+
+    def run(
+        self,
+        victim_key: Optional[bytes] = None,
+        attacker_key: Optional[bytes] = None,
+        campaign_seed: int = 0xC0DE,
+    ) -> CaseStudyResult:
+        """Collect both parties' samples and run the correlation attack."""
+        victim_key, attacker_key = self.resolve_keys(victim_key, attacker_key)
+        attacker_samples = self.engine.collect(
+            attacker_key,
+            self.num_samples,
+            party="attacker",
+            campaign_seed=campaign_seed,
+        )
+        victim_samples = self.engine.collect(
+            victim_key,
+            self.num_samples,
+            party="victim",
+            campaign_seed=campaign_seed,
+        )
+        return self.attack(victim_samples, attacker_samples, victim_key)
 
 
 def run_all_setups(

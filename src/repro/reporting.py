@@ -8,7 +8,10 @@ One place for the three output shapes the toolkit produces:
   arrays, bytes and dataclasses, for machine-readable campaign output,
 * run-stamped results files (:class:`ResultsFile`) — append-only
   records where each process run is delimited by a header, so a file
-  that accumulates across many invocations stays legible.
+  that accumulates across many invocations stays legible,
+* streaming campaign progress (:class:`CampaignProgress`) — a
+  :class:`~repro.campaigns.runner.ProgressFn` that prints one
+  progress/ETA line per completed cell or shard.
 
 The benchmark harness (``benchmarks/reporting.py``) and the campaign
 CLI both route through this module instead of hand-rolling printing.
@@ -19,8 +22,9 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
+import time
 from datetime import datetime, timezone
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, TextIO
 
 
 def format_table(
@@ -75,6 +79,100 @@ def json_default(obj: Any) -> Any:
 def render_json(payload: Any, *, indent: Optional[int] = 2) -> str:
     """Serialize ``payload`` to JSON, tolerating NumPy/dataclasses."""
     return json.dumps(payload, indent=indent, default=json_default)
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human-readable duration (``47s``, ``3m12s``, ``2h05m``)."""
+    whole = int(round(max(0.0, seconds)))
+    if whole < 60:
+        return f"{whole}s"
+    minutes, secs = divmod(whole, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class CampaignProgress:
+    """Streams one progress/ETA line per completed campaign unit.
+
+    Wire an instance as :class:`~repro.campaigns.runner.CampaignRunner`'s
+    ``progress`` callback.  It weights progress by sample counts (so a
+    half-done 10^6-sample cell moves the needle more than a finished
+    toy cell), and it treats cache-restored cells specially: they
+    count toward completion immediately, but — because they cost ~0
+    compute — they are **excluded from the throughput estimate**, so
+    resuming a cached sweep neither stalls the ETA at a bogus value
+    nor collapses it to zero.
+
+    Parameters
+    ----------
+    total_cells / total_work:
+        Campaign size; build both from the spec list with
+        :func:`campaign_totals`.
+    stream:
+        Output stream (default stderr, keeping stdout clean for
+        tables/JSON).
+    clock:
+        Injectable time source for tests.
+    """
+
+    def __init__(
+        self,
+        total_cells: int,
+        total_work: int,
+        stream: Optional[TextIO] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.total_cells = total_cells
+        self.total_work = max(1, total_work)
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.started = clock()
+        self.cells_done = 0
+        self.work_done = 0
+        #: Work completed by fresh computation (ETA rate basis).
+        self.fresh_work_done = 0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining seconds, or None before any fresh unit finished."""
+        if self.fresh_work_done <= 0:
+            return None
+        rate = self.fresh_work_done / max(1e-9, self.clock() - self.started)
+        return (self.total_work - self.work_done) / rate
+
+    def __call__(self, event) -> None:
+        if event.event == "cell":
+            self.cells_done += 1
+        self.work_done = min(self.total_work, self.work_done + event.work)
+        if not event.from_cache:
+            self.fresh_work_done += event.work
+        percent = 100.0 * self.work_done / self.total_work
+        if event.from_cache:
+            origin = "cached"
+        else:
+            origin = f"{event.elapsed:.1f}s"
+        eta = self.eta_seconds()
+        remaining = (
+            f"eta {format_duration(eta)}"
+            if eta is not None and self.work_done < self.total_work
+            else ("done" if self.work_done >= self.total_work else "eta --")
+        )
+        print(
+            f"[{self.cells_done}/{self.total_cells} cells, {percent:3.0f}%] "
+            f"{event.label} ({origin}) | "
+            f"elapsed {format_duration(self.clock() - self.started)} | "
+            f"{remaining}",
+            file=self.stream,
+        )
+
+
+def campaign_totals(specs: Sequence[Any]) -> tuple:
+    """(total_cells, total_work) for a spec list — the
+    :class:`CampaignProgress` constructor arguments."""
+    from repro.campaigns.runner import cell_weight
+
+    return len(specs), sum(cell_weight(spec) for spec in specs)
 
 
 def run_header(note: str = "") -> str:

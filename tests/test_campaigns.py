@@ -223,6 +223,121 @@ class TestCampaignRunner:
             CampaignRunner().run([ExperimentSpec(kind="nope")])
 
 
+class TestIntraCellSharding:
+    """Runner-level sharding: bit-identical payloads, per-shard
+    progress, order-independent merge."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return bernstein_grid(
+            num_samples=8_000, seed=11, setups=("tscache",)
+        )
+
+    @pytest.fixture(scope="class")
+    def serial(self, spec):
+        return CampaignRunner(workers=1).run(spec)
+
+    @pytest.mark.parametrize("max_shards", [2, 7])
+    def test_sharded_serial_bit_identical(self, spec, serial, max_shards):
+        sharded = CampaignRunner(max_shards_per_cell=max_shards).run(spec)
+        ser, shd = serial.cells[0], sharded.cells[0]
+        assert shd.num_shards > 1
+        assert np.array_equal(
+            ser.payload.victim_samples.timings,
+            shd.payload.victim_samples.timings,
+        )
+        assert np.array_equal(
+            ser.payload.attacker_samples.plaintexts,
+            shd.payload.attacker_samples.plaintexts,
+        )
+        assert ser.payload.victim_key == shd.payload.victim_key
+        assert (
+            ser.payload.report.remaining_key_space_log2
+            == shd.payload.report.remaining_key_space_log2
+        )
+
+    def test_sharded_pool_bit_identical(self, spec, serial):
+        pooled = CampaignRunner(workers=2, max_shards_per_cell=3).run(spec)
+        assert np.array_equal(
+            serial.cells[0].payload.victim_samples.timings,
+            pooled.cells[0].payload.victim_samples.timings,
+        )
+
+    def test_shard_progress_events(self, spec):
+        events = []
+        CampaignRunner(
+            max_shards_per_cell=4, progress=events.append
+        ).run(spec)
+        shard_events = [e for e in events if e.event == "shard"]
+        cell_events = [e for e in events if e.event == "cell"]
+        assert len(shard_events) > 1
+        assert len(cell_events) == 1
+        # Shards carry the work; the merged-cell event carries none.
+        assert sum(e.work for e in shard_events) == 8_000
+        assert cell_events[0].work == 0
+        assert cell_events[0].result is not None
+        assert "shard" in shard_events[0].label
+
+    def test_pwcet_sharding_matches_serial(self):
+        specs = pwcet_grid(num_samples=40, setups=("tscache",), seed=5)
+        serial = CampaignRunner().run(specs)
+        sharded = CampaignRunner(max_shards_per_cell=7).run(specs)
+        assert np.array_equal(
+            serial.cells[0].payload.times, sharded.cells[0].payload.times
+        )
+
+    def test_unshardable_kind_runs_whole(self):
+        specs = missrate_grid(workloads=("reuse",), policies=("modulo",))
+        events = []
+        result = CampaignRunner(
+            max_shards_per_cell=8, progress=events.append
+        ).run(specs)
+        assert result.cells[0].num_shards == 1
+        assert [e.event for e in events] == ["cell"]
+        assert events[0].work == 1  # sample-less cells weigh 1
+
+    def test_invalid_max_shards_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(max_shards_per_cell=0)
+
+
+class TestProgressEvents:
+    def test_cache_hit_emits_marked_event(self, tmp_path):
+        """Regression: cache-restored cells must still reach the
+        progress callback — marked ``from_cache`` and carrying their
+        full work weight — so ETA math on resumed sweeps counts them
+        complete instead of stalling."""
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+        first_events = []
+        CampaignRunner(
+            cache_dir=str(tmp_path), progress=first_events.append
+        ).run([spec])
+        assert [e.from_cache for e in first_events] == [False]
+
+        resumed_events = []
+        CampaignRunner(
+            cache_dir=str(tmp_path), progress=resumed_events.append
+        ).run([spec])
+        assert len(resumed_events) == 1
+        event = resumed_events[0]
+        assert event.event == "cell"
+        assert event.from_cache
+        assert event.work == 1
+        assert event.result is not None and event.result.from_cache
+
+    def test_whole_cell_event_carries_cell_weight(self):
+        spec = ExperimentSpec(
+            kind="pwcet", setup="tscache", num_samples=10, seed=5,
+            params=(("analyse", False),),
+        )
+        events = []
+        CampaignRunner(progress=events.append).run([spec])
+        assert [(e.event, e.work) for e in events] == [("cell", 10)]
+
+
 class TestResultCache:
     def test_repeated_spec_hits_cache(self, tmp_path):
         spec = ExperimentSpec(

@@ -34,8 +34,16 @@ class TestParser:
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign", "bernstein"])
         assert args.workers == 1
+        assert args.max_shards == 1
         assert args.samples is None
         assert not args.json
+        assert not args.quiet
+
+    def test_campaign_max_shards(self):
+        args = build_parser().parse_args(
+            ["campaign", "bernstein", "--max-shards", "4"]
+        )
+        assert args.max_shards == 4
 
     def test_campaign_unknown_name_rejected(self):
         with pytest.raises(SystemExit):
@@ -93,6 +101,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "compliant" in out
         assert "tscache" in out
+
+    def test_campaign_emits_progress_eta_lines(self, capsys):
+        """Acceptance: ``repro campaign`` streams progress/ETA lines
+        (to stderr, keeping stdout clean for the table)."""
+        assert main(["campaign", "missrates"]) == 0
+        captured = capsys.readouterr()
+        progress_lines = [
+            line for line in captured.err.splitlines() if "cells," in line
+        ]
+        assert len(progress_lines) == 16
+        assert "eta" in progress_lines[0]
+        assert "[16/16 cells, 100%]" in progress_lines[-1]
+        assert "done" in progress_lines[-1]
+        assert "cells," not in captured.out
+
+    def test_campaign_quiet_suppresses_progress(self, capsys):
+        assert main(["campaign", "missrates", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_campaign_max_shards_bit_identical(self, capsys):
+        base = ["campaign", "pwcet", "--samples", "40", "--json", "--quiet"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + ["--max-shards", "3"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert [c["mean_cycles"] for c in serial["cells"]] == [
+            c["mean_cycles"] for c in sharded["cells"]
+        ]
+        assert [c["pwcet_1e-12"] for c in serial["cells"]
+                if "pwcet_1e-12" in c] == [
+            c["pwcet_1e-12"] for c in sharded["cells"]
+            if "pwcet_1e-12" in c
+        ]
 
     def test_simulate(self, capsys, tmp_path):
         trace = Trace.from_addresses(

@@ -1,0 +1,161 @@
+"""Golden-trace regression tests for the AES timing engine.
+
+Freezes a SHA-256 digest of the samples (plaintexts + timings) each
+setup produces at a fixed seed, so **any** refactor of the timing
+engine that changes its outputs — intentionally or not — fails loudly
+here and forces a conscious digest update.  The same digests are
+asserted over three execution paths:
+
+* serial  — one ``AESTimingEngine.collect`` call,
+* sharded — ``collect_shard`` over a multi-shard plan, merged,
+* pooled  — a ``bernstein`` campaign cell through
+  ``CampaignRunner(workers=N, max_shards_per_cell=M)``,
+
+which is the acceptance proof that intra-cell sharding is
+bit-identical to the serial path (timing arrays byte-for-byte, attack
+results equal).
+
+The scheduled CI job re-runs this module with ``REPRO_GOLDEN_WORKERS=2``
+so the process-pool path is exercised with real workers.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaigns import CampaignRunner, bernstein_grid
+from repro.core.batch import AESTimingEngine, merge_shard_samples
+from repro.core.setups import SETUP_NAMES, make_setup
+
+#: Worker count for the campaign-path goldens (the scheduled CI job
+#: sets 2 to exercise a real process pool; default keeps local runs
+#: cheap on single-CPU boxes).
+GOLDEN_WORKERS = int(os.environ.get("REPRO_GOLDEN_WORKERS", "1"))
+
+GOLDEN_KEY = bytes(range(16))
+GOLDEN_SAMPLES = 4096
+GOLDEN_ENGINE_SEED = 2018
+
+#: sha256(plaintexts || timings-as-little-endian-f8) per setup, for
+#: collect(GOLDEN_KEY, GOLDEN_SAMPLES, party="victim",
+#: campaign_seed=0xC0DE) on an engine seeded with GOLDEN_ENGINE_SEED.
+GOLDEN_DIGESTS = {
+    "deterministic":
+        "1c2bd9f11f6df7d898a5cadf3e8056d19f309943492dae0da985693f66e8e8ba",
+    "rpcache":
+        "6ea5c4e16a5d90975add24a045a2c9c3c3a495f3923ac466bb5b4a6886b72201",
+    "mbpta":
+        "e13d1d53dd871e9475c08b917a96792b1f0dff5cde7551996b69a2dc0be7c086",
+    "tscache":
+        "9875d9202787c917924f19a489b6541f268c71b2f343603131cd37e889230383",
+}
+
+#: (bits_determined, remaining_key_space_log2) of the Figure 5 grid at
+#: 12288 samples, root seed 2018 (serial reference values).
+GOLDEN_ATTACKS = {
+    "deterministic": (0, 103.95604490555502),
+    "rpcache": (0, 128.0),
+    "mbpta": (0, 128.0),
+    "tscache": (0, 128.0),
+}
+
+
+def sample_digest(samples) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(samples.plaintexts,
+                                  dtype=np.uint8).tobytes())
+    h.update(np.ascontiguousarray(samples.timings).astype("<f8").tobytes())
+    return h.hexdigest()
+
+
+def golden_engine(setup_name: str) -> AESTimingEngine:
+    return AESTimingEngine(make_setup(setup_name), rng=GOLDEN_ENGINE_SEED)
+
+
+class TestSerialGoldens:
+    @pytest.mark.parametrize("setup_name", SETUP_NAMES)
+    def test_collect_matches_frozen_digest(self, setup_name):
+        samples = golden_engine(setup_name).collect(
+            GOLDEN_KEY, GOLDEN_SAMPLES, party="victim", campaign_seed=0xC0DE
+        )
+        assert sample_digest(samples) == GOLDEN_DIGESTS[setup_name], (
+            f"{setup_name}: the timing engine's output changed — if this "
+            "is intentional, refresh GOLDEN_DIGESTS (and expect cached "
+            "campaign results to be stale)"
+        )
+
+    def test_digests_distinguish_setups(self):
+        assert len(set(GOLDEN_DIGESTS.values())) == len(GOLDEN_DIGESTS)
+
+
+class TestShardedGoldens:
+    @pytest.mark.parametrize("setup_name", SETUP_NAMES)
+    @pytest.mark.parametrize("num_shards", [3])
+    def test_sharded_collect_matches_frozen_digest(self, setup_name,
+                                                   num_shards):
+        engine = golden_engine(setup_name)
+        plan = engine.shard_plan(GOLDEN_SAMPLES, num_shards)
+        assert len(plan) > 1, "plan must actually shard the budget"
+        merged = merge_shard_samples([
+            engine.collect_shard(
+                GOLDEN_KEY, GOLDEN_SAMPLES, shard,
+                party="victim", campaign_seed=0xC0DE,
+            )
+            for shard in plan
+        ])
+        assert sample_digest(merged) == GOLDEN_DIGESTS[setup_name]
+
+
+class TestCampaignGoldens:
+    """The acceptance criterion: a Bernstein cell with
+    ``max_shards_per_cell > 1`` (and optionally a process pool)
+    produces byte-identical timing arrays and identical attack results
+    to the serial path."""
+
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return bernstein_grid(num_samples=12_288, seed=2018)
+
+    @pytest.fixture(scope="class")
+    def serial(self, specs):
+        return CampaignRunner().run(specs)
+
+    def test_serial_attack_matches_frozen_results(self, serial):
+        for cell in serial:
+            report = cell.payload.report
+            expected_bits, expected_space = GOLDEN_ATTACKS[cell.spec.setup]
+            assert report.bits_determined == expected_bits
+            assert report.remaining_key_space_log2 == pytest.approx(
+                expected_space, rel=1e-9
+            )
+
+    def test_sharded_pool_bit_identical_to_serial(self, specs, serial):
+        sharded = CampaignRunner(
+            workers=GOLDEN_WORKERS, max_shards_per_cell=3
+        ).run(specs)
+        for ser, shd in zip(serial, sharded):
+            assert ser.spec == shd.spec
+            assert shd.num_shards > 1
+            assert (
+                ser.payload.victim_samples.timings.tobytes()
+                == shd.payload.victim_samples.timings.tobytes()
+            )
+            assert (
+                ser.payload.attacker_samples.timings.tobytes()
+                == shd.payload.attacker_samples.timings.tobytes()
+            )
+            assert (
+                ser.payload.victim_samples.plaintexts.tobytes()
+                == shd.payload.victim_samples.plaintexts.tobytes()
+            )
+            assert ser.payload.victim_key == shd.payload.victim_key
+            assert (
+                ser.payload.report.remaining_key_space_log2
+                == shd.payload.report.remaining_key_space_log2
+            )
+            assert (
+                ser.payload.report.bits_determined
+                == shd.payload.report.bits_determined
+            )

@@ -1,14 +1,18 @@
 """Tests for the shared reporting module (repro.reporting)."""
 
 import dataclasses
+import io
 import json
 
 import numpy as np
 import pytest
 
 from repro.reporting import (
+    CampaignProgress,
     ResultsFile,
+    campaign_totals,
     emit_block,
+    format_duration,
     format_table,
     render_json,
     run_header,
@@ -88,6 +92,114 @@ class TestResultsFile:
         results = ResultsFile(str(tmp_path / "r.txt"), echo=False)
         results.emit("quiet", ["x"])
         assert capsys.readouterr().out == ""
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _event(event="cell", work=100, from_cache=False, elapsed=1.0,
+           label="bernstein:tscache"):
+    """Duck-typed stand-in for runner.ProgressEvent."""
+
+    class E:
+        pass
+
+    e = E()
+    e.event = event
+    e.work = work
+    e.from_cache = from_cache
+    e.elapsed = elapsed
+    e.label = label
+    return e
+
+
+class TestCampaignProgress:
+    def test_emits_progress_and_eta_lines(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(4, 400, stream=stream, clock=clock)
+        clock.now = 10.0
+        progress(_event(work=100))
+        clock.now = 20.0
+        progress(_event(work=100))
+        lines = stream.getvalue().splitlines()
+        assert "[1/4 cells" in lines[0]
+        # 100 work units per 10s; 300 remaining after the first cell.
+        assert "eta 30s" in lines[0]
+        assert "[2/4 cells" in lines[1]
+        assert "eta 20s" in lines[1]
+        assert "elapsed 20s" in lines[1]
+
+    def test_cache_hits_marked_and_excluded_from_rate(self):
+        """Regression (progress/ETA on resumed sweeps): a cache-hit
+        cell must emit a marked event that advances completion without
+        polluting the throughput estimate — its zero-cost 'work' would
+        otherwise make the ETA collapse toward zero."""
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(3, 300, stream=stream, clock=clock)
+        clock.now = 1.0
+        progress(_event(work=100, from_cache=True, elapsed=0.0))
+        lines = stream.getvalue().splitlines()
+        assert "(cached)" in lines[0]
+        # No fresh compute yet: ETA must be unknown, not 0.
+        assert "eta --" in lines[0]
+        assert progress.eta_seconds() is None
+        # One fresh cell by t=11 -> 100 fresh units per 11s wall; 100
+        # units remain -> 11s.  The 100 cached units count toward
+        # completion but never toward the numerator of the rate.
+        clock.now = 11.0
+        progress(_event(work=100))
+        assert progress.eta_seconds() == pytest.approx(11.0, rel=1e-6)
+        assert "eta 11s" in stream.getvalue().splitlines()[1]
+
+    def test_shard_events_count_work_not_cells(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(1, 100, stream=stream, clock=clock)
+        clock.now = 5.0
+        progress(_event(event="shard", work=50,
+                        label="bernstein:tscache shard 1/2"))
+        line = stream.getvalue().splitlines()[0]
+        assert "[0/1 cells" in line
+        assert "50%" in line
+        assert "shard 1/2" in line
+        clock.now = 10.0
+        progress(_event(event="shard", work=50,
+                        label="bernstein:tscache shard 2/2"))
+        clock.now = 10.5
+        progress(_event(event="cell", work=0))
+        final = stream.getvalue().splitlines()[-1]
+        assert "[1/1 cells, 100%]" in final
+        assert "done" in final
+
+    def test_campaign_totals(self):
+        from repro.campaigns import ExperimentSpec
+
+        specs = [
+            ExperimentSpec(kind="bernstein", setup="tscache",
+                           num_samples=1000),
+            ExperimentSpec(kind="missrate",
+                           params=(("policy", "modulo"),
+                                   ("workload", "reuse"))),
+        ]
+        cells, work = campaign_totals(specs)
+        assert cells == 2
+        assert work == 1001  # sample-less cells still weigh 1
+
+
+class TestFormatDuration:
+    def test_ranges(self):
+        assert format_duration(3) == "3s"
+        assert format_duration(59.4) == "59s"
+        assert format_duration(192) == "3m12s"
+        assert format_duration(7500) == "2h05m"
+        assert format_duration(-5) == "0s"
 
 
 class TestHelpers:

@@ -1,0 +1,177 @@
+"""Tests for intra-cell sharding: ShardPlan geometry, the engine's
+shard/serial bit-equivalence (determinism matrix over shard counts and
+completion orders), and merge validation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    AESTimingEngine,
+    Shard,
+    ShardPlan,
+    merge_shard_samples,
+)
+from repro.core.setups import make_setup
+
+KEY = bytes(range(16))
+
+
+class TestShard:
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            Shard(index=0, num_shards=1, start=5, end=5)
+        with pytest.raises(ValueError):
+            Shard(index=0, num_shards=1, start=-1, end=5)
+        with pytest.raises(ValueError):
+            Shard(index=2, num_shards=2, start=0, end=5)
+
+    def test_num_samples(self):
+        assert Shard(index=0, num_shards=1, start=3, end=10).num_samples == 7
+
+
+class TestShardPlan:
+    def test_even_split_covers_budget(self):
+        plan = ShardPlan.even(100, 3)
+        assert len(plan) == 3
+        assert [(s.start, s.end) for s in plan] == [(0, 33), (33, 66),
+                                                    (66, 100)]
+
+    def test_even_more_shards_than_samples(self):
+        plan = ShardPlan.even(2, 7)
+        assert len(plan) == 2
+        assert plan.num_samples == 2
+
+    def test_single_shard(self):
+        plan = ShardPlan.even(10, 1)
+        assert len(plan) == 1
+        assert (plan[0].start, plan[0].end) == (0, 10)
+
+    def test_from_boundaries_snaps_cuts(self):
+        plan = ShardPlan.from_boundaries(100, 2, boundaries=[30, 80])
+        # Ideal cut 50 snaps to the nearest boundary (30).
+        assert [(s.start, s.end) for s in plan] == [(0, 30), (30, 100)]
+
+    def test_from_boundaries_no_usable_boundary(self):
+        plan = ShardPlan.from_boundaries(100, 4, boundaries=[])
+        assert len(plan) == 1
+
+    def test_from_boundaries_caps_shard_count(self):
+        plan = ShardPlan.from_boundaries(100, 8, boundaries=[40])
+        assert len(plan) == 2
+
+    def test_rejects_gaps_and_misordered_shards(self):
+        good = [Shard(0, 2, 0, 5), Shard(1, 2, 5, 10)]
+        ShardPlan(10, good)  # sanity
+        with pytest.raises(ValueError, match="starts at"):
+            ShardPlan(10, [Shard(0, 2, 0, 4), Shard(1, 2, 5, 10)])
+        with pytest.raises(ValueError, match="0..k-1"):
+            ShardPlan(10, [Shard(1, 2, 0, 5), Shard(0, 2, 5, 10)])
+        with pytest.raises(ValueError, match="budget"):
+            ShardPlan(12, good)
+
+    def test_deterministic(self):
+        bounds = list(range(0, 5000, 128))
+        one = ShardPlan.from_boundaries(5000, 5, bounds)
+        two = ShardPlan.from_boundaries(5000, 5, bounds)
+        assert [(s.start, s.end) for s in one] == [
+            (s.start, s.end) for s in two
+        ]
+
+
+class TestEngineSharding:
+    """The acceptance matrix: shard counts {1, 2, 7}, any completion
+    order, serial == merged, per setup family."""
+
+    @pytest.mark.parametrize("setup_name", ["deterministic", "tscache",
+                                            "rpcache"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_merge_bit_identical_to_serial(self, setup_name, num_shards):
+        engine = AESTimingEngine(make_setup(setup_name), rng=11)
+        n = 20_000
+        serial = engine.collect(KEY, n, party="attacker")
+        plan = engine.shard_plan(n, num_shards)
+        parts = [
+            engine.collect_shard(KEY, n, shard, party="attacker")
+            for shard in plan
+        ]
+        # Invariance to completion order: merge a shuffled part list.
+        random.Random(num_shards).shuffle(parts)
+        merged = merge_shard_samples(parts)
+        assert merged.timings.tobytes() == serial.timings.tobytes()
+        assert merged.plaintexts.tobytes() == serial.plaintexts.tobytes()
+        assert merged.key == serial.key
+        assert merged.setup_name == serial.setup_name
+
+    def test_blocks_tile_budget(self):
+        engine = AESTimingEngine(make_setup("tscache"))
+        blocks = engine.collection_blocks(50_000)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 50_000
+        for (_, end), (start, _) in zip(blocks, blocks[1:]):
+            assert end == start
+
+    def test_blocks_align_to_epochs_and_realisations(self):
+        """tscache: reseed_every=1024 and replacement_block=1024, so
+        every multiple of 1024 must be a boundary (cold-mask epochs
+        never straddle shards)."""
+        engine = AESTimingEngine(make_setup("tscache"))
+        starts = {s for s, _ in engine.collection_blocks(8192)}
+        assert starts.issuperset(range(0, 8192, 1024))
+
+    def test_misaligned_shard_rejected(self):
+        engine = AESTimingEngine(make_setup("tscache"))
+        bad = Shard(index=0, num_shards=2, start=0, end=1000)
+        with pytest.raises(ValueError, match="block-aligned"):
+            engine.collect_shard(KEY, 4096, bad)
+
+    def test_shard_beyond_budget_rejected(self):
+        engine = AESTimingEngine(make_setup("tscache"))
+        bad = Shard(index=0, num_shards=1, start=0, end=8192)
+        with pytest.raises(ValueError, match="budget"):
+            engine.collect_shard(KEY, 4096, bad)
+
+    def test_collect_is_reproducible(self):
+        """Collection is a pure function of (entropy, key, party,
+        campaign seed, budget) — same call, same samples."""
+        engine = AESTimingEngine(make_setup("mbpta"), rng=3)
+        one = engine.collect(KEY, 4096)
+        two = engine.collect(KEY, 4096)
+        assert np.array_equal(one.timings, two.timings)
+        assert np.array_equal(one.plaintexts, two.plaintexts)
+
+    def test_parties_draw_distinct_streams(self):
+        engine = AESTimingEngine(make_setup("deterministic"), rng=3)
+        victim = engine.collect(KEY, 2048, party="victim")
+        attacker = engine.collect(KEY, 2048, party="attacker")
+        assert not np.array_equal(victim.plaintexts, attacker.plaintexts)
+
+
+class TestMergeValidation:
+    def _parts(self, n=4096, k=2):
+        engine = AESTimingEngine(make_setup("tscache"), rng=5)
+        plan = engine.shard_plan(n, k)
+        return [engine.collect_shard(KEY, n, s) for s in plan], engine
+
+    def test_missing_shard_rejected(self):
+        parts, _ = self._parts()
+        with pytest.raises(ValueError, match="shards"):
+            merge_shard_samples(parts[:1])
+
+    def test_duplicate_shard_rejected(self):
+        parts, _ = self._parts()
+        with pytest.raises(ValueError, match="duplicate or missing"):
+            merge_shard_samples([parts[0], parts[0]])
+
+    def test_mixed_collections_rejected(self):
+        parts, engine = self._parts()
+        n = 4096
+        plan = engine.shard_plan(n, 2)
+        other = engine.collect_shard(bytes(16), n, plan[1])
+        with pytest.raises(ValueError, match="different collections"):
+            merge_shard_samples([parts[0], other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no shards"):
+            merge_shard_samples([])
