@@ -1,0 +1,47 @@
+"""repro.backends — pluggable execution backends for campaigns.
+
+The campaign engine (:mod:`repro.campaigns`) decides *what* to run —
+cells, shard plans, merges, caching.  This package decides *where*:
+every backend takes the same self-describing :class:`WorkUnit` s and
+streams back :class:`WorkResult` s, and because unit payloads are pure
+functions of their wire form, campaign results are bit-identical
+across all of them.
+
+* :class:`SerialBackend` — in-process, submission order (reference).
+* :class:`ProcessPoolBackend` — a process pool on this host.
+* :class:`WorkQueueBackend` — a filesystem work queue served by
+  independent ``repro worker`` processes (same host or any host
+  sharing the directory), with lease-based dead-worker recovery.
+
+Quickstart::
+
+    from repro.backends import WorkQueueBackend
+    from repro.campaigns import CampaignRunner, bernstein_grid
+
+    backend = WorkQueueBackend("shared/queue", spawn_workers=2)
+    try:
+        runner = CampaignRunner(backend=backend, max_shards_per_cell=8)
+        results = runner.run(bernstein_grid(num_samples=300_000))
+    finally:
+        backend.close()
+"""
+
+from repro.backends.base import (
+    ExecutionBackend,
+    WorkResult,
+    WorkUnit,
+    execute_unit,
+)
+from repro.backends.local import ProcessPoolBackend, SerialBackend
+from repro.backends.workqueue import WorkQueueBackend, worker_loop
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "WorkQueueBackend",
+    "WorkResult",
+    "WorkUnit",
+    "execute_unit",
+    "worker_loop",
+]

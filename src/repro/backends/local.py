@@ -1,0 +1,110 @@
+"""Single-host backends: in-process serial and process-pool execution.
+
+These are the two execution modes :class:`CampaignRunner` grew up
+with, refactored behind the :class:`ExecutionBackend` protocol so the
+runner no longer knows *how* units run — only that results stream
+back in some order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.backends.base import (
+    ExecutionBackend,
+    WorkResult,
+    WorkUnit,
+    execute_unit,
+    resolve_unit_kind,
+)
+from repro.campaigns.spec import ExperimentSpec
+from repro.core.batch import Shard
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes units in this process, in submission order.
+
+    The reference semantics: every other backend must produce
+    bit-identical payloads to this one.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[WorkUnit] = deque()
+
+    def submit(self, unit: WorkUnit) -> None:
+        self._queue.append(unit)
+
+    def completions(self) -> Iterator[WorkResult]:
+        while self._queue:
+            unit = self._queue.popleft()
+            payload, elapsed = execute_unit(unit)
+            yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+
+    def cancel(self) -> None:
+        self._queue.clear()
+
+
+def _pool_execute(run_fn, spec: ExperimentSpec, shard: Optional[Shard]):
+    """(payload, compute seconds) on a pool worker.
+
+    Receives the kind's run function directly rather than re-resolving
+    ``spec.kind``: under the ``spawn`` start method a worker process
+    has an empty registry apart from the built-ins, but unpickling the
+    function reference imports its defining module — which re-runs any
+    ``register_experiment`` side effects.  Timing happens here, on the
+    worker, so parallel units report their own compute time rather
+    than time-since-pool-start.
+    """
+    start = time.perf_counter()
+    payload = run_fn(spec) if shard is None else run_fn(spec, shard)
+    return payload, time.perf_counter() - start
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans units out across a ``ProcessPoolExecutor`` on this host.
+
+    The pool is created lazily at the first drain, sized
+    ``min(workers, submitted units)`` so a one-unit round never pays
+    for idle processes, and reused by later submit/drain rounds.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pending: List[WorkUnit] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def submit(self, unit: WorkUnit) -> None:
+        self._pending.append(unit)
+
+    def completions(self) -> Iterator[WorkResult]:
+        if not self._pending:
+            return
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(self._pending))
+            )
+        futures: Dict[Future, WorkUnit] = {}
+        for unit in self._pending:
+            kind = resolve_unit_kind(unit)
+            run_fn = kind.run if unit.shard is None else kind.run_shard
+            futures[
+                self._pool.submit(_pool_execute, run_fn, unit.spec, unit.shard)
+            ] = unit
+        self._pending = []
+        for future in as_completed(futures):
+            unit = futures[future]
+            payload, elapsed = future.result()
+            yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+
+    def cancel(self) -> None:
+        self._pending = []
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

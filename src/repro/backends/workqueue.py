@@ -1,0 +1,554 @@
+"""Filesystem work queue: shard dispatch to independent workers.
+
+The queue is a directory (local disk for multi-process runs, a shared
+filesystem for multi-host ones) with one subdirectory per lifecycle
+stage::
+
+    queue/
+      tasks/    <unit_id>.json   pending unit (self-describing wire doc)
+      leases/   <unit_id>.json   claimed unit; file mtime = heartbeat
+      results/  <unit_id>.pkl    completed unit (payload or error)
+      workers/  <worker_id>.*    worker heartbeat/log files (diagnostics)
+      stop                       sentinel: workers drain and exit
+
+Every file appears atomically (write to a temp name + fsync +
+``os.replace``), so readers never observe a torn document no matter
+when a writer dies.
+
+**Claiming** is a single ``os.rename`` from ``tasks/`` to ``leases/``
+— exactly one worker wins, no locks.  While executing, the worker
+touches its lease file every ``heartbeat`` seconds (the interval rides
+in the task doc, derived from the dispatcher's ``lease_timeout``).
+
+**Dead workers**: the dispatcher re-enqueues any claimed unit whose
+lease goes stale (no heartbeat for ``lease_timeout`` seconds) by
+moving its doc back to ``tasks/`` with an incremented attempt count,
+up to ``max_attempts``.  Unit payloads are pure functions of the wire
+doc, so a re-run — even racing a worker that was merely slow, not
+dead — produces bit-identical bytes; whichever result lands first is
+used.
+
+**Clean failures** (an execution raising) are *not* retried: the
+worker writes an error result and the dispatcher raises it, because a
+deterministic unit that failed once will fail again.
+
+Workers are started with ``repro worker --queue DIR`` (see
+:func:`worker_loop`) or spawned by the dispatcher itself
+(``spawn_workers=N``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.backends.base import (
+    ExecutionBackend,
+    WorkResult,
+    WorkUnit,
+    execute_unit,
+)
+from repro.common.fsio import atomic_write_bytes
+
+TASKS_DIR = "tasks"
+LEASES_DIR = "leases"
+RESULTS_DIR = "results"
+WORKERS_DIR = "workers"
+STOP_SENTINEL = "stop"
+
+_SUBDIRS = (TASKS_DIR, LEASES_DIR, RESULTS_DIR, WORKERS_DIR)
+
+
+def ensure_queue_dirs(queue_dir: str) -> None:
+    for name in _SUBDIRS:
+        os.makedirs(os.path.join(queue_dir, name), exist_ok=True)
+
+
+def _stop_path(queue_dir: str) -> str:
+    return os.path.join(queue_dir, STOP_SENTINEL)
+
+
+def _task_path(queue_dir: str, unit_id: str) -> str:
+    return os.path.join(queue_dir, TASKS_DIR, unit_id + ".json")
+
+
+def _lease_path(queue_dir: str, unit_id: str) -> str:
+    return os.path.join(queue_dir, LEASES_DIR, unit_id + ".json")
+
+
+def _result_path(queue_dir: str, unit_id: str) -> str:
+    return os.path.join(queue_dir, RESULTS_DIR, unit_id + ".pkl")
+
+
+# -- worker side -------------------------------------------------------------
+
+
+class _Heartbeat:
+    """Touches a lease file on a background thread while a unit runs,
+    so the dispatcher can tell a slow worker from a dead one."""
+
+    def __init__(self, path: str, interval: float) -> None:
+        self._path = path
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                os.utime(self._path)
+            except FileNotFoundError:
+                # The dispatcher re-enqueued (or the run was torn
+                # down); nothing left to keep alive.
+                return
+            except OSError:
+                # Transient filesystem hiccup (NFS, EIO): keep
+                # beating — exiting here would make a healthy worker
+                # look dead and burn an attempt for nothing.
+                continue
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def _claim_next(queue_dir: str) -> Optional[str]:
+    """Claim one pending unit; its id, or None when the queue is idle.
+
+    The claim is ``os.rename(tasks/X, leases/X)`` — atomic, exactly
+    one winner per task file.  The fresh lease is touched immediately:
+    the renamed file keeps the *task's* mtime, which may already be
+    older than the lease timeout if the unit waited long for a free
+    worker.
+    """
+    tasks_dir = os.path.join(queue_dir, TASKS_DIR)
+    try:
+        names = sorted(os.listdir(tasks_dir))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        unit_id = name[: -len(".json")]
+        try:
+            os.rename(
+                os.path.join(tasks_dir, name),
+                _lease_path(queue_dir, unit_id),
+            )
+        except FileNotFoundError:
+            continue  # another worker won this one
+        os.utime(_lease_path(queue_dir, unit_id))
+        return unit_id
+    return None
+
+
+def _release_lease(lease_path: str, worker_id: str) -> None:
+    """Remove the lease only if this worker still owns it.
+
+    A unit re-enqueued while this worker was merely slow (not dead)
+    may since have been claimed by another worker — that successor's
+    fresh lease must survive the predecessor finishing late, or the
+    successor would look dead while actively computing.
+    """
+    try:
+        with open(lease_path) as handle:
+            owner = json.load(handle).get("worker")
+    except (OSError, ValueError):
+        return
+    if owner != worker_id:
+        return
+    try:
+        os.unlink(lease_path)
+    except FileNotFoundError:
+        pass
+
+
+def _execute_claimed(
+    queue_dir: str, unit_id: str, worker_id: str
+) -> Optional[bool]:
+    """Run one claimed unit and publish its result.
+
+    True/False for success/failure; None when the claim was lost
+    before execution (the dispatcher re-enqueued the unit between the
+    claim rename and this read — possible when the task file sat
+    unclaimed past the lease timeout, since the rename preserves its
+    stale mtime).
+    """
+    lease_path = _lease_path(queue_dir, unit_id)
+    try:
+        with open(lease_path) as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        return None
+    # Stamp ownership (and refresh the heartbeat) so a slow
+    # predecessor finishing late cannot tear down this lease.
+    doc["worker"] = worker_id
+    atomic_write_bytes(lease_path, json.dumps(doc).encode())
+    result: Dict[str, Any] = {
+        "worker": worker_id,
+        "attempt": int(doc.get("attempt", 1)),
+    }
+    with _Heartbeat(lease_path, float(doc.get("heartbeat", 5.0))):
+        try:
+            module = doc.get("kind_module")
+            if module:
+                # Registers kinds defined outside the built-ins
+                # (same trick as pickling run-fn references to a
+                # process pool: importing the module re-runs its
+                # register_experiment side effects).
+                importlib.import_module(module)
+            payload, elapsed = execute_unit(WorkUnit.from_doc(doc))
+            result.update(ok=True, payload=payload, elapsed=elapsed)
+        except Exception:
+            result.update(ok=False, error=traceback.format_exc())
+    atomic_write_bytes(
+        _result_path(queue_dir, unit_id),
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+    _release_lease(lease_path, worker_id)
+    return bool(result["ok"])
+
+
+def worker_loop(
+    queue_dir: str,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    max_idle: Optional[float] = None,
+    echo: bool = True,
+) -> int:
+    """The ``repro worker`` main loop; returns units executed.
+
+    Claims and executes units until the queue's ``stop`` sentinel
+    appears or — when ``max_idle`` is set — no work arrived for that
+    many seconds.  Workers are stateless: everything a unit needs
+    rides in its task document, so any number of workers on any hosts
+    sharing the directory can serve one campaign.
+    """
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    ensure_queue_dirs(queue_dir)
+    atomic_write_bytes(
+        os.path.join(queue_dir, WORKERS_DIR, worker_id + ".json"),
+        json.dumps({
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "started": time.time(),
+        }).encode(),
+    )
+    if echo:
+        print(f"[worker {worker_id}] serving queue {queue_dir}",
+              file=sys.stderr, flush=True)
+    executed = 0
+    idle_since = time.monotonic()
+    while True:
+        if os.path.exists(_stop_path(queue_dir)):
+            break
+        unit_id = _claim_next(queue_dir)
+        if unit_id is None:
+            if (max_idle is not None
+                    and time.monotonic() - idle_since > max_idle):
+                break
+            time.sleep(poll_interval)
+            continue
+        ok = _execute_claimed(queue_dir, unit_id, worker_id)
+        if ok is None:
+            continue  # claim lost to a re-enqueue race; move on
+        if echo:
+            status = "done" if ok else "FAILED"
+            print(f"[worker {worker_id}] {unit_id}: {status}",
+                  file=sys.stderr, flush=True)
+        executed += 1
+        idle_since = time.monotonic()
+    if echo:
+        print(f"[worker {worker_id}] exiting after {executed} unit(s)",
+              file=sys.stderr, flush=True)
+    return executed
+
+
+# -- dispatcher side ---------------------------------------------------------
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """Dispatches units through a filesystem queue to ``repro worker``
+    processes, with lease-based failure recovery.
+
+    Parameters
+    ----------
+    queue_dir:
+        The queue directory (created if missing).  Share it between
+        the dispatcher and every worker — local path for same-host
+        workers, network filesystem for cross-host ones.
+    lease_timeout:
+        Seconds without a heartbeat after which a claimed unit's
+        worker is presumed dead and the unit is re-enqueued.
+    max_attempts:
+        Total tries (1 + re-enqueues) a unit gets before the campaign
+        fails; guards against a unit that keeps killing workers.
+    spawn_workers:
+        Convenience: start this many local ``repro worker`` processes
+        alongside the dispatcher (their logs land in
+        ``queue/workers/``); they are stopped again by :meth:`close`.
+    idle_timeout:
+        Optional watchdog: raise if no completion arrived *and* no
+        live lease was observed for this many seconds (e.g. nobody
+        ever started a worker).  None waits forever.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        *,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.2,
+        max_attempts: int = 3,
+        spawn_workers: int = 0,
+        idle_timeout: Optional[float] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.queue_dir = queue_dir
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self.idle_timeout = idle_timeout
+        ensure_queue_dirs(queue_dir)
+        # A stale sentinel from a previous campaign would make fresh
+        # workers exit immediately.
+        try:
+            os.unlink(_stop_path(queue_dir))
+        except FileNotFoundError:
+            pass
+        self._outstanding: Dict[str, WorkUnit] = {}
+        self._attempts: Dict[str, int] = {}
+        self._procs: List[subprocess.Popen] = []
+        self._log_paths: List[str] = []
+        for index in range(spawn_workers):
+            self._spawn_worker(index)
+
+    # -- worker management ---------------------------------------------------
+
+    def _spawn_worker(self, index: int) -> None:
+        worker_id = f"spawned-{os.getpid()}-{index}"
+        log_path = os.path.join(
+            self.queue_dir, WORKERS_DIR, worker_id + ".log"
+        )
+        env = dict(os.environ)
+        # Guarantee the child resolves `repro` exactly as we do, even
+        # when the package is importable only via sys.path mutations
+        # (pytest rootdir conftest, PYTHONPATH=src invocations).
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        log = open(log_path, "ab")
+        try:
+            self._procs.append(subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker",
+                    "--queue", self.queue_dir,
+                    "--worker-id", worker_id,
+                    "--poll", str(self.poll_interval),
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            ))
+            self._log_paths.append(log_path)
+        finally:
+            log.close()  # the child holds its own handle
+
+    def _check_spawned(self) -> None:
+        if not self._procs or not self._outstanding:
+            return
+        if any(proc.poll() is None for proc in self._procs):
+            return
+        tails = []
+        for path in self._log_paths:
+            try:
+                with open(path, errors="replace") as handle:
+                    tails.append(f"--- {path} ---\n"
+                                 + "".join(handle.readlines()[-20:]))
+            except OSError:
+                continue
+        raise RuntimeError(
+            "all spawned workers exited with "
+            f"{len(self._outstanding)} unit(s) outstanding\n"
+            + "\n".join(tails)
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def _task_doc(self, unit: WorkUnit, attempt: int) -> bytes:
+        doc = unit.to_doc()
+        doc["attempt"] = attempt
+        # Workers heartbeat a few times per lease window so one missed
+        # beat (scheduler hiccup, slow NFS) is not a death sentence.
+        doc["heartbeat"] = max(0.05, self.lease_timeout / 4.0)
+        return json.dumps(doc).encode()
+
+    def submit(self, unit: WorkUnit) -> None:
+        if unit.unit_id in self._outstanding:
+            raise ValueError(f"unit {unit.unit_id!r} already submitted")
+        # Unit ids are deterministic, so a reused queue directory may
+        # hold this id's leftovers from an earlier campaign (a
+        # consumed-then-raised error result, an orphaned lease, a
+        # cancelled task).  Sweep them, or completions() would replay
+        # the stale outcome instead of dispatching fresh work.
+        for stale in (
+            _result_path(self.queue_dir, unit.unit_id),
+            _lease_path(self.queue_dir, unit.unit_id),
+            _task_path(self.queue_dir, unit.unit_id),
+        ):
+            try:
+                os.unlink(stale)
+            except FileNotFoundError:
+                pass
+        self._outstanding[unit.unit_id] = unit
+        self._attempts[unit.unit_id] = 1
+        atomic_write_bytes(
+            _task_path(self.queue_dir, unit.unit_id),
+            self._task_doc(unit, attempt=1),
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def completions(self) -> Iterator[WorkResult]:
+        last_alive = time.monotonic()
+        while self._outstanding:
+            progressed = False
+            for unit_id in list(self._outstanding):
+                result = self._collect(unit_id)
+                if result is not None:
+                    progressed = True
+                    yield result
+            if progressed or self._any_live_lease():
+                last_alive = time.monotonic()
+            if not self._outstanding:
+                break
+            self._requeue_expired()
+            if not progressed:
+                self._check_spawned()
+                if (self.idle_timeout is not None
+                        and time.monotonic() - last_alive
+                        > self.idle_timeout):
+                    raise RuntimeError(
+                        f"work queue idle for {self.idle_timeout:.0f}s "
+                        f"with {len(self._outstanding)} unit(s) "
+                        "outstanding — are any workers running? "
+                        f"(start one with: repro worker --queue "
+                        f"{self.queue_dir})"
+                    )
+                time.sleep(self.poll_interval)
+
+    def _collect(self, unit_id: str) -> Optional[WorkResult]:
+        path = _result_path(self.queue_dir, unit_id)
+        try:
+            with open(path, "rb") as handle:
+                doc = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        unit = self._outstanding[unit_id]
+        if not doc.get("ok"):
+            # Consume the error result: leaving it on disk would make
+            # a reused queue directory replay this failure forever.
+            os.unlink(path)
+            raise RuntimeError(
+                f"unit {unit_id} ({unit.label}) failed on worker "
+                f"{doc.get('worker')}:\n{doc.get('error')}"
+            )
+        attempts = self._attempts.pop(unit_id)
+        del self._outstanding[unit_id]
+        os.unlink(path)
+        return WorkResult(
+            unit=unit,
+            payload=doc["payload"],
+            elapsed=float(doc.get("elapsed", 0.0)),
+            worker=doc.get("worker"),
+            attempts=attempts,
+        )
+
+    def _lease_age(self, unit_id: str) -> Optional[float]:
+        try:
+            return time.time() - os.stat(
+                _lease_path(self.queue_dir, unit_id)
+            ).st_mtime
+        except FileNotFoundError:
+            return None
+
+    def _any_live_lease(self) -> bool:
+        for unit_id in self._outstanding:
+            age = self._lease_age(unit_id)
+            if age is not None and age <= self.lease_timeout:
+                return True
+        return False
+
+    def _requeue_expired(self) -> None:
+        """Re-enqueue claimed units whose worker stopped heartbeating."""
+        for unit_id, unit in list(self._outstanding.items()):
+            age = self._lease_age(unit_id)
+            if age is None or age <= self.lease_timeout:
+                continue
+            # The worker may have finished right at the deadline:
+            # results are published before the lease is removed, so
+            # check once more before declaring it dead.
+            if os.path.exists(_result_path(self.queue_dir, unit_id)):
+                continue
+            attempts = self._attempts[unit_id] + 1
+            if attempts > self.max_attempts:
+                raise RuntimeError(
+                    f"unit {unit_id} ({unit.label}): lease expired and "
+                    f"the {self.max_attempts}-attempt budget is "
+                    "exhausted (workers keep dying mid-unit?)"
+                )
+            self._attempts[unit_id] = attempts
+            try:
+                os.unlink(_lease_path(self.queue_dir, unit_id))
+            except FileNotFoundError:
+                pass
+            atomic_write_bytes(
+                _task_path(self.queue_dir, unit_id),
+                self._task_doc(unit, attempt=attempts),
+            )
+
+    # -- teardown ------------------------------------------------------------
+
+    def cancel(self) -> None:
+        for unit_id in list(self._outstanding):
+            try:
+                os.unlink(_task_path(self.queue_dir, unit_id))
+            except FileNotFoundError:
+                pass  # already claimed; its result will be orphaned
+            del self._outstanding[unit_id]
+            del self._attempts[unit_id]
+
+    def close(self) -> None:
+        """Stop spawned workers (via the ``stop`` sentinel, then
+        escalating) and release the queue.  External workers keep
+        running — remove/write the sentinel yourself to manage them."""
+        if self._procs:
+            atomic_write_bytes(_stop_path(self.queue_dir), b"")
+            deadline = time.monotonic() + 10.0
+            for proc in self._procs:
+                timeout = max(0.1, deadline - time.monotonic())
+                try:
+                    proc.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+            self._procs = []

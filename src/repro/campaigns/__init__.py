@@ -39,6 +39,7 @@ from repro.campaigns.registry import (
 from repro.campaigns.runner import (
     CampaignResult,
     CampaignRunner,
+    CellPlan,
     CellResult,
     ProgressEvent,
     ResultCache,
@@ -56,6 +57,7 @@ __all__ = [
     "CampaignDefinition",
     "CampaignResult",
     "CampaignRunner",
+    "CellPlan",
     "CellResult",
     "ExperimentKind",
     "ExperimentSpec",

@@ -192,12 +192,31 @@ def merge_bernstein_shards(
     return study.attack(victim_samples, attacker_samples, victim_key)
 
 
+def merge_bernstein_partial(
+    spec: ExperimentSpec, parts: Sequence[Dict[str, ShardSamples]]
+):
+    """The correlation attack over a contiguous prefix of the budget —
+    an incremental Figure 5 data point at a smaller sample count."""
+    study = _bernstein_study(spec)
+    victim_key, _ = study.resolve_keys(
+        _key_param(spec, "victim_key"), _key_param(spec, "attacker_key")
+    )
+    victim = merge_shard_samples(
+        [p["victim"] for p in parts], partial=True
+    )
+    attacker = merge_shard_samples(
+        [p["attacker"] for p in parts], partial=True
+    )
+    return study.attack(victim, attacker, victim_key)
+
+
 @register_experiment(
     "bernstein",
     summarize=_summarize_bernstein,
     plan_shards=plan_bernstein_shards,
     run_shard=run_bernstein_shard,
     merge_shards=merge_bernstein_shards,
+    merge_partial=merge_bernstein_partial,
 )
 def run_bernstein(spec: ExperimentSpec):
     """One Figure 5 panel: the correlation attack against one setup.
@@ -255,12 +274,19 @@ def merge_timing_shards(
     return merge_shard_samples(parts)
 
 
+def merge_timing_partial(
+    spec: ExperimentSpec, parts: Sequence[ShardSamples]
+) -> TimingSamples:
+    return merge_shard_samples(parts, partial=True)
+
+
 @register_experiment(
     "timing_samples",
     summarize=_summarize_timing,
     plan_shards=plan_timing_shards,
     run_shard=run_timing_shard,
     merge_shards=merge_timing_shards,
+    merge_partial=merge_timing_partial,
 )
 def run_timing_samples(spec: ExperimentSpec) -> TimingSamples:
     """Raw one-party timing collection (Figure 4 substrate).
@@ -366,12 +392,22 @@ def merge_pwcet_shards(
     return _pwcet_payload(spec, np.concatenate(list(parts)))
 
 
+def merge_pwcet_partial(
+    spec: ExperimentSpec, parts: Sequence[np.ndarray]
+) -> PwcetPayload:
+    """MBPTA verdicts over the runs collected so far (a prefix of the
+    budget); the admission tests may legitimately fail on few runs —
+    the runner treats partial-merge failures as skippable."""
+    return _pwcet_payload(spec, np.concatenate(list(parts)))
+
+
 @register_experiment(
     "pwcet",
     summarize=_summarize_pwcet,
     plan_shards=plan_pwcet_shards,
     run_shard=run_pwcet_shard,
     merge_shards=merge_pwcet_shards,
+    merge_partial=merge_pwcet_partial,
 )
 def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
     """MBPTA collection + analysis on one setup (``num_samples`` runs).

@@ -22,6 +22,7 @@ SummarizeFn = Callable[[ExperimentSpec, Any], Dict[str, Any]]
 PlanShardsFn = Callable[[ExperimentSpec, int], ShardPlan]
 RunShardFn = Callable[[ExperimentSpec, Shard], Any]
 MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
+MergePartialFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,11 @@ class ExperimentKind:
     plan_shards: Optional[PlanShardsFn] = None
     run_shard: Optional[RunShardFn] = None
     merge_shards: Optional[MergeShardsFn] = None
+    #: Optional streaming hook: merges a contiguous *prefix* of shard
+    #: partials (0..k-1 of n) into a payload-shaped preview so the
+    #: runner can surface incremental results before the cell
+    #: finishes.  Best-effort — the runner swallows its failures.
+    merge_partial: Optional[MergePartialFn] = None
 
     @property
     def shardable(self) -> bool:
@@ -55,6 +61,11 @@ class ExperimentKind:
             raise ValueError(
                 f"kind {self.name!r} must define all of plan_shards/"
                 "run_shard/merge_shards, or none"
+            )
+        if self.merge_partial is not None and self.run_shard is None:
+            raise ValueError(
+                f"kind {self.name!r} defines merge_partial but is not "
+                "shardable"
             )
 
 
@@ -72,6 +83,7 @@ def register_experiment(
     plan_shards: Optional[PlanShardsFn] = None,
     run_shard: Optional[RunShardFn] = None,
     merge_shards: Optional[MergeShardsFn] = None,
+    merge_partial: Optional[MergePartialFn] = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering ``fn`` as the runner for kind ``name``."""
 
@@ -85,6 +97,7 @@ def register_experiment(
             plan_shards=plan_shards,
             run_shard=run_shard,
             merge_shards=merge_shards,
+            merge_partial=merge_partial,
         )
         return fn
 

@@ -1,46 +1,50 @@
-"""Campaign execution: serial or process-parallel, with a result cache.
+"""Campaign execution: backend-agnostic, durable, streaming.
 
 A *campaign* is a list of :class:`ExperimentSpec` cells.  The
-:class:`CampaignRunner` executes them
+:class:`CampaignRunner` turns them into self-describing work units —
+one per whole cell, or one per :class:`~repro.core.batch.Shard` of a
+sharded cell — and executes them on an
+:class:`~repro.backends.base.ExecutionBackend`:
 
-* **serially** (``workers=1``) in spec order, or
-* **in parallel** across a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``workers>1``) — results are bit-identical to the serial run because
-  every cell draws exclusively from its own
-  :meth:`~repro.campaigns.spec.ExperimentSpec.seed_sequence`, never
-  from shared mutable state;
+* ``workers=1`` → :class:`~repro.backends.local.SerialBackend`
+  (in-process, spec order — the reference semantics),
+* ``workers>1`` → :class:`~repro.backends.local.ProcessPoolBackend`,
+* any explicit ``backend=`` — e.g.
+  :class:`~repro.backends.workqueue.WorkQueueBackend`, which ships
+  units to independent ``repro worker`` processes through a
+  filesystem queue.
 
-and, when given a ``cache_dir``, skips cells whose results are already
-on disk (keyed by :meth:`ExperimentSpec.spec_hash`), so interrupted or
-repeated sweeps only pay for unfinished cells.
+Results are bit-identical on every backend and for any completion
+order, because each unit draws exclusively from randomness keyed to
+its spec (and, for shards, to absolute sample positions) — never from
+shared mutable state.
 
-**Intra-cell sharding** (``max_shards_per_cell > 1``): cells whose
-kind is shardable (``bernstein``, ``timing_samples``, ``pwcet``) are
-split into block-aligned :class:`~repro.core.batch.Shard` s that fan
-out across the pool individually, so one big cell no longer bounds a
-sweep's wall clock.  Shard partials are merged **in shard order**
-regardless of completion order, and each shard's randomness is keyed
-to its absolute sample positions, so the merged payload is
-bit-identical to an unsharded run.
+**Durability** (``cache_dir``): finished cells are skipped on re-runs
+(keyed by :meth:`ExperimentSpec.spec_hash`), and *per-shard partials*
+are persisted as each shard completes — an interrupted big cell
+resumes mid-cell from its completed shards instead of recollecting
+them.  All cache writes are atomic (temp file + fsync + rename), so a
+crash can never leave a truncated entry that poisons later hits.
 
 **Progress**: the ``progress`` callback receives a
 :class:`ProgressEvent` for every completed unit — each shard, each
-cell, and each cache-restored cell (marked ``from_cache`` so ETA math
-can count it complete without letting its zero cost skew the
-throughput estimate; a previous revision surfaced cache hits
-indistinguishably from fresh computes, which stalled ETA estimates on
-resumed sweeps).
+cell, each cache-restored cell *and* each cache-restored shard (marked
+``from_cache`` so ETA math can count them complete without letting
+their zero cost skew the throughput estimate).  With
+``stream_partials=True``, kinds that define a ``merge_partial`` hook
+additionally emit ``"partial"`` events carrying the merged payload of
+the contiguous shard prefix completed so far — incremental
+attack/pWCET results long before the cell finishes.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -51,14 +55,13 @@ from typing import (
     Tuple,
 )
 
-from repro.campaigns.registry import (
-    ExperimentKind,
-    RunFn,
-    RunShardFn,
-    get_experiment,
-)
+from repro.campaigns.registry import ExperimentKind, get_experiment
 from repro.campaigns.spec import ExperimentSpec
+from repro.common.fsio import atomic_write_bytes
 from repro.core.batch import Shard, ShardPlan
+
+if TYPE_CHECKING:  # runtime import is deferred: backends import us
+    from repro.backends.base import ExecutionBackend
 
 ProgressFn = Callable[["ProgressEvent"], None]
 
@@ -68,31 +71,6 @@ def execute_cell(spec: ExperimentSpec) -> Any:
     return get_experiment(spec.kind).run(spec)
 
 
-def _execute_timed(run_fn: RunFn, spec: ExperimentSpec) -> Tuple[Any, float]:
-    """(payload, compute seconds) for one cell.
-
-    Receives the kind's run function directly rather than re-resolving
-    ``spec.kind``: under the ``spawn`` start method a worker process
-    has an empty registry apart from the built-ins, but unpickling the
-    function reference imports its defining module — which re-runs any
-    ``register_experiment`` side effects.  Timing happens here, on the
-    worker, so parallel cells report their own compute time rather
-    than time-since-pool-start.
-    """
-    start = time.perf_counter()
-    payload = run_fn(spec)
-    return payload, time.perf_counter() - start
-
-
-def _execute_shard_timed(
-    run_fn: RunShardFn, spec: ExperimentSpec, shard: Shard
-) -> Tuple[Any, float]:
-    """(partial payload, compute seconds) for one shard of a cell."""
-    start = time.perf_counter()
-    payload = run_fn(spec, shard)
-    return payload, time.perf_counter() - start
-
-
 @dataclass
 class CellResult:
     """One executed (or cache-restored) cell."""
@@ -100,13 +78,15 @@ class CellResult:
     spec: ExperimentSpec
     payload: Any
     #: Compute seconds: one timed execution for whole cells; for
-    #: sharded cells the *sum* over shards plus the merge — i.e.
-    #: total CPU cost, which exceeds wall clock when shards ran
-    #: concurrently (cache restores report 0).
+    #: sharded cells the *sum* over freshly-computed shards plus the
+    #: merge — i.e. total CPU cost, which exceeds wall clock when
+    #: shards ran concurrently (cache restores report 0).
     elapsed: float
     from_cache: bool = False
     #: Shards the cell was split into (1 = executed whole).
     num_shards: int = 1
+    #: Shards restored from persisted partials instead of recomputed.
+    shards_restored: int = 0
 
     def summary(self) -> Dict[str, Any]:
         """Flat JSON-able record: spec identity + kind-specific fields."""
@@ -129,14 +109,19 @@ class ProgressEvent:
     """One completed unit of campaign progress.
 
     ``event`` is ``"cell"`` (a cell finished — fresh, merged, or
-    cache-restored) or ``"shard"`` (one shard of a sharded cell
-    finished).  ``work`` is the number of samples this event newly
-    completes: shard events carry their shard's size and the final
-    merged-cell event carries 0, so consumers summing ``work`` never
-    double-count; cells executed whole (or restored from cache) carry
-    the full cell weight.  ``elapsed`` is the unit's compute seconds
-    (for a sharded cell's final event: the sum over its shards plus
-    the merge — CPU cost, not wall clock).
+    cache-restored), ``"shard"`` (one shard of a sharded cell finished
+    or was restored from a persisted partial), or ``"partial"`` (a
+    streaming merge of the contiguous shard prefix completed so far —
+    carries ``partial``/``summary``, see
+    :attr:`CampaignRunner.stream_partials`).  ``work`` is the number
+    of samples this event newly completes: shard events carry their
+    shard's size and the final merged-cell event carries 0, so
+    consumers summing ``work`` never double-count (partial events also
+    carry 0 — they re-package work already counted shard by shard);
+    cells executed whole (or restored from cache) carry the full cell
+    weight.  ``elapsed`` is the unit's compute seconds (for a sharded
+    cell's final event: the sum over its shards plus the merge — CPU
+    cost, not wall clock).
     """
 
     event: str
@@ -146,10 +131,22 @@ class ProgressEvent:
     from_cache: bool = False
     shard: Optional[Shard] = None
     result: Optional[CellResult] = None
+    #: "partial" events: merged payload of shards ``0..shards_done-1``.
+    partial: Optional[Any] = None
+    #: "partial" events: the kind's flat summary of ``partial``.
+    summary: Optional[Dict[str, Any]] = None
+    #: "partial" events: contiguous shards merged, out of shards_total.
+    shards_done: int = 0
+    shards_total: int = 0
 
     @property
     def label(self) -> str:
         """Human-readable unit label for progress lines."""
+        if self.event == "partial":
+            return (
+                f"{self.spec.cell_id} "
+                f"partial {self.shards_done}/{self.shards_total}"
+            )
         if self.shard is not None:
             return (
                 f"{self.spec.cell_id} "
@@ -204,7 +201,16 @@ class CampaignResult:
 
 
 class ResultCache:
-    """Pickle-per-cell on-disk cache keyed by the stable spec hash."""
+    """Pickle-per-cell on-disk cache keyed by the stable spec hash.
+
+    Besides whole-cell payloads it stores *per-shard partials*
+    (``<hash>.shard.<i>of<k>.<start>-<end>.pkl``) so an interrupted
+    sharded cell resumes from its completed shards; partials are
+    swept once the full cell payload lands.  Every write is atomic
+    (temp file + fsync + rename) — a crash at any instant can leave a
+    stray temp file, never a truncated entry, so later runs can never
+    be poisoned by a half-written cache hit.
+    """
 
     def __init__(self, cache_dir: str) -> None:
         self.cache_dir = cache_dir
@@ -213,38 +219,92 @@ class ResultCache:
     def _path(self, spec: ExperimentSpec) -> str:
         return os.path.join(self.cache_dir, spec.spec_hash() + ".pkl")
 
-    def get(self, spec: ExperimentSpec) -> Optional[Any]:
-        """The cached payload, or None on miss/corruption.
+    def _shard_prefix(self, spec: ExperimentSpec) -> str:
+        return spec.spec_hash() + ".shard."
 
-        Any load failure — truncated pickles, but also stale entries
+    def _shard_path(self, spec: ExperimentSpec, shard: Shard) -> str:
+        return os.path.join(
+            self.cache_dir,
+            f"{self._shard_prefix(spec)}"
+            f"{shard.index}of{shard.num_shards}."
+            f"{shard.start}-{shard.end}.pkl",
+        )
+
+    @staticmethod
+    def _load(path: str) -> Optional[Any]:
+        """Unpickle ``path``, or None on any failure.
+
+        Load failures — missing files, but also stale entries
         referencing payload classes a newer version renamed or moved
-        (AttributeError/ImportError) — degrades to a recompute rather
+        (AttributeError/ImportError) — degrade to a recompute rather
         than aborting the campaign.
         """
-        path = self._path(spec)
-        if not os.path.exists(path):
-            return None
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except Exception:
             return None
 
+    def has(self, spec: ExperimentSpec) -> bool:
+        """Whether a whole-cell entry exists (without loading it)."""
+        return os.path.exists(self._path(spec))
+
+    def get(self, spec: ExperimentSpec) -> Optional[Any]:
+        """The cached payload, or None on miss/corruption."""
+        return self._load(self._path(spec))
+
     def put(self, spec: ExperimentSpec, payload: Any) -> None:
-        """Store atomically (write-then-rename) so readers never see
-        a partial pickle."""
-        path = self._path(spec)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.cache_dir, suffix=".tmp"
+        """Store atomically so readers never see a partial pickle."""
+        atomic_write_bytes(
+            self._path(spec),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+
+    # -- per-shard partials --------------------------------------------------
+
+    def put_shard(
+        self, spec: ExperimentSpec, shard: Shard, payload: Any
+    ) -> None:
+        """Persist one shard's partial payload (atomic, like put)."""
+        atomic_write_bytes(
+            self._shard_path(spec, shard),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def get_shards(
+        self, spec: ExperimentSpec, plan: ShardPlan
+    ) -> Dict[int, Any]:
+        """``{shard index: partial payload}`` for the plan's shards.
+
+        Only exact matches count: a partial is keyed by its full
+        identity (index, shard count, sample range), so partials from
+        a run with a different ``max_shards_per_cell`` are ignored
+        rather than mis-merged (they are swept when the cell
+        finishes).  Unreadable partials degrade to recomputes.
+        """
+        restored: Dict[int, Any] = {}
+        for shard in plan:
+            payload = self._load(self._shard_path(spec, shard))
+            if payload is not None:
+                restored[shard.index] = payload
+        return restored
+
+    def count_shards(self, spec: ExperimentSpec, plan: ShardPlan) -> int:
+        """How many of the plan's shards have persisted partials."""
+        return sum(
+            1 for shard in plan
+            if os.path.exists(self._shard_path(spec, shard))
+        )
+
+    def clear_shards(self, spec: ExperimentSpec) -> None:
+        """Sweep every persisted partial of the cell (any plan)."""
+        prefix = self._shard_prefix(spec)
+        for name in os.listdir(self.cache_dir):
+            if name.startswith(prefix):
+                try:
+                    os.unlink(os.path.join(self.cache_dir, name))
+                except FileNotFoundError:
+                    pass
 
 
 @dataclass
@@ -257,6 +317,26 @@ class _PendingCell:
     plan: Optional[ShardPlan] = None
     parts: Dict[int, Any] = field(default_factory=dict)
     elapsed: float = 0.0
+    restored: int = 0
+    #: Shards covered by the last streamed partial merge.
+    partial_done: int = 0
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One cell's execution plan (the ``--dry-run`` unit of output)."""
+
+    spec: ExperimentSpec
+    #: A whole-cell cache entry exists: the cell will be restored.
+    cached: bool
+    #: The shard plan a fresh execution would use (None = runs whole).
+    plan: Optional[ShardPlan] = None
+    #: Shards with persisted partials (restored, not recomputed).
+    shards_cached: int = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.plan) if self.plan is not None else 1
 
 
 class CampaignRunner:
@@ -265,18 +345,31 @@ class CampaignRunner:
     Parameters
     ----------
     workers:
-        1 = serial in-process execution; >1 = a process pool of that
-        size.  Payloads are identical either way.
+        Sizes the default backend: 1 = serial in-process execution,
+        >1 = a process pool of that size.  Ignored when ``backend``
+        is given.  Payloads are identical either way.
     cache_dir:
-        Directory for the on-disk result cache; None disables caching.
+        Directory for the on-disk result cache; None disables caching
+        (including per-shard partials and mid-cell resume).
     progress:
         Optional callback invoked with each :class:`ProgressEvent` —
         per-shard and per-cell completions, in completion order when
         parallel, cache restores included (marked ``from_cache``).
     max_shards_per_cell:
         Upper bound on the intra-cell fan-out of shardable kinds; 1
-        disables sharding.  Sharded, parallel and serial runs all
-        produce bit-identical payloads.
+        disables sharding.  All backends and shard counts produce
+        bit-identical payloads.
+    backend:
+        An explicit :class:`~repro.backends.base.ExecutionBackend` to
+        run units on (e.g. a
+        :class:`~repro.backends.workqueue.WorkQueueBackend`).  The
+        caller owns its lifecycle — the runner submits and drains but
+        never closes it, so one backend can serve many campaigns.
+    stream_partials:
+        Emit ``"partial"`` progress events with the merged payload of
+        each cell's contiguous completed-shard prefix (kinds with a
+        ``merge_partial`` hook only).  Best-effort: a failing partial
+        merge is skipped, never fatal.
     """
 
     def __init__(
@@ -285,6 +378,8 @@ class CampaignRunner:
         cache_dir: Optional[str] = None,
         progress: Optional[ProgressFn] = None,
         max_shards_per_cell: int = 1,
+        backend: Optional["ExecutionBackend"] = None,
+        stream_partials: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -294,6 +389,46 @@ class CampaignRunner:
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
         self.max_shards_per_cell = max_shards_per_cell
+        self.backend = backend
+        self.stream_partials = stream_partials
+
+    # -- planning ----------------------------------------------------------
+
+    def _shard_plan(self, spec: ExperimentSpec) -> Optional[ShardPlan]:
+        """The cell's shard plan, or None to execute it whole."""
+        if self.max_shards_per_cell <= 1:
+            return None
+        kind = get_experiment(spec.kind)
+        if not kind.shardable or spec.num_samples <= 0:
+            return None
+        plan = kind.plan_shards(spec, self.max_shards_per_cell)
+        return plan if len(plan) > 1 else None
+
+    def plan(self, specs: Sequence[ExperimentSpec]) -> List[CellPlan]:
+        """What :meth:`run` would do, without executing anything.
+
+        For each cell: whether the whole-cell cache already covers it,
+        the shard plan a fresh execution would use, and how many of
+        those shards have persisted partials — the ``--dry-run`` view
+        of a campaign (what a distributed run would dispatch).
+        """
+        plans: List[CellPlan] = []
+        for spec in specs:
+            get_experiment(spec.kind)
+            cached = self.cache.has(spec) if self.cache else False
+            shard_plan = None if cached else self._shard_plan(spec)
+            shards_cached = (
+                self.cache.count_shards(spec, shard_plan)
+                if self.cache and shard_plan is not None
+                else 0
+            )
+            plans.append(CellPlan(
+                spec=spec,
+                cached=cached,
+                plan=shard_plan,
+                shards_cached=shards_cached,
+            ))
+        return plans
 
     # -- execution ---------------------------------------------------------
 
@@ -321,35 +456,113 @@ class CampaignRunner:
                     from_cache=True,
                     result=results[index],
                 ))
+                continue
+            cell = _PendingCell(
+                index=index,
+                spec=spec,
+                kind=get_experiment(spec.kind),
+                plan=self._shard_plan(spec),
+            )
+            self._restore_shards(cell)
+            if cell.plan is not None and len(cell.parts) == len(cell.plan):
+                # Every shard was persisted before the interruption;
+                # only the merge is left.
+                self._finish(results, cell, self._merge(cell))
             else:
-                pending.append(_PendingCell(
-                    index=index,
-                    spec=spec,
-                    kind=get_experiment(spec.kind),
-                    plan=self._shard_plan(spec),
-                ))
+                pending.append(cell)
 
         if pending:
-            total_tasks = sum(
-                len(cell.plan) if cell.plan else 1 for cell in pending
-            )
-            if self.workers == 1 or total_tasks == 1:
-                self._run_serial(pending, results)
-            else:
-                self._run_parallel(pending, results)
+            self._execute(pending, results)
 
         assert all(result is not None for result in results)
         return CampaignResult(cells=[r for r in results if r is not None])
 
-    def _shard_plan(self, spec: ExperimentSpec) -> Optional[ShardPlan]:
-        """The cell's shard plan, or None to execute it whole."""
-        if self.max_shards_per_cell <= 1:
-            return None
-        kind = get_experiment(spec.kind)
-        if not kind.shardable or spec.num_samples <= 0:
-            return None
-        plan = kind.plan_shards(spec, self.max_shards_per_cell)
-        return plan if len(plan) > 1 else None
+    def _restore_shards(self, cell: _PendingCell) -> None:
+        """Adopt persisted shard partials from an interrupted run."""
+        if self.cache is None or cell.plan is None:
+            return
+        for index, payload in sorted(
+            self.cache.get_shards(cell.spec, cell.plan).items()
+        ):
+            cell.parts[index] = payload
+            cell.restored += 1
+            self._report(ProgressEvent(
+                event="shard",
+                spec=cell.spec,
+                elapsed=0.0,
+                work=cell.plan[index].num_samples,
+                from_cache=True,
+                shard=cell.plan[index],
+            ))
+
+    def _make_units(
+        self, pending: Sequence[_PendingCell]
+    ) -> "List[Tuple[Any, _PendingCell, Optional[Shard]]]":
+        from repro.backends.base import WorkUnit
+
+        units: List[Tuple[Any, _PendingCell, Optional[Shard]]] = []
+        for cell in pending:
+            stem = f"c{cell.index:04d}-{cell.spec.spec_hash()[:12]}"
+            if cell.plan is None:
+                units.append(
+                    (WorkUnit(unit_id=stem, spec=cell.spec), cell, None)
+                )
+                continue
+            for shard in cell.plan:
+                if shard.index in cell.parts:
+                    continue  # restored from a persisted partial
+                unit = WorkUnit(
+                    unit_id=f"{stem}.{shard.start}-{shard.end}",
+                    spec=cell.spec,
+                    shard=shard,
+                )
+                units.append((unit, cell, shard))
+        return units
+
+    def _make_backend(self, num_units: int) -> "ExecutionBackend":
+        from repro.backends.local import ProcessPoolBackend, SerialBackend
+
+        if self.workers == 1 or num_units == 1:
+            return SerialBackend()
+        return ProcessPoolBackend(min(self.workers, num_units))
+
+    def _execute(
+        self,
+        pending: Sequence[_PendingCell],
+        results: List[Optional[CellResult]],
+    ) -> None:
+        units = self._make_units(pending)
+        by_id = {unit.unit_id: (cell, shard) for unit, cell, shard in units}
+        backend = self.backend
+        owns_backend = backend is None
+        if backend is None:
+            backend = self._make_backend(len(units))
+        try:
+            for unit, _, _ in units:
+                backend.submit(unit)
+            # Completion order (backend-defined), so finished cells
+            # hit the cache and the progress callback immediately
+            # instead of waiting behind a slow earlier cell.  Shard
+            # partials are keyed by shard index, so the merge below is
+            # completion-order independent.
+            for result in backend.completions():
+                cell, shard = by_id[result.unit.unit_id]
+                if shard is None:
+                    cell.elapsed = result.elapsed
+                    self._finish(results, cell, result.payload)
+                else:
+                    self._shard_done(
+                        cell, shard, result.payload, result.elapsed
+                    )
+                    if len(cell.parts) == len(cell.plan):
+                        self._finish(results, cell, self._merge(cell))
+                    elif self.stream_partials:
+                        self._stream_partial(cell)
+        finally:
+            if owns_backend:
+                backend.close()
+
+    # -- unit completion ---------------------------------------------------
 
     def _merge(self, cell: _PendingCell) -> Any:
         """Merge a sharded cell's partials (shard order, not completion
@@ -369,12 +582,16 @@ class CampaignRunner:
     ) -> None:
         if self.cache:
             self.cache.put(cell.spec, payload)
+            if cell.plan is not None:
+                # The whole-cell entry supersedes the partials.
+                self.cache.clear_shards(cell.spec)
         num_shards = len(cell.plan) if cell.plan else 1
         results[cell.index] = CellResult(
             spec=cell.spec,
             payload=payload,
             elapsed=cell.elapsed,
             num_shards=num_shards,
+            shards_restored=cell.restored,
         )
         self._report(ProgressEvent(
             event="cell",
@@ -390,6 +607,10 @@ class CampaignRunner:
     ) -> None:
         cell.parts[shard.index] = payload
         cell.elapsed += elapsed
+        # Persist before reporting: once an observer saw the shard
+        # complete, a crash must not lose it.
+        if self.cache is not None:
+            self.cache.put_shard(cell.spec, shard, payload)
         self._report(ProgressEvent(
             event="shard",
             spec=cell.spec,
@@ -398,65 +619,36 @@ class CampaignRunner:
             shard=shard,
         ))
 
-    def _run_serial(
-        self,
-        pending: Sequence[_PendingCell],
-        results: List[Optional[CellResult]],
-    ) -> None:
-        for cell in pending:
-            if cell.plan is None:
-                payload, elapsed = _execute_timed(cell.kind.run, cell.spec)
-                cell.elapsed = elapsed
-            else:
-                for shard in cell.plan:
-                    part, elapsed = _execute_shard_timed(
-                        cell.kind.run_shard, cell.spec, shard
-                    )
-                    self._shard_done(cell, shard, part, elapsed)
-                payload = self._merge(cell)
-            self._finish(results, cell, payload)
-
-    def _run_parallel(
-        self,
-        pending: Sequence[_PendingCell],
-        results: List[Optional[CellResult]],
-    ) -> None:
-        total_tasks = sum(
-            len(cell.plan) if cell.plan else 1 for cell in pending
-        )
-        max_workers = min(self.workers, total_tasks)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures: Dict[Any, Tuple[_PendingCell, Optional[Shard]]] = {}
-            for cell in pending:
-                if cell.plan is None:
-                    future = pool.submit(
-                        _execute_timed, cell.kind.run, cell.spec
-                    )
-                    futures[future] = (cell, None)
-                else:
-                    for shard in cell.plan:
-                        future = pool.submit(
-                            _execute_shard_timed,
-                            cell.kind.run_shard,
-                            cell.spec,
-                            shard,
-                        )
-                        futures[future] = (cell, shard)
-            # Completion order, so finished cells hit the cache (and
-            # the progress callback) immediately instead of waiting
-            # behind a slow earlier cell.  Shard partials are keyed by
-            # shard index, so the merge below is completion-order
-            # independent.
-            for future in as_completed(futures):
-                cell, shard = futures[future]
-                payload, elapsed = future.result()
-                if shard is None:
-                    cell.elapsed = elapsed
-                    self._finish(results, cell, payload)
-                else:
-                    self._shard_done(cell, shard, payload, elapsed)
-                    if len(cell.parts) == len(cell.plan):
-                        self._finish(results, cell, self._merge(cell))
+    def _stream_partial(self, cell: _PendingCell) -> None:
+        """Emit a merged-prefix preview event, best-effort."""
+        assert cell.plan is not None
+        if cell.kind.merge_partial is None:
+            return
+        done = 0
+        while done in cell.parts:
+            done += 1
+        if done <= cell.partial_done or done >= len(cell.plan):
+            # No new contiguous prefix (or the cell is about to merge
+            # for real anyway).
+            return
+        cell.partial_done = done
+        try:
+            payload = cell.kind.merge_partial(
+                cell.spec, [cell.parts[i] for i in range(done)]
+            )
+            summary = cell.kind.summarize(cell.spec, payload)
+        except Exception:
+            return  # previews must never fail the campaign
+        self._report(ProgressEvent(
+            event="partial",
+            spec=cell.spec,
+            elapsed=0.0,
+            work=0,
+            partial=payload,
+            summary=summary,
+            shards_done=done,
+            shards_total=len(cell.plan),
+        ))
 
     def _report(self, event: ProgressEvent) -> None:
         if self.progress is not None:

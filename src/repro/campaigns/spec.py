@@ -112,6 +112,37 @@ class ExperimentSpec:
         """Stable content hash for result-cache keys."""
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
+    # -- wire format ---------------------------------------------------------
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-able wire form for cross-process dispatch.
+
+        :meth:`from_doc` inverts it: the reconstructed spec has the
+        same :meth:`spec_hash` and :meth:`seed_sequence`, so an
+        independent worker process (see :mod:`repro.backends.workqueue`)
+        reproduces the cell bit for bit from the document alone.
+        Param values must therefore be JSON-representable — true for
+        every built-in grid (hex strings, ints, bools).
+        """
+        return {
+            "kind": self.kind,
+            "setup": self.setup,
+            "num_samples": self.num_samples,
+            "seed": self.seed,
+            "params": [[k, v] for k, v in self.params],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_doc` wire form."""
+        return cls(
+            kind=doc["kind"],
+            setup=doc.get("setup"),
+            num_samples=int(doc.get("num_samples", 0)),
+            seed=int(doc.get("seed", 0)),
+            params=tuple((k, v) for k, v in doc.get("params", [])),
+        )
+
     @property
     def cell_id(self) -> str:
         """Short human-readable cell label.

@@ -21,11 +21,19 @@ Commands
     latency/statistics summary.
 ``campaign``
     Run a named experiment grid (``bernstein``/``pwcet``/``missrates``)
-    through the campaign engine — serially or with ``--workers N``
-    across a process pool, optionally splitting big cells into
-    intra-cell shards with ``--max-shards N`` (results bit-identical
-    in every mode) — and emit a table or JSON.  Progress/ETA lines
-    stream to stderr as cells and shards finish.
+    through the campaign engine — serially, with ``--workers N``
+    across a process pool, or with ``--backend workqueue`` through a
+    filesystem work queue served by ``repro worker`` processes —
+    optionally splitting big cells into intra-cell shards with
+    ``--max-shards N`` (results bit-identical in every mode) — and
+    emit a table or JSON.  Progress/ETA lines stream to stderr as
+    cells and shards finish; ``--dry-run`` prints the plan (cells,
+    shard ranges, cache-hit status) without executing anything.
+``worker``
+    Serve a work-queue directory: claim and execute shard/cell work
+    units published by a ``repro campaign --backend workqueue``
+    dispatcher (on this or any host sharing the directory) until the
+    queue's stop sentinel appears.
 """
 
 from __future__ import annotations
@@ -169,6 +177,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 _TABLE_DETAIL_KEYS = frozenset({"victim_key", "attacker_key", "key"})
 
 
+def _cmd_dry_run(runner, specs, name: str) -> int:
+    """Print what a campaign run would dispatch, executing nothing."""
+    from repro.reporting import format_table
+
+    rows = []
+    total_units = 0
+    for cell_plan in runner.plan(specs):
+        if cell_plan.cached:
+            status = "cached"
+        elif cell_plan.shards_cached:
+            status = (
+                f"resume ({cell_plan.shards_cached}/"
+                f"{cell_plan.num_shards} shards cached)"
+            )
+        else:
+            status = "compute"
+        shards = (
+            " ".join(f"[{s.start},{s.end})" for s in cell_plan.plan)
+            if cell_plan.plan is not None
+            else "-"
+        )
+        if not cell_plan.cached:
+            total_units += cell_plan.num_shards - cell_plan.shards_cached
+        rows.append([
+            cell_plan.spec.cell_id,
+            cell_plan.num_shards,
+            shards,
+            status,
+        ])
+    print(format_table(["cell", "shards", "shard ranges", "status"], rows))
+    print(
+        f"dry run: campaign {name!r}, {len(specs)} cells, "
+        f"{total_units} work unit(s) to dispatch"
+    )
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaigns import CampaignRunner, build_campaign
     from repro.reporting import (
@@ -182,6 +227,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         args.name, num_samples=args.samples, seed=args.seed
     )
 
+    backend = None
+    ephemeral_queue = None
+    if not args.dry_run:
+        if args.backend == "workqueue":
+            import tempfile
+
+            from repro.backends import WorkQueueBackend
+
+            if args.queue_dir:
+                queue_dir = args.queue_dir
+            else:
+                queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+                ephemeral_queue = queue_dir
+            # Spawn --workers local workers unless the operator points
+            # us at an externally-served queue (--queue-dir with
+            # --workers 0).
+            backend = WorkQueueBackend(
+                queue_dir,
+                lease_timeout=args.lease_timeout,
+                spawn_workers=args.workers,
+                idle_timeout=args.idle_timeout or None,
+            )
+            if not args.quiet:
+                print(f"work queue: {queue_dir} "
+                      f"({args.workers} spawned worker(s))",
+                      file=sys.stderr)
+        elif args.backend == "serial":
+            from repro.backends import SerialBackend
+
+            backend = SerialBackend()
+        elif args.backend == "pool":
+            from repro.backends import ProcessPoolBackend
+
+            backend = ProcessPoolBackend(max(1, args.workers))
+
     progress = None
     if not args.quiet:
         # Progress/ETA lines stream to stderr (one per finished cell or
@@ -191,15 +271,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     try:
         runner = CampaignRunner(
-            workers=args.workers,
+            workers=max(1, args.workers),
             cache_dir=args.cache_dir,
             progress=progress,
             max_shards_per_cell=args.max_shards,
+            backend=backend,
+            stream_partials=args.stream_partials,
         )
+        if args.dry_run:
+            return _cmd_dry_run(runner, specs, args.name)
         result = runner.run(specs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if backend is not None:
+            backend.close()
+        if ephemeral_queue is not None:
+            import shutil
+
+            shutil.rmtree(ephemeral_queue, ignore_errors=True)
     wall = time.perf_counter() - started
 
     summaries = result.summaries()
@@ -226,6 +317,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{len(result)} cells ({result.cache_hits} cached), "
         f"wall {wall:.1f}s, compute {result.total_elapsed:.1f}s, "
         f"workers {args.workers}"
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.backends import worker_loop
+
+    worker_loop(
+        args.queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        max_idle=args.max_idle,
+        echo=not args.quiet,
     )
     return 0
 
@@ -270,13 +374,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("name", choices=sorted(CAMPAIGNS))
     campaign.add_argument("--workers", type=int, default=1,
-                          help="process-pool size (1 = serial; results "
-                               "are bit-identical either way)")
+                          help="process-pool size, or worker processes "
+                               "to spawn under --backend workqueue "
+                               "(0 = rely on externally-started "
+                               "'repro worker' processes; results are "
+                               "bit-identical in every mode)")
+    campaign.add_argument("--backend", default="auto",
+                          choices=("auto", "serial", "pool", "workqueue"),
+                          help="execution backend: 'auto' picks serial "
+                               "or a process pool from --workers; "
+                               "'workqueue' dispatches through a "
+                               "filesystem queue to independent "
+                               "'repro worker' processes")
+    campaign.add_argument("--queue-dir", default=None,
+                          help="work-queue directory for --backend "
+                               "workqueue (shared with workers; a "
+                               "temp dir when omitted)")
+    campaign.add_argument("--lease-timeout", type=float, default=60.0,
+                          help="seconds without a worker heartbeat "
+                               "before a claimed work unit is "
+                               "re-enqueued (workqueue backend)")
+    campaign.add_argument("--idle-timeout", type=float, default=600.0,
+                          help="fail if the work queue saw no "
+                               "completion and no live worker for "
+                               "this many seconds — e.g. nobody "
+                               "started 'repro worker' (workqueue "
+                               "backend; 0 waits forever)")
     campaign.add_argument("--max-shards", type=int, default=1,
                           help="split each shardable cell into up to N "
                                "intra-cell shards that fan out across "
                                "the pool (results stay bit-identical "
                                "to --max-shards 1)")
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="print the planned cells, shard ranges "
+                               "and cache-hit status, executing nothing")
+    campaign.add_argument("--stream-partials", action="store_true",
+                          help="stream incremental merged results "
+                               "(attack/pWCET previews) as each cell's "
+                               "completed-shard prefix grows")
     campaign.add_argument("--samples", type=int, default=None,
                           help="samples (or runs) per cell; campaign "
                                "default when omitted")
@@ -291,6 +426,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suppress the per-cell/per-shard "
                                "progress/ETA lines on stderr")
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve a work-queue directory as an execution worker",
+    )
+    worker.add_argument("--queue", required=True,
+                        help="queue directory (the dispatcher's "
+                             "--queue-dir; may be on a shared "
+                             "filesystem)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable identity for heartbeat/log files "
+                             "(default: host-pid)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between queue scans when idle")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds "
+                             "(default: serve until the stop sentinel "
+                             "appears)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit log lines on stderr")
+
     return parser
 
 
@@ -302,6 +457,7 @@ _COMMANDS = {
     "properties": _cmd_properties,
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,
+    "worker": _cmd_worker,
 }
 
 

@@ -1,0 +1,30 @@
+"""Crash-safe filesystem primitives shared by the result cache and the
+work-queue backend."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` so ``path`` either has the old or the new
+    content — never a prefix.
+
+    The bytes go to a temp file in the same directory, are flushed and
+    fsynced, and land under the final name via ``os.replace`` — so a
+    process killed at any instant can leave a stray ``*.tmp`` file but
+    never a truncated document under ``path``.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise

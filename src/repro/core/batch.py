@@ -263,19 +263,29 @@ class ShardSamples:
             raise ValueError("timings do not match the shard range")
 
 
-def merge_shard_samples(parts: Sequence[ShardSamples]) -> TimingSamples:
+def merge_shard_samples(
+    parts: Sequence[ShardSamples], *, partial: bool = False
+) -> TimingSamples:
     """Reassemble a full :class:`TimingSamples` from every shard.
 
     Accepts the parts in **any** order (they are sorted by shard
     index); validates that together they tile ``[0, total_samples)``
     exactly and belong to one collection (same key/setup/budget).
+
+    With ``partial=True`` the parts may instead be a contiguous
+    *prefix* of the plan (shards 0..k-1 of n): the result then holds
+    only the first ``parts[k-1].shard.end`` samples — the streaming-
+    merge substrate that lets reporting surface attack results before
+    a cell finishes.  Because every shard's randomness is keyed to its
+    absolute positions, the prefix equals the first samples of the
+    full collection bit for bit.
     """
     if not parts:
         raise ValueError("no shards to merge")
     ordered = sorted(parts, key=lambda p: p.shard.index)
     first = ordered[0]
     expected_k = first.shard.num_shards
-    if len(ordered) != expected_k:
+    if not partial and len(ordered) != expected_k:
         raise ValueError(
             f"have {len(ordered)} shards, plan had {expected_k}"
         )
@@ -292,7 +302,7 @@ def merge_shard_samples(parts: Sequence[ShardSamples]) -> TimingSamples:
                 f"shard {i} starts at {part.shard.start}, expected {cursor}"
             )
         cursor = part.shard.end
-    if cursor != first.total_samples:
+    if not partial and cursor != first.total_samples:
         raise ValueError(
             f"shards cover [0, {cursor}), budget is {first.total_samples}"
         )

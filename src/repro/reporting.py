@@ -99,11 +99,19 @@ class CampaignProgress:
     Wire an instance as :class:`~repro.campaigns.runner.CampaignRunner`'s
     ``progress`` callback.  It weights progress by sample counts (so a
     half-done 10^6-sample cell moves the needle more than a finished
-    toy cell), and it treats cache-restored cells specially: they
+    toy cell), and it treats cache-restored units specially: they
     count toward completion immediately, but — because they cost ~0
     compute — they are **excluded from the throughput estimate**, so
     resuming a cached sweep neither stalls the ETA at a bogus value
-    nor collapses it to zero.
+    nor collapses it to zero.  The math is guarded against the
+    degenerate shapes resumed/distributed sweeps produce: zero-weight
+    campaigns, all-cache-hit campaigns (no fresh work ever → no rate →
+    ``eta --``/``done``, never a division by zero), and clocks that
+    have not advanced.
+
+    ``"partial"`` events (streamed merged-prefix previews) print a
+    result line with a few summary fields instead of progress math —
+    they carry no new work.
 
     Parameters
     ----------
@@ -117,6 +125,9 @@ class CampaignProgress:
         Injectable time source for tests.
     """
 
+    #: Summary fields shown on a partial-preview line, at most.
+    PARTIAL_SUMMARY_FIELDS = 3
+
     def __init__(
         self,
         total_cells: int,
@@ -124,7 +135,7 @@ class CampaignProgress:
         stream: Optional[TextIO] = None,
         clock=time.monotonic,
     ) -> None:
-        self.total_cells = total_cells
+        self.total_cells = max(0, total_cells)
         self.total_work = max(1, total_work)
         self.stream = stream if stream is not None else sys.stderr
         self.clock = clock
@@ -135,19 +146,43 @@ class CampaignProgress:
         self.fresh_work_done = 0
 
     def eta_seconds(self) -> Optional[float]:
-        """Remaining seconds, or None before any fresh unit finished."""
+        """Remaining seconds (≥ 0), or None with no fresh unit done
+        yet — cache restores alone never produce a rate."""
         if self.fresh_work_done <= 0:
             return None
         rate = self.fresh_work_done / max(1e-9, self.clock() - self.started)
-        return (self.total_work - self.work_done) / rate
+        return max(0.0, (self.total_work - self.work_done) / rate)
+
+    def _prefix(self) -> str:
+        percent = 100.0 * self.work_done / self.total_work
+        return (
+            f"[{self.cells_done}/{self.total_cells} cells, {percent:3.0f}%]"
+        )
+
+    def _print_partial(self, event) -> None:
+        summary = dict(event.summary or {})
+        fields = ", ".join(
+            f"{key}={value}"
+            for key, value in list(summary.items())
+            [: self.PARTIAL_SUMMARY_FIELDS]
+        )
+        detail = f": {fields}" if fields else ""
+        print(
+            f"{self._prefix()} {event.label}{detail}",
+            file=self.stream,
+        )
 
     def __call__(self, event) -> None:
+        if getattr(event, "event", "cell") == "partial":
+            # Previews carry no new work — progress state is untouched.
+            self._print_partial(event)
+            return
         if event.event == "cell":
             self.cells_done += 1
-        self.work_done = min(self.total_work, self.work_done + event.work)
+        work = max(0, event.work)
+        self.work_done = min(self.total_work, self.work_done + work)
         if not event.from_cache:
-            self.fresh_work_done += event.work
-        percent = 100.0 * self.work_done / self.total_work
+            self.fresh_work_done += work
         if event.from_cache:
             origin = "cached"
         else:
@@ -159,7 +194,7 @@ class CampaignProgress:
             else ("done" if self.work_done >= self.total_work else "eta --")
         )
         print(
-            f"[{self.cells_done}/{self.total_cells} cells, {percent:3.0f}%] "
+            f"{self._prefix()} "
             f"{event.label} ({origin}) | "
             f"elapsed {format_duration(self.clock() - self.started)} | "
             f"{remaining}",

@@ -1,0 +1,548 @@
+"""Tests for repro.backends: the execution-backend protocol, the
+filesystem work queue (dispatch, leases, dead-worker re-enqueue), and
+the durable-partials/resume machinery they unlock in the runner.
+
+The invariant under test throughout: campaign payloads are
+bit-identical no matter which backend ran the units, in what order
+they finished, how often a unit was re-enqueued, or whether a run was
+interrupted and resumed from persisted shard partials.
+"""
+
+import json
+import os
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    WorkUnit,
+    worker_loop,
+)
+from repro.backends.workqueue import (
+    LEASES_DIR,
+    RESULTS_DIR,
+    TASKS_DIR,
+    ensure_queue_dirs,
+)
+from repro.campaigns import CampaignRunner, ExperimentSpec
+from repro.campaigns.runner import ResultCache
+from repro.core.batch import Shard
+
+
+def timing_spec(num_samples=4096, setup="deterministic", seed=9):
+    return ExperimentSpec(
+        kind="timing_samples", setup=setup,
+        num_samples=num_samples, seed=seed,
+    )
+
+
+def missrate_spec():
+    return ExperimentSpec(
+        kind="missrate", seed=0x1234,
+        params=(("policy", "modulo"), ("workload", "reuse")),
+    )
+
+
+def run_worker_once(queue_dir, **kwargs):
+    """Drain the queue synchronously with an in-process worker."""
+    kwargs.setdefault("max_idle", 0.3)
+    kwargs.setdefault("poll_interval", 0.05)
+    kwargs.setdefault("echo", False)
+    return worker_loop(queue_dir, **kwargs)
+
+
+class TestWorkUnitWire:
+    def test_doc_round_trip_preserves_identity(self):
+        spec = timing_spec()
+        shard = Shard(index=1, num_shards=4, start=1024, end=2048)
+        unit = WorkUnit(unit_id="u1", spec=spec, shard=shard)
+        rebuilt = WorkUnit.from_doc(json.loads(json.dumps(unit.to_doc())))
+        assert rebuilt.unit_id == "u1"
+        assert rebuilt.spec.spec_hash() == spec.spec_hash()
+        assert rebuilt.spec.seed_sequence().entropy == \
+            spec.seed_sequence().entropy
+        assert rebuilt.shard == shard
+
+    def test_doc_names_registering_module(self):
+        unit = WorkUnit(unit_id="u", spec=missrate_spec())
+        doc = unit.to_doc()
+        assert doc["kind_module"] == "repro.campaigns.experiments"
+        assert doc["shard"] is None
+
+    def test_cell_unit_label(self):
+        unit = WorkUnit(unit_id="u", spec=missrate_spec())
+        assert "missrate" in unit.label
+
+
+class TestSpecWire:
+    def test_round_trip_equal_hash_and_stream(self):
+        spec = ExperimentSpec(
+            kind="bernstein", setup="tscache", num_samples=10, seed=3,
+            params=(("victim_key", "ab" * 16),),
+        )
+        rebuilt = ExperimentSpec.from_doc(
+            json.loads(json.dumps(spec.to_doc()))
+        )
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        assert np.array_equal(
+            rebuilt.seed_sequence().generate_state(4),
+            spec.seed_sequence().generate_state(4),
+        )
+
+
+class TestLocalBackends:
+    """Explicit Serial/ProcessPool backends reproduce the default
+    runner paths bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return CampaignRunner(max_shards_per_cell=3).run([timing_spec()])
+
+    @pytest.mark.parametrize("make_backend", [
+        SerialBackend, lambda: ProcessPoolBackend(2)
+    ])
+    def test_bit_identical_to_default(self, reference, make_backend):
+        with make_backend() as backend:
+            result = CampaignRunner(
+                max_shards_per_cell=3, backend=backend
+            ).run([timing_spec()])
+        assert np.array_equal(
+            reference.cells[0].payload.timings,
+            result.cells[0].payload.timings,
+        )
+        assert np.array_equal(
+            reference.cells[0].payload.plaintexts,
+            result.cells[0].payload.plaintexts,
+        )
+
+    def test_backend_reusable_across_campaigns(self, reference):
+        backend = SerialBackend()
+        runner = CampaignRunner(max_shards_per_cell=3, backend=backend)
+        first = runner.run([timing_spec()])
+        second = runner.run([timing_spec()])
+        assert np.array_equal(
+            first.cells[0].payload.timings,
+            second.cells[0].payload.timings,
+        )
+
+    def test_pool_backend_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(0)
+
+    def test_serial_cancel_drops_pending(self):
+        backend = SerialBackend()
+        backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        backend.cancel()
+        assert list(backend.completions()) == []
+
+
+class TestWorkQueueDispatch:
+    def test_in_process_worker_round_trip(self, tmp_path):
+        """Submit → worker drains queue → completions stream back."""
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        backend.submit(WorkUnit(unit_id="cell", spec=missrate_spec()))
+        assert run_worker_once(str(tmp_path)) == 1
+        results = list(backend.completions())
+        assert len(results) == 1
+        assert results[0].payload.accesses == 12000
+        assert results[0].attempts == 1
+        assert results[0].worker is not None
+        # Queue fully drained: no task/lease/result litter left.
+        for sub in (TASKS_DIR, LEASES_DIR, RESULTS_DIR):
+            assert os.listdir(tmp_path / sub) == []
+
+    def test_spawned_workers_bit_identical(self, tmp_path):
+        """The acceptance path: real ``repro worker`` subprocesses
+        serve sharded units; the merged payload matches serial."""
+        spec = timing_spec(num_samples=2048)
+        serial = CampaignRunner(max_shards_per_cell=2).run([spec])
+        backend = WorkQueueBackend(
+            str(tmp_path), spawn_workers=2,
+            lease_timeout=60, idle_timeout=120,
+        )
+        try:
+            queued = CampaignRunner(
+                max_shards_per_cell=2, backend=backend
+            ).run([spec])
+        finally:
+            backend.close()
+        assert np.array_equal(
+            serial.cells[0].payload.timings,
+            queued.cells[0].payload.timings,
+        )
+        assert np.array_equal(
+            serial.cells[0].payload.plaintexts,
+            queued.cells[0].payload.plaintexts,
+        )
+
+    def test_duplicate_submit_rejected(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path))
+        unit = WorkUnit(unit_id="u", spec=missrate_spec())
+        backend.submit(unit)
+        with pytest.raises(ValueError, match="already submitted"):
+            backend.submit(unit)
+
+    def test_cancel_removes_pending_tasks(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path))
+        backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        backend.cancel()
+        assert os.listdir(tmp_path / TASKS_DIR) == []
+        assert list(backend.completions()) == []
+
+    def test_worker_exits_on_stop_sentinel(self, tmp_path):
+        ensure_queue_dirs(str(tmp_path))
+        (tmp_path / "stop").write_bytes(b"")
+        assert worker_loop(str(tmp_path), echo=False) == 0
+
+
+class TestWorkQueueFaults:
+    """Worker crash → lease expiry → re-enqueue, and the failure modes
+    around it."""
+
+    def _stale_claim(self, queue_dir, unit_id, age=3600.0):
+        """Simulate a worker that claimed a unit and died: the task
+        doc sits in leases/ with a long-stopped heartbeat."""
+        task = os.path.join(queue_dir, TASKS_DIR, unit_id + ".json")
+        lease = os.path.join(queue_dir, LEASES_DIR, unit_id + ".json")
+        os.rename(task, lease)
+        stale = time.time() - age
+        os.utime(lease, (stale, stale))
+
+    def test_dead_worker_unit_reenqueued_bit_identical(self, tmp_path):
+        """A unit whose worker died is re-enqueued after its lease
+        expires, and the retry's payload is bit-identical."""
+        reference = CampaignRunner().run([missrate_spec()])
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=0.2, poll_interval=0.05,
+            max_attempts=3, idle_timeout=60,
+        )
+        unit = WorkUnit(unit_id="doomed", spec=missrate_spec())
+        backend.submit(unit)
+        self._stale_claim(str(tmp_path), "doomed")
+        # A healthy worker joins while the dispatcher is already
+        # polling; it only ever sees the unit once re-enqueued.
+        thread = threading.Thread(
+            target=run_worker_once,
+            args=(str(tmp_path),),
+            kwargs={"max_idle": 30.0},
+        )
+        thread.start()
+        try:
+            results = list(backend.completions())
+        finally:
+            (tmp_path / "stop").write_bytes(b"")
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert len(results) == 1
+        assert results[0].attempts == 2
+        assert results[0].payload.miss_rate == \
+            reference.cells[0].payload.miss_rate
+
+    def test_attempt_budget_exhaustion_raises(self, tmp_path):
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=0.1, poll_interval=0.05,
+            max_attempts=1, idle_timeout=60,
+        )
+        backend.submit(WorkUnit(unit_id="doomed", spec=missrate_spec()))
+        self._stale_claim(str(tmp_path), "doomed")
+        with pytest.raises(RuntimeError, match="budget is exhausted"):
+            list(backend.completions())
+
+    def test_clean_failure_raises_with_worker_traceback(self, tmp_path):
+        """An execution error is not retried: the worker publishes the
+        traceback and the dispatcher raises it."""
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        bad = ExperimentSpec(kind="missrate", params=(("policy", "modulo"),))
+        backend.submit(WorkUnit(unit_id="bad", spec=bad))
+        run_worker_once(str(tmp_path))
+        with pytest.raises(RuntimeError, match="workload"):
+            list(backend.completions())
+
+    def test_idle_timeout_names_the_fix(self, tmp_path):
+        """No workers at all → a diagnosable error, not a silent hang."""
+        backend = WorkQueueBackend(
+            str(tmp_path), poll_interval=0.05, idle_timeout=0.3,
+        )
+        backend.submit(WorkUnit(unit_id="waiting", spec=missrate_spec()))
+        with pytest.raises(RuntimeError, match="repro worker --queue"):
+            list(backend.completions())
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WorkQueueBackend(str(tmp_path), lease_timeout=0)
+        with pytest.raises(ValueError):
+            WorkQueueBackend(str(tmp_path), max_attempts=0)
+
+    def test_reused_queue_dir_does_not_replay_stale_failure(self,
+                                                            tmp_path):
+        """Regression: unit ids are deterministic, so a reused queue
+        directory must not hand a new campaign an old error result
+        (or an old task/lease) under the same id."""
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        bad = ExperimentSpec(kind="missrate", params=(("policy", "modulo"),))
+        backend.submit(WorkUnit(unit_id="u", spec=bad))
+        run_worker_once(str(tmp_path))
+        with pytest.raises(RuntimeError):
+            list(backend.completions())
+        # The error result was consumed, not left to rot.
+        assert os.listdir(tmp_path / RESULTS_DIR) == []
+        # A fresh campaign reuses the directory and the unit id.
+        fresh = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        fresh.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        run_worker_once(str(tmp_path))
+        results = list(fresh.completions())
+        assert results[0].payload.accesses == 12000
+
+    def test_lost_claim_skipped_not_fatal(self, tmp_path):
+        """Regression: a worker whose freshly-claimed lease was
+        re-enqueued from under it (stale task mtime) must move on,
+        not crash."""
+        from repro.backends.workqueue import _execute_claimed
+
+        ensure_queue_dirs(str(tmp_path))
+        assert _execute_claimed(str(tmp_path), "ghost", "w1") is None
+
+    def test_release_lease_spares_successor(self, tmp_path):
+        """Regression: a slow predecessor finishing late must not
+        unlink the lease a successor worker is actively
+        heartbeating."""
+        from repro.backends.workqueue import _release_lease
+
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"worker": "successor"}))
+        _release_lease(str(lease), "slow-predecessor")
+        assert lease.exists()
+        _release_lease(str(lease), "successor")
+        assert not lease.exists()
+
+
+class TestDurableShardPartials:
+    """ResultCache's per-shard store: exact-identity matching, crash
+    tolerance, sweeping."""
+
+    def plan_for(self, spec, max_shards):
+        from repro.campaigns.registry import get_experiment
+
+        return get_experiment(spec.kind).plan_shards(spec, max_shards)
+
+    def test_put_get_clear_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = timing_spec()
+        plan = self.plan_for(spec, 4)
+        cache.put_shard(spec, plan[1], {"x": 1})
+        restored = cache.get_shards(spec, plan)
+        assert restored == {1: {"x": 1}}
+        assert cache.count_shards(spec, plan) == 1
+        cache.clear_shards(spec)
+        assert cache.get_shards(spec, plan) == {}
+
+    def test_partials_from_other_plan_ignored(self, tmp_path):
+        """A partial keyed to a different shard layout must not be
+        mis-merged into this plan."""
+        cache = ResultCache(str(tmp_path))
+        spec = timing_spec()
+        plan4 = self.plan_for(spec, 4)
+        plan2 = self.plan_for(spec, 2)
+        cache.put_shard(spec, plan4[0], "from-4-way-plan")
+        assert cache.get_shards(spec, plan2) == {}
+
+    def test_corrupt_partial_degrades_to_recompute(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = timing_spec()
+        plan = self.plan_for(spec, 4)
+        cache.put_shard(spec, plan[0], {"good": True})
+        path = cache._shard_path(spec, plan[1])
+        with open(path, "wb") as handle:
+            handle.write(b"torn pickle")
+        assert cache.get_shards(spec, plan) == {0: {"good": True}}
+
+    def test_writes_leave_no_temp_litter(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = timing_spec()
+        cache.put(spec, {"payload": 1})
+        cache.put_shard(spec, self.plan_for(spec, 4)[0], {"p": 1})
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_crashed_write_preserves_old_entry(self, tmp_path):
+        """put() is write-then-rename: a writer dying mid-write leaves
+        the previous (valid) entry untouched."""
+        cache = ResultCache(str(tmp_path))
+        spec = timing_spec()
+        cache.put(spec, {"generation": 1})
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("simulated crash mid-serialisation")
+
+        with pytest.raises(RuntimeError):
+            cache.put(spec, Unpicklable())
+        assert cache.get(spec) == {"generation": 1}
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+
+class TestMidCellResume:
+    """Interrupting a sharded cell and re-running completes from the
+    persisted partials instead of recollecting finished shards."""
+
+    class Abort(Exception):
+        pass
+
+    def _interrupt_after(self, n_shards):
+        seen = {"shards": 0}
+
+        def progress(event):
+            if event.event == "shard" and not event.from_cache:
+                seen["shards"] += 1
+                if seen["shards"] >= n_shards:
+                    raise TestMidCellResume.Abort()
+
+        return progress
+
+    def test_resume_uses_partials_and_matches_serial(self, tmp_path):
+        spec = timing_spec()  # 4096 samples → 4 shards of 1024
+        reference = CampaignRunner(max_shards_per_cell=4).run([spec])
+
+        with pytest.raises(TestMidCellResume.Abort):
+            CampaignRunner(
+                cache_dir=str(tmp_path), max_shards_per_cell=4,
+                progress=self._interrupt_after(2),
+            ).run([spec])
+
+        events = []
+        result = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=4,
+            progress=events.append,
+        ).run([spec])
+        restored = [e for e in events
+                    if e.event == "shard" and e.from_cache]
+        fresh = [e for e in events
+                 if e.event == "shard" and not e.from_cache]
+        assert len(restored) == 2, "persisted shards must be adopted"
+        assert len(fresh) == 2, "finished shards must not be recollected"
+        assert result.cells[0].shards_restored == 2
+        assert np.array_equal(
+            reference.cells[0].payload.timings,
+            result.cells[0].payload.timings,
+        )
+        assert np.array_equal(
+            reference.cells[0].payload.plaintexts,
+            result.cells[0].payload.plaintexts,
+        )
+        # The whole-cell entry supersedes the partials: they are swept.
+        assert not [n for n in os.listdir(tmp_path) if ".shard." in n]
+        # And a third run restores the whole cell from cache.
+        final = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=4
+        ).run([spec])
+        assert final.cells[0].from_cache
+
+    def test_fully_persisted_cell_needs_only_the_merge(self, tmp_path):
+        spec = timing_spec()
+        with pytest.raises(TestMidCellResume.Abort):
+            CampaignRunner(
+                cache_dir=str(tmp_path), max_shards_per_cell=4,
+                progress=self._interrupt_after(4),
+            ).run([spec])
+        events = []
+        result = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=4,
+            progress=events.append,
+        ).run([spec])
+        assert not [e for e in events
+                    if e.event == "shard" and not e.from_cache]
+        assert result.cells[0].shards_restored == 4
+
+
+class TestDryRunPlan:
+    def test_plan_reports_cache_and_shard_state(self, tmp_path):
+        sharded = timing_spec()
+        whole = missrate_spec()
+        runner = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=4
+        )
+        plans = runner.plan([sharded, whole])
+        assert [p.cached for p in plans] == [False, False]
+        assert plans[0].num_shards == 4
+        assert plans[1].plan is None and plans[1].num_shards == 1
+
+        # Persist two shards (interrupted run), then re-plan.
+        with pytest.raises(TestMidCellResume.Abort):
+            CampaignRunner(
+                cache_dir=str(tmp_path), max_shards_per_cell=4,
+                progress=TestMidCellResume()._interrupt_after(2),
+            ).run([sharded])
+        plans = runner.plan([sharded, whole])
+        assert plans[0].shards_cached == 2 and not plans[0].cached
+
+        # Finish everything, then re-plan: all cached.
+        CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=4
+        ).run([sharded, whole])
+        plans = runner.plan([sharded, whole])
+        assert [p.cached for p in plans] == [True, True]
+
+    def test_plan_validates_kinds(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            CampaignRunner().plan([ExperimentSpec(kind="nope")])
+
+    def test_plan_executes_nothing(self, tmp_path):
+        events = []
+        CampaignRunner(
+            cache_dir=str(tmp_path), progress=events.append
+        ).plan([missrate_spec()])
+        assert events == []
+
+
+class TestStreamingPartials:
+    def test_partial_events_stream_prefix_merges(self):
+        spec = timing_spec()
+        events = []
+        result = CampaignRunner(
+            max_shards_per_cell=4, progress=events.append,
+            stream_partials=True,
+        ).run([spec])
+        partials = [e for e in events if e.event == "partial"]
+        # Serial completion order: previews after shards 1, 2, 3 (the
+        # 4th completes the cell for real).
+        assert [e.shards_done for e in partials] == [1, 2, 3]
+        assert all(e.shards_total == 4 for e in partials)
+        assert all(e.work == 0 for e in partials)
+        full = result.cells[0].payload
+        for event in partials:
+            assert "mean_cycles" in event.summary
+            n = event.partial.num_samples
+            assert n == event.shards_done * 1024
+            # The preview is exactly the prefix of the final payload.
+            assert np.array_equal(event.partial.timings, full.timings[:n])
+
+    def test_partial_attack_previews_report_key_space(self):
+        """Incremental attack results surface before the cell ends."""
+        from repro.campaigns import bernstein_grid
+
+        specs = bernstein_grid(
+            num_samples=6144, seed=11, setups=("tscache",)
+        )
+        events = []
+        CampaignRunner(
+            max_shards_per_cell=3, progress=events.append,
+            stream_partials=True,
+        ).run(specs)
+        partials = [e for e in events if e.event == "partial"]
+        assert partials, "bernstein must stream attack previews"
+        for event in partials:
+            assert "remaining_key_space_log2" in event.summary
+            assert event.partial.report is not None
+
+    def test_partials_off_by_default(self):
+        events = []
+        CampaignRunner(
+            max_shards_per_cell=4, progress=events.append
+        ).run([timing_spec()])
+        assert not [e for e in events if e.event == "partial"]

@@ -49,6 +49,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "nope"])
 
+    def test_campaign_backend_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "bernstein", "--backend", "workqueue",
+            "--queue-dir", "/tmp/q", "--workers", "2",
+            "--lease-timeout", "30", "--dry-run", "--stream-partials",
+        ])
+        assert args.backend == "workqueue"
+        assert args.queue_dir == "/tmp/q"
+        assert args.lease_timeout == 30.0
+        assert args.dry_run and args.stream_partials
+        assert args.idle_timeout == 600.0  # no-workers watchdog default
+
+    def test_campaign_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "bernstein", "--backend", "carrier-pigeon"]
+            )
+
+    def test_worker_requires_queue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        args = build_parser().parse_args(
+            ["worker", "--queue", "/tmp/q", "--max-idle", "5"]
+        )
+        assert args.queue == "/tmp/q"
+        assert args.max_idle == 5.0
+
 
 class TestCommands:
     def test_setups(self, capsys):
@@ -134,6 +161,53 @@ class TestCommands:
             c["pwcet_1e-12"] for c in sharded["cells"]
             if "pwcet_1e-12" in c
         ]
+
+    def test_campaign_dry_run_plans_without_executing(self, capsys,
+                                                      tmp_path):
+        argv = ["campaign", "pwcet", "--samples", "40", "--dry-run",
+                "--max-shards", "3", "--cache-dir", str(tmp_path),
+                "--quiet"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "compute" in out
+        assert "shard ranges" in out
+        # Nothing executed: the cache stayed empty.
+        assert [n for n in tmp_path.iterdir()] == []
+        # After a real run, the dry run reports every cell cached and
+        # zero units to dispatch.
+        assert main(["campaign", "pwcet", "--samples", "40",
+                     "--cache-dir", str(tmp_path), "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 work unit(s) to dispatch" in out
+        assert "compute" not in out
+
+    def test_campaign_workqueue_backend_end_to_end(self, capsys,
+                                                   tmp_path):
+        """`repro campaign --backend workqueue` matches the serial
+        table through real worker subprocesses."""
+        base = ["campaign", "pwcet", "--samples", "40", "--json",
+                "--quiet"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + [
+            "--backend", "workqueue", "--workers", "2",
+            "--max-shards", "2", "--queue-dir", str(tmp_path / "q"),
+        ]) == 0
+        queued = json.loads(capsys.readouterr().out)
+        assert [c["mean_cycles"] for c in serial["cells"]] == [
+            c["mean_cycles"] for c in queued["cells"]
+        ]
+
+    def test_worker_exits_on_stop_sentinel(self, tmp_path):
+        from repro.backends.workqueue import ensure_queue_dirs
+
+        queue = tmp_path / "q"
+        ensure_queue_dirs(str(queue))
+        (queue / "stop").write_bytes(b"")
+        assert main(["worker", "--queue", str(queue), "--quiet"]) == 0
 
     def test_simulate(self, capsys, tmp_path):
         trace = Trace.from_addresses(

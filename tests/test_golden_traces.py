@@ -15,12 +15,18 @@ which is the acceptance proof that intra-cell sharding is
 bit-identical to the serial path (timing arrays byte-for-byte, attack
 results equal).
 
-The scheduled CI job re-runs this module with ``REPRO_GOLDEN_WORKERS=2``
-so the process-pool path is exercised with real workers.
+CI re-runs this module with ``REPRO_GOLDEN_WORKERS=2`` so the
+process-pool path is exercised with real workers, and with
+``REPRO_GOLDEN_BACKEND=workqueue`` to drive the campaign goldens
+through a :class:`~repro.backends.workqueue.WorkQueueBackend` served
+by real ``repro worker`` subprocesses — proving cross-process
+work-queue dispatch is bit-identical too.
 """
 
+import contextlib
 import hashlib
 import os
+import tempfile
 
 import numpy as np
 import pytest
@@ -29,10 +35,36 @@ from repro.campaigns import CampaignRunner, bernstein_grid
 from repro.core.batch import AESTimingEngine, merge_shard_samples
 from repro.core.setups import SETUP_NAMES, make_setup
 
-#: Worker count for the campaign-path goldens (the scheduled CI job
-#: sets 2 to exercise a real process pool; default keeps local runs
-#: cheap on single-CPU boxes).
+#: Worker count for the campaign-path goldens (CI sets 2 to exercise
+#: real worker processes; default keeps local runs cheap on
+#: single-CPU boxes).
 GOLDEN_WORKERS = int(os.environ.get("REPRO_GOLDEN_WORKERS", "1"))
+
+#: Execution backend for the campaign-path goldens: "local" (serial /
+#: process pool from GOLDEN_WORKERS) or "workqueue" (filesystem queue
+#: + spawned ``repro worker`` subprocesses).
+GOLDEN_BACKEND = os.environ.get("REPRO_GOLDEN_BACKEND", "local")
+
+
+@contextlib.contextmanager
+def golden_runner(**kwargs):
+    """A CampaignRunner on the backend CI asked for (env knobs above)."""
+    if GOLDEN_BACKEND == "workqueue":
+        from repro.backends import WorkQueueBackend
+
+        with tempfile.TemporaryDirectory(prefix="repro-golden-q-") as qdir:
+            backend = WorkQueueBackend(
+                qdir,
+                spawn_workers=max(2, GOLDEN_WORKERS),
+                lease_timeout=300.0,
+                idle_timeout=600.0,
+            )
+            try:
+                yield CampaignRunner(backend=backend, **kwargs)
+            finally:
+                backend.close()
+    else:
+        yield CampaignRunner(workers=GOLDEN_WORKERS, **kwargs)
 
 GOLDEN_KEY = bytes(range(16))
 GOLDEN_SAMPLES = 4096
@@ -110,7 +142,8 @@ class TestShardedGoldens:
 
 class TestCampaignGoldens:
     """The acceptance criterion: a Bernstein cell with
-    ``max_shards_per_cell > 1`` (and optionally a process pool)
+    ``max_shards_per_cell > 1`` — on a process pool or a work queue
+    served by independent worker processes (REPRO_GOLDEN_BACKEND) —
     produces byte-identical timing arrays and identical attack results
     to the serial path."""
 
@@ -132,9 +165,8 @@ class TestCampaignGoldens:
             )
 
     def test_sharded_pool_bit_identical_to_serial(self, specs, serial):
-        sharded = CampaignRunner(
-            workers=GOLDEN_WORKERS, max_shards_per_cell=3
-        ).run(specs)
+        with golden_runner(max_shards_per_cell=3) as runner:
+            sharded = runner.run(specs)
         for ser, shd in zip(serial, sharded):
             assert ser.spec == shd.spec
             assert shd.num_shards > 1

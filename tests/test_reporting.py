@@ -193,6 +193,72 @@ class TestCampaignProgress:
         assert work == 1001  # sample-less cells still weigh 1
 
 
+class TestCampaignProgressGuards:
+    """Degenerate campaign shapes must never divide by zero or print
+    nonsense ETA lines (all-cache-hit resumes, zero-weight grids,
+    stalled clocks)."""
+
+    def test_zero_weight_campaign(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(0, 0, stream=stream,
+                                    clock=_FakeClock())
+        progress(_event(work=0))  # must not raise
+        line = stream.getvalue().splitlines()[0]
+        assert "[1/0 cells" in line
+        assert progress.eta_seconds() is None
+
+    def test_all_cache_hit_campaign_says_done_not_eta(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(2, 200, stream=stream, clock=clock)
+        for _ in range(2):
+            progress(_event(work=100, from_cache=True, elapsed=0.0))
+        lines = stream.getvalue().splitlines()
+        # No fresh work was ever done: the rate is undefined, but the
+        # campaign is complete — "done", never a division by zero or
+        # a bogus "eta 0s".
+        assert progress.eta_seconds() is None
+        assert lines[-1].endswith("done")
+        assert "eta" not in lines[-1]
+
+    def test_stalled_clock_eta_finite_and_nonnegative(self):
+        progress = CampaignProgress(1, 100, stream=io.StringIO(),
+                                    clock=_FakeClock())
+        progress(_event(work=50))  # clock never advanced
+        eta = progress.eta_seconds()
+        assert eta is not None and eta >= 0.0
+
+    def test_overshooting_work_clamps(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(1, 100, stream=stream, clock=clock)
+        clock.now = 1.0
+        progress(_event(work=250))  # more work than the plan knew of
+        line = stream.getvalue().splitlines()[0]
+        assert "100%" in line
+        assert progress.eta_seconds() == 0.0
+
+    def test_partial_events_print_summary_without_progress_math(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        progress = CampaignProgress(1, 100, stream=stream, clock=clock)
+        event = _event(event="partial", work=0,
+                       label="bernstein:tscache partial 2/4")
+        event.summary = {"bits_determined": 12,
+                         "remaining_key_space_log2": 96.5,
+                         "leaking_bytes": [0, 5],
+                         "hidden": "overflow-field"}
+        progress(event)
+        line = stream.getvalue().splitlines()[0]
+        assert "partial 2/4" in line
+        assert "bits_determined=12" in line
+        assert "hidden" not in line  # capped at a few fields
+        # Previews advance nothing.
+        assert progress.cells_done == 0
+        assert progress.work_done == 0
+        assert progress.fresh_work_done == 0
+
+
 class TestFormatDuration:
     def test_ranges(self):
         assert format_duration(3) == "3s"
