@@ -4,100 +4,72 @@ designs.
 The paper argues that all contention-based attacks rely on creating
 conflicts for specific victim data, so per-process random placement
 defeats them just as it defeats Bernstein's attack.  This bench
-measures both attacks' secret-guessing accuracy against four L1
-configurations:
+measures both attacks' secret-guessing accuracy against the four
+setups:
 
 * deterministic (modulo, shared mapping)      -> leaks
-* RM with a seed shared by both processes     -> leaks (the MBPTACache
-  hazard: no seed-uniqueness constraint)
-* RPCache (randomized interference)           -> defeated
-* RM with per-process, per-trial seeds        -> defeated (TSCache)
+* mbpta (RM, shared seeds — the MBPTACache
+  hazard: no seed-uniqueness constraint)      -> leaks
+* rpcache (randomized interference)           -> defeated
+* tscache (RM, per-process per-trial seeds)   -> defeated
+
+The sweep is a campaign declaration: the named ``contention`` grid
+(one ``prime_probe`` and one ``evict_time`` cell per setup) executed
+by the shared :class:`~repro.campaigns.runner.CampaignRunner` — the
+same cells ``repro campaign contention`` runs, shardable and
+early-stoppable like every other kind.
 """
 
 import pytest
 
-from repro.attack.evict_time import EvictTimeAttack
-from repro.attack.prime_probe import PrimeProbeAttack
-from repro.cache.core import CacheGeometry, SetAssociativeCache
-from repro.cache.placement import make_placement
-from repro.cache.replacement import make_replacement
-from repro.cache.rpcache import RPCache
+from repro.campaigns import CampaignRunner, contention_grid
 
 from benchmarks.reporting import emit
 
-GEOMETRY = CacheGeometry(total_size=2048, num_ways=4, line_size=32)
-
-
-def plain_cache(placement_name):
-    def factory():
-        return SetAssociativeCache(
-            GEOMETRY,
-            make_placement(placement_name, GEOMETRY.layout()),
-            make_replacement("lru", GEOMETRY.num_sets, GEOMETRY.num_ways),
-        )
-    return factory
-
-
-def seed_shared(cache, trial):
-    cache.set_seed(777, pid=1)
-    cache.set_seed(777, pid=2)
-
-
-def seed_tscache(cache, trial):
-    cache.set_seed(1000 + trial, pid=1)
-    cache.set_seed(31337 + 7 * trial, pid=2)
-
-
-CONFIGS = (
-    ("deterministic", plain_cache("modulo"), None),
-    ("rm shared seed", plain_cache("random_modulo"), seed_shared),
-    ("rpcache", lambda: RPCache(GEOMETRY), None),
-    ("tscache seeds", plain_cache("random_modulo"), seed_tscache),
-)
+TRIALS = 120
+SEED = 2018
 
 
 def run_attacks():
-    rows = []
-    for label, factory, seeder in CONFIGS:
-        pp = PrimeProbeAttack(factory, num_entries=16).run(
-            trials=120, seed_victim=seeder
-        )
-        et = EvictTimeAttack(factory, num_entries=8).run(
-            trials=16, seed_victim=seeder
-        )
-        rows.append((label, pp, et))
-    return rows
+    """{(kind, setup): payload} for the §6.2.1 grid."""
+    campaign = CampaignRunner().run(
+        contention_grid(num_samples=TRIALS, seed=SEED)
+    )
+    return {
+        (cell.spec.kind, cell.spec.setup): cell.payload
+        for cell in campaign
+    }
 
 
 @pytest.mark.benchmark(group="other-attacks")
 def test_prime_probe_and_evict_time(benchmark):
-    rows = benchmark.pedantic(run_attacks, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_attacks, rounds=1, iterations=1)
 
+    setups = ("deterministic", "mbpta", "rpcache", "tscache")
     lines = [
-        f"{'configuration':<16}{'P+P accuracy':>14}{'E+T accuracy':>14}"
+        f"{'setup':<16}{'P+P accuracy':>14}{'E+T accuracy':>14}"
         f"{'verdict':>12}",
     ]
-    outcomes = {}
-    for label, pp, et in rows:
+    for setup in setups:
+        pp = results[("prime_probe", setup)]
+        et = results[("evict_time", setup)]
         leaks = pp.leaks or et.leaks
-        outcomes[label] = (pp, et, leaks)
         lines.append(
-            f"{label:<16}{pp.accuracy:>13.2f} {et.accuracy:>13.2f} "
+            f"{setup:<16}{pp.accuracy:>13.2f} {et.accuracy:>13.2f} "
             f"{'LEAKS' if leaks else 'protected':>11}"
         )
+    chance_pp = results[("prime_probe", "deterministic")].chance_level
+    chance_et = results[("evict_time", "deterministic")].chance_level
     lines.append(
-        f"(chance levels: P+P {1 / 16:.3f}, E+T {1 / 8:.3f})"
+        f"(chance levels: P+P {chance_pp:.3f}, E+T {chance_et:.3f})"
     )
     emit("Section 6.2.1: contention-based attacks per configuration",
          lines)
 
-    det_pp, det_et, det_leaks = outcomes["deterministic"]
-    assert det_leaks and det_pp.accuracy > 0.5
-    shared_pp, _, shared_leaks = outcomes["rm shared seed"]
-    assert shared_leaks
-    _, _, rp_leaks = outcomes["rpcache"]
-    _, _, ts_leaks = outcomes["tscache seeds"]
-    ts_pp = outcomes["tscache seeds"][0]
-    rp_pp = outcomes["rpcache"][0]
-    assert ts_pp.accuracy < 0.3
-    assert rp_pp.accuracy < 0.3
+    det_pp = results[("prime_probe", "deterministic")]
+    det_et = results[("evict_time", "deterministic")]
+    assert (det_pp.leaks or det_et.leaks) and det_pp.accuracy > 0.5
+    shared_pp = results[("prime_probe", "mbpta")]
+    assert shared_pp.leaks or results[("evict_time", "mbpta")].leaks
+    assert results[("prime_probe", "tscache")].accuracy < 0.3
+    assert results[("prime_probe", "rpcache")].accuracy < 0.3

@@ -12,12 +12,11 @@ lenses a cache architect cares about:
 Run:  python examples/cache_design_space.py
 """
 
-from repro.attack.prime_probe import PrimeProbeAttack
+from repro.campaigns import CampaignRunner, ExperimentSpec
 from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
 from repro.cache.overheads import estimate_design
 from repro.cache.placement import make_placement
 from repro.cache.replacement import make_replacement
-from repro.cache.rpcache import RPCache
 from repro.mbpta.properties import check_placement_properties
 from repro.workloads.generators import reuse_trace
 
@@ -59,36 +58,28 @@ def miss_rates():
 
 
 def attack_exposure():
-    from repro.cache.core import CacheGeometry
-
-    geometry = CacheGeometry(2048, 4, 32)
-
-    def factory(name):
-        def build():
-            return SetAssociativeCache(
-                geometry,
-                make_placement(name, geometry.layout()),
-                make_replacement("lru", geometry.num_sets,
-                                 geometry.num_ways),
-            )
-        return build
-
-    def per_process_seeds(cache, trial):
-        cache.set_seed(1000 + trial, pid=1)
-        cache.set_seed(9999 - trial, pid=2)
-
-    accuracies = {}
-    for name in DESIGNS:
-        seeder = per_process_seeds if name in ("hashrp",
-                                               "random_modulo") else None
-        result = PrimeProbeAttack(factory(name), num_entries=16).run(
-            trials=80, seed_victim=seeder
+    """Prime+Probe accuracy per design, as ``prime_probe`` campaign
+    cells (one per placement policy; randomized policies get fresh
+    per-process seeds, the TSCache discipline)."""
+    specs = [
+        ExperimentSpec(
+            kind="prime_probe",
+            num_samples=80,
+            seed=7,
+            params=(
+                ("policy", name),
+                ("seeding",
+                 "per_process" if name in ("hashrp", "random_modulo")
+                 else "fixed"),
+            ),
         )
-        accuracies[name] = result.accuracy
-    result = PrimeProbeAttack(lambda: RPCache(geometry),
-                              num_entries=16).run(trials=80)
-    accuracies["rpcache"] = result.accuracy
-    return accuracies
+        for name in (*DESIGNS, "rpcache")
+    ]
+    campaign = CampaignRunner().run(specs)
+    return {
+        cell.spec.param("policy"): cell.payload.accuracy
+        for cell in campaign
+    }
 
 
 def main() -> None:

@@ -9,6 +9,11 @@ victim latency.
 Like Prime+Probe, the attack presumes the attacker can create
 conflicts for *specific* victim data — the capability that per-process
 random placement removes (paper §5, §6.2.1).
+
+Built on :class:`repro.attack.trials.TrialAttack`: every trial draws
+from a position-keyed RNG stream, so the attack runs as a shardable
+``evict_time`` campaign cell with results bit-identical to a serial
+run (see :mod:`repro.campaigns.experiments`).
 """
 
 from __future__ import annotations
@@ -16,30 +21,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.common.prng import XorShift128
+import numpy as np
+
+from repro.attack.trials import (
+    ContentionResult,
+    SeedLike,
+    SeedVictimFn,
+    TrialAttack,
+)
 from repro.common.trace import MemoryAccess
 from repro.cache.core import SetAssociativeCache
 
 
 @dataclass(frozen=True)
-class EvictTimeResult:
+class EvictTimeResult(ContentionResult):
     """Guessing accuracy over many trials."""
 
-    trials: int
-    correct: int
-    chance_level: float
 
-    @property
-    def accuracy(self) -> float:
-        return self.correct / self.trials if self.trials else 0.0
-
-    @property
-    def leaks(self) -> bool:
-        return self.accuracy > 3.0 * self.chance_level
-
-
-class EvictTimeAttack:
+class EvictTimeAttack(TrialAttack):
     """Evict+Time against a table-lookup victim on one cache level."""
+
+    result_type = EvictTimeResult
+    default_trials = 50
+    default_seed = 0xE71C
 
     def __init__(
         self,
@@ -50,10 +54,11 @@ class EvictTimeAttack:
         attacker_pid: int = 2,
         attacker_base: int = 0x0A00_0000,
         miss_penalty: int = 10,
+        seed: SeedLike = None,
     ) -> None:
+        super().__init__(num_entries=num_entries, seed=seed)
         self.cache_factory = cache_factory
         self.table_base = table_base
-        self.num_entries = num_entries
         self.victim_pid = victim_pid
         self.attacker_pid = attacker_pid
         self.attacker_base = attacker_base
@@ -95,35 +100,27 @@ class EvictTimeAttack:
         result = cache.access(MemoryAccess(address, pid=self.victim_pid))
         return 1 if result.hit else 1 + self.miss_penalty
 
-    # -- experiment ----------------------------------------------------------
+    # -- one trial ---------------------------------------------------------
 
-    def run(
+    def run_trial(
         self,
-        trials: int = 50,
-        prng_seed: int = 0xE71C,
-        seed_victim: Optional[Callable[[SetAssociativeCache, int], None]] = None,
-    ) -> EvictTimeResult:
-        """Scan eviction targets over all entries, ``trials`` times."""
-        prng = XorShift128(prng_seed)
-        correct = 0
-        for trial in range(trials):
-            secret = prng.next_below(self.num_entries)
-            best_entry = 0
-            best_time = -1
-            for entry in range(self.num_entries):
-                cache = self.cache_factory()
-                if seed_victim is not None:
-                    seed_victim(cache, trial)
-                self._warm_table(cache)
-                self._evict_attacker_view_of(cache, entry)
-                victim_time = self._time_victim(cache, secret)
-                if victim_time > best_time:
-                    best_time = victim_time
-                    best_entry = entry
-            if best_entry == secret:
-                correct += 1
-        return EvictTimeResult(
-            trials=trials,
-            correct=correct,
-            chance_level=1.0 / self.num_entries,
-        )
+        rng: np.random.Generator,
+        trial: int,
+        seed_victim: Optional[SeedVictimFn] = None,
+    ) -> bool:
+        """Scan eviction targets over all entries; did the slowest
+        victim run point at the true secret?"""
+        secret = int(rng.integers(self.num_entries))
+        best_entry = 0
+        best_time = -1
+        for entry in range(self.num_entries):
+            cache = self.cache_factory()
+            if seed_victim is not None:
+                seed_victim(cache, trial)
+            self._warm_table(cache)
+            self._evict_attacker_view_of(cache, entry)
+            victim_time = self._time_victim(cache, secret)
+            if victim_time > best_time:
+                best_time = victim_time
+                best_entry = entry
+        return best_entry == secret

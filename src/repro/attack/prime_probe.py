@@ -11,6 +11,11 @@ data*.  With per-process seeds (TSCache), the victim's mapping is
 unknown and re-randomized, so the observed set carries no information;
 with RPCache, cross-process contention is randomized away.  This class
 makes that argument measurable as a guessing accuracy.
+
+Built on :class:`repro.attack.trials.TrialAttack`: every trial draws
+from a position-keyed RNG stream, so the attack runs as a shardable
+``prime_probe`` campaign cell with results bit-identical to a serial
+run (see :mod:`repro.campaigns.experiments`).
 """
 
 from __future__ import annotations
@@ -18,31 +23,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.common.prng import XorShift128
+import numpy as np
+
+from repro.attack.trials import (
+    ContentionResult,
+    SeedLike,
+    SeedVictimFn,
+    TrialAttack,
+)
 from repro.common.trace import MemoryAccess
 from repro.cache.core import SetAssociativeCache
 
 
 @dataclass(frozen=True)
-class PrimeProbeResult:
+class PrimeProbeResult(ContentionResult):
     """Guessing accuracy over many secret-dependent accesses."""
 
-    trials: int
-    correct: int
-    chance_level: float
 
-    @property
-    def accuracy(self) -> float:
-        return self.correct / self.trials if self.trials else 0.0
-
-    @property
-    def leaks(self) -> bool:
-        """True when accuracy is meaningfully above chance."""
-        return self.accuracy > 3.0 * self.chance_level
-
-
-class PrimeProbeAttack:
+class PrimeProbeAttack(TrialAttack):
     """Prime+Probe against a table-lookup victim on one cache level."""
+
+    result_type = PrimeProbeResult
+    default_trials = 200
+    default_seed = 0xACE
 
     def __init__(
         self,
@@ -52,10 +55,11 @@ class PrimeProbeAttack:
         victim_pid: int = 1,
         attacker_pid: int = 2,
         attacker_base: int = 0x0900_0000,
+        seed: SeedLike = None,
     ) -> None:
+        super().__init__(num_entries=num_entries, seed=seed)
         self.cache_factory = cache_factory
         self.table_base = table_base
-        self.num_entries = num_entries
         self.victim_pid = victim_pid
         self.attacker_pid = attacker_pid
         self.attacker_base = attacker_base
@@ -104,44 +108,36 @@ class PrimeProbeAttack:
         address = self.table_base + entry * cache.geometry.line_size
         return cache.lookup_set(MemoryAccess(address, pid=self.attacker_pid))
 
-    # -- experiment ----------------------------------------------------------
+    # -- one trial -------------------------------------------------------
 
-    def run(
+    def run_trial(
         self,
-        trials: int = 200,
-        prng_seed: int = 0xACE,
-        seed_victim: Optional[Callable[[SetAssociativeCache, int], None]] = None,
-    ) -> PrimeProbeResult:
-        """Run ``trials`` independent Prime+Probe rounds.
+        rng: np.random.Generator,
+        trial: int,
+        seed_victim: Optional[SeedVictimFn] = None,
+    ) -> bool:
+        """One Prime+Probe round: did the attacker guess the secret?
 
         ``seed_victim(cache, trial)`` customises per-trial seed setup
         (e.g. give the victim a fresh random seed to model TSCache);
         by default the cache keeps its constructed seeds.
         """
-        prng = XorShift128(prng_seed)
-        correct = 0
-        for trial in range(trials):
-            cache = self.cache_factory()
-            if seed_victim is not None:
-                seed_victim(cache, trial)
-            secret = prng.next_below(self.num_entries)
-            prime_addresses = self._prime(cache)
-            self._victim_access(cache, secret)
-            missed_sets = self._probe(cache, prime_addresses)
-            if not missed_sets:
-                continue
-            # Attacker guesses any entry mapping to an observed set.
-            candidates = [
-                entry
-                for entry in range(self.num_entries)
-                if self._attacker_set_of_entry(cache, entry) in missed_sets
-            ]
-            if candidates:
-                guess = candidates[prng.next_below(len(candidates))]
-                if guess == secret:
-                    correct += 1
-        return PrimeProbeResult(
-            trials=trials,
-            correct=correct,
-            chance_level=1.0 / self.num_entries,
-        )
+        cache = self.cache_factory()
+        if seed_victim is not None:
+            seed_victim(cache, trial)
+        secret = int(rng.integers(self.num_entries))
+        prime_addresses = self._prime(cache)
+        self._victim_access(cache, secret)
+        missed_sets = self._probe(cache, prime_addresses)
+        if not missed_sets:
+            return False
+        # Attacker guesses any entry mapping to an observed set.
+        candidates = [
+            entry
+            for entry in range(self.num_entries)
+            if self._attacker_set_of_entry(cache, entry) in missed_sets
+        ]
+        if not candidates:
+            return False
+        guess = candidates[int(rng.integers(len(candidates)))]
+        return guess == secret

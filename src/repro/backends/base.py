@@ -36,7 +36,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Optional, Tuple
+from typing import Any, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.campaigns.registry import ExperimentKind, get_experiment
 from repro.campaigns.spec import ExperimentSpec
@@ -165,6 +165,21 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def cancel(self) -> None:
         """Drop units not yet handed to a worker (best effort)."""
+
+    def cancel_units(self, unit_ids: Iterable[str]) -> None:
+        """Drop *specific* outstanding units, best effort.
+
+        The early-stopping path: once a cell's verdict is decided, the
+        runner cancels its remaining shards by id.  A cancelled unit
+        is never yielded by :meth:`completions`; a unit already
+        executing when the cancel lands may still run to completion —
+        backends either suppress its result (local backends) or leave
+        it orphaned for the submit-time sweep (work queue), and the
+        caller must tolerate not hearing about it either way.  The
+        default is a no-op: the caller already discards results it no
+        longer cares about, so a backend without cancellation support
+        merely wastes the cancelled units' compute.
+        """
 
     def close(self) -> None:
         """Release pools/workers.  Idempotent; the default is a no-op."""

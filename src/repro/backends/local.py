@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.backends.base import (
     ExecutionBackend,
@@ -46,6 +46,15 @@ class SerialBackend(ExecutionBackend):
     def cancel(self) -> None:
         self._queue.clear()
 
+    def cancel_units(self, unit_ids: Iterable[str]) -> None:
+        """Drop the named units from the queue.  Serial execution means
+        a cancelled unit either has not started — removed here, never
+        executed — or already finished and was yielded."""
+        ids = set(unit_ids)
+        self._queue = deque(
+            unit for unit in self._queue if unit.unit_id not in ids
+        )
+
 
 def _pool_execute(run_fn, spec: ExperimentSpec, shard: Optional[Shard]):
     """(payload, compute seconds) on a pool worker.
@@ -77,6 +86,11 @@ class ProcessPoolBackend(ExecutionBackend):
         self.workers = workers
         self._pending: List[WorkUnit] = []
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: In-flight futures of the current drain (cancellation handle).
+        self._futures: Dict[Future, WorkUnit] = {}
+        #: Units cancelled too late for ``Future.cancel`` — already
+        #: running; their results are suppressed on arrival.
+        self._cancelled: Set[str] = set()
 
     def submit(self, unit: WorkUnit) -> None:
         self._pending.append(unit)
@@ -88,21 +102,46 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(self._pending))
             )
-        futures: Dict[Future, WorkUnit] = {}
         for unit in self._pending:
             kind = resolve_unit_kind(unit)
             run_fn = kind.run if unit.shard is None else kind.run_shard
-            futures[
+            self._futures[
                 self._pool.submit(_pool_execute, run_fn, unit.spec, unit.shard)
             ] = unit
         self._pending = []
-        for future in as_completed(futures):
-            unit = futures[future]
-            payload, elapsed = future.result()
-            yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+        try:
+            for future in as_completed(list(self._futures)):
+                unit = self._futures.pop(future)
+                if future.cancelled() or unit.unit_id in self._cancelled:
+                    self._cancelled.discard(unit.unit_id)
+                    continue
+                payload, elapsed = future.result()
+                yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+        finally:
+            # A drain abandoned mid-way (a worker error raised out of
+            # result(), or the consumer closed the generator) must not
+            # leak its remaining futures into the backend's next
+            # round — they belong to this round's units only.
+            for future in self._futures:
+                future.cancel()
+            self._futures = {}
+            self._cancelled = set()
 
     def cancel(self) -> None:
         self._pending = []
+
+    def cancel_units(self, unit_ids: Iterable[str]) -> None:
+        """Cancel the named units: not-yet-drained submissions are
+        dropped, queued futures cancelled, and units the pool already
+        started keep running but their results are discarded."""
+        ids = set(unit_ids)
+        self._pending = [
+            unit for unit in self._pending if unit.unit_id not in ids
+        ]
+        for future, unit in list(self._futures.items()):
+            if unit.unit_id in ids:
+                self._cancelled.add(unit.unit_id)
+                future.cancel()
 
     def close(self) -> None:
         if self._pool is not None:

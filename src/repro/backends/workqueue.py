@@ -49,7 +49,7 @@ import sys
 import threading
 import time
 import traceback
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.backends.base import (
     ExecutionBackend,
@@ -459,7 +459,16 @@ class WorkQueueBackend(ExecutionBackend):
                 doc = pickle.load(handle)
         except FileNotFoundError:
             return None
-        unit = self._outstanding[unit_id]
+        unit = self._outstanding.get(unit_id)
+        if unit is None:
+            # Cancelled mid-drain, but a straggler worker published its
+            # result after the cancel swept the file: consume the
+            # orphan now so a reused queue directory never replays it.
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return None
         if not doc.get("ok"):
             # Consume the error result: leaving it on disk would make
             # a reused queue directory replay this failure forever.
@@ -530,6 +539,31 @@ class WorkQueueBackend(ExecutionBackend):
                 os.unlink(_task_path(self.queue_dir, unit_id))
             except FileNotFoundError:
                 pass  # already claimed; its result will be orphaned
+            del self._outstanding[unit_id]
+            del self._attempts[unit_id]
+
+    def cancel_units(self, unit_ids: Iterable[str]) -> None:
+        """Withdraw specific outstanding units from the queue.
+
+        Unclaimed task files are unlinked so no worker ever picks them
+        up; a unit some worker already claimed runs to completion on
+        that worker, but the dispatcher stops tracking it, so its
+        orphaned result (and released lease) are simply swept the next
+        time the unit id is submitted.  Any result that already landed
+        is removed now — a reused queue directory must not replay a
+        cancelled unit's outcome.
+        """
+        for unit_id in unit_ids:
+            if unit_id not in self._outstanding:
+                continue
+            for stale in (
+                _task_path(self.queue_dir, unit_id),
+                _result_path(self.queue_dir, unit_id),
+            ):
+                try:
+                    os.unlink(stale)
+                except FileNotFoundError:
+                    pass
             del self._outstanding[unit_id]
             del self._attempts[unit_id]
 

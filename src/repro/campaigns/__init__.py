@@ -27,6 +27,7 @@ from repro.campaigns.grids import (
     bernstein_grid,
     build_campaign,
     campaign_keys,
+    contention_grid,
     missrate_grid,
     pwcet_grid,
 )
@@ -37,6 +38,7 @@ from repro.campaigns.registry import (
     register_experiment,
 )
 from repro.campaigns.runner import (
+    CacheGCStats,
     CampaignResult,
     CampaignRunner,
     CellPlan,
@@ -54,6 +56,7 @@ from repro.campaigns import experiments as _experiments  # noqa: F401
 
 __all__ = [
     "CAMPAIGNS",
+    "CacheGCStats",
     "CampaignDefinition",
     "CampaignResult",
     "CampaignRunner",
@@ -69,6 +72,7 @@ __all__ = [
     "build_campaign",
     "campaign_keys",
     "cell_weight",
+    "contention_grid",
     "execute_cell",
     "experiment_kinds",
     "get_experiment",

@@ -17,18 +17,30 @@ picklable payload, registered under a stable name:
 ``missrate``
     Miss rate of one placement policy on one synthetic workload
     (§6.2.3 overheads).
+``prime_probe`` / ``evict_time``
+    The §6.2.1 generalization: a contention attack's secret-guessing
+    accuracy against one cache configuration, as independent trials
+    (``num_samples`` = trial budget).  Payload:
+    :class:`repro.attack.prime_probe.PrimeProbeResult` /
+    :class:`repro.attack.evict_time.EvictTimeResult`.  Both kinds are
+    shardable down to single trials (every trial draws from a
+    position-keyed stream) and define a ``should_stop`` hook — a
+    sequential probability ratio test on accuracy vs. chance — so a
+    runner with ``early_stop=True`` cancels a cell's remaining trial
+    shards once the leak/no-leak verdict is decided.
 
 All randomness is drawn from the spec's private
 :meth:`~repro.campaigns.spec.ExperimentSpec.seed_sequence`, so results
 do not depend on execution order or worker placement.
 
-The sample-range kinds (``bernstein``, ``timing_samples``, ``pwcet``)
-are additionally *shardable*: their ``plan_shards``/``run_shard``/
-``merge_shards`` hooks let :class:`~repro.campaigns.runner.CampaignRunner`
-fan one big cell out across the process pool (``max_shards_per_cell``)
-and merge the partial payloads bit-identically to an unsharded run —
-each shard worker reconstructs the cell's state from the spec alone,
-so no coordination or shared mutable state is involved.
+The sample-range kinds (``bernstein``, ``timing_samples``, ``pwcet``,
+``prime_probe``, ``evict_time``) are additionally *shardable*: their
+``plan_shards``/``run_shard``/``merge_shards`` hooks let
+:class:`~repro.campaigns.runner.CampaignRunner` fan one big cell out
+across the process pool (``max_shards_per_cell``) and merge the
+partial payloads bit-identically to an unsharded run — each shard
+worker reconstructs the cell's state from the spec alone, so no
+coordination or shared mutable state is involved.
 """
 
 from __future__ import annotations
@@ -418,6 +430,320 @@ def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
     ``analyse`` (False = collect only), ``method``, ``tail_fraction``.
     """
     return _pwcet_payload(spec, _pwcet_times(spec, 0, spec.num_samples))
+
+
+# -- contention attacks (prime_probe / evict_time) --------------------------
+
+#: Default geometry for the contention-attack kinds: small enough that
+#: a trial is cheap, structured like the paper's L1 (16 sets, 4 ways).
+_CONTENTION_GEOMETRY = (2048, 4, 32)
+
+#: spawn_key tag reserving the per-trial victim/attacker placement-seed
+#: stream (trial RNG children use bare ``(trial,)`` suffixes — the
+#: two-word suffix below never collides with them).
+_CONTENTION_SEED_TAG = 0x7541_5EED
+
+#: Per-kind default secret-space size (the paper's table sizes differ
+#: per attack cost: Evict+Time builds ``num_entries`` caches per trial).
+_CONTENTION_DEFAULT_ENTRIES = {"prime_probe": 16, "evict_time": 8}
+
+
+def _contention_geometry(spec: ExperimentSpec):
+    from repro.cache.core import CacheGeometry
+
+    size, ways, line = _CONTENTION_GEOMETRY
+    return CacheGeometry(
+        total_size=int(spec.param("cache_bytes", size)),
+        num_ways=int(spec.param("ways", ways)),
+        line_size=int(spec.param("line_bytes", line)),
+    )
+
+
+def _contention_policy(spec: ExperimentSpec) -> str:
+    """The L1 policy under attack: explicit param, or the setup's."""
+    policy = spec.param("policy")
+    if policy is not None:
+        return str(policy)
+    if spec.setup is None:
+        raise ValueError(
+            f"{spec.kind} cells need a setup or a 'policy' param"
+        )
+    return make_setup(spec.setup).l1_policy
+
+
+def _contention_seeding(spec: ExperimentSpec) -> str:
+    """Per-trial seed discipline: 'fixed', 'shared' or 'per_process'.
+
+    Derived from the setup when not given explicitly: deterministic
+    placement needs no seeds; randomized placement gets fresh per-trial
+    seeds — shared between the parties when the setup lets an attacker
+    run under the victim's seed (the MBPTACache hazard), unique per
+    process otherwise (TSCache).
+    """
+    mode = spec.param("seeding")
+    if mode is not None:
+        if mode not in ("fixed", "shared", "per_process"):
+            raise ValueError(
+                f"unknown seeding mode {mode!r}; choose fixed, shared "
+                "or per_process"
+            )
+        return str(mode)
+    if spec.setup is None:
+        return "fixed"
+    setup = make_setup(spec.setup)
+    if not setup.is_randomized:
+        return "fixed"
+    return "shared" if setup.shared_seed_between_parties else "per_process"
+
+
+def _contention_cache_factory(spec: ExperimentSpec):
+    geometry = _contention_geometry(spec)
+    policy = _contention_policy(spec)
+    if policy == "rpcache":
+        from repro.cache.rpcache import RPCache
+
+        return lambda: RPCache(geometry)
+    # Default to the setup's replacement policy (MBPTA designs pair
+    # random placement with random replacement, §2.1); the factory
+    # builds a fresh cache per trial, and RandomReplacement's default
+    # PRNG is fixed-seeded, so trial outcomes stay a pure function of
+    # the trial index on every shard.
+    replacement = spec.param("replacement")
+    if replacement is None:
+        replacement = (
+            make_setup(spec.setup).l1_replacement
+            if spec.setup is not None
+            else "lru"
+        )
+
+    def factory():
+        return SetAssociativeCache(
+            geometry,
+            make_placement(policy, geometry.layout()),
+            make_replacement(
+                replacement, geometry.num_sets, geometry.num_ways
+            ),
+        )
+
+    return factory
+
+
+def _contention_seeder(spec: ExperimentSpec):
+    """The per-trial ``seed_victim`` hook, or None for fixed seeding.
+
+    Seeds are drawn from a reserved child of the cell's seed stream,
+    keyed by the absolute trial index — a pure function of (spec,
+    trial), which keeps sharded runs bit-identical to serial ones.
+    """
+    mode = _contention_seeding(spec)
+    if mode == "fixed":
+        return None
+    if _contention_policy(spec) == "rpcache":
+        raise ValueError(
+            "rpcache has no placement seeds (pids select permutation "
+            "tables); use seeding='fixed'"
+        )
+    root = spec.seed_sequence()
+    victim_pid = int(spec.param("victim_pid", 1))
+    attacker_pid = int(spec.param("attacker_pid", 2))
+
+    def seeder(cache, trial):
+        child = np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=root.spawn_key + (_CONTENTION_SEED_TAG, trial),
+        )
+        victim_seed, attacker_seed = (
+            int(word) for word in child.generate_state(2)
+        )
+        if mode == "shared":
+            attacker_seed = victim_seed
+        cache.set_seed(victim_seed, pid=victim_pid)
+        cache.set_seed(attacker_seed, pid=attacker_pid)
+
+    return seeder
+
+
+def _contention_entries(spec: ExperimentSpec) -> int:
+    return int(
+        spec.param("num_entries", _CONTENTION_DEFAULT_ENTRIES[spec.kind])
+    )
+
+
+def _contention_attack_class(kind: str) -> type:
+    """The single kind -> attack-class dispatch point."""
+    from repro.attack.evict_time import EvictTimeAttack
+    from repro.attack.prime_probe import PrimeProbeAttack
+
+    classes = {
+        "prime_probe": PrimeProbeAttack,
+        "evict_time": EvictTimeAttack,
+    }
+    try:
+        return classes[kind]
+    except KeyError:
+        raise ValueError(f"not a contention kind: {kind!r}") from None
+
+
+def _contention_attack(spec: ExperimentSpec):
+    cls = _contention_attack_class(spec.kind)
+    kwargs = dict(
+        cache_factory=_contention_cache_factory(spec),
+        num_entries=_contention_entries(spec),
+        victim_pid=int(spec.param("victim_pid", 1)),
+        attacker_pid=int(spec.param("attacker_pid", 2)),
+        seed=spec.seed_sequence(),
+    )
+    if spec.kind == "evict_time":
+        kwargs["miss_penalty"] = int(spec.param("miss_penalty", 10))
+    return cls(**kwargs)
+
+
+def _summarize_contention(spec: ExperimentSpec, payload) -> Dict[str, Any]:
+    return {
+        "trials": payload.trials,
+        "correct": payload.correct,
+        "accuracy": round(payload.accuracy, 4),
+        "chance": round(payload.chance_level, 4),
+        "leaks": payload.leaks,
+    }
+
+
+def plan_contention_shards(
+    spec: ExperimentSpec, max_shards: int
+) -> ShardPlan:
+    """Trials are independent, so any even split is merge-safe."""
+    return ShardPlan.even(spec.num_samples, max_shards)
+
+
+def run_contention_shard(spec: ExperimentSpec, shard: Shard):
+    """Trial outcomes for one shard's range of the cell's budget."""
+    attack = _contention_attack(spec)
+    return attack.run_block(
+        shard.start,
+        shard.end,
+        spec.num_samples,
+        seed_victim=_contention_seeder(spec),
+    )
+
+
+def _contention_result_type(kind: str) -> type:
+    return _contention_attack_class(kind).result_type
+
+
+def merge_contention_shards(spec: ExperimentSpec, parts: Sequence[Any]):
+    from repro.attack.trials import merge_trial_blocks
+
+    return merge_trial_blocks(
+        parts, result_type=_contention_result_type(spec.kind)
+    )
+
+
+def merge_contention_partial(spec: ExperimentSpec, parts: Sequence[Any]):
+    """Accuracy over the contiguous trial prefix completed so far —
+    the payload the ``should_stop`` hook rules on."""
+    from repro.attack.trials import merge_trial_blocks
+
+    return merge_trial_blocks(
+        parts,
+        partial=True,
+        result_type=_contention_result_type(spec.kind),
+    )
+
+
+def _contention_stop_params(spec: ExperimentSpec):
+    # The min-trials floor adapts to the budget: a cell whose whole
+    # budget is below the fixed floor (the grid's evict_time cells)
+    # could otherwise never evaluate its rule on any strict prefix —
+    # the Wald boundaries control the error rates at any floor, the
+    # floor only adds conservatism.
+    default_min = min(16, max(4, spec.num_samples // 2))
+    return (
+        float(spec.param("stop_leak_factor", 4.0)),
+        float(spec.param("stop_alpha", 1e-3)),
+        int(spec.param("stop_min_trials", default_min)),
+    )
+
+
+def contention_should_stop(spec: ExperimentSpec, partial) -> bool:
+    """Stop once the SPRT decides leak *or* no-leak on the prefix.
+
+    The stop additionally requires the sequential decision to agree
+    with the verdict the truncated payload will report
+    (:attr:`ContentionResult.leaks`, the 3x-chance threshold): near
+    the threshold the SPRT can decide while the prefix accuracy sits
+    on the other side of 3x chance, and stopping there would report a
+    verdict the decision does not back.  Clear-cut cells (all four
+    paper setups) are never delayed by the extra check.
+    """
+    from repro.attack.trials import sequential_leak_test
+
+    leak_factor, alpha, min_trials = _contention_stop_params(spec)
+    verdict = sequential_leak_test(
+        partial.trials,
+        partial.correct,
+        partial.chance_level,
+        leak_factor=leak_factor,
+        alpha=alpha,
+        min_trials=min_trials,
+    )
+    return verdict is not None and verdict == partial.leaks
+
+
+def contention_stop_rule(spec: ExperimentSpec) -> str:
+    leak_factor, alpha, min_trials = _contention_stop_params(spec)
+    chance = 1.0 / _contention_entries(spec)
+    return (
+        f"sprt acc vs chance={chance:.3g} "
+        f"(leak={leak_factor:g}x, alpha={alpha:g}, min={min_trials})"
+    )
+
+
+@register_experiment(
+    "prime_probe",
+    summarize=_summarize_contention,
+    plan_shards=plan_contention_shards,
+    run_shard=run_contention_shard,
+    merge_shards=merge_contention_shards,
+    merge_partial=merge_contention_partial,
+    should_stop=contention_should_stop,
+    stop_rule=contention_stop_rule,
+)
+def run_prime_probe(spec: ExperimentSpec):
+    """Prime+Probe guessing accuracy on one cache configuration.
+
+    Params: ``policy`` (placement name, default the setup's L1
+    policy), ``seeding`` (``fixed``/``shared``/``per_process``,
+    default derived from the setup), ``num_entries`` (default 16),
+    ``cache_bytes``/``ways``/``line_bytes`` (geometry),
+    ``replacement`` (default ``lru``), ``victim_pid``/``attacker_pid``,
+    plus the stopping-rule knobs ``stop_leak_factor``/``stop_alpha``/
+    ``stop_min_trials``.
+    """
+    return _contention_attack(spec).run(
+        spec.num_samples, seed_victim=_contention_seeder(spec)
+    )
+
+
+@register_experiment(
+    "evict_time",
+    summarize=_summarize_contention,
+    plan_shards=plan_contention_shards,
+    run_shard=run_contention_shard,
+    merge_shards=merge_contention_shards,
+    merge_partial=merge_contention_partial,
+    should_stop=contention_should_stop,
+    stop_rule=contention_stop_rule,
+)
+def run_evict_time(spec: ExperimentSpec):
+    """Evict+Time guessing accuracy on one cache configuration.
+
+    Same params as ``prime_probe`` plus ``miss_penalty``;
+    ``num_entries`` defaults to 8 because each trial builds
+    ``num_entries`` fresh caches (one per eviction target).
+    """
+    return _contention_attack(spec).run(
+        spec.num_samples, seed_victim=_contention_seeder(spec)
+    )
 
 
 # -- missrate ---------------------------------------------------------------

@@ -81,6 +81,42 @@ def pwcet_grid(
     ]
 
 
+#: The contention-attack kinds of the §6.2.1 generalization grid.
+CONTENTION_KINDS: Tuple[str, ...] = ("prime_probe", "evict_time")
+
+
+def contention_grid(
+    num_samples: int = 240,
+    seed: int = 2018,
+    setups: Sequence[str] = SETUP_NAMES,
+) -> List[ExperimentSpec]:
+    """§6.2.1: Prime+Probe and Evict+Time against every setup.
+
+    ``num_samples`` is the Prime+Probe trial budget per cell;
+    Evict+Time cells get a proportionally smaller budget —
+    ``max(8, num_samples // 15)``, never more than ``num_samples``
+    itself (each of its trials scans every eviction target, building
+    ``num_entries`` fresh caches) — so the two kinds cost roughly the
+    same per cell.  Both kinds define a ``should_stop`` sequential
+    test, so running this grid with early stopping decides each
+    cell's leak/no-leak verdict at the smallest statistically
+    sufficient trial count.
+    """
+    evict_trials = min(num_samples, max(8, num_samples // 15))
+    return [
+        ExperimentSpec(
+            kind=kind,
+            setup=name,
+            num_samples=(
+                num_samples if kind == "prime_probe" else evict_trials
+            ),
+            seed=seed,
+        )
+        for kind in CONTENTION_KINDS
+        for name in setups
+    ]
+
+
 #: Placement policies of the §6.2.3 overheads table.
 MISSRATE_POLICIES: Tuple[str, ...] = (
     "modulo",
@@ -147,6 +183,15 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         build=missrate_grid,
         default_samples=0,
         default_seed=0x1234,
+    ),
+    "contention": CampaignDefinition(
+        name="contention",
+        description=(
+            "Section 6.2.1: Prime+Probe / Evict+Time vs the four setups"
+        ),
+        build=contention_grid,
+        default_samples=240,
+        default_seed=2018,
     ),
 }
 

@@ -23,6 +23,8 @@ PlanShardsFn = Callable[[ExperimentSpec, int], ShardPlan]
 RunShardFn = Callable[[ExperimentSpec, Shard], Any]
 MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 MergePartialFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
+ShouldStopFn = Callable[[ExperimentSpec, Any], bool]
+StopRuleFn = Callable[[ExperimentSpec], str]
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,15 @@ class ExperimentKind:
     #: runner can surface incremental results before the cell
     #: finishes.  Best-effort — the runner swallows its failures.
     merge_partial: Optional[MergePartialFn] = None
+    #: Optional early-stopping hook, evaluated by the runner (when
+    #: ``early_stop=True``) on each merged contiguous-prefix payload:
+    #: return True once the cell's verdict is statistically decided
+    #: and its remaining shards should be cancelled.  Requires
+    #: ``merge_partial`` (the hook's input is its output).
+    should_stop: Optional[ShouldStopFn] = None
+    #: Optional human-readable description of the stopping rule for
+    #: one spec (test kind, thresholds) — surfaced by ``--dry-run``.
+    stop_rule: Optional[StopRuleFn] = None
 
     @property
     def shardable(self) -> bool:
@@ -66,6 +77,16 @@ class ExperimentKind:
             raise ValueError(
                 f"kind {self.name!r} defines merge_partial but is not "
                 "shardable"
+            )
+        if self.should_stop is not None and self.merge_partial is None:
+            raise ValueError(
+                f"kind {self.name!r} defines should_stop but no "
+                "merge_partial to evaluate it on"
+            )
+        if self.stop_rule is not None and self.should_stop is None:
+            raise ValueError(
+                f"kind {self.name!r} defines stop_rule without "
+                "should_stop"
             )
 
 
@@ -84,6 +105,8 @@ def register_experiment(
     run_shard: Optional[RunShardFn] = None,
     merge_shards: Optional[MergeShardsFn] = None,
     merge_partial: Optional[MergePartialFn] = None,
+    should_stop: Optional[ShouldStopFn] = None,
+    stop_rule: Optional[StopRuleFn] = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering ``fn`` as the runner for kind ``name``."""
 
@@ -98,6 +121,8 @@ def register_experiment(
             run_shard=run_shard,
             merge_shards=merge_shards,
             merge_partial=merge_partial,
+            should_stop=should_stop,
+            stop_rule=stop_rule,
         )
         return fn
 

@@ -26,6 +26,16 @@ resumes mid-cell from its completed shards instead of recollecting
 them.  All cache writes are atomic (temp file + fsync + rename), so a
 crash can never leave a truncated entry that poisons later hits.
 
+**Early stopping** (``early_stop=True``): kinds may define a
+``should_stop`` hook that rules on each merged contiguous-prefix
+payload; once it fires, the cell's remaining shards are cancelled on
+the backend (each built-in backend drops its not-yet-running units —
+stragglers already executing are discarded on arrival) and the cell
+finishes early with the decided prefix as its payload, marked
+:attr:`CellResult.early_stopped` and cached at its decided-at sample
+count (an entry only other early-stop runs accept — a full-budget
+runner recomputes it).
+
 **Progress**: the ``progress`` callback receives a
 :class:`ProgressEvent` for every completed unit — each shard, each
 cell, each cache-restored cell *and* each cache-restored shard (marked
@@ -87,6 +97,11 @@ class CellResult:
     num_shards: int = 1
     #: Shards restored from persisted partials instead of recomputed.
     shards_restored: int = 0
+    #: The cell's ``should_stop`` hook decided its verdict on a
+    #: contiguous shard prefix; the payload covers only the samples up
+    #: to that decision point (its decided-at count), and the
+    #: remaining shards were cancelled, never computed.
+    early_stopped: bool = False
 
     def summary(self) -> Dict[str, Any]:
         """Flat JSON-able record: spec identity + kind-specific fields."""
@@ -98,6 +113,8 @@ class CellResult:
             "elapsed_s": round(self.elapsed, 3),
             "from_cache": self.from_cache,
         }
+        if self.early_stopped:
+            record["early_stopped"] = True
         record.update(dict(self.spec.params))
         kind = get_experiment(self.spec.kind)
         record.update(kind.summarize(self.spec, self.payload))
@@ -115,13 +132,15 @@ class ProgressEvent:
     carries ``partial``/``summary``, see
     :attr:`CampaignRunner.stream_partials`).  ``work`` is the number
     of samples this event newly completes: shard events carry their
-    shard's size and the final merged-cell event carries 0, so
-    consumers summing ``work`` never double-count (partial events also
-    carry 0 — they re-package work already counted shard by shard);
-    cells executed whole (or restored from cache) carry the full cell
-    weight.  ``elapsed`` is the unit's compute seconds (for a sharded
-    cell's final event: the sum over its shards plus the merge — CPU
-    cost, not wall clock).
+    shard's size and the final merged-cell event carries whatever the
+    shards did not already report — 0 for a fully-computed sharded
+    cell, the *skipped* remainder for an early-stopped one — so
+    consumers summing ``work`` never double-count and always reach the
+    campaign total (partial events carry 0 — they re-package work
+    already counted shard by shard); cells executed whole (or restored
+    from cache) carry the full cell weight.  ``elapsed`` is the unit's
+    compute seconds (for a sharded cell's final event: the sum over
+    its shards plus the merge — CPU cost, not wall clock).
     """
 
     event: str
@@ -245,20 +264,67 @@ class ResultCache:
         except Exception:
             return None
 
+    def _early_marker_path(self, spec_hash: str) -> str:
+        return os.path.join(self.cache_dir, spec_hash + ".early")
+
     def has(self, spec: ExperimentSpec) -> bool:
         """Whether a whole-cell entry exists (without loading it)."""
         return os.path.exists(self._path(spec))
+
+    def is_early_stopped(self, spec: ExperimentSpec) -> bool:
+        """Whether the cell's entry holds a truncated decided-at
+        payload — a cheap sidecar-marker check, no payload load, so
+        planning stays O(cells) rather than O(cached bytes)."""
+        return os.path.exists(self._early_marker_path(spec.spec_hash()))
+
+    def get_record(
+        self, spec: ExperimentSpec
+    ) -> Optional[Tuple[Any, bool]]:
+        """(payload, early_stopped) or None on miss/corruption.
+
+        The early-stop marker rides beside the entry so a warm-cache
+        rerun reports the restored cell exactly like the run that
+        computed it — a truncated decided-at payload must not
+        masquerade as a full-budget result.
+        """
+        payload = self._load(self._path(spec))
+        if payload is None:
+            return None
+        return payload, self.is_early_stopped(spec)
 
     def get(self, spec: ExperimentSpec) -> Optional[Any]:
         """The cached payload, or None on miss/corruption."""
         return self._load(self._path(spec))
 
-    def put(self, spec: ExperimentSpec, payload: Any) -> None:
-        """Store atomically so readers never see a partial pickle."""
+    def put(
+        self,
+        spec: ExperimentSpec,
+        payload: Any,
+        *,
+        early_stopped: bool = False,
+    ) -> None:
+        """Store atomically so readers never see a partial pickle.
+
+        ``early_stopped`` is recorded as a sidecar marker file, not
+        inside the pickle.  Write ordering makes a crash at any
+        instant safe: the marker lands *before* an early-stopped
+        entry (a stray marker without its entry is inert) and is
+        removed *after* a full-budget entry lands (a stale marker
+        merely costs one recompute, never a truncated result served
+        as a full one).
+        """
+        marker = self._early_marker_path(spec.spec_hash())
+        if early_stopped:
+            atomic_write_bytes(marker, b"")
         atomic_write_bytes(
             self._path(spec),
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
         )
+        if not early_stopped:
+            try:
+                os.unlink(marker)
+            except FileNotFoundError:
+                pass
 
     # -- per-shard partials --------------------------------------------------
 
@@ -306,6 +372,98 @@ class ResultCache:
                 except FileNotFoundError:
                     pass
 
+    # -- garbage collection --------------------------------------------------
+
+    def gc(self, max_age_days: float) -> "CacheGCStats":
+        """Sweep stale entries from a long-lived shared cache.
+
+        Removes whole-cell entries and shard partials whose mtime is
+        older than ``max_age_days`` days, plus *orphaned* partials —
+        shards whose *full-budget* whole-cell entry already landed
+        (normally swept at merge time, but a crash between ``put`` and
+        ``clear_shards`` can leave them behind).  Partials living
+        beside an early-stopped entry are **not** orphans: a
+        full-budget run ignores that entry and may be mid-resume on
+        exactly those partials.  Age-based only, by design: the cache
+        is content-addressed, so there is no LRU bookkeeping to
+        maintain, and deleting a live entry merely costs a recompute.
+        """
+        if max_age_days < 0:
+            raise ValueError("max_age_days must be non-negative")
+        cutoff = time.time() - max_age_days * 86400.0
+        removed_cells = removed_partials = freed = 0
+        names = sorted(os.listdir(self.cache_dir))
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except FileNotFoundError:
+                continue
+            is_partial = ".shard." in name
+            if is_partial:
+                spec_hash = name.split(".shard.", 1)[0]
+            else:
+                spec_hash = name[: -len(".pkl")]
+            orphaned = (
+                is_partial
+                and os.path.exists(
+                    os.path.join(self.cache_dir, spec_hash + ".pkl")
+                )
+                and not os.path.exists(self._early_marker_path(spec_hash))
+            )
+            if stat.st_mtime >= cutoff and not orphaned:
+                continue
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            freed += stat.st_size
+            if is_partial:
+                removed_partials += 1
+            else:
+                removed_cells += 1
+                # The marker follows its entry out.
+                try:
+                    os.unlink(self._early_marker_path(spec_hash))
+                except FileNotFoundError:
+                    pass
+        # Sweep markers whose entry is gone (inert, but litter) — only
+        # once they are stale themselves: put() writes the marker
+        # moments before its entry, and a concurrent gc must not
+        # unlink it inside that window (an entry landing without its
+        # marker would serve a truncated payload as a full result).
+        # The fixed grace floor keeps that guarantee even at
+        # max_age_days=0 or under cross-host clock skew.
+        marker_cutoff = min(cutoff, time.time() - 300.0)
+        for name in names:
+            if not name.endswith(".early"):
+                continue
+            entry = name[: -len(".early")] + ".pkl"
+            if os.path.exists(os.path.join(self.cache_dir, entry)):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                if os.stat(path).st_mtime < marker_cutoff:
+                    os.unlink(path)
+            except FileNotFoundError:
+                pass
+        return CacheGCStats(
+            removed_cells=removed_cells,
+            removed_partials=removed_partials,
+            freed_bytes=freed,
+        )
+
+
+@dataclass(frozen=True)
+class CacheGCStats:
+    """What one :meth:`ResultCache.gc` sweep removed."""
+
+    removed_cells: int
+    removed_partials: int
+    freed_bytes: int
+
 
 @dataclass
 class _PendingCell:
@@ -318,8 +476,16 @@ class _PendingCell:
     parts: Dict[int, Any] = field(default_factory=dict)
     elapsed: float = 0.0
     restored: int = 0
-    #: Shards covered by the last streamed partial merge.
+    #: Shards covered by the last merged contiguous prefix (streamed
+    #: and/or evaluated for early stopping).
     partial_done: int = 0
+    #: Sample work already reported through shard progress events.
+    reported_work: int = 0
+    #: unit_id per shard index (cancellation bookkeeping).
+    unit_ids: Dict[int, str] = field(default_factory=dict)
+    #: The cell finished (merged, restored or early-stopped); any
+    #: straggler shard results still arriving are discarded.
+    done: bool = False
 
 
 @dataclass(frozen=True)
@@ -333,6 +499,9 @@ class CellPlan:
     plan: Optional[ShardPlan] = None
     #: Shards with persisted partials (restored, not recomputed).
     shards_cached: int = 0
+    #: Human-readable stopping rule for early-stop-capable kinds
+    #: (None = the kind defines no ``should_stop`` hook).
+    stop_rule: Optional[str] = None
 
     @property
     def num_shards(self) -> int:
@@ -370,6 +539,18 @@ class CampaignRunner:
         each cell's contiguous completed-shard prefix (kinds with a
         ``merge_partial`` hook only).  Best-effort: a failing partial
         merge is skipped, never fatal.
+    early_stop:
+        Evaluate each kind's optional ``should_stop`` hook on the
+        merged contiguous-prefix payload as shards complete; once it
+        fires, the cell's remaining shards are cancelled on the
+        backend (best effort — already-running units may still finish
+        and are discarded) and the cell finishes with the decided
+        prefix payload, marked :attr:`CellResult.early_stopped`.  The
+        cache stores that early-stopped payload (with its decided-at
+        sample count) as the cell's entry; it satisfies later
+        ``early_stop=True`` runners, while a full-budget runner
+        recomputes (and overwrites) it.  Only sharded cells can stop
+        early — a whole-cell unit has no partials to rule on.
     """
 
     def __init__(
@@ -380,6 +561,7 @@ class CampaignRunner:
         max_shards_per_cell: int = 1,
         backend: Optional["ExecutionBackend"] = None,
         stream_partials: bool = False,
+        early_stop: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -391,6 +573,7 @@ class CampaignRunner:
         self.max_shards_per_cell = max_shards_per_cell
         self.backend = backend
         self.stream_partials = stream_partials
+        self.early_stop = early_stop
 
     # -- planning ----------------------------------------------------------
 
@@ -414,19 +597,35 @@ class CampaignRunner:
         """
         plans: List[CellPlan] = []
         for spec in specs:
-            get_experiment(spec.kind)
+            kind = get_experiment(spec.kind)
             cached = self.cache.has(spec) if self.cache else False
+            if cached and not self.early_stop \
+                    and self.cache.is_early_stopped(spec):
+                # Mirror run(): an early-stopped entry does not satisfy
+                # a full-budget runner, so the cell would recompute.
+                cached = False
             shard_plan = None if cached else self._shard_plan(spec)
             shards_cached = (
                 self.cache.count_shards(spec, shard_plan)
                 if self.cache and shard_plan is not None
                 else 0
             )
+            # Only advertise a stopping rule the run would apply: a
+            # runner without early_stop executes the full budget, and
+            # the plan must say so.
+            stop_rule = None
+            if self.early_stop and kind.should_stop is not None:
+                stop_rule = (
+                    kind.stop_rule(spec)
+                    if kind.stop_rule is not None
+                    else "enabled"
+                )
             plans.append(CellPlan(
                 spec=spec,
                 cached=cached,
                 plan=shard_plan,
                 shards_cached=shards_cached,
+                stop_rule=stop_rule,
             ))
         return plans
 
@@ -443,10 +642,20 @@ class CampaignRunner:
         results: List[Optional[CellResult]] = [None] * len(specs)
         pending: List[_PendingCell] = []
         for index, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache else None
+            cached = None
+            if self.cache is not None and (
+                self.early_stop or not self.cache.is_early_stopped(spec)
+            ):
+                # An early-stopped entry holds a truncated decided-at
+                # payload; a runner that did not opt into early
+                # stopping promised the full budget, so it recomputes
+                # (and overwrites) instead of loading it.
+                cached = self.cache.get_record(spec)
             if cached is not None:
+                payload, was_early_stopped = cached
                 results[index] = CellResult(
-                    spec=spec, payload=cached, elapsed=0.0, from_cache=True
+                    spec=spec, payload=payload, elapsed=0.0,
+                    from_cache=True, early_stopped=was_early_stopped,
                 )
                 self._report(ProgressEvent(
                     event="cell",
@@ -486,6 +695,7 @@ class CampaignRunner:
         ):
             cell.parts[index] = payload
             cell.restored += 1
+            cell.reported_work += cell.plan[index].num_samples
             self._report(ProgressEvent(
                 event="shard",
                 spec=cell.spec,
@@ -509,10 +719,12 @@ class CampaignRunner:
                 )
                 continue
             for shard in cell.plan:
+                unit_id = f"{stem}.{shard.start}-{shard.end}"
+                cell.unit_ids[shard.index] = unit_id
                 if shard.index in cell.parts:
                     continue  # restored from a persisted partial
                 unit = WorkUnit(
-                    unit_id=f"{stem}.{shard.start}-{shard.end}",
+                    unit_id=unit_id,
                     spec=cell.spec,
                     shard=shard,
                 )
@@ -531,6 +743,15 @@ class CampaignRunner:
         pending: Sequence[_PendingCell],
         results: List[Optional[CellResult]],
     ) -> None:
+        if self.early_stop:
+            # Shard partials restored from the cache may already carry
+            # a decidable prefix — settle those cells before
+            # dispatching any of their remaining shards.
+            for cell in pending:
+                self._after_prefix_grew(results, cell, backend=None)
+            pending = [cell for cell in pending if not cell.done]
+            if not pending:
+                return
         units = self._make_units(pending)
         by_id = {unit.unit_id: (cell, shard) for unit, cell, shard in units}
         backend = self.backend
@@ -547,6 +768,10 @@ class CampaignRunner:
             # completion-order independent.
             for result in backend.completions():
                 cell, shard = by_id[result.unit.unit_id]
+                if cell.done:
+                    # A straggler of an early-stopped cell (its unit
+                    # was already running when the cancel landed).
+                    continue
                 if shard is None:
                     cell.elapsed = result.elapsed
                     self._finish(results, cell, result.payload)
@@ -556,8 +781,8 @@ class CampaignRunner:
                     )
                     if len(cell.parts) == len(cell.plan):
                         self._finish(results, cell, self._merge(cell))
-                    elif self.stream_partials:
-                        self._stream_partial(cell)
+                    else:
+                        self._after_prefix_grew(results, cell, backend)
         finally:
             if owns_backend:
                 backend.close()
@@ -579,11 +804,19 @@ class CampaignRunner:
         results: List[Optional[CellResult]],
         cell: _PendingCell,
         payload: Any,
+        *,
+        early_stopped: bool = False,
     ) -> None:
+        cell.done = True
         if self.cache:
-            self.cache.put(cell.spec, payload)
-            if cell.plan is not None:
-                # The whole-cell entry supersedes the partials.
+            self.cache.put(cell.spec, payload, early_stopped=early_stopped)
+            if cell.plan is not None and not early_stopped:
+                # The full-budget entry supersedes the partials.  An
+                # early-stopped cell keeps its persisted shards: a
+                # later full-budget run rejects the truncated entry
+                # and resumes from exactly those partials instead of
+                # recomputing them (gc's orphan rule protects them
+                # for the same reason).
                 self.cache.clear_shards(cell.spec)
         num_shards = len(cell.plan) if cell.plan else 1
         results[cell.index] = CellResult(
@@ -592,13 +825,20 @@ class CampaignRunner:
             elapsed=cell.elapsed,
             num_shards=num_shards,
             shards_restored=cell.restored,
+            early_stopped=early_stopped,
         )
+        # Sharded cells already reported their work shard by shard;
+        # the cell event carries only what they did not — 0 normally,
+        # the cancelled remainder when the cell stopped early.
+        if cell.plan is None:
+            work = cell_weight(cell.spec)
+        else:
+            work = max(0, cell_weight(cell.spec) - cell.reported_work)
         self._report(ProgressEvent(
             event="cell",
             spec=cell.spec,
             elapsed=cell.elapsed,
-            # Sharded cells already reported their work shard by shard.
-            work=0 if cell.plan else cell_weight(cell.spec),
+            work=work,
             result=results[cell.index],
         ))
 
@@ -607,6 +847,7 @@ class CampaignRunner:
     ) -> None:
         cell.parts[shard.index] = payload
         cell.elapsed += elapsed
+        cell.reported_work += shard.num_samples
         # Persist before reporting: once an observer saw the shard
         # complete, a crash must not lose it.
         if self.cache is not None:
@@ -619,10 +860,25 @@ class CampaignRunner:
             shard=shard,
         ))
 
-    def _stream_partial(self, cell: _PendingCell) -> None:
-        """Emit a merged-prefix preview event, best-effort."""
-        assert cell.plan is not None
-        if cell.kind.merge_partial is None:
+    def _after_prefix_grew(
+        self,
+        results: List[Optional[CellResult]],
+        cell: _PendingCell,
+        backend: Optional["ExecutionBackend"],
+    ) -> None:
+        """React to a grown contiguous shard prefix: stream the merged
+        preview and/or rule on early stopping.  One merge serves both;
+        merge failures are skippable for previews but disable stopping
+        too (an undecidable prefix is simply not decided)."""
+        if cell.plan is None:
+            return
+        wants_stream = (
+            self.stream_partials and cell.kind.merge_partial is not None
+        )
+        wants_stop = (
+            self.early_stop and cell.kind.should_stop is not None
+        )
+        if not (wants_stream or wants_stop):
             return
         done = 0
         while done in cell.parts:
@@ -636,19 +892,44 @@ class CampaignRunner:
             payload = cell.kind.merge_partial(
                 cell.spec, [cell.parts[i] for i in range(done)]
             )
-            summary = cell.kind.summarize(cell.spec, payload)
         except Exception:
-            return  # previews must never fail the campaign
-        self._report(ProgressEvent(
-            event="partial",
-            spec=cell.spec,
-            elapsed=0.0,
-            work=0,
-            partial=payload,
-            summary=summary,
-            shards_done=done,
-            shards_total=len(cell.plan),
-        ))
+            return  # an unmergeable prefix is simply not ruled on
+        if wants_stream:
+            # A failing summary only skips the preview line — it must
+            # not block the stopping decision, which needs nothing but
+            # the merged payload.
+            try:
+                summary = cell.kind.summarize(cell.spec, payload)
+            except Exception:
+                pass
+            else:
+                self._report(ProgressEvent(
+                    event="partial",
+                    spec=cell.spec,
+                    elapsed=0.0,
+                    work=0,
+                    partial=payload,
+                    summary=summary,
+                    shards_done=done,
+                    shards_total=len(cell.plan),
+                ))
+        if not wants_stop:
+            return
+        try:
+            stop = bool(cell.kind.should_stop(cell.spec, payload))
+        except Exception:
+            return  # an erroring rule must never fail the campaign
+        if not stop:
+            return
+        if backend is not None:
+            remaining = [
+                unit_id
+                for index, unit_id in cell.unit_ids.items()
+                if index not in cell.parts
+            ]
+            if remaining:
+                backend.cancel_units(remaining)
+        self._finish(results, cell, payload, early_stopped=True)
 
     def _report(self, event: ProgressEvent) -> None:
         if self.progress is not None:

@@ -20,15 +20,21 @@ Commands
     Replay a trace file through a setup's hierarchy and print the
     latency/statistics summary.
 ``campaign``
-    Run a named experiment grid (``bernstein``/``pwcet``/``missrates``)
-    through the campaign engine — serially, with ``--workers N``
-    across a process pool, or with ``--backend workqueue`` through a
-    filesystem work queue served by ``repro worker`` processes —
-    optionally splitting big cells into intra-cell shards with
-    ``--max-shards N`` (results bit-identical in every mode) — and
-    emit a table or JSON.  Progress/ETA lines stream to stderr as
-    cells and shards finish; ``--dry-run`` prints the plan (cells,
-    shard ranges, cache-hit status) without executing anything.
+    Run a named experiment grid (``bernstein``/``pwcet``/
+    ``missrates``/``contention``) through the campaign engine —
+    serially, with ``--workers N`` across a process pool, or with
+    ``--backend workqueue`` through a filesystem work queue served by
+    ``repro worker`` processes — optionally splitting big cells into
+    intra-cell shards with ``--max-shards N`` (results bit-identical
+    in every mode) — and emit a table or JSON.  Progress/ETA lines
+    stream to stderr as cells and shards finish; ``--dry-run`` prints
+    the plan (cells, shard ranges, cache-hit status, stopping rules)
+    without executing anything.  ``--early-stop`` lets kinds with a
+    ``should_stop`` hook (the contention attacks' sequential leak
+    test) cancel a cell's remaining shards once its verdict is
+    decided; ``--cache-gc DAYS`` sweeps result-cache entries older
+    than DAYS days (and orphaned shard partials) from ``--cache-dir``,
+    standalone or before a run.
 ``worker``
     Serve a work-queue directory: claim and execute shard/cell work
     units published by a ``repro campaign --backend workqueue``
@@ -205,11 +211,36 @@ def _cmd_dry_run(runner, specs, name: str) -> int:
             cell_plan.num_shards,
             shards,
             status,
+            cell_plan.stop_rule or "-",
         ])
-    print(format_table(["cell", "shards", "shard ranges", "status"], rows))
+    print(format_table(
+        ["cell", "shards", "shard ranges", "status", "early stop"], rows
+    ))
     print(
         f"dry run: campaign {name!r}, {len(specs)} cells, "
         f"{total_units} work unit(s) to dispatch"
+    )
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    """Sweep stale entries from the on-disk result cache."""
+    from repro.campaigns import ResultCache
+
+    if not args.cache_dir:
+        print("error: --cache-gc needs --cache-dir", file=sys.stderr)
+        return 2
+    try:
+        stats = ResultCache(args.cache_dir).gc(args.cache_gc)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"cache gc ({args.cache_dir}): removed {stats.removed_cells} "
+        f"cell entr{'y' if stats.removed_cells == 1 else 'ies'} and "
+        f"{stats.removed_partials} shard partial(s), freed "
+        f"{stats.freed_bytes} bytes",
+        file=sys.stderr,
     )
     return 0
 
@@ -222,6 +253,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         format_table,
         render_json,
     )
+
+    if args.cache_gc is not None:
+        if args.dry_run:
+            # A dry run executes (and deletes) nothing; a standalone
+            # gc dry run is therefore a successful no-op, not a
+            # missing-name error.
+            print("dry run: skipping --cache-gc sweep", file=sys.stderr)
+            if args.name is None:
+                return 0
+        else:
+            status = _cmd_cache_gc(args)
+            if status != 0 or args.name is None:
+                return status
+    if args.name is None:
+        print("error: campaign name required (unless --cache-gc only)",
+              file=sys.stderr)
+        return 2
 
     specs = build_campaign(
         args.name, num_samples=args.samples, seed=args.seed
@@ -277,6 +325,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             max_shards_per_cell=args.max_shards,
             backend=backend,
             stream_partials=args.stream_partials,
+            early_stop=args.early_stop,
         )
         if args.dry_run:
             return _cmd_dry_run(runner, specs, args.name)
@@ -372,7 +421,10 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a named experiment grid via the campaign engine",
     )
-    campaign.add_argument("name", choices=sorted(CAMPAIGNS))
+    campaign.add_argument("name", nargs="?", default=None,
+                          choices=sorted(CAMPAIGNS),
+                          help="grid to run (optional when --cache-gc "
+                               "alone is wanted)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="process-pool size, or worker processes "
                                "to spawn under --backend workqueue "
@@ -412,6 +464,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream incremental merged results "
                                "(attack/pWCET previews) as each cell's "
                                "completed-shard prefix grows")
+    campaign.add_argument("--early-stop", action="store_true",
+                          help="cancel a cell's remaining shards once "
+                               "its kind's stopping rule decides the "
+                               "verdict on the completed-shard prefix "
+                               "(kinds with a should_stop hook; needs "
+                               "--max-shards > 1 to have partials to "
+                               "rule on)")
+    campaign.add_argument("--cache-gc", type=float, default=None,
+                          metavar="DAYS",
+                          help="sweep --cache-dir entries older than "
+                               "DAYS days (plus orphaned shard "
+                               "partials) before running; with no "
+                               "campaign name, sweep and exit")
     campaign.add_argument("--samples", type=int, default=None,
                           help="samples (or runs) per cell; campaign "
                                "default when omitted")

@@ -179,12 +179,24 @@ class CampaignProgress:
             return
         if event.event == "cell":
             self.cells_done += 1
+        result = getattr(event, "result", None)
+        early_stopped = bool(getattr(result, "early_stopped", False))
         work = max(0, event.work)
         self.work_done = min(self.total_work, self.work_done + work)
-        if not event.from_cache:
+        # Early-stopped cell events carry the *skipped* remainder of
+        # their budget: it completes the campaign's progress but cost
+        # no compute, so — like cache restores — it must not inflate
+        # the throughput estimate.
+        if not event.from_cache and not early_stopped:
             self.fresh_work_done += work
         if event.from_cache:
             origin = "cached"
+        elif early_stopped:
+            decided = getattr(
+                getattr(result, "payload", None), "trials", None
+            )
+            at = f" @ {decided}" if decided is not None else ""
+            origin = f"early-stop{at}, {event.elapsed:.1f}s"
         else:
             origin = f"{event.elapsed:.1f}s"
         eta = self.eta_seconds()

@@ -142,6 +142,51 @@ class TestLocalBackends:
         backend.cancel()
         assert list(backend.completions()) == []
 
+    def test_serial_cancel_units_is_selective(self):
+        backend = SerialBackend()
+        for unit_id in ("a", "b", "c"):
+            backend.submit(WorkUnit(unit_id=unit_id, spec=missrate_spec()))
+        backend.cancel_units(["b"])
+        done = [r.unit.unit_id for r in backend.completions()]
+        assert done == ["a", "c"]
+
+    def test_serial_cancel_units_mid_drain(self):
+        """Cancelling during the drain (the early-stop call pattern)
+        prevents the remaining named units from ever executing."""
+        backend = SerialBackend()
+        for unit_id in ("a", "b", "c"):
+            backend.submit(WorkUnit(unit_id=unit_id, spec=missrate_spec()))
+        stream = backend.completions()
+        first = next(stream)
+        assert first.unit.unit_id == "a"
+        backend.cancel_units(["b", "c"])
+        assert list(stream) == []
+
+    def test_pool_cancel_units_before_drain(self):
+        with ProcessPoolBackend(2) as backend:
+            for unit_id in ("a", "b"):
+                backend.submit(
+                    WorkUnit(unit_id=unit_id, spec=missrate_spec())
+                )
+            backend.cancel_units(["a"])
+            done = [r.unit.unit_id for r in backend.completions()]
+        assert done == ["b"]
+
+    def test_pool_aborted_drain_does_not_leak_futures(self):
+        """A drain that raises (worker error) must not leak its
+        remaining futures into the reused backend's next round."""
+        bad = ExperimentSpec(
+            kind="missrate", params=(("policy", "modulo"),)
+        )
+        with ProcessPoolBackend(2) as backend:
+            backend.submit(WorkUnit(unit_id="bad", spec=bad))
+            backend.submit(WorkUnit(unit_id="ok", spec=missrate_spec()))
+            with pytest.raises(ValueError, match="workload"):
+                list(backend.completions())
+            backend.submit(WorkUnit(unit_id="ok2", spec=missrate_spec()))
+            done = [r.unit.unit_id for r in backend.completions()]
+        assert done == ["ok2"]
+
 
 class TestWorkQueueDispatch:
     def test_in_process_worker_round_trip(self, tmp_path):
@@ -194,6 +239,27 @@ class TestWorkQueueDispatch:
         backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
         backend.cancel()
         assert os.listdir(tmp_path / TASKS_DIR) == []
+        assert list(backend.completions()) == []
+
+    def test_cancel_units_withdraws_named_tasks(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        for unit_id in ("a", "b"):
+            backend.submit(WorkUnit(unit_id=unit_id, spec=missrate_spec()))
+        backend.cancel_units(["a"])
+        assert os.listdir(tmp_path / TASKS_DIR) == ["b.json"]
+        run_worker_once(str(tmp_path))
+        done = [r.unit.unit_id for r in backend.completions()]
+        assert done == ["b"]
+
+    def test_cancel_units_sweeps_landed_result(self, tmp_path):
+        """A result that arrived before the cancel must not be
+        replayed if the id is reused later."""
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        run_worker_once(str(tmp_path))
+        assert os.listdir(tmp_path / RESULTS_DIR) == ["u.pkl"]
+        backend.cancel_units(["u"])
+        assert os.listdir(tmp_path / RESULTS_DIR) == []
         assert list(backend.completions()) == []
 
     def test_worker_exits_on_stop_sentinel(self, tmp_path):
@@ -546,3 +612,111 @@ class TestStreamingPartials:
             max_shards_per_cell=4, progress=events.append
         ).run([timing_spec()])
         assert not [e for e in events if e.event == "partial"]
+
+
+class TestEarlyStopAcrossBackends:
+    """Runner-level early stopping: the ``should_stop`` hook decides a
+    cell on its merged shard prefix, the remaining units are cancelled
+    with backend-specific semantics, and the verdict matches a
+    full-length run on every backend."""
+
+    SPEC = ExperimentSpec(
+        kind="prime_probe", setup="deterministic",
+        num_samples=64, seed=2018,
+    )
+
+    @pytest.fixture(scope="class")
+    def full(self):
+        return CampaignRunner().run([self.SPEC]).cells[0]
+
+    def test_serial_stops_and_skips_remaining_shards(self, full):
+        events = []
+        result = CampaignRunner(
+            max_shards_per_cell=8, early_stop=True,
+            progress=events.append,
+        ).run([self.SPEC]).cells[0]
+        assert result.early_stopped
+        assert result.payload.trials < 64
+        assert result.payload.leaks == full.payload.leaks
+        # Serial order: the SPRT decides on the first prefix >= its
+        # 16-trial minimum, i.e. after 2 of the 8 eight-trial shards;
+        # the cancelled remainder never executes.
+        executed = [e for e in events if e.event == "shard"]
+        assert len(executed) == 2
+        # Progress still reaches the full campaign weight: the final
+        # cell event carries the skipped remainder.
+        assert sum(e.work for e in events) == 64
+
+    @pytest.mark.parametrize("make_backend", [
+        lambda tmp: ProcessPoolBackend(2),
+        lambda tmp: WorkQueueBackend(
+            str(tmp), spawn_workers=2, lease_timeout=60, idle_timeout=120,
+        ),
+    ])
+    def test_parallel_backends_same_verdict(self, full, make_backend,
+                                            tmp_path):
+        """Concurrent completion order may move the decision point,
+        but the verdict (and the prefix-equals-serial property) hold
+        on the pool and the work queue alike."""
+        backend = make_backend(tmp_path)
+        try:
+            result = CampaignRunner(
+                max_shards_per_cell=8, early_stop=True, backend=backend,
+            ).run([self.SPEC]).cells[0]
+        finally:
+            backend.close()
+        assert result.payload.trials <= 64
+        assert result.payload.leaks == full.payload.leaks
+        if result.early_stopped:
+            assert result.payload.trials < 64
+
+    def test_early_stop_off_keeps_full_budget(self, full):
+        result = CampaignRunner(
+            max_shards_per_cell=8
+        ).run([self.SPEC]).cells[0]
+        assert not result.early_stopped
+        assert result.payload == full.payload
+
+    def test_whole_cell_units_never_stop_early(self, full):
+        """Unsharded cells have no partials to rule on."""
+        result = CampaignRunner(early_stop=True).run([self.SPEC]).cells[0]
+        assert not result.early_stopped
+        assert result.payload == full.payload
+
+    def test_restored_prefix_can_decide_before_dispatch(self, tmp_path):
+        """Cached shard partials from an interrupted run are enough to
+        stop a cell without dispatching any new unit."""
+        cache_dir = str(tmp_path / "cache")
+        events = []
+        # Seed the cache with the first two shards (the deciding
+        # prefix) by running them through a throwaway runner.
+        runner = CampaignRunner(
+            cache_dir=cache_dir, max_shards_per_cell=8,
+            early_stop=True,
+        )
+        first = runner.run([self.SPEC]).cells[0]
+        assert first.early_stopped
+        # Wipe the whole-cell entry but re-create the shard partials,
+        # simulating a crash after two shards.
+        cache = ResultCache(cache_dir)
+        plan = CampaignRunner(
+            max_shards_per_cell=8
+        )._shard_plan(self.SPEC)
+        from repro.campaigns import get_experiment
+
+        kind = get_experiment("prime_probe")
+        os.unlink(cache._path(self.SPEC))
+        for shard in list(plan)[:2]:
+            cache.put_shard(
+                self.SPEC, shard, kind.run_shard(self.SPEC, shard)
+            )
+        resumed = CampaignRunner(
+            cache_dir=cache_dir, max_shards_per_cell=8,
+            early_stop=True, progress=events.append,
+        ).run([self.SPEC]).cells[0]
+        assert resumed.early_stopped
+        assert resumed.payload == first.payload
+        # Both shards were restores; nothing was computed fresh.
+        assert all(
+            e.from_cache for e in events if e.event == "shard"
+        )

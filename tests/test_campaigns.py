@@ -1,5 +1,8 @@
 """Tests for the campaign orchestration layer (repro.campaigns)."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -115,6 +118,28 @@ class TestRegistry:
         finally:
             from repro.campaigns import registry
             del registry._REGISTRY["_test_echo"]
+
+    def test_should_stop_requires_merge_partial(self):
+        from repro.campaigns.registry import ExperimentKind
+
+        with pytest.raises(ValueError, match="should_stop"):
+            ExperimentKind(
+                name="bad",
+                run=lambda spec: None,
+                summarize=lambda spec, p: {},
+                should_stop=lambda spec, p: True,
+            )
+
+    def test_stop_rule_requires_should_stop(self):
+        from repro.campaigns.registry import ExperimentKind
+
+        with pytest.raises(ValueError, match="stop_rule"):
+            ExperimentKind(
+                name="bad",
+                run=lambda spec: None,
+                summarize=lambda spec, p: {},
+                stop_rule=lambda spec: "rule",
+            )
 
 
 class TestMissRateKind:
@@ -374,6 +399,126 @@ class TestResultCache:
         result = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
         assert not result.cells[0].from_cache
         assert result.cells[0].payload.accesses == 12000
+
+
+class TestResultCacheGC:
+    def _spec(self, seed=1):
+        return ExperimentSpec(
+            kind="missrate", seed=seed,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+
+    def _age(self, path, days):
+        old = time.time() - days * 86400.0
+        os.utime(path, (old, old))
+
+    def test_sweeps_stale_entries_and_partials(self, tmp_path):
+        import repro.core.batch as batch
+
+        cache = ResultCache(str(tmp_path))
+        old_spec, new_spec = self._spec(1), self._spec(2)
+        cache.put(old_spec, {"x": 1})
+        cache.put(new_spec, {"x": 2})
+        shard = batch.Shard(index=0, num_shards=2, start=0, end=8)
+        stale_shard_spec = self._spec(3)
+        cache.put_shard(stale_shard_spec, shard, {"p": 1})
+        self._age(cache._path(old_spec), days=10)
+        self._age(cache._shard_path(stale_shard_spec, shard), days=10)
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_cells == 1
+        assert stats.removed_partials == 1
+        assert stats.freed_bytes > 0
+        assert cache.get(old_spec) is None
+        assert cache.get(new_spec) == {"x": 2}
+
+    def test_sweeps_orphaned_partials_regardless_of_age(self, tmp_path):
+        """A partial whose whole-cell entry landed should have been
+        swept at merge time; gc removes the leftovers."""
+        import repro.core.batch as batch
+
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        shard = batch.Shard(index=0, num_shards=2, start=0, end=8)
+        cache.put_shard(spec, shard, {"p": 1})
+        cache.put(spec, {"done": True})
+        # Simulate the crash window: re-create the partial after the
+        # cell entry landed.
+        cache.put_shard(spec, shard, {"p": 1})
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_partials == 1
+        assert stats.removed_cells == 0
+        assert cache.get(spec) == {"done": True}
+
+    def test_keeps_partials_beside_early_stopped_entry(self, tmp_path):
+        """A full-budget run ignores an early-stopped entry and may be
+        mid-resume on exactly these partials: they are NOT orphans."""
+        import repro.core.batch as batch
+
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        cache.put(spec, {"decided": True}, early_stopped=True)
+        shard = batch.Shard(index=0, num_shards=2, start=0, end=8)
+        cache.put_shard(spec, shard, {"p": 1})
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_partials == 0
+        assert cache.get_shards(spec, batch.ShardPlan(16, [
+            shard, batch.Shard(index=1, num_shards=2, start=8, end=16),
+        ])) == {0: {"p": 1}}
+
+    def test_early_stop_marker_follows_entry_lifecycle(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        cache.put(spec, {"decided": True}, early_stopped=True)
+        assert cache.is_early_stopped(spec)
+        assert cache.get_record(spec) == ({"decided": True}, True)
+        # A full-budget overwrite clears the marker.
+        cache.put(spec, {"full": True})
+        assert not cache.is_early_stopped(spec)
+        assert cache.get_record(spec) == ({"full": True}, False)
+        # gc removes the marker together with an aged-out entry.
+        cache.put(spec, {"decided": True}, early_stopped=True)
+        self._age(cache._path(spec), days=10)
+        cache.gc(max_age_days=7)
+        assert not cache.has(spec)
+        assert not cache.is_early_stopped(spec)
+
+    def test_orphan_marker_swept_only_once_stale(self, tmp_path):
+        """A fresh marker without its entry is the put() in-flight
+        window, not litter — gc must leave it alone."""
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        marker = cache._early_marker_path(spec.spec_hash())
+        open(marker, "wb").close()
+        cache.gc(max_age_days=7)
+        assert os.path.exists(marker)
+        # Even an everything-goes sweep respects the in-flight grace
+        # window — a concurrent put() must never lose its marker.
+        cache.gc(max_age_days=0)
+        assert os.path.exists(marker)
+        self._age(marker, days=10)
+        cache.gc(max_age_days=7)
+        assert not os.path.exists(marker)
+
+    def test_keeps_fresh_unrelated_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (tmp_path / "notes.txt").write_text("keep me")
+        spec = self._spec()
+        cache.put(spec, {"x": 1})
+        stats = cache.gc(max_age_days=0.5)
+        assert stats.removed_cells == 0
+        assert (tmp_path / "notes.txt").exists()
+
+    def test_age_zero_sweeps_everything_pkl(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(self._spec(), {"x": 1})
+        self._age(cache._path(self._spec()), days=0.001)
+        stats = cache.gc(max_age_days=0)
+        assert stats.removed_cells == 1
+        assert cache.get(self._spec()) is None
+
+    def test_rejects_negative_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path)).gc(-1)
 
 
 class TestGrids:

@@ -67,6 +67,22 @@ class TestParser:
                 ["campaign", "bernstein", "--backend", "carrier-pigeon"]
             )
 
+    def test_campaign_early_stop_and_cache_gc_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "contention", "--early-stop",
+            "--cache-gc", "30", "--cache-dir", "/tmp/c",
+        ])
+        assert args.name == "contention"
+        assert args.early_stop
+        assert args.cache_gc == 30.0
+
+    def test_campaign_name_optional_for_cache_gc(self):
+        args = build_parser().parse_args(
+            ["campaign", "--cache-gc", "7", "--cache-dir", "/tmp/c"]
+        )
+        assert args.name is None
+        assert args.cache_gc == 7.0
+
     def test_worker_requires_queue(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["worker"])
@@ -200,6 +216,105 @@ class TestCommands:
         assert [c["mean_cycles"] for c in serial["cells"]] == [
             c["mean_cycles"] for c in queued["cells"]
         ]
+
+    def test_campaign_contention_table(self, capsys):
+        assert main(["campaign", "contention", "--samples", "24",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "leaks" in out
+        assert "prime_probe" in out and "evict_time" in out
+        assert "8 cells" in out
+
+    def test_campaign_dry_run_shows_stopping_rule(self, capsys):
+        assert main(["campaign", "contention", "--dry-run",
+                     "--max-shards", "4", "--early-stop",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "early stop" in out
+        assert "sprt" in out
+        # Without --early-stop the run would use the full budget, and
+        # the plan says so.
+        assert main(["campaign", "contention", "--dry-run",
+                     "--max-shards", "4", "--quiet"]) == 0
+        assert "sprt" not in capsys.readouterr().out
+        # Kinds without a should_stop hook show no rule either way.
+        assert main(["campaign", "pwcet", "--dry-run", "--samples", "40",
+                     "--early-stop", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "early stop" in out
+        assert "sprt" not in out
+
+    def test_campaign_early_stop_end_to_end(self, capsys):
+        """--early-stop decides leaking cells below the full budget
+        and reports the decided-at trial count."""
+        base = ["campaign", "contention", "--samples", "96", "--json"]
+        assert main(base + ["--quiet"]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert main(base + ["--max-shards", "8", "--early-stop"]) == 0
+        captured = capsys.readouterr()
+        stopped = json.loads(captured.out)
+        assert "early-stop @" in captured.err
+        by_cell = lambda doc: {
+            (c["kind"], c["setup"]): c for c in doc["cells"]
+        }
+        full_cells, stopped_cells = by_cell(full), by_cell(stopped)
+        early = [c for c in stopped["cells"] if c.get("early_stopped")]
+        assert early, "no contention cell stopped early"
+        for key, cell in stopped_cells.items():
+            assert cell["leaks"] == full_cells[key]["leaks"]
+            assert cell["trials"] <= full_cells[key]["trials"]
+
+    def test_campaign_cache_gc_standalone(self, capsys, tmp_path):
+        import os
+        import time
+
+        # Populate the cache, then backdate one entry past the cutoff.
+        assert main(["campaign", "missrates", "--quiet",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        entries = sorted(tmp_path.iterdir())
+        assert entries
+        old = time.time() - 30 * 86400
+        os.utime(entries[0], (old, old))
+        assert main(["campaign", "--cache-gc", "7",
+                     "--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "removed 1 cell entry" in err
+        assert len(sorted(tmp_path.iterdir())) == len(entries) - 1
+
+    def test_campaign_cache_gc_requires_cache_dir(self, capsys):
+        assert main(["campaign", "--cache-gc", "7"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_campaign_cache_gc_rejects_negative_days(self, capsys,
+                                                     tmp_path):
+        assert main(["campaign", "--cache-gc", "-1",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_campaign_dry_run_skips_cache_gc(self, capsys, tmp_path):
+        """A dry run must not delete anything — the gc sweep is
+        deferred, not executed."""
+        assert main(["campaign", "missrates", "--quiet",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        import os
+        import time
+
+        entries = sorted(tmp_path.iterdir())
+        old = time.time() - 30 * 86400
+        for entry in entries:
+            os.utime(entry, (old, old))
+        assert main(["campaign", "missrates", "--dry-run", "--quiet",
+                     "--cache-gc", "7", "--cache-dir",
+                     str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping --cache-gc" in captured.err
+        assert sorted(tmp_path.iterdir()) == entries
+
+    def test_campaign_requires_name_without_gc(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "campaign name required" in capsys.readouterr().err
 
     def test_worker_exits_on_stop_sentinel(self, tmp_path):
         from repro.backends.workqueue import ensure_queue_dirs

@@ -1,6 +1,8 @@
 """Tests for Prime+Probe and Evict+Time (§6.2.1 generalization):
 contention attacks succeed against shared deterministic mappings and
-fail against per-process random placement."""
+fail against per-process random placement — both through the direct
+attack API and as shardable ``prime_probe``/``evict_time`` campaign
+kinds with partial-driven early stopping."""
 
 import pytest
 
@@ -10,6 +12,13 @@ from repro.cache.replacement import make_replacement
 from repro.cache.rpcache import RPCache
 from repro.attack.evict_time import EvictTimeAttack
 from repro.attack.prime_probe import PrimeProbeAttack
+from repro.campaigns import (
+    CampaignRunner,
+    ExperimentSpec,
+    contention_grid,
+    get_experiment,
+)
+from repro.core.setups import SETUP_NAMES
 
 
 GEOMETRY = CacheGeometry(2048, 4, 32)  # 16 sets, 4 ways
@@ -94,3 +103,250 @@ class TestEvictTime:
         result = attack.run(trials=4)
         assert result.trials == 4
         assert result.chance_level == pytest.approx(1 / 8)
+
+
+class TestContentionKinds:
+    """The attacks as first-class campaign cells."""
+
+    def test_kinds_registered_and_stoppable(self):
+        for name in ("prime_probe", "evict_time"):
+            kind = get_experiment(name)
+            assert kind.shardable
+            assert kind.merge_partial is not None
+            assert kind.should_stop is not None
+            assert "sprt" in kind.stop_rule(
+                ExperimentSpec(kind=name, setup="tscache", num_samples=8)
+            )
+
+    def test_grid_covers_both_kinds_and_all_setups(self):
+        specs = contention_grid(num_samples=60)
+        assert {s.kind for s in specs} == {"prime_probe", "evict_time"}
+        assert {s.setup for s in specs} == set(SETUP_NAMES)
+        assert len(specs) == 2 * len(SETUP_NAMES)
+
+    def test_verdicts_match_the_paper(self):
+        """§6.2.1: deterministic and shared-seed setups leak to both
+        attacks; RPCache and TSCache defeat them."""
+        by_cell = {
+            (c.spec.kind, c.spec.setup): c.payload
+            for c in CampaignRunner().run(contention_grid(num_samples=60))
+        }
+        for kind in ("prime_probe", "evict_time"):
+            assert by_cell[(kind, "deterministic")].leaks
+            assert by_cell[(kind, "mbpta")].leaks
+            assert not by_cell[(kind, "rpcache")].leaks
+            assert not by_cell[(kind, "tscache")].leaks
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sharded_bit_identical_to_serial(self, workers):
+        specs = [
+            ExperimentSpec(kind="prime_probe", setup="tscache",
+                           num_samples=30, seed=7),
+            ExperimentSpec(kind="evict_time", setup="deterministic",
+                           num_samples=6, seed=7),
+        ]
+        serial = CampaignRunner().run(specs)
+        sharded = CampaignRunner(
+            workers=workers, max_shards_per_cell=3
+        ).run(specs)
+        for ser, shd in zip(serial, sharded):
+            assert shd.num_shards > 1
+            assert ser.payload == shd.payload
+
+    def test_policy_and_seeding_params_override_setup(self):
+        """Setup-less cells (the design-space example) pick their
+        policy and seed discipline from params."""
+        spec = ExperimentSpec(
+            kind="prime_probe",
+            num_samples=30,
+            seed=7,
+            params=(("policy", "modulo"), ("seeding", "fixed")),
+        )
+        payload = CampaignRunner().run([spec]).payloads()[0]
+        assert payload.leaks  # shared deterministic mapping leaks
+        protected = spec.with_params(
+            policy="random_modulo", seeding="per_process"
+        )
+        payload = CampaignRunner().run([protected]).payloads()[0]
+        assert not payload.leaks
+
+    def test_setupless_cell_without_policy_rejected(self):
+        spec = ExperimentSpec(kind="prime_probe", num_samples=4)
+        with pytest.raises(ValueError, match="policy"):
+            get_experiment("prime_probe").run(spec)
+
+    def test_unknown_seeding_mode_rejected(self):
+        spec = ExperimentSpec(
+            kind="prime_probe", setup="tscache", num_samples=4,
+            params=(("seeding", "sideways"),),
+        )
+        with pytest.raises(ValueError, match="seeding"):
+            get_experiment("prime_probe").run(spec)
+
+    def test_should_stop_requires_decision_verdict_agreement(self):
+        """Near the 3x-chance threshold the SPRT can decide 'leak'
+        while the prefix accuracy sits below the reporting threshold;
+        the hook must not stop there."""
+        from repro.attack.prime_probe import PrimeProbeResult
+        from repro.attack.trials import sequential_leak_test
+
+        kind = get_experiment("prime_probe")
+        spec = ExperimentSpec(
+            kind="prime_probe", setup="deterministic", num_samples=400,
+        )
+        chance = 1 / 16
+        # Accuracy 0.165: above the SPRT's asymptotic leak boundary,
+        # below the 3x-chance reporting threshold (0.1875).
+        disagree = PrimeProbeResult(
+            trials=200, correct=33, chance_level=chance
+        )
+        assert sequential_leak_test(200, 33, chance) is True
+        assert not disagree.leaks
+        assert not kind.should_stop(spec, disagree)
+        # Clear-cut prefixes stop as before, in both directions.
+        assert kind.should_stop(
+            spec, PrimeProbeResult(trials=200, correct=60,
+                                   chance_level=chance)
+        )
+        assert kind.should_stop(
+            spec, PrimeProbeResult(trials=200, correct=12,
+                                   chance_level=chance)
+        )
+
+    def test_rpcache_with_seed_discipline_rejected(self):
+        """RPCache has no set_seed: asking for per-process seeds must
+        fail with a clear spec error, not an AttributeError mid-trial."""
+        spec = ExperimentSpec(
+            kind="prime_probe", num_samples=4,
+            params=(("policy", "rpcache"), ("seeding", "per_process")),
+        )
+        with pytest.raises(ValueError, match="rpcache"):
+            get_experiment("prime_probe").run(spec)
+
+
+class TestContentionEarlyStop:
+    """Acceptance: an early-stopped cell reports the same leak verdict
+    as the full-length run, on every setup of the contention grid."""
+
+    @pytest.fixture(scope="class")
+    def grids(self):
+        specs = contention_grid(num_samples=96, seed=2018)
+        full = CampaignRunner(max_shards_per_cell=8).run(specs)
+        stopped = CampaignRunner(
+            max_shards_per_cell=8, early_stop=True
+        ).run(specs)
+        return full, stopped
+
+    def test_verdicts_agree_on_every_cell(self, grids):
+        full, stopped = grids
+        for f, s in zip(full, stopped):
+            assert f.spec == s.spec
+            assert s.payload.leaks == f.payload.leaks, s.spec.cell_id
+            assert s.payload.trials <= f.payload.trials
+
+    def test_some_cell_actually_stopped_early(self, grids):
+        _, stopped = grids
+        early = [c for c in stopped if c.early_stopped]
+        assert early, "no cell stopped early at 96 trials"
+        for cell in early:
+            assert cell.payload.trials < cell.spec.num_samples
+            assert cell.summary()["early_stopped"] is True
+
+    def test_small_budget_evict_time_can_stop(self):
+        """The min-trials floor adapts to the budget, so the grid's
+        small evict_time cells are not silently exempt from the rule
+        their dry-run advertises."""
+        spec = ExperimentSpec(
+            kind="evict_time", setup="deterministic",
+            num_samples=16, seed=2018,
+        )
+        full = CampaignRunner(max_shards_per_cell=8).run([spec]).cells[0]
+        stopped = CampaignRunner(
+            max_shards_per_cell=8, early_stop=True
+        ).run([spec]).cells[0]
+        assert stopped.early_stopped
+        assert stopped.payload.trials < 16
+        assert stopped.payload.leaks == full.payload.leaks
+
+    def test_early_stopped_prefix_matches_serial_prefix(self, grids):
+        """The decided payload is exactly the first k trials of the
+        full run — position-keyed randomness, not a different draw."""
+        full, stopped = grids
+        by_spec = {c.spec: c.payload for c in full}
+        for cell in stopped:
+            if not cell.early_stopped or cell.spec.kind != "prime_probe":
+                continue
+            # Recompute the prefix serially and compare outcome counts.
+            from repro.campaigns.experiments import _contention_attack
+            from repro.campaigns.experiments import _contention_seeder
+
+            attack = _contention_attack(cell.spec)
+            prefix = attack.run_block(
+                0, cell.payload.trials, cell.spec.num_samples,
+                seed_victim=_contention_seeder(cell.spec),
+            )
+            assert prefix.correct == cell.payload.correct
+            assert by_spec[cell.spec].chance_level == \
+                cell.payload.chance_level
+
+    def test_early_stopped_result_is_cached_at_decided_count(
+        self, tmp_path
+    ):
+        spec = ExperimentSpec(
+            kind="prime_probe", setup="deterministic",
+            num_samples=64, seed=2018,
+        )
+        runner = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=8,
+            early_stop=True,
+        )
+        first = runner.run([spec]).cells[0]
+        assert first.early_stopped
+        assert first.payload.trials < 64
+        # Another early-stop run hits the cached decided result — and
+        # the early-stop marker survives the round trip, so the warm
+        # run reports the truncated payload for what it is.
+        rerun = CampaignRunner(
+            cache_dir=str(tmp_path), early_stop=True
+        ).run([spec])
+        assert rerun.cells[0].from_cache
+        assert rerun.cells[0].payload == first.payload
+        assert rerun.cells[0].early_stopped
+        assert rerun.cells[0].summary()["early_stopped"] is True
+
+    def test_full_budget_runner_recomputes_early_stopped_entry(
+        self, tmp_path
+    ):
+        """A runner that did not opt into early stopping promised the
+        full budget: the truncated cache entry must not satisfy it."""
+        spec = ExperimentSpec(
+            kind="prime_probe", setup="deterministic",
+            num_samples=64, seed=2018,
+        )
+        CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=8,
+            early_stop=True,
+        ).run([spec])
+        full_runner = CampaignRunner(
+            cache_dir=str(tmp_path), max_shards_per_cell=8
+        )
+        # plan() mirrors run(): the cell shows as compute, not cached.
+        plan = full_runner.plan([spec])[0]
+        assert not plan.cached
+        # ... and the early-stopped run kept its decided-prefix
+        # partials on disk, so the full run resumes instead of
+        # recomputing them.
+        assert plan.shards_cached >= 2
+        full = full_runner.run([spec]).cells[0]
+        assert not full.from_cache
+        assert not full.early_stopped
+        assert full.shards_restored >= 2
+        assert full.payload.trials == 64
+        # The full payload overwrote the truncated entry; both kinds
+        # of runner are now satisfied from the cache.
+        assert CampaignRunner(
+            cache_dir=str(tmp_path)
+        ).run([spec]).cells[0].from_cache
+        assert CampaignRunner(
+            cache_dir=str(tmp_path), early_stop=True
+        ).run([spec]).cells[0].from_cache

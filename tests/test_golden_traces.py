@@ -31,7 +31,7 @@ import tempfile
 import numpy as np
 import pytest
 
-from repro.campaigns import CampaignRunner, bernstein_grid
+from repro.campaigns import CampaignRunner, ExperimentSpec, bernstein_grid
 from repro.core.batch import AESTimingEngine, merge_shard_samples
 from repro.core.setups import SETUP_NAMES, make_setup
 
@@ -92,6 +92,29 @@ GOLDEN_ATTACKS = {
     "mbpta": (0, 128.0),
     "tscache": (0, 128.0),
 }
+
+#: Frozen (trials, correct) of the contention-attack kinds at root
+#: seed 2018 — one leaking and one protected setup per kind.  Every
+#: trial draws from a position-keyed stream, so these exact counts
+#: must reproduce on any backend, shard count and completion order.
+GOLDEN_CONTENTION = {
+    ("prime_probe", "deterministic"): (64, 64),
+    ("prime_probe", "tscache"): (64, 5),
+    ("evict_time", "deterministic"): (10, 10),
+    ("evict_time", "tscache"): (10, 0),
+}
+
+
+def contention_specs():
+    return [
+        ExperimentSpec(
+            kind=kind,
+            setup=setup,
+            num_samples=trials,
+            seed=2018,
+        )
+        for (kind, setup), (trials, _) in sorted(GOLDEN_CONTENTION.items())
+    ]
 
 
 def sample_digest(samples) -> str:
@@ -191,3 +214,35 @@ class TestCampaignGoldens:
                 ser.payload.report.bits_determined
                 == shd.payload.report.bits_determined
             )
+
+
+class TestContentionGoldens:
+    """The contention kinds under the same regime: frozen per-cell
+    trial outcomes, asserted for the serial path and for a sharded run
+    on whichever backend CI selected (process pool or a work queue
+    served by real ``repro worker`` subprocesses) — the acceptance
+    proof that ``prime_probe``/``evict_time`` merged results are
+    bit-identical across backends and shard counts."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return CampaignRunner().run(contention_specs())
+
+    def test_serial_matches_frozen_outcomes(self, serial):
+        for cell in serial:
+            key = (cell.spec.kind, cell.spec.setup)
+            assert (
+                cell.payload.trials, cell.payload.correct
+            ) == GOLDEN_CONTENTION[key], (
+                f"{key}: contention trial outcomes changed — if this is "
+                "intentional, refresh GOLDEN_CONTENTION"
+            )
+
+    def test_sharded_backend_bit_identical_to_serial(self, serial):
+        with golden_runner(max_shards_per_cell=3) as runner:
+            sharded = runner.run(contention_specs())
+        for ser, shd in zip(serial, sharded):
+            assert ser.spec == shd.spec
+            assert shd.num_shards > 1
+            assert ser.payload == shd.payload
+            assert type(ser.payload) is type(shd.payload)

@@ -113,3 +113,65 @@ class TestCandidateMatrix:
         text = render_candidate_matrix(candidate_matrix(report))
         first = text.splitlines()[0]
         assert "#" in first and "." in first
+
+
+class TestEdgeCases:
+    """The degenerate report shapes: empty survivor profiles,
+    single-candidate collapse, and full-keyspace no-leak."""
+
+    def test_empty_survivor_profile_rejected(self):
+        """An attack can never discard every value: the paper's
+        best-case-attacker rule keeps the true value alive, so an
+        empty profile is a construction bug, not a result."""
+        with pytest.raises(ValueError):
+            outcome(true_value=7, surviving=set())
+
+    def test_single_candidate_collapse_whole_key(self):
+        """Every byte pinned to one value: the 33-bit story taken to
+        its limit — zero remaining key space, full disclosure."""
+        report = full_report([{j} for j in range(16)])
+        assert report.bits_determined == 128
+        assert report.remaining_key_space_log2 == pytest.approx(0.0)
+        assert report.brute_force_speedup_log2 == pytest.approx(128.0)
+        assert report.bits_disclosed_total == pytest.approx(128.0)
+        assert not report.key_fully_protected
+        matrix = candidate_matrix(report)
+        # Exactly one cell per row, and it is the (black) true value.
+        assert int((matrix != 0).sum()) == 16
+        assert int((matrix == 2).sum()) == 16
+        for j in range(16):
+            assert matrix[j, j] == 2
+
+    def test_single_candidate_render_is_all_discards(self):
+        report = full_report([{0}] * 16)
+        lines = render_candidate_matrix(candidate_matrix(report)).splitlines()
+        for line in lines:
+            body = line.split("|")[1]
+            assert body[0] == "#"          # chunk holding the true value
+            assert set(body[1:]) == {"."}  # everything else discarded
+
+    def test_full_keyspace_no_leak(self):
+        """All 256 values survive for every byte: nothing learned."""
+        report = full_report([set(range(256))] * 16)
+        assert report.key_fully_protected
+        assert report.bits_determined == 0
+        assert report.bits_disclosed_total == pytest.approx(0.0)
+        assert report.brute_force_speedup_log2 == pytest.approx(0.0)
+        matrix = candidate_matrix(report)
+        assert int((matrix == 0).sum()) == 0  # no value discarded
+        for o in report.outcomes:
+            assert not o.fully_determined
+            assert o.bits_disclosed == pytest.approx(0.0)
+
+    def test_mixed_report_aggregates_per_byte_information(self):
+        survivors = [{1}] + [set(range(2))] * 2 + [set(range(256))] * 13
+        report = full_report(survivors)
+        assert report.bits_determined == 8
+        assert report.bits_disclosed_total == pytest.approx(8 + 7 + 7)
+        assert report.remaining_key_space_log2 == pytest.approx(
+            0 + 1 + 1 + 13 * 8
+        )
+
+    def test_report_wrong_byte_count_rejected(self):
+        with pytest.raises(ValueError):
+            KeySpaceReport(outcomes=(outcome(),) * 17)

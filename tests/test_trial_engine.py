@@ -1,0 +1,233 @@
+"""Tests for the shared contention-trial engine (repro.attack.trials):
+block merging, position-keyed per-trial randomness (the shard/serial
+bit-identity substrate) and the sequential leak test behind
+partial-driven early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.attack.evict_time import EvictTimeAttack, EvictTimeResult
+from repro.attack.prime_probe import PrimeProbeAttack, PrimeProbeResult
+from repro.attack.trials import (
+    ContentionResult,
+    TrialBlock,
+    as_seed_sequence,
+    merge_trial_blocks,
+    sequential_leak_test,
+)
+from repro.cache.core import CacheGeometry, SetAssociativeCache
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+
+GEOMETRY = CacheGeometry(2048, 4, 32)  # 16 sets, 4 ways
+
+
+def deterministic_cache():
+    layout = GEOMETRY.layout()
+    return SetAssociativeCache(
+        GEOMETRY,
+        make_placement("modulo", layout),
+        make_replacement("lru", GEOMETRY.num_sets, GEOMETRY.num_ways),
+    )
+
+
+def block(start, end, correct, total=100, chance=0.25):
+    return TrialBlock(
+        start=start, end=end, correct=correct,
+        total_trials=total, chance_level=chance,
+    )
+
+
+class TestTrialBlock:
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            block(10, 10, 0)
+        with pytest.raises(ValueError):
+            block(90, 110, 0)
+
+    def test_rejects_impossible_correct_count(self):
+        with pytest.raises(ValueError):
+            block(0, 10, 11)
+        with pytest.raises(ValueError):
+            block(0, 10, -1)
+
+
+class TestMergeTrialBlocks:
+    def test_merges_in_any_order(self):
+        parts = [block(40, 100, 6), block(0, 10, 3), block(10, 40, 12)]
+        result = merge_trial_blocks(parts)
+        assert result.trials == 100
+        assert result.correct == 21
+        assert result.chance_level == 0.25
+
+    def test_partial_prefix(self):
+        result = merge_trial_blocks(
+            [block(0, 10, 3), block(10, 40, 12)], partial=True
+        )
+        assert result.trials == 40
+        assert result.correct == 15
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks([block(0, 10, 1), block(20, 100, 2)])
+
+    def test_rejects_missing_tail(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks([block(0, 10, 1)])
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks([block(10, 100, 1)], partial=True)
+
+    def test_rejects_budget_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks(
+                [block(0, 10, 1, total=100), block(10, 90, 1, total=90)]
+            )
+
+    def test_rejects_chance_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks([
+                block(0, 10, 1, chance=0.25),
+                block(10, 100, 1, chance=0.5),
+            ])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_trial_blocks([])
+
+    def test_result_type(self):
+        result = merge_trial_blocks(
+            [block(0, 100, 30)], result_type=PrimeProbeResult
+        )
+        assert isinstance(result, PrimeProbeResult)
+        assert isinstance(result, ContentionResult)
+
+
+class TestSeedHandling:
+    def test_int_seed(self):
+        seq = as_seed_sequence(7)
+        assert seq.entropy == 7
+
+    def test_passthrough(self):
+        root = np.random.SeedSequence(entropy=3, spawn_key=(1, 2))
+        assert as_seed_sequence(root) is root
+
+    def test_none_uses_default(self):
+        assert as_seed_sequence(None, default=11).entropy == 11
+
+    def test_attack_defaults_keep_historical_seeds(self):
+        pp = PrimeProbeAttack(deterministic_cache, num_entries=16)
+        et = EvictTimeAttack(deterministic_cache, num_entries=8)
+        assert pp.seed_root.entropy == 0xACE
+        assert et.seed_root.entropy == 0xE71C
+
+
+class TestShardSerialIdentity:
+    """The tentpole property: any block partition of the trial budget,
+    computed in any order, merges to the exact serial result."""
+
+    @pytest.mark.parametrize("splits", [
+        [(0, 24)],
+        [(0, 8), (8, 16), (16, 24)],
+        [(0, 1)] + [(i, i + 1) for i in range(1, 24)],
+    ])
+    def test_prime_probe(self, splits):
+        attack = PrimeProbeAttack(
+            deterministic_cache, num_entries=16, seed=99
+        )
+        serial = attack.run(trials=24)
+        parts = [
+            attack.run_block(start, end, 24) for start, end in splits
+        ]
+        parts.reverse()  # completion order must not matter
+        merged = merge_trial_blocks(parts, result_type=PrimeProbeResult)
+        assert merged == serial
+
+    def test_evict_time(self):
+        attack = EvictTimeAttack(
+            deterministic_cache, num_entries=8, seed=99
+        )
+        serial = attack.run(trials=6)
+        parts = [
+            attack.run_block(0, 2, 6),
+            attack.run_block(2, 3, 6),
+            attack.run_block(3, 6, 6),
+        ]
+        merged = merge_trial_blocks(
+            reversed(parts), result_type=EvictTimeResult
+        )
+        assert merged == serial
+
+    def test_trials_depend_only_on_position(self):
+        """The same trial index yields the same outcome whether it is
+        computed inside a big block or alone."""
+        attack = PrimeProbeAttack(
+            deterministic_cache, num_entries=16, seed=5
+        )
+        alone = [attack.run_block(t, t + 1, 12).correct for t in range(12)]
+        together = attack.run_block(0, 12, 12)
+        assert sum(alone) == together.correct
+
+    def test_seed_changes_outcomes(self):
+        a = PrimeProbeAttack(deterministic_cache, num_entries=16, seed=1)
+        b = PrimeProbeAttack(deterministic_cache, num_entries=16, seed=2)
+        # Same cache, different secrets drawn: totals may match but the
+        # per-trial streams must differ somewhere over enough trials.
+        assert [a.trial_rng(t).integers(1 << 30) for t in range(8)] != \
+               [b.trial_rng(t).integers(1 << 30) for t in range(8)]
+
+    def test_run_zero_trials(self):
+        attack = PrimeProbeAttack(deterministic_cache, num_entries=16)
+        result = attack.run(trials=0)
+        assert result.trials == 0
+        assert result.accuracy == 0.0
+        assert not result.leaks
+
+
+class TestSequentialLeakTest:
+    CHANCE = 1 / 16
+
+    def test_undecided_below_min_trials(self):
+        assert sequential_leak_test(8, 8, self.CHANCE) is None
+
+    def test_decides_leak_on_high_accuracy(self):
+        assert sequential_leak_test(20, 18, self.CHANCE) is True
+
+    def test_decides_no_leak_at_chance(self):
+        assert sequential_leak_test(200, 12, self.CHANCE) is False
+
+    def test_undecided_in_between(self):
+        # Some evidence either way, not enough for the 1e-3 boundaries.
+        assert sequential_leak_test(20, 4, self.CHANCE) is None
+
+    def test_monotone_in_trials_at_chance(self):
+        """At exactly chance accuracy the test eventually rules
+        no-leak; the decision must appear and stay."""
+        decided_at = None
+        for trials in range(16, 400):
+            correct = round(trials * self.CHANCE)
+            verdict = sequential_leak_test(trials, correct, self.CHANCE)
+            if verdict is False and decided_at is None:
+                decided_at = trials
+        assert decided_at is not None
+
+    def test_error_rate_alpha_controls_boundary(self):
+        """Looser alpha decides earlier on the same evidence."""
+        trials, correct = 24, 10
+        strict = sequential_leak_test(
+            trials, correct, self.CHANCE, alpha=1e-6
+        )
+        loose = sequential_leak_test(
+            trials, correct, self.CHANCE, alpha=0.05
+        )
+        assert strict is None
+        assert loose is True
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            sequential_leak_test(10, 5, 0.0)
+        with pytest.raises(ValueError):
+            sequential_leak_test(10, 5, 0.5, alpha=0.7)
+        with pytest.raises(ValueError):
+            sequential_leak_test(10, 5, 0.5, leak_factor=1.0)
