@@ -33,9 +33,16 @@ from repro.backends.base import (
     execute_unit,
 )
 from repro.backends.local import ProcessPoolBackend, SerialBackend
-from repro.backends.workqueue import WorkQueueBackend, worker_loop
+from repro.backends.workqueue import (
+    ElasticStats,
+    ElasticSupervisor,
+    WorkQueueBackend,
+    worker_loop,
+)
 
 __all__ = [
+    "ElasticStats",
+    "ElasticSupervisor",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",

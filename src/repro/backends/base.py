@@ -173,9 +173,10 @@ class ExecutionBackend(abc.ABC):
         runner cancels its remaining shards by id.  A cancelled unit
         is never yielded by :meth:`completions`; a unit already
         executing when the cancel lands may still run to completion —
-        backends either suppress its result (local backends) or leave
-        it orphaned for the submit-time sweep (work queue), and the
-        caller must tolerate not hearing about it either way.  The
+        backends either suppress its result (local backends) or sweep
+        the straggler's files on later polls and at close (work
+        queue), and the caller must tolerate not hearing about it
+        either way.  The
         default is a no-op: the caller already discards results it no
         longer cares about, so a backend without cancellation support
         merely wastes the cancelled units' compute.

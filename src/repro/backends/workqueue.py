@@ -49,7 +49,8 @@ import sys
 import threading
 import time
 import traceback
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.backends.base import (
     ExecutionBackend,
@@ -77,6 +78,22 @@ def _stop_path(queue_dir: str) -> str:
     return os.path.join(queue_dir, STOP_SENTINEL)
 
 
+def _worker_info_path(queue_dir: str, worker_id: str) -> str:
+    return os.path.join(queue_dir, WORKERS_DIR, worker_id + ".json")
+
+
+def _worker_stop_path(queue_dir: str, worker_id: str) -> str:
+    """Per-worker stop sentinel: retires *one* worker gracefully.
+
+    Unlike the queue-wide ``stop`` sentinel, this drains a single
+    worker — it finishes the unit it holds a lease on (the sentinel is
+    only checked between claims) and exits, which is how the
+    :class:`ElasticSupervisor` scales the pool down without ever
+    abandoning a lease mid-unit.
+    """
+    return os.path.join(queue_dir, WORKERS_DIR, worker_id + ".stop")
+
+
 def _task_path(queue_dir: str, unit_id: str) -> str:
     return os.path.join(queue_dir, TASKS_DIR, unit_id + ".json")
 
@@ -92,29 +109,68 @@ def _result_path(queue_dir: str, unit_id: str) -> str:
 # -- worker side -------------------------------------------------------------
 
 
+def _touch(path: str) -> None:
+    """Refresh a heartbeat file's mtime (separable for fault tests)."""
+    os.utime(path)
+
+
 class _Heartbeat:
     """Touches a lease file on a background thread while a unit runs,
-    so the dispatcher can tell a slow worker from a dead one."""
+    so the dispatcher can tell a slow worker from a dead one.
+
+    Thread death is **not** silent: if the beat loop raises, the
+    thread records its own demise in the lease doc
+    (``heartbeat_alive: false``) and forces the lease mtime stale, so
+    the dispatcher re-enqueues promptly instead of waiting out the
+    full lease timeout — and the worker observes :attr:`failed` and
+    aborts the unit instead of publishing a result for a lease it no
+    longer keeps alive (the re-enqueued attempt recomputes the
+    identical payload).  Without this, a dead heartbeat under a
+    healthy worker meant the dispatcher re-enqueued a unit that was
+    still executing, and nobody ever learned why.
+    """
 
     def __init__(self, path: str, interval: float) -> None:
         self._path = path
         self._interval = max(0.05, interval)
         self._stop = threading.Event()
+        #: Set when the beat thread died unexpectedly: the lease can
+        #: no longer be trusted to stay fresh.
+        self.failed = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            try:
-                os.utime(self._path)
-            except FileNotFoundError:
-                # The dispatcher re-enqueued (or the run was torn
-                # down); nothing left to keep alive.
-                return
-            except OSError:
-                # Transient filesystem hiccup (NFS, EIO): keep
-                # beating — exiting here would make a healthy worker
-                # look dead and burn an attempt for nothing.
-                continue
+        try:
+            while not self._stop.wait(self._interval):
+                try:
+                    _touch(self._path)
+                except FileNotFoundError:
+                    # The dispatcher re-enqueued (or the run was torn
+                    # down); nothing left to keep alive.
+                    return
+                except OSError:
+                    # Transient filesystem hiccup (NFS, EIO): keep
+                    # beating — exiting here would make a healthy
+                    # worker look dead and burn an attempt for
+                    # nothing.
+                    continue
+        except BaseException:
+            self._mark_dead()
+
+    def _mark_dead(self) -> None:
+        """Record the thread's death in the lease doc and go stale."""
+        self.failed.set()
+        try:
+            with open(self._path) as handle:
+                doc = json.load(handle)
+            doc["heartbeat_alive"] = False
+            atomic_write_bytes(self._path, json.dumps(doc).encode())
+            # Force the mtime stale so the dispatcher's age check
+            # expires the lease on its next poll (the doc rewrite
+            # above would otherwise have *refreshed* it).
+            os.utime(self._path, (0.0, 0.0))
+        except (OSError, ValueError):
+            pass  # best effort — the stale mtime will expire eventually
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -201,7 +257,8 @@ def _execute_claimed(
         "worker": worker_id,
         "attempt": int(doc.get("attempt", 1)),
     }
-    with _Heartbeat(lease_path, float(doc.get("heartbeat", 5.0))):
+    heartbeat = _Heartbeat(lease_path, float(doc.get("heartbeat", 5.0)))
+    with heartbeat:
         try:
             module = doc.get("kind_module")
             if module:
@@ -214,6 +271,13 @@ def _execute_claimed(
             result.update(ok=True, payload=payload, elapsed=elapsed)
         except Exception:
             result.update(ok=False, error=traceback.format_exc())
+    if heartbeat.failed.is_set():
+        # The beat thread died mid-unit: the lease went stale with us
+        # still executing, so the dispatcher has (or will) re-enqueue
+        # this unit to a healthy worker.  Abort — publishing now would
+        # claim an outcome for a lease we stopped keeping alive; the
+        # retry recomputes the identical payload.
+        return None
     atomic_write_bytes(
         _result_path(queue_dir, unit_id),
         pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
@@ -232,16 +296,23 @@ def worker_loop(
 ) -> int:
     """The ``repro worker`` main loop; returns units executed.
 
-    Claims and executes units until the queue's ``stop`` sentinel
+    Claims and executes units until the queue's ``stop`` sentinel (or
+    this worker's own ``workers/<id>.stop`` retirement sentinel)
     appears or — when ``max_idle`` is set — no work arrived for that
-    many seconds.  Workers are stateless: everything a unit needs
-    rides in its task document, so any number of workers on any hosts
-    sharing the directory can serve one campaign.
+    many seconds.  Both sentinels are checked only between units, so a
+    draining worker always finishes the lease it holds.  The worker's
+    ``workers/<id>.json`` info file doubles as a liveness heartbeat
+    (touched every loop iteration while idle; a busy worker's
+    liveness shows in its lease instead).  Workers are stateless:
+    everything a unit needs rides in its task document, so any number
+    of workers on any hosts sharing the directory can serve one
+    campaign.
     """
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     ensure_queue_dirs(queue_dir)
+    info_path = _worker_info_path(queue_dir, worker_id)
     atomic_write_bytes(
-        os.path.join(queue_dir, WORKERS_DIR, worker_id + ".json"),
+        info_path,
         json.dumps({
             "worker_id": worker_id,
             "pid": os.getpid(),
@@ -256,6 +327,15 @@ def worker_loop(
     while True:
         if os.path.exists(_stop_path(queue_dir)):
             break
+        if os.path.exists(_worker_stop_path(queue_dir, worker_id)):
+            if echo:
+                print(f"[worker {worker_id}] retiring on request",
+                      file=sys.stderr, flush=True)
+            break
+        try:
+            os.utime(info_path)
+        except OSError:
+            pass  # liveness is advisory; the loop matters more
         unit_id = _claim_next(queue_dir)
         if unit_id is None:
             if (max_idle is not None
@@ -276,6 +356,457 @@ def worker_loop(
         print(f"[worker {worker_id}] exiting after {executed} unit(s)",
               file=sys.stderr, flush=True)
     return executed
+
+
+# -- elastic worker supervision ----------------------------------------------
+
+
+def _stop_proc(proc: subprocess.Popen, deadline: float) -> None:
+    """Wait for a worker process until ``deadline`` (monotonic), then
+    escalate terminate → kill.  The one stop ladder every teardown
+    path shares."""
+    try:
+        proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+    except subprocess.TimeoutExpired:
+        proc.terminate()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def _log_tails(paths: Iterable[str], lines: int = 20) -> str:
+    """The last ``lines`` of each worker log, joined for diagnostics."""
+    tails = []
+    for path in paths:
+        try:
+            with open(path, errors="replace") as handle:
+                tails.append(f"--- {path} ---\n"
+                             + "".join(handle.readlines()[-lines:]))
+        except OSError:
+            continue
+    return "\n".join(tails)
+
+
+def _cleanup_worker_files(queue_dir: str, worker_id: str) -> None:
+    """Remove a gone worker's sentinel + heartbeat litter."""
+    for path in (
+        _worker_stop_path(queue_dir, worker_id),
+        _worker_info_path(queue_dir, worker_id),
+    ):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def _spawn_worker_process(
+    queue_dir: str, worker_id: str, poll_interval: float
+) -> "tuple[subprocess.Popen, str]":
+    """Start one ``repro worker`` subprocess serving ``queue_dir``.
+
+    Returns ``(process, log path)``; the worker's stdout/stderr land in
+    ``workers/<id>.log`` for post-mortem diagnostics.
+    """
+    log_path = os.path.join(queue_dir, WORKERS_DIR, worker_id + ".log")
+    env = dict(os.environ)
+    # Guarantee the child resolves `repro` exactly as we do, even when
+    # the package is importable only via sys.path mutations (pytest
+    # rootdir conftest, PYTHONPATH=src invocations).
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    log = open(log_path, "ab")
+    try:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--queue", queue_dir,
+                "--worker-id", worker_id,
+                "--poll", str(poll_interval),
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+    finally:
+        log.close()  # the child holds its own handle
+    return proc, log_path
+
+
+@dataclass
+class ElasticStats:
+    """Lifetime counters of one :class:`ElasticSupervisor`."""
+
+    spawned: int = 0
+    retired: int = 0
+    peak_workers: int = 0
+
+
+class ElasticSupervisor:
+    """Scales local ``repro worker`` processes with queue pressure.
+
+    A fixed worker pool wastes one of two ways: too few workers leave
+    pending units queueing behind a long tail, too many burn idle
+    processes once an early-stopped campaign's cancels drain the
+    queue.  The supervisor watches the queue directory and keeps the
+    spawned pool between ``min_workers`` and ``max_workers``:
+
+    * **demand** — pending task files plus leases not attributably
+      held by someone else (a lease stamped with an external worker's
+      id is already being served and needs no new worker);
+    * **serving** — the supervisor's own live workers plus externally
+      started workers with a fresh ``workers/<id>.json`` heartbeat
+      (busy externals advertise liveness through their stamped lease
+      instead);
+    * **scale up** whenever units sit unclaimed and the pool is below
+      ``min(demand, max_workers)`` — and always back up to
+      ``min_workers``;
+    * **scale down** — only after the queue has stayed drained for
+      ``idle_grace`` seconds — by writing *per-worker* stop sentinels
+      (``workers/<id>.stop``): a retiring worker finishes the unit it
+      holds a lease on and exits, so retirement never abandons a
+      lease mid-unit.
+
+    Run it on a background thread (:meth:`start`/:meth:`shutdown`,
+    what :class:`WorkQueueBackend` does) or drive :meth:`tick`
+    directly for deterministic tests.  Scaling only changes *when*
+    units execute, never what they compute — payloads stay
+    bit-identical at any pool size.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        *,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        poll_interval: float = 0.2,
+        idle_grace: float = 2.0,
+        worker_poll: float = 0.2,
+        heartbeat_fresh: float = 2.0,
+        clock=time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError(
+                "need 0 <= min_workers <= max_workers "
+                f"(got {min_workers}..{max_workers})"
+            )
+        self.queue_dir = queue_dir
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.poll_interval = poll_interval
+        self.idle_grace = idle_grace
+        self.worker_poll = worker_poll
+        self.heartbeat_fresh = heartbeat_fresh
+        self.clock = clock
+        ensure_queue_dirs(queue_dir)
+        self.stats = ElasticStats()
+        #: Workers that exited without being asked to retire
+        #: (lifetime count, for reporting).
+        self.abnormal_exits = 0
+        #: Monotonic timestamps of recent abnormal exits — the
+        #: crash-*loop* signal (a crash an hour ago is not a loop).
+        self._abnormal_at: List[float] = []
+        #: Seconds within which repeated crashes count as a loop.
+        self.crash_window = 60.0
+        #: When tick() started failing (None = healthy) + the last
+        #: traceback, so persistent breakage has a diagnosis.  The
+        #: judgment is time-based: a transient NFS/EIO blip spans a
+        #: few 0.2s ticks and must not read as "cannot scale".
+        self._tick_failing_since: Optional[float] = None
+        self.tick_failure_grace = 30.0
+        self.last_error: Optional[str] = None
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._retiring: Dict[str, subprocess.Popen] = {}
+        self._log_paths: Dict[str, str] = {}
+        self._seq = 0
+        self._surplus_since: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Guards the pool dicts: the supervisor's own loop thread and
+        #: the dispatcher thread (check_health, live_worker_count)
+        #: both reap.
+        self._lock = threading.RLock()
+
+    # -- observation ---------------------------------------------------------
+
+    def _count_dir(self, name: str) -> int:
+        try:
+            return sum(
+                1
+                for entry in os.listdir(os.path.join(self.queue_dir, name))
+                if entry.endswith(".json")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def queue_depth(self) -> int:
+        """Pending (unclaimed) units waiting for a worker."""
+        return self._count_dir(TASKS_DIR)
+
+    def lease_count(self) -> int:
+        """Units currently executing somewhere."""
+        return self._count_dir(LEASES_DIR)
+
+    def _external_lease_count(self) -> int:
+        """Leases stamped with an external worker's id.
+
+        Those units are already being served by capacity we do not
+        manage — counting them as demand would spawn a redundant local
+        worker per busy external one.  A lease not yet stamped (the
+        claim-to-stamp window) stays conservative: it counts as
+        demand.
+        """
+        own = set(self._procs) | set(self._retiring)
+        leases_dir = os.path.join(self.queue_dir, LEASES_DIR)
+        try:
+            names = os.listdir(leases_dir)
+        except FileNotFoundError:
+            return 0
+        external = 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(leases_dir, name)) as handle:
+                    owner = json.load(handle).get("worker")
+            except (OSError, ValueError):
+                continue  # torn read/claim race: treat as demand
+            if owner and owner not in own:
+                external += 1
+        return external
+
+    def _fresh_external_workers(self) -> int:
+        """Externally-started workers with a fresh idle heartbeat."""
+        own = set(self._procs) | set(self._retiring)
+        workers_dir = os.path.join(self.queue_dir, WORKERS_DIR)
+        try:
+            names = os.listdir(workers_dir)
+        except FileNotFoundError:
+            return 0
+        fresh = 0
+        now = time.time()
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            worker_id = name[: -len(".json")]
+            if worker_id in own:
+                continue
+            try:
+                age = now - os.stat(
+                    os.path.join(workers_dir, name)
+                ).st_mtime
+            except FileNotFoundError:
+                continue
+            if age <= self.heartbeat_fresh:
+                fresh += 1
+        return fresh
+
+    def live_worker_count(self) -> int:
+        """Workers believed to be serving the queue right now (the
+        supervisor's own pool plus heartbeat-fresh externals)."""
+        with self._lock:
+            self._reap()
+            alive = sum(
+                1 for proc in self._retiring.values()
+                if proc.poll() is None
+            )
+            return len(self._procs) + alive \
+                + self._fresh_external_workers()
+
+    # -- pool mutation -------------------------------------------------------
+
+    def _spawn_one(self) -> None:
+        worker_id = f"elastic-{os.getpid()}-{self._seq}"
+        self._seq += 1
+        proc, log_path = _spawn_worker_process(
+            self.queue_dir, worker_id, self.worker_poll
+        )
+        self._procs[worker_id] = proc
+        self._log_paths[worker_id] = log_path
+        self.stats.spawned += 1
+        self.stats.peak_workers = max(
+            self.stats.peak_workers, len(self._procs)
+        )
+
+    def _retire_one(self) -> None:
+        """Drain the newest worker via its per-worker stop sentinel."""
+        worker_id = next(reversed(self._procs))
+        proc = self._procs.pop(worker_id)
+        atomic_write_bytes(
+            _worker_stop_path(self.queue_dir, worker_id), b""
+        )
+        self._retiring[worker_id] = proc
+        self.stats.retired += 1
+
+    def _reap(self) -> None:
+        """Collect exited processes and their queue-side litter.
+
+        Caller holds ``_lock`` (both the supervisor loop and the
+        dispatcher thread reap; unsynchronised deletes would race).
+        """
+        for worker_id, proc in list(self._retiring.items()):
+            if proc.poll() is None:
+                continue
+            del self._retiring[worker_id]
+            _cleanup_worker_files(self.queue_dir, worker_id)
+        for worker_id, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                continue
+            # Exited without being retired: idle-timeout or a crash.
+            del self._procs[worker_id]
+            if proc.returncode != 0:
+                self.abnormal_exits += 1
+                self._abnormal_at.append(self.clock())
+            # A fresh leftover heartbeat must not read as an external
+            # worker and suppress the replacement spawn.
+            _cleanup_worker_files(self.queue_dir, worker_id)
+
+    # -- the scaling decision ------------------------------------------------
+
+    def tick(self) -> None:
+        """One observe-and-scale step (idempotent, any call rate)."""
+        with self._lock:
+            self._reap()
+            pending = self.queue_depth()
+            busy = self.lease_count() - self._external_lease_count()
+            demand = pending + max(0, busy)
+            own = len(self._procs)
+            target = min(
+                self.max_workers,
+                max(self.min_workers,
+                    demand - self._fresh_external_workers()),
+            )
+            if own < target and (pending > 0 or own < self.min_workers):
+                for _ in range(target - own):
+                    self._spawn_one()
+                self._surplus_since = None
+            elif own > target and pending == 0:
+                # Sustained surplus only: a gap between two cells of
+                # one campaign must not trigger a spawn/retire thrash.
+                now = self.clock()
+                if self._surplus_since is None:
+                    self._surplus_since = now
+                elif now - self._surplus_since >= self.idle_grace:
+                    for _ in range(own - target):
+                        self._retire_one()
+                    self._surplus_since = None
+            else:
+                self._surplus_since = None
+
+    def check_health(self) -> None:
+        """Raise when the pool demonstrably cannot serve.
+
+        The dispatcher calls this while units are outstanding.  As
+        long as *anyone* is serving — an own worker, a draining
+        retiree, a fresh external — nothing raises: in-flight work
+        must never be failed over a scaling problem.  With nobody
+        serving, two failure classes surface instead of letting the
+        campaign sit until the idle watchdog fires with a misleading
+        message:
+
+        * a **crash loop** — ≥3 abnormal worker exits within
+          ``crash_window`` seconds (isolated crashes hours apart
+          recover via respawn and must *not* abort a healthy
+          campaign);
+        * **scaling itself broken** — tick() failing continuously for
+          ``tick_failure_grace`` seconds (spawn raising: fork
+          pressure, unwritable ``workers/``, broken interpreter
+          path), which produces no processes and therefore no
+          abnormal exits; the stored traceback is the diagnosis.  A
+          transient filesystem blip spanning a few ticks stays below
+          the grace and is tolerated, matching the heartbeat's
+          own forgive-transients rule.
+        """
+        with self._lock:
+            self._reap()
+            now = self.clock()
+            alive_retiring = any(
+                proc.poll() is None for proc in self._retiring.values()
+            )
+            if self._procs or alive_retiring \
+                    or self._fresh_external_workers():
+                # Someone is still serving: neither a broken scale-up
+                # nor past crashes justify failing in-flight work.
+                return
+            if (self._tick_failing_since is not None
+                    and now - self._tick_failing_since
+                    >= self.tick_failure_grace):
+                raise RuntimeError(
+                    "elastic supervisor cannot scale the pool "
+                    f"(tick failing for "
+                    f"{now - self._tick_failing_since:.0f}s); "
+                    "last error:\n" + (self.last_error or "<unknown>")
+                )
+            self._abnormal_at = [
+                at for at in self._abnormal_at
+                if now - at <= self.crash_window
+            ]
+            if len(self._abnormal_at) < 3:
+                return
+            raise RuntimeError(
+                f"elastic supervisor: {len(self._abnormal_at)} "
+                f"worker(s) crashed within {self.crash_window:.0f}s "
+                "and none are running\n"
+                + _log_tails(list(self._log_paths.values())[-3:])
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ElasticSupervisor":
+        """Run :meth:`tick` on a daemon thread until :meth:`shutdown`."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _guarded_tick(self) -> None:
+        """One tick that records failures instead of raising.
+
+        Transient filesystem trouble must not kill the scaling loop;
+        *persistent* breakage (spawn raising every time) is counted
+        and surfaced — with its traceback — by :meth:`check_health`,
+        because a spawn that never produces a process also never
+        produces the abnormal exits the crash-loop check looks for.
+        """
+        try:
+            self.tick()
+        except Exception:
+            with self._lock:
+                if self._tick_failing_since is None:
+                    self._tick_failing_since = self.clock()
+                self.last_error = traceback.format_exc()
+        else:
+            with self._lock:
+                self._tick_failing_since = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self._guarded_tick()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop scaling and tear the pool down (idempotent).
+
+        The caller is expected to have written the queue-wide stop
+        sentinel first (``WorkQueueBackend.close`` does), so workers
+        drain; stragglers are terminated, then killed.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        with self._lock:
+            procs = {**self._procs, **self._retiring}
+            self._procs = {}
+            self._retiring = {}
+        deadline = time.monotonic() + timeout
+        for worker_id, proc in procs.items():
+            _stop_proc(proc, deadline)
+            _cleanup_worker_files(self.queue_dir, worker_id)
 
 
 # -- dispatcher side ---------------------------------------------------------
@@ -301,10 +832,19 @@ class WorkQueueBackend(ExecutionBackend):
         Convenience: start this many local ``repro worker`` processes
         alongside the dispatcher (their logs land in
         ``queue/workers/``); they are stopped again by :meth:`close`.
+        A *fixed* pool — for one that scales with queue pressure use
+        ``max_workers`` instead (the two are mutually exclusive).
     idle_timeout:
         Optional watchdog: raise if no completion arrived *and* no
         live lease was observed for this many seconds (e.g. nobody
         ever started a worker).  None waits forever.
+    min_workers / max_workers:
+        Elastic mode: attach an :class:`ElasticSupervisor` that keeps
+        the spawned pool between the two bounds, growing it while
+        units queue and draining surplus workers (via per-worker stop
+        sentinels, so a retiring worker finishes its lease) once the
+        queue empties.  ``max_workers`` enables the mode;
+        ``min_workers`` defaults to 1.
     """
 
     def __init__(
@@ -316,11 +856,21 @@ class WorkQueueBackend(ExecutionBackend):
         max_attempts: int = 3,
         spawn_workers: int = 0,
         idle_timeout: Optional[float] = None,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        elastic_idle_grace: float = 2.0,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if min_workers is not None and max_workers is None:
+            raise ValueError("min_workers needs max_workers (elastic mode)")
+        if max_workers is not None and spawn_workers:
+            raise ValueError(
+                "spawn_workers (fixed pool) and max_workers (elastic "
+                "pool) are mutually exclusive"
+            )
         self.queue_dir = queue_dir
         self.lease_timeout = lease_timeout
         self.poll_interval = poll_interval
@@ -335,8 +885,20 @@ class WorkQueueBackend(ExecutionBackend):
             pass
         self._outstanding: Dict[str, WorkUnit] = {}
         self._attempts: Dict[str, int] = {}
+        #: Cancelled unit ids whose straggler results must be swept.
+        self._cancelled_ids: Set[str] = set()
         self._procs: List[subprocess.Popen] = []
         self._log_paths: List[str] = []
+        self.supervisor: Optional[ElasticSupervisor] = None
+        if max_workers is not None:
+            self.supervisor = ElasticSupervisor(
+                queue_dir,
+                min_workers=1 if min_workers is None else min_workers,
+                max_workers=max_workers,
+                poll_interval=poll_interval,
+                idle_grace=elastic_idle_grace,
+                worker_poll=poll_interval,
+            ).start()
         for index in range(spawn_workers):
             self._spawn_worker(index)
 
@@ -344,48 +906,39 @@ class WorkQueueBackend(ExecutionBackend):
 
     def _spawn_worker(self, index: int) -> None:
         worker_id = f"spawned-{os.getpid()}-{index}"
-        log_path = os.path.join(
-            self.queue_dir, WORKERS_DIR, worker_id + ".log"
+        proc, log_path = _spawn_worker_process(
+            self.queue_dir, worker_id, self.poll_interval
         )
-        env = dict(os.environ)
-        # Guarantee the child resolves `repro` exactly as we do, even
-        # when the package is importable only via sys.path mutations
-        # (pytest rootdir conftest, PYTHONPATH=src invocations).
-        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
-        log = open(log_path, "ab")
-        try:
-            self._procs.append(subprocess.Popen(
-                [
-                    sys.executable, "-m", "repro", "worker",
-                    "--queue", self.queue_dir,
-                    "--worker-id", worker_id,
-                    "--poll", str(self.poll_interval),
-                ],
-                stdout=log,
-                stderr=subprocess.STDOUT,
-                env=env,
-            ))
-            self._log_paths.append(log_path)
-        finally:
-            log.close()  # the child holds its own handle
+        self._procs.append(proc)
+        self._log_paths.append(log_path)
+
+    def live_worker_count(self) -> Optional[int]:
+        """Workers serving the queue, or None when unknowable (no
+        spawned pool and no supervisor — externally-served queues
+        report through ``workers/`` heartbeats only, which this
+        dispatcher does not insist on)."""
+        if self.supervisor is not None:
+            return self.supervisor.live_worker_count()
+        if self._procs:
+            return sum(1 for proc in self._procs if proc.poll() is None)
+        return None
 
     def _check_spawned(self) -> None:
-        if not self._procs or not self._outstanding:
+        if not self._outstanding:
+            return
+        if self.supervisor is not None:
+            # Elastic pools shrink to empty by design; what must not
+            # pass silently is workers crashing as fast as they spawn.
+            self.supervisor.check_health()
+            return
+        if not self._procs:
             return
         if any(proc.poll() is None for proc in self._procs):
             return
-        tails = []
-        for path in self._log_paths:
-            try:
-                with open(path, errors="replace") as handle:
-                    tails.append(f"--- {path} ---\n"
-                                 + "".join(handle.readlines()[-20:]))
-            except OSError:
-                continue
         raise RuntimeError(
             "all spawned workers exited with "
             f"{len(self._outstanding)} unit(s) outstanding\n"
-            + "\n".join(tails)
+            + _log_tails(self._log_paths)
         )
 
     # -- submission ----------------------------------------------------------
@@ -415,6 +968,7 @@ class WorkQueueBackend(ExecutionBackend):
                 os.unlink(stale)
             except FileNotFoundError:
                 pass
+        self._cancelled_ids.discard(unit.unit_id)
         self._outstanding[unit.unit_id] = unit
         self._attempts[unit.unit_id] = 1
         atomic_write_bytes(
@@ -433,11 +987,16 @@ class WorkQueueBackend(ExecutionBackend):
                 if result is not None:
                     progressed = True
                     yield result
+            # Expiry pass second: a result that landed while its lease
+            # was going stale is *collected* there, never re-enqueued.
+            for result in self._requeue_expired():
+                progressed = True
+                yield result
+            self._sweep_cancelled()
             if progressed or self._any_live_lease():
                 last_alive = time.monotonic()
             if not self._outstanding:
                 break
-            self._requeue_expired()
             if not progressed:
                 self._check_spawned()
                 if (self.idle_timeout is not None
@@ -503,16 +1062,31 @@ class WorkQueueBackend(ExecutionBackend):
                 return True
         return False
 
-    def _requeue_expired(self) -> None:
-        """Re-enqueue claimed units whose worker stopped heartbeating."""
+    def _requeue_expired(self) -> List[WorkResult]:
+        """Re-enqueue claimed units whose worker stopped heartbeating.
+
+        **Collect-before-requeue**: a worker publishes its result
+        *before* releasing its lease, so a result file landing while
+        the lease is being expired means the unit finished — it is
+        collected and returned (for :meth:`completions` to yield)
+        rather than re-enqueued, so a slow-but-successful worker never
+        burns an attempt from ``max_attempts`` (or, worse, exhausts
+        the budget and fails a campaign whose result is sitting on
+        disk)."""
+        collected: List[WorkResult] = []
         for unit_id, unit in list(self._outstanding.items()):
             age = self._lease_age(unit_id)
             if age is None or age <= self.lease_timeout:
                 continue
-            # The worker may have finished right at the deadline:
-            # results are published before the lease is removed, so
-            # check once more before declaring it dead.
-            if os.path.exists(_result_path(self.queue_dir, unit_id)):
+            result = self._collect(unit_id)
+            if result is not None:
+                # The dead (or merely slow) owner never released its
+                # lease; the unit is done, so the lease is litter.
+                try:
+                    os.unlink(_lease_path(self.queue_dir, unit_id))
+                except FileNotFoundError:
+                    pass
+                collected.append(result)
                 continue
             attempts = self._attempts[unit_id] + 1
             if attempts > self.max_attempts:
@@ -530,59 +1104,94 @@ class WorkQueueBackend(ExecutionBackend):
                 _task_path(self.queue_dir, unit_id),
                 self._task_doc(unit, attempt=attempts),
             )
+        return collected
 
     # -- teardown ------------------------------------------------------------
 
     def cancel(self) -> None:
-        for unit_id in list(self._outstanding):
-            try:
-                os.unlink(_task_path(self.queue_dir, unit_id))
-            except FileNotFoundError:
-                pass  # already claimed; its result will be orphaned
-            del self._outstanding[unit_id]
-            del self._attempts[unit_id]
+        self.cancel_units(list(self._outstanding))
 
     def cancel_units(self, unit_ids: Iterable[str]) -> None:
         """Withdraw specific outstanding units from the queue.
 
         Unclaimed task files are unlinked so no worker ever picks them
-        up; a unit some worker already claimed runs to completion on
-        that worker, but the dispatcher stops tracking it, so its
-        orphaned result (and released lease) are simply swept the next
-        time the unit id is submitted.  Any result that already landed
-        is removed now — a reused queue directory must not replay a
-        cancelled unit's outcome.
+        up.  A unit some worker already *claimed* is cancelled too:
+        its lease is removed — the executing worker cannot be
+        interrupted mid-unit, but its heartbeat finds the lease gone,
+        and the straggler result it may still publish is swept by the
+        next :meth:`completions` poll or at :meth:`close` (previously
+        a claimed unit kept its lease, which sat in ``leases/`` as an
+        orphan that made later campaigns misread queue pressure).  Any
+        result that already landed is removed now — a reused queue
+        directory must not replay a cancelled unit's outcome.
         """
         for unit_id in unit_ids:
             if unit_id not in self._outstanding:
                 continue
-            for stale in (
-                _task_path(self.queue_dir, unit_id),
-                _result_path(self.queue_dir, unit_id),
+            removed = {}
+            for stage, path in (
+                ("task", _task_path(self.queue_dir, unit_id)),
+                ("lease", _lease_path(self.queue_dir, unit_id)),
+                ("result", _result_path(self.queue_dir, unit_id)),
             ):
                 try:
-                    os.unlink(stale)
+                    os.unlink(path)
+                    removed[stage] = True
                 except FileNotFoundError:
-                    pass
+                    removed[stage] = False
+            # Track the id for the straggler sweep only when a worker
+            # might still publish it — tracking ids that cannot
+            # straggle would grow _cancelled_ids (and its per-poll
+            # unlink attempts) for the life of a long-lived backend.
+            # The dispatcher's own attempt count is authoritative:
+            # attempts > 1 means a presumed-dead predecessor may yet
+            # finish; otherwise only a current claimant (task file
+            # already gone) that has not yet published can.
+            straggler_possible = (
+                self._attempts[unit_id] > 1
+                or (not removed["task"] and not removed["result"])
+            )
+            if straggler_possible:
+                self._cancelled_ids.add(unit_id)
             del self._outstanding[unit_id]
             del self._attempts[unit_id]
 
+    def _sweep_cancelled(self) -> None:
+        """Remove straggler results of cancelled units (best effort).
+
+        A worker that was mid-unit when its unit was cancelled still
+        publishes on completion; sweeping on every poll (and after the
+        workers stopped, in :meth:`close`) keeps the queue directory
+        free of stray files after an early-stopped campaign.  An id is
+        forgotten once its straggler landed and was swept — a worker
+        publishes a unit at most once, so keeping it would only make
+        the set (and its per-poll unlink attempts) grow for the life
+        of a long-lived backend.  (The pathological second straggler —
+        a unit cancelled *after* a lease-expiry re-enqueue put two
+        workers on it — is still covered by the submit-time sweep.)
+        """
+        for unit_id in list(self._cancelled_ids):
+            try:
+                os.unlink(_result_path(self.queue_dir, unit_id))
+            except FileNotFoundError:
+                continue
+            self._cancelled_ids.discard(unit_id)
+
     def close(self) -> None:
-        """Stop spawned workers (via the ``stop`` sentinel, then
-        escalating) and release the queue.  External workers keep
+        """Stop spawned/elastic workers (via the ``stop`` sentinel,
+        then escalating) and release the queue.  External workers keep
         running — remove/write the sentinel yourself to manage them."""
-        if self._procs:
+        if self._procs or self.supervisor is not None:
             atomic_write_bytes(_stop_path(self.queue_dir), b"")
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
+            self.supervisor = None
+        if self._procs:
             deadline = time.monotonic() + 10.0
             for proc in self._procs:
-                timeout = max(0.1, deadline - time.monotonic())
-                try:
-                    proc.wait(timeout=timeout)
-                except subprocess.TimeoutExpired:
-                    proc.terminate()
-                    try:
-                        proc.wait(timeout=5.0)
-                    except subprocess.TimeoutExpired:
-                        proc.kill()
-                        proc.wait()
+                _stop_proc(proc, deadline)
             self._procs = []
+        # The workers are gone (or were never ours): any straggler
+        # result a cancelled unit left behind is final litter now.
+        self._sweep_cancelled()
+        self._cancelled_ids = set()

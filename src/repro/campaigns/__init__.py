@@ -49,7 +49,7 @@ from repro.campaigns.runner import (
     execute_cell,
 )
 from repro.campaigns.spec import ExperimentSpec
-from repro.core.batch import Shard, ShardPlan
+from repro.core.batch import Shard, ShardPlan, ShardPolicy
 
 # Built-in kinds register on import.
 from repro.campaigns import experiments as _experiments  # noqa: F401
@@ -68,6 +68,7 @@ __all__ = [
     "ResultCache",
     "Shard",
     "ShardPlan",
+    "ShardPolicy",
     "bernstein_grid",
     "build_campaign",
     "campaign_keys",

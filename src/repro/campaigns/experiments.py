@@ -60,6 +60,7 @@ from repro.core.batch import (
     AESTimingEngine,
     Shard,
     ShardPlan,
+    ShardPolicy,
     ShardSamples,
     TimingSamples,
     merge_shard_samples,
@@ -166,9 +167,13 @@ def _engine_campaign_seed(spec: ExperimentSpec) -> int:
     return int(spec.param("engine_campaign_seed", 0xC0DE))
 
 
-def plan_bernstein_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
+def plan_bernstein_shards(
+    spec: ExperimentSpec,
+    max_shards: int,
+    policy: Optional[ShardPolicy] = None,
+) -> ShardPlan:
     study = _bernstein_study(spec)
-    return study.engine.shard_plan(spec.num_samples, max_shards)
+    return study.engine.shard_plan(spec.num_samples, max_shards, policy)
 
 
 def run_bernstein_shard(
@@ -265,8 +270,13 @@ def _timing_engine(spec: ExperimentSpec) -> AESTimingEngine:
     )
 
 
-def plan_timing_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
-    return _timing_engine(spec).shard_plan(spec.num_samples, max_shards)
+def plan_timing_shards(
+    spec: ExperimentSpec,
+    max_shards: int,
+    policy: Optional[ShardPolicy] = None,
+) -> ShardPlan:
+    return _timing_engine(spec).shard_plan(spec.num_samples, max_shards,
+                                           policy)
 
 
 def run_timing_shard(spec: ExperimentSpec, shard: Shard) -> ShardSamples:
@@ -390,8 +400,13 @@ def _pwcet_payload(spec: ExperimentSpec, times: np.ndarray) -> PwcetPayload:
     return PwcetPayload(times=times, report=report)
 
 
-def plan_pwcet_shards(spec: ExperimentSpec, max_shards: int) -> ShardPlan:
-    return ShardPlan.even(spec.num_samples, max_shards)
+def plan_pwcet_shards(
+    spec: ExperimentSpec,
+    max_shards: int,
+    policy: Optional[ShardPolicy] = None,
+) -> ShardPlan:
+    """Runs are independent, so any split (even or adaptive) merges."""
+    return (policy or ShardPolicy()).plan(spec.num_samples, max_shards)
 
 
 def run_pwcet_shard(spec: ExperimentSpec, shard: Shard) -> np.ndarray:
@@ -609,10 +624,17 @@ def _summarize_contention(spec: ExperimentSpec, payload) -> Dict[str, Any]:
 
 
 def plan_contention_shards(
-    spec: ExperimentSpec, max_shards: int
+    spec: ExperimentSpec,
+    max_shards: int,
+    policy: Optional[ShardPolicy] = None,
 ) -> ShardPlan:
-    """Trials are independent, so any even split is merge-safe."""
-    return ShardPlan.even(spec.num_samples, max_shards)
+    """Trials are independent, so any split geometry is merge-safe.
+
+    Under an adaptive policy the leading shards are small, which is
+    what lets an ``early_stop`` run reach the SPRT's minimum trial
+    count after the first unit instead of after ``budget/max_shards``.
+    """
+    return (policy or ShardPolicy()).plan(spec.num_samples, max_shards)
 
 
 def run_contention_shard(spec: ExperimentSpec, shard: Shard):

@@ -15,11 +15,15 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.campaigns.spec import ExperimentSpec
-from repro.core.batch import Shard, ShardPlan
+from repro.core.batch import Shard, ShardPlan, ShardPolicy
 
+#: ``plan_shards`` hooks take ``(spec, max_shards, policy=None)`` — the
+#: optional :class:`~repro.core.batch.ShardPolicy` selects the cut
+#: geometry (even/adaptive); None means the kind's default (even).
 RunFn = Callable[[ExperimentSpec], Any]
 SummarizeFn = Callable[[ExperimentSpec, Any], Dict[str, Any]]
-PlanShardsFn = Callable[[ExperimentSpec, int], ShardPlan]
+PlanShardsFn = Callable[[ExperimentSpec, int, Optional[ShardPolicy]],
+                        ShardPlan]
 RunShardFn = Callable[[ExperimentSpec, Shard], Any]
 MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 MergePartialFn = Callable[[ExperimentSpec, Sequence[Any]], Any]

@@ -49,6 +49,7 @@ attack/pWCET results long before the cell finishes.
 
 from __future__ import annotations
 
+import inspect
 import os
 import pickle
 import time
@@ -68,7 +69,7 @@ from typing import (
 from repro.campaigns.registry import ExperimentKind, get_experiment
 from repro.campaigns.spec import ExperimentSpec
 from repro.common.fsio import atomic_write_bytes
-from repro.core.batch import Shard, ShardPlan
+from repro.core.batch import Shard, ShardPlan, ShardPolicy
 
 if TYPE_CHECKING:  # runtime import is deferred: backends import us
     from repro.backends.base import ExecutionBackend
@@ -79,6 +80,28 @@ ProgressFn = Callable[["ProgressEvent"], None]
 def execute_cell(spec: ExperimentSpec) -> Any:
     """Run one cell and return its payload (module-level: picklable)."""
     return get_experiment(spec.kind).run(spec)
+
+
+def _plan_hook_accepts_policy(hook: Any) -> bool:
+    """Whether a ``plan_shards`` hook takes the policy argument.
+
+    Decided by signature, not by try/except TypeError: a retry-style
+    probe would re-invoke the hook (doubling its work — the bernstein
+    planner builds a whole case study) and mask TypeErrors raised
+    *inside* a modern hook.  Unintrospectable callables are assumed
+    modern.
+    """
+    try:
+        params = list(inspect.signature(hook).parameters.values())
+    except (TypeError, ValueError):
+        return True
+    if any(p.kind is p.VAR_POSITIONAL for p in params):
+        return True
+    positional = [
+        p for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(positional) >= 3
 
 
 @dataclass
@@ -167,9 +190,12 @@ class ProgressEvent:
                 f"partial {self.shards_done}/{self.shards_total}"
             )
         if self.shard is not None:
+            # The range doubles as a shard-size readout, so progress
+            # lines show adaptive geometry (small lead, growing tail).
             return (
                 f"{self.spec.cell_id} "
-                f"shard {self.shard.index + 1}/{self.shard.num_shards}"
+                f"shard {self.shard.index + 1}/{self.shard.num_shards} "
+                f"[{self.shard.start},{self.shard.end})"
             )
         return self.spec.cell_id
 
@@ -429,14 +455,19 @@ class ResultCache:
                     os.unlink(self._early_marker_path(spec_hash))
                 except FileNotFoundError:
                     pass
-        # Sweep markers whose entry is gone (inert, but litter) — only
-        # once they are stale themselves: put() writes the marker
-        # moments before its entry, and a concurrent gc must not
-        # unlink it inside that window (an entry landing without its
-        # marker would serve a truncated payload as a full result).
-        # The fixed grace floor keeps that guarantee even at
-        # max_age_days=0 or under cross-host clock skew.
-        marker_cutoff = min(cutoff, time.time() - 300.0)
+        # Sweep markers whose entry is gone.  A marker is removed with
+        # its entry above (the two are GC'd as a unit); an *orphaned*
+        # marker — entry unlinked by a crashed sweep, a manual delete,
+        # or a put() that died between marker and entry — is not just
+        # litter: while it lingers, is_early_stopped() keeps answering
+        # True for a spec hash with nothing cached, forcing every
+        # full-budget run at that hash into a spurious recompute.  So
+        # orphans are swept as soon as they outlive the put() grace
+        # window (marker lands moments before its entry; a concurrent
+        # gc must not unlink it inside that window, or an entry landing
+        # without its marker would serve a truncated payload as a full
+        # result) — NOT kept for max_age_days like real entries.
+        marker_cutoff = time.time() - 300.0
         for name in names:
             if not name.endswith(".early"):
                 continue
@@ -502,6 +533,9 @@ class CellPlan:
     #: Human-readable stopping rule for early-stop-capable kinds
     #: (None = the kind defines no ``should_stop`` hook).
     stop_rule: Optional[str] = None
+    #: Shard-geometry label (the runner's :class:`ShardPolicy`) for
+    #: sharded cells; None when the cell runs whole.
+    geometry: Optional[str] = None
 
     @property
     def num_shards(self) -> int:
@@ -534,6 +568,13 @@ class CampaignRunner:
         :class:`~repro.backends.workqueue.WorkQueueBackend`).  The
         caller owns its lifecycle — the runner submits and drains but
         never closes it, so one backend can serve many campaigns.
+    shard_policy:
+        The :class:`~repro.core.batch.ShardPolicy` every shardable
+        kind's ``plan_shards`` hook receives — ``even`` (default) or
+        ``adaptive`` geometry (small leading shards growing
+        geometrically, so early-stop campaigns decide on the first
+        small prefix).  Geometry never changes payloads: all policies
+        merge bit-identically.
     stream_partials:
         Emit ``"partial"`` progress events with the merged payload of
         each cell's contiguous completed-shard prefix (kinds with a
@@ -560,6 +601,7 @@ class CampaignRunner:
         progress: Optional[ProgressFn] = None,
         max_shards_per_cell: int = 1,
         backend: Optional["ExecutionBackend"] = None,
+        shard_policy: Optional[ShardPolicy] = None,
         stream_partials: bool = False,
         early_stop: bool = False,
     ) -> None:
@@ -572,6 +614,9 @@ class CampaignRunner:
         self.progress = progress
         self.max_shards_per_cell = max_shards_per_cell
         self.backend = backend
+        self.shard_policy = (
+            shard_policy if shard_policy is not None else ShardPolicy()
+        )
         self.stream_partials = stream_partials
         self.early_stop = early_stop
 
@@ -584,7 +629,15 @@ class CampaignRunner:
         kind = get_experiment(spec.kind)
         if not kind.shardable or spec.num_samples <= 0:
             return None
-        plan = kind.plan_shards(spec, self.max_shards_per_cell)
+        if _plan_hook_accepts_policy(kind.plan_shards):
+            plan = kind.plan_shards(
+                spec, self.max_shards_per_cell, self.shard_policy
+            )
+        else:
+            # A kind registered against the pre-policy two-argument
+            # hook (out-of-tree kinds): it plans its own geometry and
+            # simply cannot honour a shard policy.
+            plan = kind.plan_shards(spec, self.max_shards_per_cell)
         return plan if len(plan) > 1 else None
 
     def plan(self, specs: Sequence[ExperimentSpec]) -> List[CellPlan]:
@@ -620,12 +673,23 @@ class CampaignRunner:
                     if kind.stop_rule is not None
                     else "enabled"
                 )
+            geometry = None
+            if shard_plan is not None:
+                # A legacy two-argument hook planned its own geometry
+                # — advertising the runner's policy for it would
+                # mislabel the very ranges printed beside it.
+                geometry = (
+                    self.shard_policy.describe()
+                    if _plan_hook_accepts_policy(kind.plan_shards)
+                    else "kind-defined"
+                )
             plans.append(CellPlan(
                 spec=spec,
                 cached=cached,
                 plan=shard_plan,
                 shards_cached=shards_cached,
                 stop_rule=stop_rule,
+                geometry=geometry,
             ))
         return plans
 

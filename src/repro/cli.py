@@ -24,16 +24,22 @@ Commands
     ``missrates``/``contention``) through the campaign engine —
     serially, with ``--workers N`` across a process pool, or with
     ``--backend workqueue`` through a filesystem work queue served by
-    ``repro worker`` processes — optionally splitting big cells into
-    intra-cell shards with ``--max-shards N`` (results bit-identical
-    in every mode) — and emit a table or JSON.  Progress/ETA lines
-    stream to stderr as cells and shards finish; ``--dry-run`` prints
-    the plan (cells, shard ranges, cache-hit status, stopping rules)
-    without executing anything.  ``--early-stop`` lets kinds with a
-    ``should_stop`` hook (the contention attacks' sequential leak
-    test) cancel a cell's remaining shards once its verdict is
-    decided; ``--cache-gc DAYS`` sweeps result-cache entries older
-    than DAYS days (and orphaned shard partials) from ``--cache-dir``,
+    ``repro worker`` processes (a fixed pool of ``--workers``, or an
+    elastic one scaled between ``--min-workers`` and ``--max-workers``
+    from queue pressure) — optionally splitting big cells into
+    intra-cell shards with ``--max-shards N`` under an even or
+    adaptive geometry (``--shard-policy``; results bit-identical in
+    every mode) — and emit a table or JSON.  Progress/ETA lines (with
+    shard ranges and, on the work queue, a live worker count) stream
+    to stderr as cells and shards finish; ``--dry-run`` prints the
+    plan (cells, shard geometry/ranges, cache-hit status, stopping
+    rules) without executing anything.  ``--early-stop`` lets kinds
+    with a ``should_stop`` hook (the contention attacks' sequential
+    leak test) cancel a cell's remaining shards once its verdict is
+    decided — with ``--shard-policy adaptive`` the verdict lands after
+    the first small shard instead of after ``total/N`` samples;
+    ``--cache-gc DAYS`` sweeps result-cache entries older than DAYS
+    days (and orphaned shard partials) from ``--cache-dir``,
     standalone or before a run.
 ``worker``
     Serve a work-queue directory: claim and execute shard/cell work
@@ -209,12 +215,15 @@ def _cmd_dry_run(runner, specs, name: str) -> int:
         rows.append([
             cell_plan.spec.cell_id,
             cell_plan.num_shards,
+            cell_plan.geometry or "-",
             shards,
             status,
             cell_plan.stop_rule or "-",
         ])
     print(format_table(
-        ["cell", "shards", "shard ranges", "status", "early stop"], rows
+        ["cell", "shards", "geometry", "shard ranges", "status",
+         "early stop"],
+        rows,
     ))
     print(
         f"dry run: campaign {name!r}, {len(specs)} cells, "
@@ -246,7 +255,7 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaigns import CampaignRunner, build_campaign
+    from repro.campaigns import CampaignRunner, ShardPolicy, build_campaign
     from repro.reporting import (
         CampaignProgress,
         campaign_totals,
@@ -275,6 +284,67 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         args.name, num_samples=args.samples, seed=args.seed
     )
 
+    # Validate the shard geometry and elastic-pool bounds before any
+    # backend spawns workers — a bad flag must exit cleanly, not leak
+    # worker processes or temp queue directories.
+    try:
+        if args.shard_policy == "adaptive":
+            shard_policy = ShardPolicy.adaptive(
+                min_block=(
+                    1024 if args.shard_min_block is None
+                    else args.shard_min_block
+                ),
+                growth=(
+                    2.0 if args.shard_growth is None
+                    else args.shard_growth
+                ),
+            )
+        else:
+            if args.shard_min_block is not None \
+                    or args.shard_growth is not None:
+                raise ValueError(
+                    "--shard-min-block/--shard-growth need "
+                    "--shard-policy adaptive (the even policy has no "
+                    "geometry knobs)"
+                )
+            shard_policy = ShardPolicy()
+        elastic = args.max_workers is not None
+        min_workers = 1 if args.min_workers is None else args.min_workers
+        if not elastic and args.min_workers is not None:
+            raise ValueError("--min-workers needs --max-workers "
+                             "(the elastic pool bounds come as a pair)")
+        if elastic:
+            if args.max_workers < 1:
+                raise ValueError("--max-workers must be >= 1")
+            if not 0 <= min_workers <= args.max_workers:
+                raise ValueError(
+                    "need 0 <= --min-workers <= --max-workers "
+                    f"(got {min_workers}..{args.max_workers})"
+                )
+            if args.workers is not None:
+                raise ValueError(
+                    "--workers (fixed pool) and --max-workers "
+                    "(elastic pool) are mutually exclusive"
+                )
+            if args.backend == "auto":
+                # An elastic pool only exists on the work queue; asking
+                # for one is asking for the queue.
+                args.backend = "workqueue"
+            elif args.backend != "workqueue":
+                raise ValueError(
+                    "--max-workers needs --backend workqueue "
+                    f"(got --backend {args.backend})"
+                )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = 1 if args.workers is None else args.workers
+    #: What the run's topology actually was, for the JSON/table output
+    #: (an elastic pool has bounds, not a fixed count).
+    workers_label = (
+        f"{min_workers}..{args.max_workers}" if elastic else workers
+    )
+
     backend = None
     ephemeral_queue = None
     if not args.dry_run:
@@ -288,18 +358,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             else:
                 queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
                 ephemeral_queue = queue_dir
-            # Spawn --workers local workers unless the operator points
-            # us at an externally-served queue (--queue-dir with
-            # --workers 0).
+            if elastic:
+                # An ElasticSupervisor grows/drains the worker count
+                # with queue pressure.
+                pool_kwargs = dict(
+                    min_workers=min_workers,
+                    max_workers=args.max_workers,
+                )
+                pool_desc = f"elastic {workers_label}"
+            else:
+                # Spawn --workers local workers unless the operator
+                # points us at an externally-served queue (--queue-dir
+                # with --workers 0).
+                pool_kwargs = dict(spawn_workers=workers)
+                pool_desc = f"{workers} spawned"
             backend = WorkQueueBackend(
                 queue_dir,
                 lease_timeout=args.lease_timeout,
-                spawn_workers=args.workers,
                 idle_timeout=args.idle_timeout or None,
+                **pool_kwargs,
             )
             if not args.quiet:
                 print(f"work queue: {queue_dir} "
-                      f"({args.workers} spawned worker(s))",
+                      f"({pool_desc} worker(s))",
                       file=sys.stderr)
         elif args.backend == "serial":
             from repro.backends import SerialBackend
@@ -308,22 +389,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         elif args.backend == "pool":
             from repro.backends import ProcessPoolBackend
 
-            backend = ProcessPoolBackend(max(1, args.workers))
+            backend = ProcessPoolBackend(max(1, workers))
 
     progress = None
     if not args.quiet:
         # Progress/ETA lines stream to stderr (one per finished cell or
-        # shard), keeping stdout clean for the table/JSON result.
-        progress = CampaignProgress(*campaign_totals(specs))
+        # shard), keeping stdout clean for the table/JSON result.  The
+        # work queue contributes a live worker-count column.
+        worker_gauge = getattr(backend, "live_worker_count", None)
+        progress = CampaignProgress(
+            *campaign_totals(specs), worker_gauge=worker_gauge
+        )
 
     started = time.perf_counter()
     try:
         runner = CampaignRunner(
-            workers=max(1, args.workers),
+            workers=max(1, workers),
             cache_dir=args.cache_dir,
             progress=progress,
             max_shards_per_cell=args.max_shards,
             backend=backend,
+            shard_policy=shard_policy,
             stream_partials=args.stream_partials,
             early_stop=args.early_stop,
         )
@@ -346,7 +432,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         print(render_json({
             "campaign": args.name,
-            "workers": args.workers,
+            "workers": workers_label,
             "wall_seconds": round(wall, 3),
             "cache_hits": result.cache_hits,
             "cells": summaries,
@@ -365,7 +451,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(
         f"{len(result)} cells ({result.cache_hits} cached), "
         f"wall {wall:.1f}s, compute {result.total_elapsed:.1f}s, "
-        f"workers {args.workers}"
+        f"workers {workers_label}"
     )
     return 0
 
@@ -425,11 +511,13 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(CAMPAIGNS),
                           help="grid to run (optional when --cache-gc "
                                "alone is wanted)")
-    campaign.add_argument("--workers", type=int, default=1,
+    campaign.add_argument("--workers", type=int, default=None,
                           help="process-pool size, or worker processes "
                                "to spawn under --backend workqueue "
-                               "(0 = rely on externally-started "
-                               "'repro worker' processes; results are "
+                               "(default 1; 0 = rely on externally-"
+                               "started 'repro worker' processes; "
+                               "mutually exclusive with the elastic "
+                               "--max-workers pool; results are "
                                "bit-identical in every mode)")
     campaign.add_argument("--backend", default="auto",
                           choices=("auto", "serial", "pool", "workqueue"),
@@ -457,6 +545,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "intra-cell shards that fan out across "
                                "the pool (results stay bit-identical "
                                "to --max-shards 1)")
+    campaign.add_argument("--shard-policy", default="even",
+                          choices=("even", "adaptive"),
+                          help="shard geometry: 'even' near-equal "
+                               "shards; 'adaptive' small leading "
+                               "shards growing geometrically, so "
+                               "--early-stop verdicts land after the "
+                               "first small prefix (payloads are "
+                               "bit-identical either way)")
+    campaign.add_argument("--shard-min-block", type=int, default=None,
+                          metavar="N",
+                          help="adaptive policy: samples in the first "
+                               "(smallest) shard (default 1024; needs "
+                               "--shard-policy adaptive)")
+    campaign.add_argument("--shard-growth", type=float, default=None,
+                          metavar="G",
+                          help="adaptive policy: size ratio between "
+                               "consecutive shards (default 2.0; needs "
+                               "--shard-policy adaptive)")
+    campaign.add_argument("--min-workers", type=int, default=None,
+                          metavar="N",
+                          help="elastic workqueue pool: never drain "
+                               "below N spawned workers (default 1; "
+                               "needs --max-workers)")
+    campaign.add_argument("--max-workers", type=int, default=None,
+                          metavar="N",
+                          help="enable the elastic workqueue pool "
+                               "(implies --backend workqueue): an "
+                               "ElasticSupervisor grows the spawned "
+                               "worker count toward N while units "
+                               "queue and retires surplus workers "
+                               "(each finishes its lease) once the "
+                               "queue drains; replaces the fixed "
+                               "--workers pool")
     campaign.add_argument("--dry-run", action="store_true",
                           help="print the planned cells, shard ranges "
                                "and cache-hit status, executing nothing")

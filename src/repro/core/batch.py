@@ -195,6 +195,71 @@ class ShardPlan:
         return cls._from_edges(num_samples, edges)
 
     @classmethod
+    def adaptive(
+        cls,
+        num_samples: int,
+        max_shards: int,
+        *,
+        min_block: int = 1024,
+        growth: float = 2.0,
+        boundaries: Optional[Sequence[int]] = None,
+    ) -> "ShardPlan":
+        """Geometric split: small leading shards, growing tail.
+
+        The first shard holds ~``min_block`` samples and each later
+        shard is ``growth`` times its predecessor, so an early-stopping
+        rule gets its first merged prefix after ``min_block`` samples
+        instead of after ``num_samples / max_shards`` — while the tail
+        still ships in a few large, low-overhead units.  When
+        ``max_shards`` runs out before the geometric series covers the
+        budget, the last shard absorbs the remainder.  With
+        ``boundaries`` each cut snaps to the nearest allowed split
+        point still to the right of the previous cut (the same rule as
+        :meth:`from_boundaries`), so AES-engine plans stay
+        block-aligned.  Like every plan, the geometry changes only how
+        the budget is partitioned — position-keyed RNG streams keep the
+        merged samples bit-identical to any other plan's.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        if min_block < 1:
+            raise ValueError("min_block must be >= 1")
+        if growth < 1.0:
+            raise ValueError("growth must be >= 1.0")
+        candidates = (
+            sorted({b for b in boundaries if 0 < b < num_samples})
+            if boundaries is not None
+            else None
+        )
+        edges: List[int] = [0]
+        block = float(min_block)
+        while len(edges) < max_shards:
+            target = edges[-1] + max(1, int(round(block)))
+            if target >= num_samples:
+                break
+            if candidates is None:
+                cut = target
+            else:
+                low = bisect.bisect_right(candidates, edges[-1])
+                if low >= len(candidates):
+                    break
+                pos = bisect.bisect_left(candidates, target, low)
+                choices = [
+                    candidates[j]
+                    for j in (pos - 1, pos)
+                    if low <= j < len(candidates)
+                ]
+                if not choices:
+                    break
+                cut = min(choices, key=lambda c: (abs(c - target), c))
+            edges.append(cut)
+            block *= growth
+        edges.append(num_samples)
+        return cls._from_edges(num_samples, edges)
+
+    @classmethod
     def from_boundaries(
         cls,
         num_samples: int,
@@ -243,6 +308,87 @@ class ShardPlan:
                 for i in range(k)
             ],
         )
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """How a cell's budget is cut into shards (geometry only).
+
+    The campaign runner owns one policy and hands it to every shardable
+    kind's ``plan_shards`` hook, so the whole campaign shares one
+    geometry discipline:
+
+    * ``even`` — near-equal shards (the historical default): lowest
+      per-unit overhead, but an early-stopping rule sees its first
+      merged prefix only after ``total / max_shards`` samples.
+    * ``adaptive`` — :meth:`ShardPlan.adaptive` geometry: leading
+      shards of ~``min_block`` samples growing by ``growth``, so
+      ``early_stop`` campaigns rule on the SPRT after the first small
+      prefix while the tail still ships in large units.
+
+    Policies choose *where* the cuts land, never what is computed:
+    every policy merges bit-identically to every other (and to the
+    unsharded run), because all randomness is keyed to absolute sample
+    positions.
+    """
+
+    mode: str = "even"
+    min_block: int = 1024
+    growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("even", "adaptive"):
+            raise ValueError(
+                f"unknown shard policy {self.mode!r}; "
+                "choose 'even' or 'adaptive'"
+            )
+        if self.min_block < 1:
+            raise ValueError("min_block must be >= 1")
+        if self.growth < 1.0:
+            raise ValueError("growth must be >= 1.0")
+
+    @classmethod
+    def adaptive(
+        cls, min_block: int = 1024, growth: float = 2.0
+    ) -> "ShardPolicy":
+        return cls(mode="adaptive", min_block=min_block, growth=growth)
+
+    def plan(
+        self,
+        num_samples: int,
+        max_shards: int,
+        boundaries: Optional[Sequence[int]] = None,
+    ) -> ShardPlan:
+        """The policy's plan for one budget (optionally snap-aligned).
+
+        ``min_block`` is clamped to the even-shard size
+        (``num_samples // max_shards``) so a cell whose whole budget
+        is below the configured block still shards — the policy's
+        point is a *small lead shard*, and collapsing to a single
+        shard would silently disable early stopping for exactly the
+        small-budget cells that decide fastest.  The clamp makes the
+        adaptive lead shard never larger than an even shard.
+        """
+        if self.mode == "adaptive":
+            min_block = min(
+                self.min_block, max(1, num_samples // max_shards)
+            )
+            return ShardPlan.adaptive(
+                num_samples,
+                max_shards,
+                min_block=min_block,
+                growth=self.growth,
+                boundaries=boundaries,
+            )
+        if boundaries is None:
+            return ShardPlan.even(num_samples, max_shards)
+        return ShardPlan.from_boundaries(num_samples, max_shards, boundaries)
+
+    def describe(self) -> str:
+        """Compact geometry label for plans/progress (``--dry-run``)."""
+        if self.mode == "even":
+            return "even"
+        return f"adaptive(min={self.min_block},x{self.growth:g})"
 
 
 @dataclass
@@ -567,10 +713,21 @@ class AESTimingEngine:
         edges = sorted(bounds)
         return list(zip(edges, edges[1:]))
 
-    def shard_plan(self, num_samples: int, max_shards: int) -> ShardPlan:
-        """A block-aligned :class:`ShardPlan` for ``num_samples``."""
+    def shard_plan(
+        self,
+        num_samples: int,
+        max_shards: int,
+        policy: Optional[ShardPolicy] = None,
+    ) -> ShardPlan:
+        """A block-aligned :class:`ShardPlan` for ``num_samples``.
+
+        ``policy`` selects the cut geometry (default: even); whatever
+        it picks, the cuts snap to collection-block boundaries so
+        cold-mask epochs and RNG blocks are never torn across shards.
+        """
         boundaries = [start for start, _ in self.collection_blocks(num_samples)]
-        return ShardPlan.from_boundaries(num_samples, max_shards, boundaries)
+        policy = policy if policy is not None else ShardPolicy()
+        return policy.plan(num_samples, max_shards, boundaries=boundaries)
 
     def _block_rng(
         self, party: str, campaign_seed: int, block_start: int

@@ -24,7 +24,15 @@ import json
 import sys
 import time
 from datetime import datetime, timezone
-from typing import Any, Iterable, List, Optional, Sequence, TextIO
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+)
 
 
 def format_table(
@@ -123,6 +131,12 @@ class CampaignProgress:
         tables/JSON).
     clock:
         Injectable time source for tests.
+    worker_gauge:
+        Optional live worker-count source (e.g.
+        ``WorkQueueBackend.live_worker_count``): when it returns a
+        number, every progress line gains a ``workers N`` column — the
+        operator's view of an elastic pool growing and draining.
+        Errors and None readings simply omit the column.
     """
 
     #: Summary fields shown on a partial-preview line, at most.
@@ -134,16 +148,27 @@ class CampaignProgress:
         total_work: int,
         stream: Optional[TextIO] = None,
         clock=time.monotonic,
+        worker_gauge: Optional[Callable[[], Optional[int]]] = None,
     ) -> None:
         self.total_cells = max(0, total_cells)
         self.total_work = max(1, total_work)
         self.stream = stream if stream is not None else sys.stderr
         self.clock = clock
+        self.worker_gauge = worker_gauge
         self.started = clock()
         self.cells_done = 0
         self.work_done = 0
         #: Work completed by fresh computation (ETA rate basis).
         self.fresh_work_done = 0
+
+    def _workers_suffix(self) -> str:
+        if self.worker_gauge is None:
+            return ""
+        try:
+            count = self.worker_gauge()
+        except Exception:
+            return ""  # a broken gauge must never break progress
+        return "" if count is None else f" | workers {count}"
 
     def eta_seconds(self) -> Optional[float]:
         """Remaining seconds (≥ 0), or None with no fresh unit done
@@ -168,7 +193,8 @@ class CampaignProgress:
         )
         detail = f": {fields}" if fields else ""
         print(
-            f"{self._prefix()} {event.label}{detail}",
+            f"{self._prefix()} {event.label}{detail}"
+            f"{self._workers_suffix()}",
             file=self.stream,
         )
 
@@ -209,7 +235,7 @@ class CampaignProgress:
             f"{self._prefix()} "
             f"{event.label} ({origin}) | "
             f"elapsed {format_duration(self.clock() - self.started)} | "
-            f"{remaining}",
+            f"{remaining}{self._workers_suffix()}",
             file=self.stream,
         )
 

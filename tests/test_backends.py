@@ -18,21 +18,24 @@ import numpy as np
 import pytest
 
 from repro.backends import (
+    ElasticSupervisor,
     ProcessPoolBackend,
     SerialBackend,
     WorkQueueBackend,
     WorkUnit,
     worker_loop,
 )
+from repro.backends import workqueue as wq
 from repro.backends.workqueue import (
     LEASES_DIR,
     RESULTS_DIR,
     TASKS_DIR,
+    WORKERS_DIR,
     ensure_queue_dirs,
 )
 from repro.campaigns import CampaignRunner, ExperimentSpec
 from repro.campaigns.runner import ResultCache
-from repro.core.batch import Shard
+from repro.core.batch import Shard, ShardPolicy
 
 
 def timing_spec(num_samples=4096, setup="deterministic", seed=9):
@@ -389,6 +392,524 @@ class TestWorkQueueFaults:
         assert not lease.exists()
 
 
+class TestHeartbeatLiveness:
+    """Regression: a heartbeat thread dying was silent — the lease
+    went stale and the dispatcher re-enqueued a unit that a healthy
+    worker was still executing, with no record of why.  Now the thread
+    records its death in the lease doc, forces the lease stale so the
+    re-enqueue is prompt, and the worker aborts the unit instead of
+    publishing under a lease it no longer keeps alive."""
+
+    def _boom(self, path):
+        raise RuntimeError("simulated heartbeat thread crash")
+
+    def test_thread_death_recorded_in_lease_doc(self, tmp_path,
+                                                monkeypatch):
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"worker": "w1"}))
+        monkeypatch.setattr(wq, "_touch", self._boom)
+        heartbeat = wq._Heartbeat(str(lease), interval=0.01)
+        with heartbeat:
+            assert heartbeat.failed.wait(timeout=10.0)
+        doc = json.loads(lease.read_text())
+        assert doc["heartbeat_alive"] is False
+        assert doc["worker"] == "w1"  # the rest of the doc survives
+        # Forced stale: the dispatcher expires it on its next poll
+        # instead of waiting out the whole lease timeout.
+        assert time.time() - os.stat(lease).st_mtime > 3600
+
+    def test_transient_oserror_keeps_beating(self, tmp_path,
+                                             monkeypatch):
+        """An EIO/NFS hiccup must not read as thread death."""
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"worker": "w1"}))
+
+        def hiccup(path):
+            raise OSError("transient")
+
+        monkeypatch.setattr(wq, "_touch", hiccup)
+        heartbeat = wq._Heartbeat(str(lease), interval=0.01)
+        with heartbeat:
+            time.sleep(0.1)
+        assert not heartbeat.failed.is_set()
+
+    def test_lost_lease_is_not_thread_death(self, tmp_path,
+                                            monkeypatch):
+        """Lease gone = re-enqueued from under us; the thread exits
+        quietly and the late result still counts (first wins)."""
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"worker": "w1"}))
+
+        def gone(path):
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(wq, "_touch", gone)
+        heartbeat = wq._Heartbeat(str(lease), interval=0.01)
+        with heartbeat:
+            time.sleep(0.1)
+        assert not heartbeat.failed.is_set()
+
+    def test_worker_aborts_unit_when_heartbeat_dies(self, tmp_path,
+                                                    monkeypatch):
+        # Short lease timeout → the task doc carries a fast (0.05s)
+        # heartbeat interval; the unit is big enough that the beat
+        # thread reliably fires (and dies) while it executes.
+        backend = WorkQueueBackend(str(tmp_path), lease_timeout=0.2)
+        backend.submit(WorkUnit(
+            unit_id="u", spec=timing_spec(num_samples=32_768)
+        ))
+        claimed = wq._claim_next(str(tmp_path))
+        assert claimed == "u"
+        monkeypatch.setattr(wq, "_touch", self._boom)
+        assert wq._execute_claimed(str(tmp_path), "u", "w1") is None
+        # Aborted: no result published, and the stale lease hands the
+        # unit straight back to the dispatcher's expiry pass.
+        assert os.listdir(tmp_path / RESULTS_DIR) == []
+        assert backend._lease_age("u") > backend.lease_timeout
+
+
+class TestRequeueCollectsLateResults:
+    """Regression (expiry vs. late-result race): a result file landing
+    while its lease is being expired means the unit *finished* — it
+    must be collected, not re-enqueued, and must never burn an attempt
+    from (or exhaust) ``max_attempts``."""
+
+    def _claim_stale(self, queue_dir, unit_id, age=3600.0):
+        task = os.path.join(queue_dir, TASKS_DIR, unit_id + ".json")
+        lease = os.path.join(queue_dir, LEASES_DIR, unit_id + ".json")
+        os.rename(task, lease)
+        stale = time.time() - age
+        os.utime(lease, (stale, stale))
+
+    def _publish(self, queue_dir, unit_id, payload):
+        from repro.common.fsio import atomic_write_bytes
+
+        atomic_write_bytes(
+            os.path.join(queue_dir, RESULTS_DIR, unit_id + ".pkl"),
+            pickle.dumps({
+                "worker": "slow-but-alive",
+                "attempt": 1,
+                "ok": True,
+                "payload": payload,
+                "elapsed": 9.9,
+            }),
+        )
+
+    def test_landed_result_collected_without_burning_attempt(
+        self, tmp_path
+    ):
+        reference = CampaignRunner().run([missrate_spec()])
+        # max_attempts=1: the old code would raise "budget exhausted"
+        # for a unit whose result was sitting on disk.
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=0.1, max_attempts=1,
+            idle_timeout=60,
+        )
+        backend.submit(WorkUnit(unit_id="slow", spec=missrate_spec()))
+        self._claim_stale(str(tmp_path), "slow")
+        # The artificially slow worker publishes just as the lease
+        # expires (its heartbeat died long ago, mtime is stale).
+        self._publish(str(tmp_path), "slow",
+                      reference.cells[0].payload)
+        collected = backend._requeue_expired()
+        assert [r.unit.unit_id for r in collected] == ["slow"]
+        assert collected[0].attempts == 1
+        assert (collected[0].payload.miss_rate
+                == reference.cells[0].payload.miss_rate)
+        assert backend._outstanding == {}
+        # The dead owner's lease is litter once the unit is done.
+        assert os.listdir(tmp_path / LEASES_DIR) == []
+        assert os.listdir(tmp_path / TASKS_DIR) == []
+
+    def test_slow_worker_race_through_completions(self, tmp_path):
+        """Integration shape: the result lands from a thread while the
+        dispatcher polls an expired lease; the campaign completes with
+        attempts=1 instead of raising."""
+        reference = CampaignRunner().run([missrate_spec()])
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=0.5, poll_interval=0.05,
+            max_attempts=1, idle_timeout=60,
+        )
+        backend.submit(WorkUnit(unit_id="slow", spec=missrate_spec()))
+        self._claim_stale(str(tmp_path), "slow", age=0.4)
+
+        def slow_worker():
+            self._publish(str(tmp_path), "slow",
+                          reference.cells[0].payload)
+
+        thread = threading.Thread(target=slow_worker)
+        thread.start()
+        try:
+            results = list(backend.completions())
+        finally:
+            thread.join(timeout=10)
+        assert len(results) == 1
+        assert results[0].attempts == 1
+
+
+class TestCancelLeasedUnits:
+    """Regression: cancel_units only unlinked task/result files — a
+    unit already claimed kept its lease (an orphan in ``leases/``) and
+    its straggler result was never swept."""
+
+    def test_cancel_removes_lease_of_claimed_unit(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        for unit_id in ("claimed", "pending"):
+            backend.submit(WorkUnit(unit_id=unit_id, spec=missrate_spec()))
+        assert wq._claim_next(str(tmp_path)) == "claimed"
+        backend.cancel_units(["claimed", "pending"])
+        assert os.listdir(tmp_path / TASKS_DIR) == []
+        assert os.listdir(tmp_path / LEASES_DIR) == []
+        # Only the claimed unit can ever produce a straggler result;
+        # tracking never-claimed ids would grow the sweep set (and
+        # its per-poll unlink attempts) forever on a long-lived
+        # backend.
+        assert backend._cancelled_ids == {"claimed"}
+
+    def test_straggler_result_swept_at_close(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        assert wq._claim_next(str(tmp_path)) == "u"
+        backend.cancel_units(["u"])
+        # The worker we could not interrupt publishes afterwards.
+        from repro.common.fsio import atomic_write_bytes
+
+        atomic_write_bytes(
+            os.path.join(str(tmp_path), RESULTS_DIR, "u.pkl"),
+            pickle.dumps({"ok": True, "payload": None, "elapsed": 0.0}),
+        )
+        backend.close()
+        assert os.listdir(tmp_path / RESULTS_DIR) == []
+
+    def test_straggler_result_swept_on_next_poll(self, tmp_path):
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        for unit_id in ("cancelled", "kept"):
+            backend.submit(WorkUnit(unit_id=unit_id, spec=missrate_spec()))
+        assert wq._claim_next(str(tmp_path)) == "cancelled"
+        backend.cancel_units(["cancelled"])
+        from repro.common.fsio import atomic_write_bytes
+
+        atomic_write_bytes(
+            os.path.join(str(tmp_path), RESULTS_DIR, "cancelled.pkl"),
+            pickle.dumps({"ok": True, "payload": None, "elapsed": 0.0}),
+        )
+        run_worker_once(str(tmp_path))  # serves the surviving unit
+        done = [r.unit.unit_id for r in backend.completions()]
+        assert done == ["kept"]
+        assert os.listdir(tmp_path / RESULTS_DIR) == []
+
+
+class _FakeProc:
+    """Stand-in subprocess for deterministic supervisor tests."""
+
+    def __init__(self):
+        self.returncode = None
+
+    def poll(self):
+        return self.returncode
+
+    def wait(self, timeout=None):
+        if self.returncode is None:
+            self.returncode = 0
+        return self.returncode
+
+    def terminate(self):
+        self.returncode = -15
+
+    def kill(self):
+        self.returncode = -9
+
+
+class TestElasticSupervisor:
+    """Deterministic (tick-driven, fake-process) tests of the scaling
+    policy; the real-subprocess path is covered by
+    TestElasticEndToEnd."""
+
+    def _supervisor(self, tmp_path, monkeypatch, clock, **kwargs):
+        spawned = []
+
+        def fake_spawn(queue_dir, worker_id, poll_interval):
+            spawned.append(worker_id)
+            return _FakeProc(), os.path.join(
+                queue_dir, WORKERS_DIR, worker_id + ".log"
+            )
+
+        monkeypatch.setattr(wq, "_spawn_worker_process", fake_spawn)
+        kwargs.setdefault("min_workers", 1)
+        kwargs.setdefault("max_workers", 3)
+        kwargs.setdefault("idle_grace", 10.0)
+        supervisor = ElasticSupervisor(
+            str(tmp_path), clock=clock, **kwargs
+        )
+        return supervisor, spawned
+
+    def _enqueue(self, tmp_path, *unit_ids):
+        ensure_queue_dirs(str(tmp_path))
+        for unit_id in unit_ids:
+            (tmp_path / TASKS_DIR / f"{unit_id}.json").write_text("{}")
+
+    def test_keeps_min_workers_warm(self, tmp_path, monkeypatch):
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: 0.0
+        )
+        supervisor.tick()
+        assert len(spawned) == 1
+        supervisor.tick()
+        assert len(spawned) == 1  # no thrash on an idle queue
+
+    def test_scales_up_with_queue_depth_capped_at_max(self, tmp_path,
+                                                      monkeypatch):
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: 0.0
+        )
+        self._enqueue(tmp_path, "a", "b", "c", "d", "e")
+        supervisor.tick()
+        assert len(spawned) == 3  # max_workers cap
+        assert supervisor.stats.peak_workers == 3
+
+    def test_retires_surplus_after_idle_grace(self, tmp_path,
+                                              monkeypatch):
+        now = [0.0]
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0], idle_grace=5.0
+        )
+        self._enqueue(tmp_path, "a", "b", "c")
+        supervisor.tick()
+        assert len(spawned) == 3
+        # Queue drains: surplus must persist for idle_grace first.
+        for name in os.listdir(tmp_path / TASKS_DIR):
+            os.unlink(tmp_path / TASKS_DIR / name)
+        supervisor.tick()
+        assert len(supervisor._procs) == 3  # grace not yet elapsed
+        now[0] = 6.0
+        supervisor.tick()
+        assert len(supervisor._procs) == 1  # drained to min_workers
+        assert supervisor.stats.retired == 2
+        # Retirement is graceful: per-worker sentinels, no kill.
+        stops = [n for n in os.listdir(tmp_path / WORKERS_DIR)
+                 if n.endswith(".stop")]
+        assert len(stops) == 2
+
+    def test_reap_cleans_retired_worker_litter(self, tmp_path,
+                                               monkeypatch):
+        now = [0.0]
+        supervisor, _ = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0], idle_grace=0.5
+        )
+        self._enqueue(tmp_path, "a", "b")
+        supervisor.tick()
+        for name in os.listdir(tmp_path / TASKS_DIR):
+            os.unlink(tmp_path / TASKS_DIR / name)
+        supervisor.tick()
+        now[0] = 1.0
+        supervisor.tick()
+        assert supervisor._retiring
+        # The retiring worker exits; the next tick reaps its sentinel.
+        for proc in supervisor._retiring.values():
+            proc.returncode = 0
+        supervisor.tick()
+        assert not supervisor._retiring
+        assert not [n for n in os.listdir(tmp_path / WORKERS_DIR)
+                    if n.endswith(".stop")]
+
+    def test_busy_leases_keep_workers_alive(self, tmp_path,
+                                            monkeypatch):
+        """No pending tasks but live leases: the pool must not shrink
+        below what is still executing."""
+        now = [0.0]
+        supervisor, _ = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0], idle_grace=0.5
+        )
+        self._enqueue(tmp_path, "a", "b")
+        supervisor.tick()
+        assert len(supervisor._procs) == 2
+        # Both units claimed: tasks -> leases.
+        for name in list(os.listdir(tmp_path / TASKS_DIR)):
+            os.rename(tmp_path / TASKS_DIR / name,
+                      tmp_path / LEASES_DIR / name)
+        now[0] = 10.0
+        supervisor.tick()
+        assert len(supervisor._procs) == 2
+
+    def test_busy_external_workers_not_double_served(self, tmp_path,
+                                                     monkeypatch):
+        """A lease stamped by an external worker is already being
+        served — it must not read as demand and spawn a redundant
+        local worker per busy external one."""
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: 0.0, min_workers=0
+        )
+        self._enqueue(tmp_path, "pending")
+        for unit, worker in (("a", "ext-1"), ("b", "ext-2")):
+            (tmp_path / LEASES_DIR / f"{unit}.json").write_text(
+                json.dumps({"worker": worker})
+            )
+        supervisor.tick()
+        assert len(spawned) == 1  # one pending unit → one worker
+
+    def test_unstamped_lease_counts_as_demand(self, tmp_path,
+                                              monkeypatch):
+        """The claim-to-stamp window is attributed conservatively."""
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: 0.0, min_workers=0
+        )
+        self._enqueue(tmp_path, "pending")
+        (tmp_path / LEASES_DIR / "claimed.json").write_text("{}")
+        supervisor.tick()
+        assert len(spawned) == 2
+
+    def test_check_health_raises_on_crash_loop(self, tmp_path,
+                                               monkeypatch):
+        supervisor, _ = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: 0.0
+        )
+        for _ in range(3):
+            supervisor.tick()
+            for proc in supervisor._procs.values():
+                proc.returncode = 1  # crash
+            supervisor._reap()
+        with pytest.raises(RuntimeError, match="crashed within"):
+            supervisor.check_health()
+
+    def test_isolated_crashes_do_not_abort_a_long_campaign(
+        self, tmp_path, monkeypatch
+    ):
+        """Three crashes spread far apart (each recovered by respawn)
+        are not a crash loop — the campaign must keep running."""
+        now = [0.0]
+        supervisor, _ = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0]
+        )
+        for _ in range(3):
+            supervisor.tick()
+            for proc in supervisor._procs.values():
+                proc.returncode = 1
+            supervisor._reap()
+            now[0] += 3600.0  # an hour between incidents
+        supervisor.check_health()  # must not raise
+
+    def test_persistent_spawn_failure_surfaces_with_traceback(
+        self, tmp_path, monkeypatch
+    ):
+        """Spawn raising every tick produces no processes and no
+        abnormal exits; check_health must still diagnose it instead
+        of letting the idle watchdog fire a misleading message."""
+        now = [0.0]
+        supervisor, _ = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0]
+        )
+        self._enqueue(tmp_path, "a")
+
+        def broken_spawn(queue_dir, worker_id, poll_interval):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(wq, "_spawn_worker_process", broken_spawn)
+        supervisor._guarded_tick()
+        # A brief blip is tolerated (the heartbeat's own rule)...
+        supervisor.check_health()
+        # ...continuous failure past the grace window is not.
+        now[0] = supervisor.tick_failure_grace + 1.0
+        supervisor._guarded_tick()
+        with pytest.raises(RuntimeError, match="cannot scale"):
+            supervisor.check_health()
+        assert "fork" in supervisor.last_error
+
+    def test_transient_tick_blip_recovers(self, tmp_path, monkeypatch):
+        now = [0.0]
+        supervisor, spawned = self._supervisor(
+            tmp_path, monkeypatch, clock=lambda: now[0]
+        )
+        self._enqueue(tmp_path, "a")
+        good_spawn = wq._spawn_worker_process
+
+        def broken_spawn(queue_dir, worker_id, poll_interval):
+            raise OSError("transient")
+
+        monkeypatch.setattr(wq, "_spawn_worker_process", broken_spawn)
+        supervisor._guarded_tick()
+        monkeypatch.setattr(wq, "_spawn_worker_process", good_spawn)
+        supervisor._guarded_tick()  # recovers: failure window resets
+        now[0] = supervisor.tick_failure_grace + 1.0
+        supervisor.check_health()  # must not raise
+        assert spawned
+
+    def test_validates_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            ElasticSupervisor(str(tmp_path), min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            ElasticSupervisor(str(tmp_path), min_workers=-1, max_workers=2)
+        with pytest.raises(ValueError):
+            ElasticSupervisor(str(tmp_path), max_workers=0)
+
+    def test_backend_rejects_conflicting_pool_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            WorkQueueBackend(
+                str(tmp_path), spawn_workers=2, max_workers=3
+            )
+        with pytest.raises(ValueError, match="min_workers"):
+            WorkQueueBackend(str(tmp_path), min_workers=1)
+
+
+class TestWorkerRetirementSentinel:
+    def test_worker_exits_on_own_stop_sentinel(self, tmp_path):
+        ensure_queue_dirs(str(tmp_path))
+        (tmp_path / WORKERS_DIR / "w1.stop").write_bytes(b"")
+        assert worker_loop(str(tmp_path), worker_id="w1",
+                           echo=False) == 0
+
+    def test_other_workers_unaffected_by_foreign_sentinel(self,
+                                                          tmp_path):
+        """w1's retirement sentinel must not retire w2 — w2 drains the
+        queue and exits on idle instead."""
+        backend = WorkQueueBackend(str(tmp_path), idle_timeout=30)
+        backend.submit(WorkUnit(unit_id="u", spec=missrate_spec()))
+        (tmp_path / WORKERS_DIR / "w1.stop").write_bytes(b"")
+        assert run_worker_once(str(tmp_path), worker_id="w2") == 1
+        assert len(list(backend.completions())) == 1
+
+    def test_worker_touches_liveness_heartbeat(self, tmp_path):
+        ensure_queue_dirs(str(tmp_path))
+        run_worker_once(str(tmp_path), worker_id="w1", max_idle=0.2)
+        info = tmp_path / WORKERS_DIR / "w1.json"
+        assert info.exists()
+        assert time.time() - os.stat(info).st_mtime < 60.0
+
+
+class TestElasticEndToEnd:
+    """Real ``repro worker`` subprocesses under the supervisor: an
+    elastic pool serves a sharded campaign bit-identically and leaves
+    a clean queue behind."""
+
+    def test_elastic_pool_bit_identical_and_clean(self, tmp_path):
+        spec = timing_spec(num_samples=4096)
+        serial = CampaignRunner(max_shards_per_cell=4).run([spec])
+        backend = WorkQueueBackend(
+            str(tmp_path), min_workers=1, max_workers=2,
+            lease_timeout=120, idle_timeout=300,
+        )
+        try:
+            elastic = CampaignRunner(
+                max_shards_per_cell=4,
+                shard_policy=ShardPolicy.adaptive(min_block=1024),
+                backend=backend,
+            ).run([spec])
+            stats = backend.supervisor.stats
+            assert stats.spawned >= 1
+            assert backend.live_worker_count() >= 1
+        finally:
+            backend.close()
+        assert np.array_equal(
+            serial.cells[0].payload.timings,
+            elastic.cells[0].payload.timings,
+        )
+        assert np.array_equal(
+            serial.cells[0].payload.plaintexts,
+            elastic.cells[0].payload.plaintexts,
+        )
+        for sub in (TASKS_DIR, LEASES_DIR, RESULTS_DIR):
+            assert os.listdir(tmp_path / sub) == []
+
+
 class TestDurableShardPartials:
     """ResultCache's per-shard store: exact-identity matching, crash
     tolerance, sweeping."""
@@ -669,6 +1190,48 @@ class TestEarlyStopAcrossBackends:
         assert result.payload.leaks == full.payload.leaks
         if result.early_stopped:
             assert result.payload.trials < 64
+        if isinstance(backend, WorkQueueBackend):
+            # Cancelled units must leave no stray task, orphaned lease
+            # or straggler result behind once the workers stopped.
+            for sub in (TASKS_DIR, LEASES_DIR, RESULTS_DIR):
+                assert os.listdir(tmp_path / sub) == []
+
+    def test_adaptive_sharding_decides_on_fewer_samples(self, full):
+        """The acceptance criterion for adaptive shard sizing: with a
+        bounded shard count, an even split hands the SPRT its first
+        prefix only after total/N trials, while the adaptive geometry
+        reaches the rule's minimum after its small lead shard — same
+        verdict, fewer executed samples."""
+        spec = ExperimentSpec(
+            kind="prime_probe", setup="deterministic",
+            num_samples=240, seed=2018,
+        )
+        even_events, adaptive_events = [], []
+        even = CampaignRunner(
+            max_shards_per_cell=4, early_stop=True,
+            progress=even_events.append,
+        ).run([spec]).cells[0]
+        adaptive = CampaignRunner(
+            max_shards_per_cell=4, early_stop=True,
+            shard_policy=ShardPolicy.adaptive(min_block=16, growth=2.0),
+            progress=adaptive_events.append,
+        ).run([spec]).cells[0]
+        assert even.early_stopped and adaptive.early_stopped
+        assert adaptive.payload.leaks == even.payload.leaks
+        # Even 240/4 → 60-trial shards: the verdict cannot land before
+        # 60 trials.  Adaptive [16,32,64,128] decides after 16.
+        assert even.payload.trials == 60
+        assert adaptive.payload.trials == 16
+        assert adaptive.payload.trials < even.payload.trials
+
+        def executed(events):
+            return sum(e.work for e in events if e.event == "shard")
+
+        assert executed(adaptive_events) < executed(even_events)
+        # Both still report the full campaign weight (skipped
+        # remainder rides on the cell event).
+        assert sum(e.work for e in even_events) == 240
+        assert sum(e.work for e in adaptive_events) == 240
 
     def test_early_stop_off_keeps_full_budget(self, full):
         result = CampaignRunner(

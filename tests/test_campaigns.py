@@ -105,6 +105,38 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_experiment("bernstein")(lambda spec: None)
 
+    def test_legacy_two_arg_plan_shards_still_dispatches(self):
+        """Out-of-tree kinds registered against the pre-policy
+        ``plan_shards(spec, max_shards)`` signature keep working —
+        they plan their own geometry and ignore the shard policy."""
+        from repro.core.batch import ShardPlan
+
+        @register_experiment(
+            "_test_legacy_sharded",
+            plan_shards=lambda spec, max_shards: ShardPlan.even(
+                spec.num_samples, max_shards
+            ),
+            run_shard=lambda spec, shard: list(
+                range(shard.start, shard.end)
+            ),
+            merge_shards=lambda spec, parts: [
+                x for part in parts for x in part
+            ],
+        )
+        def _legacy(spec):
+            return list(range(spec.num_samples))
+
+        try:
+            result = CampaignRunner(max_shards_per_cell=3).run([
+                ExperimentSpec(kind="_test_legacy_sharded",
+                               num_samples=9, seed=1)
+            ])
+            assert result.cells[0].num_shards == 3
+            assert result.cells[0].payload == list(range(9))
+        finally:
+            from repro.campaigns import registry
+            del registry._REGISTRY["_test_legacy_sharded"]
+
     def test_custom_kind_roundtrip(self):
         @register_experiment("_test_echo")
         def _echo(spec):
@@ -286,6 +318,30 @@ class TestIntraCellSharding:
         assert np.array_equal(
             serial.cells[0].payload.victim_samples.timings,
             pooled.cells[0].payload.victim_samples.timings,
+        )
+
+    def test_adaptive_policy_bit_identical(self, spec, serial):
+        """Adaptive geometry changes shard boundaries only — the
+        merged attack payload equals the serial run's bit for bit."""
+        from repro.campaigns import ShardPolicy
+
+        adaptive = CampaignRunner(
+            max_shards_per_cell=4,
+            shard_policy=ShardPolicy.adaptive(min_block=1024),
+        ).run(spec)
+        ser, ada = serial.cells[0], adaptive.cells[0]
+        assert ada.num_shards > 1
+        assert np.array_equal(
+            ser.payload.victim_samples.timings,
+            ada.payload.victim_samples.timings,
+        )
+        assert np.array_equal(
+            ser.payload.attacker_samples.plaintexts,
+            ada.payload.attacker_samples.plaintexts,
+        )
+        assert (
+            ser.payload.report.remaining_key_space_log2
+            == ada.payload.report.remaining_key_space_log2
         )
 
     def test_shard_progress_events(self, spec):
@@ -498,6 +554,43 @@ class TestResultCacheGC:
         self._age(marker, days=10)
         cache.gc(max_age_days=7)
         assert not os.path.exists(marker)
+
+    def test_orphan_marker_swept_before_max_age(self, tmp_path):
+        """Regression: an orphaned marker is not an entry — keeping it
+        for the full max_age_days made is_early_stopped() answer True
+        for a spec hash with nothing cached, forcing every full-budget
+        run at that hash into a spurious recompute.  Orphans go as
+        soon as they outlive the put() grace window."""
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        marker = cache._early_marker_path(spec.spec_hash())
+        open(marker, "wb").close()
+        self._age(marker, days=0.01)  # ~15 min: past grace, << 7 days
+        cache.gc(max_age_days=7)
+        assert not os.path.exists(marker)
+        assert not cache.is_early_stopped(spec)
+
+    def test_entry_and_marker_swept_as_a_unit(self, tmp_path):
+        """Regression (the gc/marker orphan): sweeping an aged
+        early-stopped entry must take its sidecar marker with it, so a
+        later full-budget run at the same spec hash computes, caches,
+        and is served from cache — instead of finding a leftover
+        marker that rejects the entry."""
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        cache.put(spec, {"decided": True}, early_stopped=True)
+        self._age(cache._path(spec), days=10)
+        self._age(cache._early_marker_path(spec.spec_hash()), days=10)
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_cells == 1
+        assert not cache.has(spec)
+        assert not cache.is_early_stopped(spec)
+        # The full-budget run's fresh write is accepted and honoured.
+        first = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert not first.cells[0].from_cache
+        second = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert second.cells[0].from_cache
+        assert not second.cells[0].early_stopped
 
     def test_keeps_fresh_unrelated_files(self, tmp_path):
         cache = ResultCache(str(tmp_path))

@@ -33,7 +33,9 @@ class TestParser:
 
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign", "bernstein"])
-        assert args.workers == 1
+        # None = "not given": lets --max-workers detect a conflicting
+        # explicit --workers; the effective fixed-pool default is 1.
+        assert args.workers is None
         assert args.max_shards == 1
         assert args.samples is None
         assert not args.json
@@ -82,6 +84,38 @@ class TestParser:
         )
         assert args.name is None
         assert args.cache_gc == 7.0
+
+    def test_campaign_shard_policy_flags(self):
+        args = build_parser().parse_args(["campaign", "contention"])
+        assert args.shard_policy == "even"
+        # None = "not given": a geometry knob without --shard-policy
+        # adaptive is rejected instead of silently ignored.
+        assert args.shard_min_block is None
+        assert args.shard_growth is None
+        args = build_parser().parse_args([
+            "campaign", "contention", "--shard-policy", "adaptive",
+            "--shard-min-block", "16", "--shard-growth", "3",
+        ])
+        assert args.shard_policy == "adaptive"
+        assert args.shard_min_block == 16
+        assert args.shard_growth == 3.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "contention", "--shard-policy", "spiral"]
+            )
+
+    def test_campaign_elastic_worker_flags(self):
+        args = build_parser().parse_args(["campaign", "contention"])
+        # None = "not given", so a lone --min-workers can be rejected
+        # instead of silently ignored; the effective floor is 1.
+        assert args.min_workers is None
+        assert args.max_workers is None
+        args = build_parser().parse_args([
+            "campaign", "contention", "--backend", "workqueue",
+            "--min-workers", "1", "--max-workers", "3",
+        ])
+        assert args.min_workers == 1
+        assert args.max_workers == 3
 
     def test_worker_requires_queue(self):
         with pytest.raises(SystemExit):
@@ -243,6 +277,106 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "early stop" in out
         assert "sprt" not in out
+
+    def test_campaign_dry_run_shows_shard_geometry(self, capsys):
+        assert main(["campaign", "contention", "--dry-run",
+                     "--max-shards", "4", "--shard-policy", "adaptive",
+                     "--shard-min-block", "16", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "geometry" in out
+        assert "adaptive(min=16,x2)" in out
+        assert "[0,16)" in out  # the small lead shard of the plan
+        assert main(["campaign", "contention", "--dry-run",
+                     "--max-shards", "4", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "even" in out
+        assert "adaptive" not in out
+
+    def test_campaign_bad_elastic_bounds_rejected_cleanly(self, capsys):
+        """Bad worker bounds exit 2 with a message — no traceback, no
+        leaked temp queue directory or worker processes."""
+        assert main(["campaign", "contention", "--backend", "workqueue",
+                     "--min-workers", "5", "--max-workers", "3",
+                     "--quiet"]) == 2
+        assert "min-workers" in capsys.readouterr().err
+        assert main(["campaign", "contention", "--backend", "workqueue",
+                     "--max-workers", "0", "--quiet"]) == 2
+        assert "max-workers" in capsys.readouterr().err
+        # A floor without a ceiling is rejected, not silently ignored.
+        assert main(["campaign", "contention", "--backend", "workqueue",
+                     "--min-workers", "4", "--quiet"]) == 2
+        assert "needs --max-workers" in capsys.readouterr().err
+
+    def test_campaign_max_workers_conflicts_with_local_backends(
+        self, capsys
+    ):
+        """--max-workers on an explicitly local backend is an error,
+        not a silently ignored flag."""
+        assert main(["campaign", "contention", "--backend", "serial",
+                     "--max-workers", "3", "--quiet"]) == 2
+        assert "workqueue" in capsys.readouterr().err
+
+    def test_campaign_max_workers_implies_workqueue(self, capsys):
+        """--max-workers without --backend runs the elastic work queue
+        (visible through the live worker column on stderr), and the
+        output reports the elastic bounds, not a fixed count."""
+        assert main(["campaign", "contention", "--samples", "24",
+                     "--max-workers", "2", "--max-shards", "2",
+                     "--early-stop", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "work queue" in captured.err
+        assert "elastic 1..2" in captured.err
+        assert "workers" in captured.err
+        assert json.loads(captured.out)["workers"] == "1..2"
+
+    def test_campaign_fixed_and_elastic_pools_conflict(self, capsys):
+        """An explicit --workers alongside --max-workers is an error,
+        not a silently dropped flag."""
+        assert main(["campaign", "contention", "--workers", "8",
+                     "--max-workers", "2", "--quiet"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_campaign_bad_shard_policy_values_rejected(self, capsys):
+        assert main(["campaign", "contention", "--shard-policy",
+                     "adaptive", "--shard-min-block", "0",
+                     "--quiet"]) == 2
+        assert "min_block" in capsys.readouterr().err
+        assert main(["campaign", "contention", "--shard-policy",
+                     "adaptive", "--shard-growth", "0.5",
+                     "--quiet"]) == 2
+        assert "growth" in capsys.readouterr().err
+
+    def test_campaign_geometry_knobs_need_adaptive_policy(self, capsys):
+        """A geometry knob on the even policy is an error, not a
+        silently dropped flag."""
+        assert main(["campaign", "contention", "--shard-min-block",
+                     "16", "--quiet"]) == 2
+        assert "adaptive" in capsys.readouterr().err
+        assert main(["campaign", "contention", "--shard-growth", "3",
+                     "--quiet"]) == 2
+        assert "adaptive" in capsys.readouterr().err
+
+    def test_campaign_adaptive_early_stop_matches_even_verdicts(
+        self, capsys
+    ):
+        """Adaptive sharding decides the same verdicts on fewer
+        trials, through the real CLI path."""
+        base = ["campaign", "contention", "--samples", "96", "--json",
+                "--quiet", "--max-shards", "4", "--early-stop"]
+        assert main(base) == 0
+        even = json.loads(capsys.readouterr().out)
+        assert main(base + ["--shard-policy", "adaptive",
+                            "--shard-min-block", "16"]) == 0
+        adaptive = json.loads(capsys.readouterr().out)
+        by_cell = lambda doc: {
+            (c["kind"], c["setup"]): c for c in doc["cells"]
+        }
+        even_cells, adaptive_cells = by_cell(even), by_cell(adaptive)
+        assert sum(
+            c["trials"] for c in adaptive_cells.values()
+        ) < sum(c["trials"] for c in even_cells.values())
+        for key, cell in adaptive_cells.items():
+            assert cell["leaks"] == even_cells[key]["leaks"]
 
     def test_campaign_early_stop_end_to_end(self, capsys):
         """--early-stop decides leaking cells below the full budget

@@ -32,7 +32,7 @@ import numpy as np
 import pytest
 
 from repro.campaigns import CampaignRunner, ExperimentSpec, bernstein_grid
-from repro.core.batch import AESTimingEngine, merge_shard_samples
+from repro.core.batch import AESTimingEngine, ShardPolicy, merge_shard_samples
 from repro.core.setups import SETUP_NAMES, make_setup
 
 #: Worker count for the campaign-path goldens (CI sets 2 to exercise
@@ -45,20 +45,47 @@ GOLDEN_WORKERS = int(os.environ.get("REPRO_GOLDEN_WORKERS", "1"))
 #: + spawned ``repro worker`` subprocesses).
 GOLDEN_BACKEND = os.environ.get("REPRO_GOLDEN_BACKEND", "local")
 
+#: Shard geometry for the campaign-path goldens: "even" (default) or
+#: "adaptive" — CI runs an adaptive pass to prove the geometry change
+#: cannot perturb a single frozen byte.
+GOLDEN_SHARD_POLICY = os.environ.get("REPRO_GOLDEN_SHARD_POLICY", "even")
+
+#: With REPRO_GOLDEN_ELASTIC=1 the workqueue goldens run under an
+#: ElasticSupervisor scaling 1..3 workers instead of a fixed pool.
+GOLDEN_ELASTIC = os.environ.get("REPRO_GOLDEN_ELASTIC", "") == "1"
+
+
+def golden_policy() -> ShardPolicy:
+    if GOLDEN_SHARD_POLICY == "adaptive":
+        # Small min_block so even the 10-trial contention cells shard;
+        # AES-engine plans snap it up to their 1024-sample blocks.
+        return ShardPolicy.adaptive(min_block=4, growth=2.0)
+    return ShardPolicy()
+
 
 @contextlib.contextmanager
 def golden_runner(**kwargs):
     """A CampaignRunner on the backend CI asked for (env knobs above)."""
+    kwargs.setdefault("shard_policy", golden_policy())
     if GOLDEN_BACKEND == "workqueue":
         from repro.backends import WorkQueueBackend
 
         with tempfile.TemporaryDirectory(prefix="repro-golden-q-") as qdir:
-            backend = WorkQueueBackend(
-                qdir,
-                spawn_workers=max(2, GOLDEN_WORKERS),
-                lease_timeout=300.0,
-                idle_timeout=600.0,
-            )
+            if GOLDEN_ELASTIC:
+                backend = WorkQueueBackend(
+                    qdir,
+                    min_workers=1,
+                    max_workers=max(3, GOLDEN_WORKERS),
+                    lease_timeout=300.0,
+                    idle_timeout=600.0,
+                )
+            else:
+                backend = WorkQueueBackend(
+                    qdir,
+                    spawn_workers=max(2, GOLDEN_WORKERS),
+                    lease_timeout=300.0,
+                    idle_timeout=600.0,
+                )
             try:
                 yield CampaignRunner(backend=backend, **kwargs)
             finally:
@@ -152,6 +179,24 @@ class TestShardedGoldens:
                                                    num_shards):
         engine = golden_engine(setup_name)
         plan = engine.shard_plan(GOLDEN_SAMPLES, num_shards)
+        assert len(plan) > 1, "plan must actually shard the budget"
+        merged = merge_shard_samples([
+            engine.collect_shard(
+                GOLDEN_KEY, GOLDEN_SAMPLES, shard,
+                party="victim", campaign_seed=0xC0DE,
+            )
+            for shard in plan
+        ])
+        assert sample_digest(merged) == GOLDEN_DIGESTS[setup_name]
+
+    @pytest.mark.parametrize("setup_name", SETUP_NAMES)
+    def test_adaptive_plan_matches_frozen_digest(self, setup_name):
+        """Adaptive geometry moves shard cuts, never sample values:
+        the merged collection must still hash to the frozen digest."""
+        engine = golden_engine(setup_name)
+        plan = engine.shard_plan(
+            GOLDEN_SAMPLES, 4, ShardPolicy.adaptive(min_block=1024)
+        )
         assert len(plan) > 1, "plan must actually shard the budget"
         merged = merge_shard_samples([
             engine.collect_shard(

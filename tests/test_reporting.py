@@ -193,6 +193,65 @@ class TestCampaignProgress:
         assert work == 1001  # sample-less cells still weigh 1
 
 
+class TestWorkerGauge:
+    """The optional live worker-count column (elastic work queues)."""
+
+    def test_gauge_appends_worker_column(self):
+        stream = io.StringIO()
+        counts = iter([2, 3])
+        progress = CampaignProgress(
+            2, 200, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: next(counts),
+        )
+        progress(_event(work=100))
+        progress(_event(work=100))
+        lines = stream.getvalue().splitlines()
+        assert lines[0].endswith("| workers 2")
+        assert lines[1].endswith("| workers 3")
+
+    def test_none_reading_omits_column(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            1, 100, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: None,
+        )
+        progress(_event(work=100))
+        assert "workers" not in stream.getvalue()
+
+    def test_broken_gauge_never_breaks_progress(self):
+        stream = io.StringIO()
+
+        def gauge():
+            raise RuntimeError("pool gone")
+
+        progress = CampaignProgress(
+            1, 100, stream=stream, clock=_FakeClock(),
+            worker_gauge=gauge,
+        )
+        progress(_event(work=100))
+        assert "workers" not in stream.getvalue()
+        assert "100%" in stream.getvalue()
+
+    def test_gauge_on_partial_lines_too(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            1, 100, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: 2,
+        )
+        event = _event(event="partial", work=0,
+                       label="bernstein:tscache partial 1/4")
+        event.summary = {"mean_cycles": 1500.0}
+        progress(event)
+        assert stream.getvalue().splitlines()[0].endswith("| workers 2")
+
+    def test_no_gauge_by_default(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(1, 100, stream=stream,
+                                    clock=_FakeClock())
+        progress(_event(work=100))
+        assert "workers" not in stream.getvalue()
+
+
 class TestCampaignProgressGuards:
     """Degenerate campaign shapes must never divide by zero or print
     nonsense ETA lines (all-cache-hit resumes, zero-weight grids,

@@ -1,6 +1,7 @@
-"""Tests for intra-cell sharding: ShardPlan geometry, the engine's
-shard/serial bit-equivalence (determinism matrix over shard counts and
-completion orders), and merge validation."""
+"""Tests for intra-cell sharding: ShardPlan geometry (even and
+adaptive), the engine's shard/serial bit-equivalence (determinism
+matrix over shard counts, policies and completion orders), and merge
+validation."""
 
 import random
 
@@ -11,6 +12,7 @@ from repro.core.batch import (
     AESTimingEngine,
     Shard,
     ShardPlan,
+    ShardPolicy,
     merge_shard_samples,
 )
 from repro.core.setups import make_setup
@@ -80,6 +82,110 @@ class TestShardPlan:
         ]
 
 
+class TestAdaptivePlan:
+    def test_geometric_growth_until_budget(self):
+        plan = ShardPlan.adaptive(240, 8, min_block=16, growth=2.0)
+        assert [(s.start, s.end) for s in plan] == [
+            (0, 16), (16, 48), (48, 112), (112, 240)
+        ]
+        sizes = [s.num_samples for s in plan]
+        # Strictly growing: small lead for fast verdicts, big tail for
+        # throughput.
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 16
+
+    def test_max_shards_caps_with_tail_absorbing_remainder(self):
+        plan = ShardPlan.adaptive(10_000, 3, min_block=100, growth=2.0)
+        assert len(plan) == 3
+        assert [(s.start, s.end) for s in plan] == [
+            (0, 100), (100, 300), (300, 10_000)
+        ]
+
+    def test_covers_budget_exactly(self):
+        for total in (17, 100, 999, 4096):
+            plan = ShardPlan.adaptive(total, 6, min_block=8, growth=1.7)
+            assert plan.num_samples == total
+            assert plan[0].start == 0
+            assert plan[len(plan) - 1].end == total
+
+    def test_growth_one_gives_fixed_blocks(self):
+        plan = ShardPlan.adaptive(64, 4, min_block=16, growth=1.0)
+        assert [s.num_samples for s in plan] == [16, 16, 16, 16]
+
+    def test_small_budget_single_shard(self):
+        plan = ShardPlan.adaptive(10, 4, min_block=16)
+        assert len(plan) == 1
+
+    def test_snaps_to_boundaries(self):
+        plan = ShardPlan.adaptive(
+            8192, 4, min_block=100, growth=2.0,
+            boundaries=range(0, 8192, 1024),
+        )
+        for shard in plan:
+            assert shard.start % 1024 == 0
+
+    def test_no_usable_boundary_single_shard(self):
+        plan = ShardPlan.adaptive(100, 4, min_block=10, boundaries=[])
+        assert len(plan) == 1
+
+    def test_deterministic(self):
+        one = ShardPlan.adaptive(5000, 5, min_block=37, growth=1.9)
+        two = ShardPlan.adaptive(5000, 5, min_block=37, growth=1.9)
+        assert [(s.start, s.end) for s in one] == [
+            (s.start, s.end) for s in two
+        ]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="min_block"):
+            ShardPlan.adaptive(100, 4, min_block=0)
+        with pytest.raises(ValueError, match="growth"):
+            ShardPlan.adaptive(100, 4, growth=0.5)
+        with pytest.raises(ValueError, match="max_shards"):
+            ShardPlan.adaptive(100, 0)
+        with pytest.raises(ValueError, match="num_samples"):
+            ShardPlan.adaptive(0, 4)
+
+
+class TestShardPolicyObject:
+    def test_default_is_even(self):
+        policy = ShardPolicy()
+        assert policy.mode == "even"
+        assert policy.describe() == "even"
+        plan = policy.plan(100, 4)
+        assert [s.num_samples for s in plan] == [25, 25, 25, 25]
+
+    def test_adaptive_constructor_and_describe(self):
+        policy = ShardPolicy.adaptive(min_block=16, growth=2.0)
+        assert policy.describe() == "adaptive(min=16,x2)"
+        plan = policy.plan(240, 4)
+        assert plan[0].num_samples == 16
+
+    def test_small_budget_still_shards_under_default_adaptive(self):
+        """Regression: min_block=1024 (the default) on a 240-trial
+        contention cell must not collapse to one shard — that would
+        silently disable early stopping for exactly the cells that
+        decide fastest.  The block is clamped to the even-shard size,
+        so the adaptive lead shard is never larger than an even one."""
+        plan = ShardPolicy.adaptive().plan(240, 8)
+        assert len(plan) > 1
+        assert plan[0].num_samples == 30  # 240 // 8
+        sizes = [s.num_samples for s in plan]
+        assert sizes[0] == min(sizes)
+
+    def test_even_plan_honours_boundaries(self):
+        policy = ShardPolicy()
+        plan = policy.plan(100, 2, boundaries=[30, 80])
+        assert [(s.start, s.end) for s in plan] == [(0, 30), (30, 100)]
+
+    def test_rejects_unknown_mode_and_bad_values(self):
+        with pytest.raises(ValueError, match="shard policy"):
+            ShardPolicy(mode="fibonacci")
+        with pytest.raises(ValueError, match="min_block"):
+            ShardPolicy.adaptive(min_block=0)
+        with pytest.raises(ValueError, match="growth"):
+            ShardPolicy.adaptive(growth=0.9)
+
+
 class TestEngineSharding:
     """The acceptance matrix: shard counts {1, 2, 7}, any completion
     order, serial == merged, per setup family."""
@@ -103,6 +209,44 @@ class TestEngineSharding:
         assert merged.plaintexts.tobytes() == serial.plaintexts.tobytes()
         assert merged.key == serial.key
         assert merged.setup_name == serial.setup_name
+
+    @pytest.mark.parametrize("setup_name", ["deterministic", "tscache",
+                                            "rpcache"])
+    @pytest.mark.parametrize("policy", [
+        ShardPolicy.adaptive(min_block=1024, growth=2.0),
+        ShardPolicy.adaptive(min_block=2048, growth=3.0),
+    ])
+    def test_adaptive_merge_bit_identical_to_serial(self, setup_name,
+                                                    policy):
+        """The adaptive geometry changes only where the cuts land;
+        merged samples must equal serial (and therefore the even
+        split) bit for bit, in any completion order."""
+        engine = AESTimingEngine(make_setup(setup_name), rng=11)
+        n = 20_000
+        serial = engine.collect(KEY, n, party="attacker")
+        plan = engine.shard_plan(n, 5, policy)
+        assert len(plan) > 1
+        sizes = [s.num_samples for s in plan]
+        assert sizes[0] < sizes[-1], "lead shard must be the small one"
+        parts = [
+            engine.collect_shard(KEY, n, shard, party="attacker")
+            for shard in plan
+        ]
+        random.Random(len(plan)).shuffle(parts)
+        merged = merge_shard_samples(parts)
+        assert merged.timings.tobytes() == serial.timings.tobytes()
+        assert merged.plaintexts.tobytes() == serial.plaintexts.tobytes()
+
+    def test_adaptive_plan_is_block_aligned(self):
+        """tscache epochs/realisations turn over every 1024 samples;
+        adaptive cuts must still land on those boundaries."""
+        engine = AESTimingEngine(make_setup("tscache"))
+        plan = engine.shard_plan(
+            16_384, 6, ShardPolicy.adaptive(min_block=100, growth=2.0)
+        )
+        allowed = {s for s, _ in engine.collection_blocks(16_384)}
+        for shard in plan:
+            assert shard.start in allowed or shard.start == 0
 
     def test_blocks_tile_budget(self):
         engine = AESTimingEngine(make_setup("tscache"))
