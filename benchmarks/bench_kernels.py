@@ -1,0 +1,190 @@
+"""Scalar vs. vector trial-kernel throughput, tracked in BENCH_kernels.json.
+
+Measures the batched NumPy trial kernels (:mod:`repro.kernels`)
+against the scalar per-trial loop on the contention-attack hot path,
+building each attack exactly the way a campaign cell does (same specs,
+same per-trial seed hooks).  Every measured pair is also asserted
+bit-identical — a benchmark that drifted from the scalar semantics
+would fail, not report a bogus speedup.
+
+Results go three places:
+
+* a titled block through the shared bench reporting
+  (``benchmarks/results.txt``);
+* machine-readable ``BENCH_kernels.json`` at the repo root — the
+  tracked perf trajectory, refreshed whenever the kernels change;
+* the exit code, when ``--check-floor X`` is given: nonzero if the
+  best in-envelope speedup falls below ``X`` (the CI perf gate).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --check-floor 2.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from repro.campaigns import ExperimentSpec
+from repro.campaigns.experiments import (
+    _contention_attack,
+    _contention_seeder,
+    resolve_contention_kernel,
+)
+from benchmarks.reporting import emit
+
+DEFAULT_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_kernels.json")
+
+#: The measured grid: campaign-shaped contention cells.  The
+#: "deterministic" setups are the acceptance targets (pure LRU, fully
+#: inside the vector envelope); the "tscache" setups add the
+#: per-trial per-process seed hook, with replacement pinned to LRU so
+#: they stay in-envelope (stock TSCache pairs random placement with
+#: random replacement, whose draw sequencing forces the scalar path —
+#: that escape hatch is exercised by the golden suite, not timed
+#: here).  Trial budgets are sized so the batched kernel's fixed
+#: per-block overhead amortizes the way real campaign blocks do.
+SETUPS = (
+    ("prime_probe", "deterministic", (), 256),
+    ("prime_probe", "tscache", (("replacement", "lru"),), 256),
+    ("evict_time", "deterministic", (), 96),
+    ("evict_time", "tscache", (("replacement", "lru"),), 96),
+)
+
+
+def _bench_spec(kind, setup, params, trials) -> ExperimentSpec:
+    return ExperimentSpec(
+        kind=kind, setup=setup, num_samples=trials, seed=2018,
+        params=params,
+    )
+
+
+def _time_block(attack, trials, seeder, repeats: int) -> tuple:
+    """(best seconds, correct count) for one full trial block."""
+    best = float("inf")
+    correct = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        block = attack.run_block(0, trials, trials, seeder)
+        best = min(best, time.perf_counter() - started)
+        if correct is None:
+            correct = block.correct
+        elif correct != block.correct:
+            raise AssertionError("non-deterministic trial block")
+    return best, correct
+
+
+def run_benchmark(trials_scale: float = 1.0, repeats: int = 3) -> dict:
+    """Measure every setup; returns the BENCH_kernels.json document."""
+    rows = []
+    for kind, setup, params, base_trials in SETUPS:
+        trials = max(8, int(base_trials * trials_scale))
+        spec = _bench_spec(kind, setup, params, trials)
+        seeder = _contention_seeder(spec)
+        resolved = resolve_contention_kernel(spec)
+        scalar = _contention_attack(spec.with_params(kernel="scalar"))
+        vector = _contention_attack(spec.with_params(kernel="vector"))
+        scalar_s, scalar_correct = _time_block(
+            scalar, trials, seeder, repeats
+        )
+        vector_s, vector_correct = _time_block(
+            vector, trials, seeder, repeats
+        )
+        if scalar_correct != vector_correct:
+            raise AssertionError(
+                f"{kind}/{setup}: vector kernel diverged from scalar "
+                f"({vector_correct} vs {scalar_correct} correct)"
+            )
+        rows.append({
+            "kind": kind,
+            "setup": setup,
+            "params": [list(item) for item in params],
+            "trials": trials,
+            "resolved_kernel": resolved,
+            "correct": scalar_correct,
+            "scalar_s": round(scalar_s, 5),
+            "vector_s": round(vector_s, 5),
+            "scalar_trials_per_s": round(trials / scalar_s, 1),
+            "vector_trials_per_s": round(trials / vector_s, 1),
+            "speedup": round(scalar_s / vector_s, 2),
+        })
+    return {
+        "bench": "kernels",
+        "schema": 1,
+        "repeats": repeats,
+        "setups": rows,
+        "max_speedup": max(row["speedup"] for row in rows),
+    }
+
+
+def report(doc: dict) -> None:
+    lines = []
+    for row in doc["setups"]:
+        extra = (
+            " " + ",".join(f"{k}={v}" for k, v in row["params"])
+            if row["params"] else ""
+        )
+        lines.append(
+            f"{row['kind']}/{row['setup']}{extra}: "
+            f"{row['trials']} trials, "
+            f"scalar {row['scalar_trials_per_s']:.0f}/s, "
+            f"vector {row['vector_trials_per_s']:.0f}/s "
+            f"(speedup {row['speedup']:.2f}x, "
+            f"correct={row['correct']}, kernel={row['resolved_kernel']})"
+        )
+    lines.append(f"max speedup: {doc['max_speedup']:.2f}x")
+    emit("Trial kernels: scalar vs vector throughput", lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=DEFAULT_JSON_PATH, metavar="PATH",
+        help="where to write the machine-readable results "
+             "(default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--trials-scale", type=float, default=1.0, metavar="X",
+        help="multiply every setup's trial budget by X",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per (setup, kernel); best-of wins",
+    )
+    parser.add_argument(
+        "--check-floor", type=float, default=None, metavar="X",
+        help="exit nonzero unless the best speedup reaches X "
+             "(conservative CI gate; kept well under the tracked "
+             "numbers so runner jitter never flakes the build)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_benchmark(trials_scale=args.trials_scale,
+                        repeats=args.repeats)
+    report(doc)
+    with open(args.json, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+
+    if args.check_floor is not None and doc["max_speedup"] < args.check_floor:
+        print(
+            f"FAIL: max speedup {doc['max_speedup']:.2f}x below the "
+            f"{args.check_floor:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

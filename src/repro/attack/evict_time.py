@@ -55,14 +55,25 @@ class EvictTimeAttack(TrialAttack):
         attacker_base: int = 0x0A00_0000,
         miss_penalty: int = 10,
         seed: SeedLike = None,
+        kernel: str = "auto",
     ) -> None:
-        super().__init__(num_entries=num_entries, seed=seed)
+        super().__init__(num_entries=num_entries, seed=seed, kernel=kernel)
         self.cache_factory = cache_factory
         self.table_base = table_base
         self.victim_pid = victim_pid
         self.attacker_pid = attacker_pid
         self.attacker_base = attacker_base
         self.miss_penalty = miss_penalty
+
+    def _run_block_vector(
+        self,
+        start: int,
+        end: int,
+        seed_victim: Optional[SeedVictimFn] = None,
+    ) -> Optional[int]:
+        from repro.kernels.trials import run_evict_time_block
+
+        return run_evict_time_block(self, start, end, seed_victim)
 
     # -- building blocks ---------------------------------------------------
 

@@ -56,13 +56,24 @@ class PrimeProbeAttack(TrialAttack):
         attacker_pid: int = 2,
         attacker_base: int = 0x0900_0000,
         seed: SeedLike = None,
+        kernel: str = "auto",
     ) -> None:
-        super().__init__(num_entries=num_entries, seed=seed)
+        super().__init__(num_entries=num_entries, seed=seed, kernel=kernel)
         self.cache_factory = cache_factory
         self.table_base = table_base
         self.victim_pid = victim_pid
         self.attacker_pid = attacker_pid
         self.attacker_base = attacker_base
+
+    def _run_block_vector(
+        self,
+        start: int,
+        end: int,
+        seed_victim: Optional[SeedVictimFn] = None,
+    ) -> Optional[int]:
+        from repro.kernels.trials import run_prime_probe_block
+
+        return run_prime_probe_block(self, start, end, seed_victim)
 
     # -- attack phases ---------------------------------------------------
 

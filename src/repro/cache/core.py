@@ -180,6 +180,12 @@ class SetAssociativeCache:
             for _ in range(geometry.num_sets)
         ]
         self._protected_ranges: List[tuple] = []
+        #: ``(line, seed) -> set`` memo for :meth:`lookup_set` — the
+        #: mapping is a pure function of that pair, and the hot loops
+        #: (prime/probe sweeps, background replays) re-map the same few
+        #: hundred lines per seed over and over.  Bounded so adversarial
+        #: address streams degrade to recomputes, not unbounded growth.
+        self._set_memo: Dict[tuple, int] = {}
 
     # -- seed control ------------------------------------------------------
 
@@ -205,9 +211,16 @@ class SetAssociativeCache:
 
     def lookup_set(self, access: MemoryAccess) -> int:
         """Set an access maps to under the current seed of its pid."""
-        decoded = self.layout.decode(access.address)
         seed = self.seeds.seed_for(access.pid)
-        return self.placement.map_set(decoded.tag, decoded.index, seed)
+        key = (access.address >> self.layout.offset_bits, seed)
+        cached = self._set_memo.get(key)
+        if cached is not None:
+            return cached
+        decoded = self.layout.decode(access.address)
+        result = self.placement.map_set(decoded.tag, decoded.index, seed)
+        if len(self._set_memo) < 65536:
+            self._set_memo[key] = result
+        return result
 
     def probe(self, access: MemoryAccess) -> bool:
         """Non-destructive hit check (no state update, no stats)."""

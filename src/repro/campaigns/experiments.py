@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.attack.trials import KERNEL_CHOICES
 from repro.campaigns.registry import register_experiment
 from repro.campaigns.spec import ExperimentSpec
 from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
@@ -58,6 +59,7 @@ from repro.cache.placement import make_placement
 from repro.cache.replacement import make_replacement
 from repro.core.batch import (
     AESTimingEngine,
+    EngineConfig,
     Shard,
     ShardPlan,
     ShardPolicy,
@@ -127,6 +129,39 @@ def _key_param(spec: ExperimentSpec, name: str) -> Optional[bytes]:
     return key
 
 
+def _spec_kernel(spec: ExperimentSpec) -> str:
+    """The cell's requested execution kernel (an execution hint).
+
+    ``kernel`` is an :data:`~repro.campaigns.spec.EXECUTION_PARAMS`
+    member: it selects how the cell computes, never what — results are
+    bit-identical across kernels, and the param is excluded from the
+    spec's identity (cache key and seed stream).
+    """
+    kernel = str(spec.param("kernel", "auto"))
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
+        )
+    return kernel
+
+
+def resolve_engine_kernel(spec: ExperimentSpec) -> str:
+    """The AES timing engine is natively vectorized (NumPy batches,
+    no scalar path), so every engine-backed cell runs "vector"
+    regardless of the hint — which is still validated so ``--dry-run``
+    rejects a typo before dispatch."""
+    _spec_kernel(spec)
+    return "vector"
+
+
+def resolve_scalar_kernel(spec: ExperimentSpec) -> str:
+    """Kinds that replay traces through the scalar cache models one
+    access at a time (pwcet, missrate) have no batched path: the exact
+    replacement-state sequencing *is* the experiment."""
+    _spec_kernel(spec)
+    return "scalar"
+
+
 # -- bernstein --------------------------------------------------------------
 
 def _summarize_bernstein(spec: ExperimentSpec, payload: Any) -> Dict[str, Any]:
@@ -159,6 +194,7 @@ def _bernstein_study(spec: ExperimentSpec):
         resolve_setup(spec),
         num_samples=spec.num_samples,
         background=resolve_background(spec),
+        engine_config=EngineConfig(kernel=_spec_kernel(spec)),
         rng_seed=spec.seed_sequence(),
     )
 
@@ -234,6 +270,7 @@ def merge_bernstein_partial(
     run_shard=run_bernstein_shard,
     merge_shards=merge_bernstein_shards,
     merge_partial=merge_bernstein_partial,
+    resolve_kernel=resolve_engine_kernel,
 )
 def run_bernstein(spec: ExperimentSpec):
     """One Figure 5 panel: the correlation attack against one setup.
@@ -266,6 +303,7 @@ def _timing_engine(spec: ExperimentSpec) -> AESTimingEngine:
     return AESTimingEngine(
         resolve_setup(spec),
         background=resolve_background(spec),
+        config=EngineConfig(kernel=_spec_kernel(spec)),
         rng=spec.rng(),
     )
 
@@ -309,6 +347,7 @@ def merge_timing_partial(
     run_shard=run_timing_shard,
     merge_shards=merge_timing_shards,
     merge_partial=merge_timing_partial,
+    resolve_kernel=resolve_engine_kernel,
 )
 def run_timing_samples(spec: ExperimentSpec) -> TimingSamples:
     """Raw one-party timing collection (Figure 4 substrate).
@@ -435,6 +474,7 @@ def merge_pwcet_partial(
     run_shard=run_pwcet_shard,
     merge_shards=merge_pwcet_shards,
     merge_partial=merge_pwcet_partial,
+    resolve_kernel=resolve_scalar_kernel,
 )
 def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
     """MBPTA collection + analysis on one setup (``num_samples`` runs).
@@ -607,10 +647,30 @@ def _contention_attack(spec: ExperimentSpec):
         victim_pid=int(spec.param("victim_pid", 1)),
         attacker_pid=int(spec.param("attacker_pid", 2)),
         seed=spec.seed_sequence(),
+        kernel=_spec_kernel(spec),
     )
     if spec.kind == "evict_time":
         kwargs["miss_penalty"] = int(spec.param("miss_penalty", 10))
     return cls(**kwargs)
+
+
+def resolve_contention_kernel(spec: ExperimentSpec) -> str:
+    """The kernel a contention cell will actually execute on.
+
+    Resolves the spec's hint against the vector envelope by probing a
+    freshly-built cache with the *same* capability check the attack
+    applies per block ("auto"/"vector" silently fall back to scalar
+    outside it — e.g. rpcache, random replacement, wide hashRP)."""
+    kernel = _spec_kernel(spec)
+    if kernel == "scalar":
+        return "scalar"
+    from repro.kernels.trials import supports_vector_cache
+
+    return (
+        "vector"
+        if supports_vector_cache(_contention_cache_factory(spec)())
+        else "scalar"
+    )
 
 
 def _summarize_contention(spec: ExperimentSpec, payload) -> Dict[str, Any]:
@@ -729,6 +789,7 @@ def contention_stop_rule(spec: ExperimentSpec) -> str:
     merge_partial=merge_contention_partial,
     should_stop=contention_should_stop,
     stop_rule=contention_stop_rule,
+    resolve_kernel=resolve_contention_kernel,
 )
 def run_prime_probe(spec: ExperimentSpec):
     """Prime+Probe guessing accuracy on one cache configuration.
@@ -755,6 +816,7 @@ def run_prime_probe(spec: ExperimentSpec):
     merge_partial=merge_contention_partial,
     should_stop=contention_should_stop,
     stop_rule=contention_stop_rule,
+    resolve_kernel=resolve_contention_kernel,
 )
 def run_evict_time(spec: ExperimentSpec):
     """Evict+Time guessing accuracy on one cache configuration.
@@ -806,7 +868,11 @@ def _summarize_missrate(
     }
 
 
-@register_experiment("missrate", summarize=_summarize_missrate)
+@register_experiment(
+    "missrate",
+    summarize=_summarize_missrate,
+    resolve_kernel=resolve_scalar_kernel,
+)
 def run_missrate(spec: ExperimentSpec) -> MissRatePayload:
     """Miss rate of one placement policy on one synthetic workload.
 

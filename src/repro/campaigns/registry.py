@@ -29,6 +29,7 @@ MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 MergePartialFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 ShouldStopFn = Callable[[ExperimentSpec, Any], bool]
 StopRuleFn = Callable[[ExperimentSpec], str]
+ResolveKernelFn = Callable[[ExperimentSpec], str]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,12 @@ class ExperimentKind:
     #: Optional human-readable description of the stopping rule for
     #: one spec (test kind, thresholds) — surfaced by ``--dry-run``.
     stop_rule: Optional[StopRuleFn] = None
+    #: Optional: which execution kernel ("vector"/"scalar") the cell
+    #: will actually run on, after resolving the spec's ``kernel``
+    #: param against the kind's capabilities — surfaced by
+    #: ``--dry-run`` so a mis-resolved "auto" is visible before
+    #: dispatch.  Purely informational: kernels never change results.
+    resolve_kernel: Optional[ResolveKernelFn] = None
 
     @property
     def shardable(self) -> bool:
@@ -111,6 +118,7 @@ def register_experiment(
     merge_partial: Optional[MergePartialFn] = None,
     should_stop: Optional[ShouldStopFn] = None,
     stop_rule: Optional[StopRuleFn] = None,
+    resolve_kernel: Optional[ResolveKernelFn] = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering ``fn`` as the runner for kind ``name``."""
 
@@ -127,6 +135,7 @@ def register_experiment(
             merge_partial=merge_partial,
             should_stop=should_stop,
             stop_rule=stop_rule,
+            resolve_kernel=resolve_kernel,
         )
         return fn
 

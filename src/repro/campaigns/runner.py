@@ -536,6 +536,11 @@ class CellPlan:
     #: Shard-geometry label (the runner's :class:`ShardPolicy`) for
     #: sharded cells; None when the cell runs whole.
     geometry: Optional[str] = None
+    #: The execution kernel ("vector"/"scalar") the cell resolves to
+    #: — the kind's ``resolve_kernel`` verdict on the spec's ``kernel``
+    #: hint; None when the kind does not report one.  Informational:
+    #: kernels change throughput, never payloads.
+    kernel: Optional[str] = None
 
     @property
     def num_shards(self) -> int:
@@ -683,6 +688,11 @@ class CampaignRunner:
                     if _plan_hook_accepts_policy(kind.plan_shards)
                     else "kind-defined"
                 )
+            kernel = (
+                kind.resolve_kernel(spec)
+                if kind.resolve_kernel is not None
+                else None
+            )
             plans.append(CellPlan(
                 spec=spec,
                 cached=cached,
@@ -690,6 +700,7 @@ class CampaignRunner:
                 shards_cached=shards_cached,
                 stop_rule=stop_rule,
                 geometry=geometry,
+                kernel=kernel,
             ))
         return plans
 

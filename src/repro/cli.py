@@ -31,9 +31,12 @@ Commands
     adaptive geometry (``--shard-policy``; results bit-identical in
     every mode) — and emit a table or JSON.  Progress/ETA lines (with
     shard ranges and, on the work queue, a live worker count) stream
-    to stderr as cells and shards finish; ``--dry-run`` prints the
-    plan (cells, shard geometry/ranges, cache-hit status, stopping
-    rules) without executing anything.  ``--early-stop`` lets kinds
+    to stderr as cells and shards finish; ``--kernel`` selects the
+    trial-execution kernel (``auto``/``vector`` = batched NumPy
+    kernels with scalar fallback, ``scalar`` = the per-trial loop;
+    results bit-identical either way); ``--dry-run`` prints the
+    plan (cells, shard geometry/ranges, resolved kernels, cache-hit
+    status, stopping rules) without executing anything.  ``--early-stop`` lets kinds
     with a ``should_stop`` hook (the contention attacks' sequential
     leak test) cancel a cell's remaining shards once its verdict is
     decided — with ``--shard-policy adaptive`` the verdict lands after
@@ -216,13 +219,14 @@ def _cmd_dry_run(runner, specs, name: str) -> int:
             cell_plan.spec.cell_id,
             cell_plan.num_shards,
             cell_plan.geometry or "-",
+            cell_plan.kernel or "-",
             shards,
             status,
             cell_plan.stop_rule or "-",
         ])
     print(format_table(
-        ["cell", "shards", "geometry", "shard ranges", "status",
-         "early stop"],
+        ["cell", "shards", "geometry", "kernel", "shard ranges",
+         "status", "early stop"],
         rows,
     ))
     print(
@@ -283,6 +287,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     specs = build_campaign(
         args.name, num_samples=args.samples, seed=args.seed
     )
+    if args.kernel is not None:
+        # An execution hint, not part of any cell's identity: cache
+        # keys and seed streams are unchanged, so a --kernel run hits
+        # (and produces) the same cached results as any other.
+        specs = [spec.with_params(kernel=args.kernel) for spec in specs]
 
     # Validate the shard geometry and elastic-pool bounds before any
     # backend spawns workers — a bad flag must exit cleanly, not leak
@@ -578,9 +587,22 @@ def build_parser() -> argparse.ArgumentParser:
                                "(each finishes its lease) once the "
                                "queue drains; replaces the fixed "
                                "--workers pool")
+    campaign.add_argument("--kernel", default=None,
+                          choices=("auto", "vector", "scalar"),
+                          help="trial-execution kernel for every cell: "
+                               "'auto'/'vector' run whole trial blocks "
+                               "through the batched NumPy kernels "
+                               "where the cache model supports it "
+                               "(falling back to the scalar loop "
+                               "otherwise), 'scalar' forces the "
+                               "per-trial loop; results are "
+                               "bit-identical either way — see the "
+                               "kernel column of --dry-run for what "
+                               "each cell resolves to")
     campaign.add_argument("--dry-run", action="store_true",
-                          help="print the planned cells, shard ranges "
-                               "and cache-hit status, executing nothing")
+                          help="print the planned cells, shard ranges, "
+                               "resolved kernels and cache-hit status, "
+                               "executing nothing")
     campaign.add_argument("--stream-partials", action="store_true",
                           help="stream incremental merged results "
                                "(attack/pWCET previews) as each cell's "

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -481,6 +481,17 @@ class ColdLineModel:
         self.table_base = table_base
         self.geometry = geometry
         self.layout = geometry.layout()
+        #: Epoch states are pure functions of their seed tuple, and the
+        #: engine re-requests the same tuple once per RNG block within
+        #: a realisation — memoizing turns the repeated scalar cache
+        #: replays into dictionary hits.  Entries are small (two
+        #: NUM_TABLE_LINES arrays) and epochs per cell are few, but the
+        #: memo is bounded anyway so a pathological caller cannot grow
+        #: it without limit.
+        self._epoch_memo: Dict[
+            Tuple[int, int, bool, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._interference_memo: Dict[Tuple[int, int], int] = {}
 
     # -- cache construction -------------------------------------------------
 
@@ -532,7 +543,17 @@ class ColdLineModel:
         noise model).  With random replacement, ``replacement_seed``
         selects one realisation of the eviction choices — callers
         resample it periodically to model the per-interval variation.
+        States are memoized per seed tuple; the returned arrays are
+        shared and read-only — copy before mutating.
         """
+        if self.setup.l1_replacement != "random":
+            # The replacement seed never reaches a deterministic
+            # cache, so resampled values must all hit the same entry.
+            replacement_seed = 0
+        key = (victim_seed, other_seed, include_other, replacement_seed)
+        memo = self._epoch_memo.get(key)
+        if memo is not None:
+            return memo
         cache = self._build_cache(victim_seed, other_seed, replacement_seed)
         addresses = self._table_line_addresses()
         # Warm-up: two passes so LRU order is the table-id order.
@@ -559,6 +580,12 @@ class ColdLineModel:
             ],
             dtype=np.int64,
         )
+        # Shared across callers: freeze so a stray in-place edit
+        # cannot corrupt every later hit.
+        cold.flags.writeable = False
+        line_set.flags.writeable = False
+        if len(self._epoch_memo) < 4096:
+            self._epoch_memo[key] = (cold, line_set)
         return cold, line_set
 
     def estimate_interference_events(self, victim_seed: int,
@@ -571,6 +598,10 @@ class ColdLineModel:
         """
         if self.setup.l1_policy != "rpcache":
             return 0
+        key = (victim_seed, other_seed)
+        cached = self._interference_memo.get(key)
+        if cached is not None:
+            return cached
         cache = self._build_cache(victim_seed, other_seed)
         assert isinstance(cache, RPCache)
         addresses = self._table_line_addresses()
@@ -583,7 +614,10 @@ class ColdLineModel:
                 cache.access(access)
             for access in self.background.other_process_trace(OTHER_PID):
                 cache.access(access)
-        return cache.randomized_evictions - before
+        events = cache.randomized_evictions - before
+        if len(self._interference_memo) < 4096:
+            self._interference_memo[key] = events
+        return events
 
 
 @dataclass
@@ -607,6 +641,21 @@ class EngineConfig:
     #: natural epoch/realisation boundaries, at slightly more stream
     #: setup overhead.
     shard_block: int = 1024
+    #: Execution-kernel selection ("auto"/"vector"/"scalar"), the
+    #: campaign layer's uniform seam (see
+    #: :data:`repro.attack.trials.KERNEL_CHOICES`).  This engine is
+    #: natively vectorized — it has no scalar path to select — so the
+    #: field never changes its behaviour or results; it exists so one
+    #: ``--kernel`` choice threads through every experiment kind and
+    #: ``--dry-run`` can report what each cell resolves it to.
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("auto", "vector", "scalar"):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from "
+                "('auto', 'vector', 'scalar')"
+            )
 
     @property
     def rng_block(self) -> int:

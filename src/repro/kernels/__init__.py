@@ -1,0 +1,47 @@
+"""repro.kernels — NumPy array-of-state batch kernels for the hot path.
+
+The campaign engine's orchestration layer (backends, shards, streaming
+merges) was already parallel; this package attacks the remaining
+multiplier, the per-access Python inner loop, by simulating all trials
+of a block as arrays of cache state:
+
+* :mod:`repro.kernels.placement` — vectorized batch set-index
+  computation for every scalar placement policy (modulo, xor_index,
+  hashRP, Random Modulo including its Benes routing), bit-identical
+  to ``map_set``.
+* :mod:`repro.kernels.cache` — :class:`VectorCacheBatch`, ``T``
+  independent set-associative LRU caches as ``(T, sets, ways)``
+  matrices with batched probe and vectorized LRU victim selection.
+* :mod:`repro.kernels.trials` — whole Prime+Probe / Evict+Time trial
+  blocks as a few dozen batched access steps, plus the capability
+  probe behind the ``auto`` kernel choice.
+
+Everything the kernel cannot reproduce exactly — random replacement's
+sequential PRNG draws, RPCache's interference redirection, protected
+ranges — falls back to the scalar path (``kernel="auto"`` semantics);
+results are bit-identical either way, only throughput differs.
+"""
+
+from repro.kernels.cache import VectorCacheBatch
+from repro.kernels.placement import (
+    VectorPlacement,
+    hash64_vec,
+    splitmix64_step_vec,
+    vector_placement,
+)
+from repro.kernels.trials import (
+    run_evict_time_block,
+    run_prime_probe_block,
+    supports_vector_cache,
+)
+
+__all__ = [
+    "VectorCacheBatch",
+    "VectorPlacement",
+    "hash64_vec",
+    "run_evict_time_block",
+    "run_prime_probe_block",
+    "splitmix64_step_vec",
+    "supports_vector_cache",
+    "vector_placement",
+]

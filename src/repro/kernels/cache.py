@@ -1,0 +1,207 @@
+"""Array-of-state set-associative cache batch.
+
+:class:`VectorCacheBatch` simulates ``T`` *independent* caches — one
+per trial — as ``(T, num_sets, num_ways)`` NumPy arrays, advancing all
+of them by one access per step.  It reproduces the scalar
+:class:`repro.cache.core.SetAssociativeCache` with LRU replacement
+bit for bit:
+
+* hit detection compares full line addresses, so there is never a
+  false hit (tags store the whole line address, as in the scalar
+  core);
+* on a miss the fill claims the first invalid way in way order —
+  exactly the scalar ``_choose_victim`` scan;
+* with all ways valid the victim is the way with the smallest
+  last-touch stamp.  This equals the scalar LRU recency stack because
+  ``victim_way`` is only ever consulted once every way is valid, by
+  which point every way has been touched (each fill touches), so the
+  stamps are distinct and total-order the ways by recency.
+
+Seeds follow the scalar :class:`~repro.cache.core.SeedRegister`
+semantics: one global seed per trial plus per-pid overrides, resolved
+at lookup time.
+
+What this kernel deliberately does **not** model — dirty bits, store
+accounting, protected ranges, non-LRU replacement, RPCache's
+interference redirection — is exactly what the capability probe in
+:mod:`repro.kernels.trials` checks before selecting the vector path;
+anything outside the envelope falls back to the scalar cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.core import CacheGeometry, SeedRegister
+from repro.common.bitops import mask
+from repro.kernels.placement import VectorPlacement
+
+_M64 = mask(64)
+
+
+class VectorCacheBatch:
+    """``num_trials`` independent caches stepped in lock-step."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        placement: VectorPlacement,
+        num_trials: int,
+    ) -> None:
+        if num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        self.geometry = geometry
+        self.placement = placement
+        self.num_trials = num_trials
+        layout = geometry.layout()
+        self._offset_bits = layout.offset_bits
+        self._index_bits = layout.index_bits
+        self._index_mask = mask(layout.index_bits)
+        self._offset_mask = mask(layout.offset_bits)
+        shape = (num_trials, geometry.num_sets, geometry.num_ways)
+        self.valid = np.zeros(shape, dtype=bool)
+        self.line_addr = np.zeros(shape, dtype=np.int64)
+        self.last_touch = np.zeros(shape, dtype=np.int64)
+        self._stamp = 0
+        self._rows = np.arange(num_trials)
+        self._global_seed = np.zeros(num_trials, dtype=np.uint64)
+        #: pid -> (values, set_mask); unset entries fall back to the
+        #: trial's global seed at lookup time (SeedRegister semantics).
+        self._pid_seeds: Dict[int, tuple] = {}
+
+    # -- seed register -----------------------------------------------------
+
+    def init_seeds(self, register: SeedRegister) -> None:
+        """Give every trial the register state of a fresh scalar cache."""
+        self._global_seed[:] = np.uint64(register.global_seed & _M64)
+        self._pid_seeds.clear()
+        for pid, seed in register.per_pid.items():
+            values = np.full(self.num_trials, np.uint64(seed & _M64))
+            self._pid_seeds[pid] = (values, np.ones(self.num_trials, bool))
+
+    def set_seed(self, trial: int, seed: int, pid: Optional[int] = None) -> None:
+        """Scalar ``cache.set_seed`` for one trial of the batch."""
+        if pid is None:
+            self._global_seed[trial] = np.uint64(seed & _M64)
+            return
+        entry = self._pid_seeds.get(pid)
+        if entry is None:
+            entry = (
+                np.zeros(self.num_trials, dtype=np.uint64),
+                np.zeros(self.num_trials, dtype=bool),
+            )
+            self._pid_seeds[pid] = entry
+        values, set_mask = entry
+        values[trial] = np.uint64(seed & _M64)
+        set_mask[trial] = True
+
+    def seeds_for(self, pid: int) -> np.ndarray:
+        """Per-trial effective seed of ``pid`` (uint64, shape (T,))."""
+        entry = self._pid_seeds.get(pid)
+        if entry is None:
+            return self._global_seed
+        values, set_mask = entry
+        return np.where(set_mask, values, self._global_seed)
+
+    # -- address math ------------------------------------------------------
+
+    def _fields(self, addresses):
+        addr = np.asarray(addresses, dtype=np.int64)
+        lines = addr & ~np.int64(self._offset_mask)
+        u = addr.astype(np.uint64)
+        indices = (u >> np.uint64(self._offset_bits)) & np.uint64(
+            self._index_mask
+        )
+        tags = u >> np.uint64(self._offset_bits + self._index_bits)
+        return lines, tags, indices
+
+    def map_sets(self, addresses, pid: int, per_trial: bool = False) -> np.ndarray:
+        """Set index of each address under each trial's ``pid`` seed.
+
+        With ``per_trial=False``, ``(A,)`` addresses yield ``(T, A)``
+        (every trial maps every address); with ``per_trial=True``,
+        ``addresses`` must be ``(T,)`` — one address per trial — and
+        the result is ``(T,)``.
+        """
+        _, tags, indices = self._fields(addresses)
+        seeds = self.seeds_for(pid)
+        if per_trial:
+            if tags.shape != (self.num_trials,):
+                raise ValueError("per_trial=True needs one address per trial")
+            return self.placement.map_sets(tags, indices, seeds)
+        return self.placement.map_sets(
+            tags[None, :], indices[None, :], seeds[:, None]
+        )
+
+    # -- the access step ---------------------------------------------------
+
+    def access(
+        self,
+        addresses,
+        pid: int,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One access per trial (scalar address = same line everywhere).
+
+        Returns the per-trial hit mask.  ``active`` limits the step to
+        a subset of trials; inactive trials are untouched and report
+        False.
+        """
+        addresses = np.broadcast_to(
+            np.asarray(addresses, dtype=np.int64), (self.num_trials,)
+        )
+        lines, tags, indices = self._fields(addresses)
+        sets = self.placement.map_sets(tags, indices, self.seeds_for(pid))
+        rows = self._rows
+        set_valid = self.valid[rows, sets]  # (T, W) gather
+        set_lines = self.line_addr[rows, sets]
+        match = set_valid & (set_lines == lines[:, None])
+        hit = match.any(axis=1)
+        hit_way = np.argmax(match, axis=1)
+        # Fill target: first invalid way in way order, else true LRU.
+        invalid = ~set_valid
+        first_invalid = np.argmax(invalid, axis=1)
+        lru_way = np.argmin(self.last_touch[rows, sets], axis=1)
+        fill_way = np.where(invalid.any(axis=1), first_invalid, lru_way)
+        way = np.where(hit, hit_way, fill_way)
+
+        if active is None:
+            touch_rows, touch_sets, touch_ways = rows, sets, way
+        else:
+            hit = hit & active
+            touch_rows = rows[active]
+            touch_sets = sets[active]
+            touch_ways = way[active]
+        self._stamp += 1
+        self.last_touch[touch_rows, touch_sets, touch_ways] = self._stamp
+
+        miss = ~hit if active is None else active & ~hit
+        if miss.any():
+            fr, fs, fw = rows[miss], sets[miss], way[miss]
+            self.valid[fr, fs, fw] = True
+            self.line_addr[fr, fs, fw] = lines[miss]
+        return hit
+
+    def probe_many(self, addresses, pid: int):
+        """Non-destructive hit check of ``(A,)`` addresses in all trials.
+
+        Returns ``(hits, sets)``, both ``(T, A)`` — the vectorized form
+        of the scalar probe loop plus its ``lookup_set`` calls.
+        """
+        lines, _, _ = self._fields(addresses)
+        sets = self.map_sets(addresses, pid)
+        rows = self._rows[:, None]
+        in_set = self.valid[rows, sets] & (
+            self.line_addr[rows, sets] == lines[None, :, None]
+        )
+        return in_set.any(axis=-1), sets
+
+    # -- inspection --------------------------------------------------------
+
+    def resident_lines(self, trial: int):
+        """Sorted resident line addresses of one trial (scalar parity)."""
+        return sorted(
+            int(v) for v in self.line_addr[trial][self.valid[trial]]
+        )

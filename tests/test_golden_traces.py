@@ -54,6 +54,15 @@ GOLDEN_SHARD_POLICY = os.environ.get("REPRO_GOLDEN_SHARD_POLICY", "even")
 #: ElasticSupervisor scaling 1..3 workers instead of a fixed pool.
 GOLDEN_ELASTIC = os.environ.get("REPRO_GOLDEN_ELASTIC", "") == "1"
 
+#: With REPRO_GOLDEN_KERNEL set ("vector"/"scalar"/"auto"), every
+#: contention cell runs under that trial-execution kernel — CI's
+#: vector pass is the acceptance proof that the batched NumPy kernels
+#: (:mod:`repro.kernels`) reproduce the frozen trial outcomes bit for
+#: bit on every backend and shard geometry.  The kernel is an
+#: execution hint: spec hashes and seed streams are unchanged, so the
+#: frozen GOLDEN_CONTENTION values apply verbatim.
+GOLDEN_KERNEL = os.environ.get("REPRO_GOLDEN_KERNEL", "")
+
 
 def golden_policy() -> ShardPolicy:
     if GOLDEN_SHARD_POLICY == "adaptive":
@@ -133,7 +142,7 @@ GOLDEN_CONTENTION = {
 
 
 def contention_specs():
-    return [
+    specs = [
         ExperimentSpec(
             kind=kind,
             setup=setup,
@@ -142,6 +151,9 @@ def contention_specs():
         )
         for (kind, setup), (trials, _) in sorted(GOLDEN_CONTENTION.items())
     ]
+    if GOLDEN_KERNEL:
+        specs = [spec.with_params(kernel=GOLDEN_KERNEL) for spec in specs]
+    return specs
 
 
 def sample_digest(samples) -> str:

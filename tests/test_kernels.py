@@ -1,0 +1,346 @@
+"""Scalar-vs-vector equivalence suite for :mod:`repro.kernels`.
+
+The batch kernels are only allowed to change throughput, never a
+single outcome.  This module pins that down property-style (seeded,
+shrink-free generators, as in ``test_cache_properties.py``):
+
+* every vectorized placement adapter reproduces its scalar policy's
+  ``map_set`` exactly, over random geometries, tags, indices and
+  seeds (broadcast shapes included);
+* :class:`~repro.kernels.cache.VectorCacheBatch` replays random
+  per-trial access traces with the same hit/miss sequence and the
+  same final resident lines as a bank of scalar LRU caches;
+* the batched Prime+Probe / Evict+Time executors return the exact
+  correct-guess counts of the scalar trial loop, with and without a
+  per-trial ``seed_victim`` hook, and independently of how a block is
+  tiled;
+* the capability probe refuses everything outside the envelope
+  (random replacement, RPCache, protected ranges, subclasses, wide
+  hashRP lines), so "auto" can never select an unfaithful kernel;
+* the ``kernel`` param is a pure execution hint — same ``spec_hash``,
+  same seed stream, same campaign payloads — and the frozen golden
+  contention outcomes reproduce with ``kernel=vector``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.attack.evict_time import EvictTimeAttack
+from repro.attack.prime_probe import PrimeProbeAttack
+from repro.cache.core import CacheGeometry, SetAssociativeCache
+from repro.cache.placement import make_placement
+from repro.cache.replacement import make_replacement
+from repro.cache.rpcache import RPCache
+from repro.campaigns import CampaignRunner, ExperimentSpec
+from repro.common.trace import MemoryAccess
+from repro.kernels import (
+    VectorCacheBatch,
+    supports_vector_cache,
+    vector_placement,
+)
+
+from test_cache_properties import (
+    GEOMETRIES,
+    PLACEMENTS,
+    random_cases,
+    stable_seed,
+)
+from test_golden_traces import GOLDEN_CONTENTION, contention_specs
+
+
+def build_lru_cache(geometry, policy_name):
+    return SetAssociativeCache(
+        geometry,
+        make_placement(policy_name, geometry.layout()),
+        make_replacement("lru", geometry.num_sets, geometry.num_ways),
+    )
+
+
+class TestVectorPlacementEquivalence:
+    @pytest.mark.parametrize("policy_name", PLACEMENTS)
+    @pytest.mark.parametrize("geometry", GEOMETRIES,
+                             ids=lambda g: f"{g.total_size}B/{g.num_ways}w")
+    def test_map_sets_matches_scalar(self, policy_name, geometry):
+        layout = geometry.layout()
+        policy = make_placement(policy_name, layout)
+        adapter = vector_placement(policy)
+        assert adapter is not None
+        for rng in random_cases(
+            seed=stable_seed("vec", policy_name, geometry.total_size),
+            count=10,
+        ):
+            tags = np.array(
+                [rng.getrandbits(layout.tag_bits) for _ in range(40)],
+                dtype=np.uint64,
+            )
+            indices = np.array(
+                [rng.randrange(geometry.num_sets) for _ in range(40)],
+                dtype=np.uint64,
+            )
+            seeds = np.array(
+                [rng.getrandbits(64) for _ in range(40)], dtype=np.uint64
+            )
+            got = adapter.map_sets(tags, indices, seeds)
+            expected = [
+                policy.map_set(int(t), int(i), int(s))
+                for t, i, s in zip(tags, indices, seeds)
+            ]
+            assert got.tolist() == expected
+
+    @pytest.mark.parametrize("policy_name", PLACEMENTS)
+    def test_broadcast_matches_pairwise(self, policy_name):
+        """(A,) addresses x (T,) seeds broadcast to the (T, A) grid of
+        scalar calls — the shape the cache kernel leans on."""
+        geometry = GEOMETRIES[0]
+        layout = geometry.layout()
+        policy = make_placement(policy_name, layout)
+        adapter = vector_placement(policy)
+        rng = random.Random(stable_seed("bcast", policy_name))
+        tags = np.array([rng.getrandbits(layout.tag_bits)
+                         for _ in range(6)], dtype=np.uint64)
+        indices = np.array([rng.randrange(geometry.num_sets)
+                            for _ in range(6)], dtype=np.uint64)
+        seeds = np.array([rng.getrandbits(64) for _ in range(5)],
+                         dtype=np.uint64)
+        grid = adapter.map_sets(
+            tags[None, :], indices[None, :], seeds[:, None]
+        )
+        assert grid.shape == (5, 6)
+        for t in range(5):
+            for a in range(6):
+                assert grid[t, a] == policy.map_set(
+                    int(tags[a]), int(indices[a]), int(seeds[t])
+                )
+
+
+class TestVectorCacheEquivalence:
+    @pytest.mark.parametrize("policy_name", PLACEMENTS)
+    @pytest.mark.parametrize("geometry", GEOMETRIES[:3],
+                             ids=lambda g: f"{g.total_size}B/{g.num_ways}w")
+    def test_trace_replay_bit_identical(self, policy_name, geometry):
+        """Same per-trial traces, same hit sequence, same final state."""
+        num_trials, steps = 8, 160
+        for rng in random_cases(
+            seed=stable_seed("trace", policy_name, geometry.total_size),
+            count=3,
+        ):
+            scalars = []
+            template = build_lru_cache(geometry, policy_name)
+            batch = VectorCacheBatch(
+                geometry, vector_placement(template.placement), num_trials
+            )
+            batch.init_seeds(template.seeds)
+            for trial in range(num_trials):
+                cache = build_lru_cache(geometry, policy_name)
+                for pid in (1, 2):
+                    seed = rng.getrandbits(32)
+                    cache.set_seed(seed, pid=pid)
+                    batch.set_seed(trial, seed, pid=pid)
+                scalars.append(cache)
+            lines = [rng.getrandbits(22) * geometry.line_size
+                     for _ in range(24)]
+            for _ in range(steps):
+                pid = rng.choice((1, 2))
+                addresses = np.array(
+                    [rng.choice(lines) for _ in range(num_trials)],
+                    dtype=np.int64,
+                )
+                got = batch.access(addresses, pid)
+                expected = [
+                    scalars[t].access(
+                        MemoryAccess(int(addresses[t]), pid=pid)
+                    ).hit
+                    for t in range(num_trials)
+                ]
+                assert got.tolist() == expected
+            for trial in range(num_trials):
+                assert (
+                    batch.resident_lines(trial)
+                    == scalars[trial].resident_lines()
+                )
+
+
+def contention_geometry():
+    return CacheGeometry(total_size=2048, num_ways=4, line_size=32)
+
+
+def make_attack(attack_cls, policy_name, seed=2018, **kwargs):
+    geometry = contention_geometry()
+
+    def factory():
+        return build_lru_cache(geometry, policy_name)
+
+    return attack_cls(cache_factory=factory, seed=seed, **kwargs)
+
+
+def per_trial_seeder(victim_pid=1, attacker_pid=2):
+    def seeder(cache, trial):
+        cache.set_seed(stable_seed("v", trial), pid=victim_pid)
+        cache.set_seed(stable_seed("a", trial), pid=attacker_pid)
+
+    return seeder
+
+
+class TestTrialBlockEquivalence:
+    @pytest.mark.parametrize("policy_name", PLACEMENTS)
+    @pytest.mark.parametrize("hooked", [False, True],
+                             ids=["fixed-seeds", "per-trial-seeds"])
+    def test_prime_probe_counts_match(self, policy_name, hooked):
+        seeder = per_trial_seeder() if hooked else None
+        vec = make_attack(PrimeProbeAttack, policy_name,
+                          num_entries=16, kernel="vector")
+        sca = make_attack(PrimeProbeAttack, policy_name,
+                          num_entries=16, kernel="scalar")
+        assert vec.run_block(0, 48, 48, seeder) \
+            == sca.run_block(0, 48, 48, seeder)
+
+    @pytest.mark.parametrize("policy_name", PLACEMENTS)
+    @pytest.mark.parametrize("hooked", [False, True],
+                             ids=["fixed-seeds", "per-trial-seeds"])
+    def test_evict_time_counts_match(self, policy_name, hooked):
+        seeder = per_trial_seeder() if hooked else None
+        vec = make_attack(EvictTimeAttack, policy_name,
+                          num_entries=8, kernel="vector")
+        sca = make_attack(EvictTimeAttack, policy_name,
+                          num_entries=8, kernel="scalar")
+        assert vec.run_block(0, 12, 12, seeder) \
+            == sca.run_block(0, 12, 12, seeder)
+
+    def test_block_tiling_is_invisible(self):
+        """Any block-aligned tiling sums to the whole-block count —
+        the property sharded campaigns rely on."""
+        attack = make_attack(PrimeProbeAttack, "random_modulo",
+                             num_entries=16, kernel="vector")
+        seeder = per_trial_seeder()
+        whole = attack.run_block(0, 40, 40, seeder).correct
+        tiled = sum(
+            attack.run_block(start, end, 40, seeder).correct
+            for start, end in ((0, 7), (7, 16), (16, 33), (33, 40))
+        )
+        assert whole == tiled
+
+
+class TestVectorEnvelope:
+    def test_lru_cache_is_inside(self):
+        assert supports_vector_cache(
+            build_lru_cache(contention_geometry(), "random_modulo")
+        )
+
+    def test_random_replacement_is_outside(self):
+        geometry = contention_geometry()
+        cache = SetAssociativeCache(
+            geometry,
+            make_placement("modulo", geometry.layout()),
+            make_replacement("random", geometry.num_sets,
+                             geometry.num_ways),
+        )
+        assert not supports_vector_cache(cache)
+
+    def test_rpcache_is_outside(self):
+        assert not supports_vector_cache(RPCache(contention_geometry()))
+
+    def test_protected_ranges_are_outside(self):
+        cache = build_lru_cache(contention_geometry(), "modulo")
+        cache.protect_range(0, 4096)
+        assert not supports_vector_cache(cache)
+
+    def test_subclass_is_outside(self):
+        geometry = contention_geometry()
+
+        class Widened(SetAssociativeCache):
+            pass
+
+        cache = Widened(
+            geometry,
+            make_placement("modulo", geometry.layout()),
+            make_replacement("lru", geometry.num_sets, geometry.num_ways),
+        )
+        assert not supports_vector_cache(cache)
+
+    def test_wide_hashrp_lines_have_no_vector_twin(self):
+        """line_bits > 32 would overflow uint64 shifts; the adapter
+        refuses and the escape hatch covers it."""
+        geometry = CacheGeometry(
+            total_size=2048, num_ways=4, line_size=32, address_bits=40
+        )
+        policy = make_placement("hashrp", geometry.layout())
+        assert vector_placement(policy) is None
+        cache = SetAssociativeCache(
+            geometry, policy,
+            make_replacement("lru", geometry.num_sets, geometry.num_ways),
+        )
+        assert not supports_vector_cache(cache)
+
+    def test_hook_needing_real_cache_falls_back(self):
+        """A seed_victim hook that touches more than set_seed pushes
+        the block to the scalar path — same counts, via run_trial."""
+        attack = make_attack(PrimeProbeAttack, "modulo",
+                             num_entries=16, kernel="vector")
+
+        def nosy_seeder(cache, trial):
+            cache.set_seed(trial, pid=1)
+            cache.flush()  # not part of the proxy surface
+
+        scalar = make_attack(PrimeProbeAttack, "modulo",
+                             num_entries=16, kernel="scalar")
+        assert attack._run_block_vector(0, 8, nosy_seeder) is None
+        assert attack.run_block(0, 8, 8, nosy_seeder) \
+            == scalar.run_block(0, 8, 8, nosy_seeder)
+
+
+class TestKernelSeam:
+    def test_kernel_param_does_not_change_identity(self):
+        base = ExperimentSpec(kind="prime_probe", setup="tscache",
+                              num_samples=64, seed=2018)
+        for kernel in ("auto", "vector", "scalar"):
+            spec = base.with_params(kernel=kernel)
+            assert spec.spec_hash() == base.spec_hash()
+            assert (
+                spec.seed_sequence().spawn_key
+                == base.seed_sequence().spawn_key
+            )
+        # ...but it still travels to workqueue workers via the doc.
+        doc = base.with_params(kernel="vector").to_doc()
+        assert ["kernel", "vector"] in doc["params"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            PrimeProbeAttack(cache_factory=lambda: None, kernel="simd")
+
+    def test_golden_contention_outcomes_on_vector_kernel(self):
+        """The frozen golden counts reproduce with kernel=vector —
+        serial cells, every setup (vector where the envelope allows,
+        documented scalar fallback elsewhere)."""
+        specs = [
+            spec.with_params(kernel="vector")
+            for spec in contention_specs()
+        ]
+        for cell in CampaignRunner().run(specs):
+            key = (cell.spec.kind, cell.spec.setup)
+            assert (
+                cell.payload.trials, cell.payload.correct
+            ) == GOLDEN_CONTENTION[key]
+
+    def test_dry_run_plan_reports_resolved_kernels(self):
+        runner = CampaignRunner()
+        specs = [
+            ExperimentSpec(kind="prime_probe", setup="deterministic",
+                           num_samples=8, seed=1,
+                           params={"kernel": "vector"}),
+            ExperimentSpec(kind="prime_probe", setup="deterministic",
+                           num_samples=8, seed=1,
+                           params={"kernel": "scalar"}),
+            # rpcache is outside the envelope: "auto" resolves scalar.
+            ExperimentSpec(kind="prime_probe", setup="rpcache",
+                           num_samples=8, seed=1),
+            ExperimentSpec(kind="missrate", seed=1,
+                           params={"policy": "modulo",
+                                   "workload": "stride"}),
+            ExperimentSpec(kind="timing_samples", setup="tscache",
+                           num_samples=1024, seed=1),
+        ]
+        kernels = [plan.kernel for plan in runner.plan(specs)]
+        assert kernels == ["vector", "scalar", "scalar", "scalar",
+                           "vector"]
