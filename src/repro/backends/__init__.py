@@ -12,6 +12,9 @@ across all of them.
 * :class:`WorkQueueBackend` — a filesystem work queue served by
   independent ``repro worker`` processes (same host or any host
   sharing the directory), with lease-based dead-worker recovery.
+* :class:`HttpQueueBackend` — the same queue served over HTTP by a
+  ``repro coordinator`` process (:class:`CoordinatorServer`), so
+  worker hosts need network reach instead of a shared filesystem.
 
 Quickstart::
 
@@ -32,23 +35,39 @@ from repro.backends.base import (
     WorkUnit,
     execute_unit,
 )
+from repro.backends.coordinator import (
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorWorkerLauncher,
+    HttpQueueBackend,
+    worker_loop_http,
+)
 from repro.backends.local import ProcessPoolBackend, SerialBackend
 from repro.backends.workqueue import (
     ElasticStats,
     ElasticSupervisor,
+    QueueWorkerLauncher,
+    WorkerLauncher,
     WorkQueueBackend,
     worker_loop,
 )
 
 __all__ = [
+    "CoordinatorClient",
+    "CoordinatorServer",
+    "CoordinatorWorkerLauncher",
     "ElasticStats",
     "ElasticSupervisor",
     "ExecutionBackend",
+    "HttpQueueBackend",
     "ProcessPoolBackend",
+    "QueueWorkerLauncher",
     "SerialBackend",
+    "WorkerLauncher",
     "WorkQueueBackend",
     "WorkResult",
     "WorkUnit",
     "execute_unit",
     "worker_loop",
+    "worker_loop_http",
 ]

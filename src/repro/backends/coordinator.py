@@ -1,0 +1,1302 @@
+"""HTTP coordinator: the filesystem work queue served over a network.
+
+The filesystem queue (:mod:`repro.backends.workqueue`) already has the
+right crash semantics — atomic document writes, rename-based claims,
+lease heartbeats, bounded re-enqueue — but it requires every worker to
+*mount the directory*.  This module lifts exactly those wire documents
+onto HTTP so a fleet of hosts can drain one campaign with no shared
+filesystem:
+
+* :class:`CoordinatorServer` — a stdlib ``ThreadingHTTPServer`` that
+  owns the queue directory and speaks the task/lease/result docs over
+  a small JSON API (``POST /claim``, ``PUT /heartbeat/<unit>``,
+  ``POST /result/<unit>``, ``GET /stats``, plus the dispatcher-side
+  endpoints below).  All state lives on disk in the same atomic queue
+  layout, so a coordinator that is SIGKILLed and restarted on the
+  same directory resumes the campaign mid-flight: leases keep aging,
+  results stay collectable, nothing is re-run that already finished.
+* :func:`worker_loop_http` — the ``repro worker --coordinator URL``
+  main loop: claim, execute, heartbeat, publish, entirely over HTTP.
+* :class:`HttpQueueBackend` — the dispatcher side: an
+  :class:`~repro.backends.base.ExecutionBackend` whose submit/poll/
+  collect/requeue/cancel primitives are HTTP calls against the
+  coordinator, mirroring :class:`WorkQueueBackend`'s recovery logic
+  (lease expiry re-enqueue bounded by ``max_attempts``,
+  collect-before-requeue, straggler sweeps).
+
+Failure semantics
+-----------------
+
+* **Connection errors** (coordinator restarting, network blip): every
+  client call retries with capped exponential backoff + jitter for up
+  to ``retry_timeout`` seconds, so a coordinator bounce is invisible
+  as long as it comes back within the budget.
+* **Worker death mid-upload**: a result ``POST`` is accepted only
+  when the request body arrives complete (exact ``Content-Length``
+  bytes); a short read writes nothing, the lease goes stale, and the
+  unit is re-enqueued like any other dead-worker case.
+* **Duplicate result posts**: a unit re-enqueued while its worker was
+  merely slow (not dead) can produce two posts.  Each post carries
+  the attempt id it executed; the coordinator accepts a result only
+  while the unit's current attempt matches, so the stale
+  predecessor's duplicate is detected and dropped.  Payloads are pure
+  functions of the wire doc, so whichever attempt lands is
+  bit-identical anyway — the guard exists so the predecessor cannot
+  release (or clobber) the *successor's* live lease.
+
+Everything here is standard library only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pickle
+import random
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.backends.base import (
+    ExecutionBackend,
+    WorkResult,
+    WorkUnit,
+)
+from repro.backends.workqueue import (
+    LEASES_DIR,
+    RESULTS_DIR,
+    TASKS_DIR,
+    WORKERS_DIR,
+    WorkerLauncher,
+    _claim_next,
+    _host_label,
+    _lease_path,
+    _log_tails,
+    _result_path,
+    _stop_path,
+    _stop_proc,
+    _task_path,
+    _worker_info_path,
+    _worker_stop_path,
+    ensure_queue_dirs,
+    quarantine_file,
+    run_unit_doc,
+)
+from repro.common.fsio import atomic_write_bytes
+
+DEFAULT_PORT = 8642
+
+
+# -- coordinator (server) ----------------------------------------------------
+
+
+class CoordinatorState:
+    """The handler-shared view of one queue directory.
+
+    One global lock serializes every mutating operation.  The queue's
+    file operations are individually atomic already; the lock buys the
+    *compound* guarantees the HTTP surface promises — e.g. the
+    result-post attempt check and the lease release happen as one
+    step, and a ``/requeue`` cannot interleave with the result landing
+    it is checking for.
+    """
+
+    def __init__(self, queue_dir: str, *, worker_fresh: float = 5.0) -> None:
+        self.queue_dir = queue_dir
+        #: Seconds within which a ``workers/<id>.json`` mtime counts
+        #: as a live idle worker for ``/stats`` (busy workers
+        #: advertise through their stamped lease instead).
+        self.worker_fresh = worker_fresh
+        self.lock = threading.Lock()
+        ensure_queue_dirs(queue_dir)
+
+    # Each helper below runs under ``self.lock`` (the handler takes
+    # it) and works purely against the on-disk queue, which is the
+    # whole crash-restart story: a restarted coordinator rebuilds its
+    # entire world from the directory.
+
+    def claim(self, worker_id: str, host: str) -> Dict[str, Any]:
+        info_path = _worker_info_path(self.queue_dir, worker_id)
+        if os.path.exists(_stop_path(self.queue_dir)):
+            self._forget_worker(worker_id)
+            return {"unit": None, "stop": True, "retire": False}
+        if os.path.exists(_worker_stop_path(self.queue_dir, worker_id)):
+            self._forget_worker(worker_id)
+            return {"unit": None, "stop": False, "retire": True}
+        # The claim poll doubles as the worker's idle liveness beat.
+        try:
+            os.utime(info_path)
+        except OSError:
+            atomic_write_bytes(
+                info_path,
+                json.dumps({
+                    "worker_id": worker_id,
+                    "host": host,
+                    "via": "coordinator",
+                    "started": time.time(),
+                }).encode(),
+            )
+        unit_id = _claim_next(self.queue_dir)
+        if unit_id is None:
+            return {"unit": None, "stop": False, "retire": False}
+        lease_path = _lease_path(self.queue_dir, unit_id)
+        try:
+            with open(lease_path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            # Claim raced a cancel (or the doc is torn): nothing to
+            # hand out this round.
+            return {"unit": None, "stop": False, "retire": False}
+        # Stamp ownership before the doc ever leaves the coordinator —
+        # HTTP claims have no unstamped window at all.
+        doc["worker"] = worker_id
+        doc["host"] = host
+        atomic_write_bytes(lease_path, json.dumps(doc).encode())
+        return {"unit": doc, "stop": False, "retire": False}
+
+    def _forget_worker(self, worker_id: str) -> None:
+        for path in (
+            _worker_stop_path(self.queue_dir, worker_id),
+            _worker_info_path(self.queue_dir, worker_id),
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def heartbeat(self, unit_id: str, worker_id: str) -> bool:
+        """Refresh the lease if ``worker_id`` still owns it."""
+        lease_path = _lease_path(self.queue_dir, unit_id)
+        try:
+            with open(lease_path) as handle:
+                owner = json.load(handle).get("worker")
+        except (OSError, ValueError):
+            return False
+        if owner != worker_id:
+            return False
+        try:
+            os.utime(lease_path)
+        except OSError:
+            return False
+        return True
+
+    def post_result(
+        self, unit_id: str, worker_id: str, attempt: int, body: bytes
+    ) -> bool:
+        """Publish a result; False when the post is stale/duplicate.
+
+        Accepted only while (a) no result is already on disk and (b)
+        the unit's current doc — its lease, or its task file if it was
+        re-enqueued but not yet re-claimed — still carries the posting
+        attempt.  A re-enqueue increments the attempt, so a slow
+        predecessor's late post fails the check and is dropped without
+        touching the successor's lease.  A unit with no doc at all was
+        cancelled (or already finished and was collected): dropped
+        too.
+        """
+        result_path = _result_path(self.queue_dir, unit_id)
+        if os.path.exists(result_path):
+            return False
+        lease_path = _lease_path(self.queue_dir, unit_id)
+        doc = self._read_json(lease_path)
+        release_lease = False
+        if doc is not None:
+            if int(doc.get("attempt", 1)) != attempt:
+                return False
+            release_lease = doc.get("worker") == worker_id
+        else:
+            doc = self._read_json(_task_path(self.queue_dir, unit_id))
+            if doc is None or int(doc.get("attempt", 1)) != attempt:
+                return False
+        atomic_write_bytes(result_path, body)
+        if release_lease:
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+        return True
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def submit(self, doc: Dict[str, Any]) -> None:
+        unit_id = str(doc["unit_id"])
+        # Same submit-time sweep as WorkQueueBackend: deterministic
+        # unit ids mean a reused queue directory may hold this id's
+        # leftovers from an earlier campaign.
+        for stale in (
+            _result_path(self.queue_dir, unit_id),
+            _lease_path(self.queue_dir, unit_id),
+            _task_path(self.queue_dir, unit_id),
+        ):
+            try:
+                os.unlink(stale)
+            except FileNotFoundError:
+                pass
+        atomic_write_bytes(
+            _task_path(self.queue_dir, unit_id),
+            json.dumps(doc).encode(),
+        )
+
+    def poll(
+        self, unit_ids: List[str], cancelled: List[str]
+    ) -> Dict[str, Any]:
+        """One dispatcher round trip: readiness + lease ages + sweep."""
+        ready: List[str] = []
+        lease_ages: Dict[str, Optional[float]] = {}
+        now = time.time()
+        for unit_id in unit_ids:
+            if os.path.exists(_result_path(self.queue_dir, unit_id)):
+                ready.append(unit_id)
+            try:
+                mtime = os.stat(
+                    _lease_path(self.queue_dir, unit_id)
+                ).st_mtime
+                lease_ages[unit_id] = now - mtime
+            except OSError:
+                lease_ages[unit_id] = None
+        swept: List[str] = []
+        for unit_id in cancelled:
+            try:
+                os.unlink(_result_path(self.queue_dir, unit_id))
+                swept.append(unit_id)
+            except FileNotFoundError:
+                pass
+        return {"ready": ready, "lease_ages": lease_ages, "swept": swept}
+
+    def read_result(self, unit_id: str) -> Optional[bytes]:
+        try:
+            with open(_result_path(self.queue_dir, unit_id), "rb") as f:
+                return f.read()
+        except OSError:
+            return None
+
+    def delete_result(self, unit_id: str) -> bool:
+        """Consume a result (plus any task/lease litter for the id)."""
+        removed = False
+        try:
+            os.unlink(_result_path(self.queue_dir, unit_id))
+            removed = True
+        except FileNotFoundError:
+            pass
+        for path in (
+            _lease_path(self.queue_dir, unit_id),
+            _task_path(self.queue_dir, unit_id),
+        ):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def requeue(
+        self, unit_id: str, doc: Dict[str, Any], quarantine: bool
+    ) -> Dict[str, Any]:
+        """Re-enqueue an expired/corrupt unit with a fresh attempt doc.
+
+        Collect-before-requeue, decided atomically on the coordinator:
+        if a result landed for the unit (the worker was slow, not
+        dead), the requeue is refused and the dispatcher collects
+        instead — unless ``quarantine`` is set, which means the
+        dispatcher already read that result and found it corrupt; then
+        the evidence moves to ``corrupt/`` first and the retry
+        proceeds.
+        """
+        result_path = _result_path(self.queue_dir, unit_id)
+        if os.path.exists(result_path):
+            if not quarantine:
+                return {"requeued": False, "has_result": True}
+            quarantine_file(self.queue_dir, result_path)
+        try:
+            os.unlink(_lease_path(self.queue_dir, unit_id))
+        except FileNotFoundError:
+            pass
+        atomic_write_bytes(
+            _task_path(self.queue_dir, unit_id),
+            json.dumps(doc).encode(),
+        )
+        return {"requeued": True, "has_result": False}
+
+    def cancel(self, unit_ids: List[str]) -> Dict[str, Dict[str, bool]]:
+        removed: Dict[str, Dict[str, bool]] = {}
+        for unit_id in unit_ids:
+            stages = {}
+            for stage, path in (
+                ("task", _task_path(self.queue_dir, unit_id)),
+                ("lease", _lease_path(self.queue_dir, unit_id)),
+                ("result", _result_path(self.queue_dir, unit_id)),
+            ):
+                try:
+                    os.unlink(path)
+                    stages[stage] = True
+                except FileNotFoundError:
+                    stages[stage] = False
+            removed[unit_id] = stages
+        return removed
+
+    def set_stop(self, stopped: bool) -> None:
+        if stopped:
+            atomic_write_bytes(_stop_path(self.queue_dir), b"")
+        else:
+            try:
+                os.unlink(_stop_path(self.queue_dir))
+            except FileNotFoundError:
+                pass
+
+    def stats(self) -> Dict[str, Any]:
+        counts = {}
+        for name in (TASKS_DIR, LEASES_DIR, RESULTS_DIR):
+            try:
+                counts[name] = len(os.listdir(
+                    os.path.join(self.queue_dir, name)
+                ))
+            except FileNotFoundError:
+                counts[name] = 0
+        # Unique live workers per host: fresh idle heartbeats from
+        # workers/, plus the owner stamped into every lease (a busy
+        # worker's info file may be stale — its liveness is the lease).
+        worker_hosts: Dict[str, str] = {}
+        workers_dir = os.path.join(self.queue_dir, WORKERS_DIR)
+        now = time.time()
+        try:
+            names = os.listdir(workers_dir)
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(workers_dir, name)
+            try:
+                if now - os.stat(path).st_mtime > self.worker_fresh:
+                    continue
+            except OSError:
+                continue
+            info = self._read_json(path) or {}
+            worker_hosts[name[: -len(".json")]] = (
+                info.get("host") or "external"
+            )
+        leases_dir = os.path.join(self.queue_dir, LEASES_DIR)
+        try:
+            names = os.listdir(leases_dir)
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            doc = self._read_json(os.path.join(leases_dir, name)) or {}
+            worker = doc.get("worker")
+            if worker:
+                worker_hosts[worker] = doc.get("host") or "external"
+        by_host: Dict[str, int] = {}
+        for host in worker_hosts.values():
+            by_host[host] = by_host.get(host, 0) + 1
+        return {
+            "queue_dir": self.queue_dir,
+            "tasks": counts[TASKS_DIR],
+            "leases": counts[LEASES_DIR],
+            "results": counts[RESULTS_DIR],
+            "stopped": os.path.exists(_stop_path(self.queue_dir)),
+            "workers_by_host": by_host,
+        }
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes the wire API onto :class:`CoordinatorState`."""
+
+    # Keep-alive lets a worker reuse one connection across its whole
+    # claim/heartbeat/post lifecycle.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> CoordinatorState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the queue directory is the audit trail, not stderr
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, code: int, obj: Any) -> None:
+        self._send(code, "application/json", json.dumps(obj).encode())
+
+    def _send_bytes(self, code: int, body: bytes) -> None:
+        self._send(code, "application/octet-stream", body)
+
+    def _send(self, code: int, ctype: str, body: bytes) -> None:
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            # The client died mid-response (worker crash, truncated
+            # upload's broken socket): its retry will re-ask.
+            self.close_connection = True
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or None on a short read (client died
+        mid-upload) or a missing Content-Length."""
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return None
+        try:
+            expected = int(length)
+        except ValueError:
+            return None
+        body = b""
+        try:
+            while len(body) < expected:
+                chunk = self.rfile.read(expected - len(body))
+                if not chunk:
+                    return None  # connection died before the end
+                body += chunk
+        except OSError:
+            return None
+        return body
+
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        body = self._read_body()
+        if body is None:
+            return None
+        try:
+            doc = json.loads(body)
+        except ValueError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _route(self) -> Tuple[str, List[str]]:
+        path = urllib.parse.urlsplit(self.path).path
+        parts = [p for p in path.split("/") if p]
+        return (parts[0] if parts else "", parts[1:])
+
+    def _query(self) -> Dict[str, str]:
+        raw = urllib.parse.urlsplit(self.path).query
+        return {k: v[-1] for k, v in
+                urllib.parse.parse_qs(raw).items()}
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        head, rest = self._route()
+        state = self.state
+        if head == "claim":
+            doc = self._read_json_body()
+            if doc is None or not doc.get("worker"):
+                return self._send_json(400, {"error": "bad claim body"})
+            with state.lock:
+                out = state.claim(
+                    str(doc["worker"]),
+                    str(doc.get("host") or "external"),
+                )
+            return self._send_json(200, out)
+        if head == "result" and rest:
+            worker = self.headers.get("X-Repro-Worker", "")
+            body = self._read_body()
+            try:
+                attempt = int(self.headers.get("X-Repro-Attempt", ""))
+            except ValueError:
+                return self._send_json(
+                    400, {"error": "missing/bad X-Repro-Attempt"}
+                )
+            if body is None:
+                # Truncated upload: write nothing — the lease will go
+                # stale and the unit re-enqueues.
+                return self._send_json(400, {"error": "short body"})
+            with state.lock:
+                accepted = state.post_result(
+                    rest[0], worker, attempt, body
+                )
+            return self._send_json(200, {"accepted": accepted})
+        if head == "submit":
+            doc = self._read_json_body()
+            if doc is None or "unit_id" not in doc:
+                return self._send_json(400, {"error": "bad task doc"})
+            with state.lock:
+                state.submit(doc)
+            return self._send_json(200, {"ok": True})
+        if head == "poll":
+            doc = self._read_json_body()
+            if doc is None:
+                return self._send_json(400, {"error": "bad poll body"})
+            with state.lock:
+                out = state.poll(
+                    [str(u) for u in doc.get("unit_ids", [])],
+                    [str(u) for u in doc.get("cancelled", [])],
+                )
+            return self._send_json(200, out)
+        if head == "requeue" and rest:
+            doc = self._read_json_body()
+            if doc is None or "unit_id" not in doc:
+                return self._send_json(400, {"error": "bad task doc"})
+            quarantine = self._query().get("quarantine") == "1"
+            with state.lock:
+                out = state.requeue(rest[0], doc, quarantine)
+            return self._send_json(200, out)
+        if head == "cancel":
+            doc = self._read_json_body()
+            if doc is None:
+                return self._send_json(400, {"error": "bad cancel body"})
+            with state.lock:
+                removed = state.cancel(
+                    [str(u) for u in doc.get("unit_ids", [])]
+                )
+            return self._send_json(200, {"removed": removed})
+        if head == "stop":
+            with state.lock:
+                state.set_stop(True)
+            return self._send_json(200, {"ok": True})
+        return self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        head, rest = self._route()
+        if head == "heartbeat" and rest:
+            doc = self._read_json_body()
+            if doc is None or not doc.get("worker"):
+                return self._send_json(400, {"error": "bad body"})
+            with self.state.lock:
+                alive = self.state.heartbeat(
+                    rest[0], str(doc["worker"])
+                )
+            if alive:
+                return self._send_json(200, {"ok": True})
+            # 410 Gone: the lease was re-enqueued/cancelled or belongs
+            # to a successor — the worker must abort its publish.
+            return self._send_json(410, {"ok": False})
+        return self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        head, rest = self._route()
+        if head == "result" and rest:
+            with self.state.lock:
+                body = self.state.read_result(rest[0])
+            if body is None:
+                return self._send_json(404, {"error": "no result"})
+            return self._send_bytes(200, body)
+        if head == "stats":
+            with self.state.lock:
+                return self._send_json(200, self.state.stats())
+        return self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        head, rest = self._route()
+        if head == "result" and rest:
+            with self.state.lock:
+                removed = self.state.delete_result(rest[0])
+            return self._send_json(200, {"removed": removed})
+        if head == "stop":
+            with self.state.lock:
+                self.state.set_stop(False)
+            return self._send_json(200, {"ok": True})
+        return self._send_json(404, {"error": f"no route {self.path}"})
+
+
+class _CoordinatorHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # A restarted coordinator must rebind its old port immediately —
+    # crash-restart mid-campaign is a supported path, not an edge.
+    allow_reuse_address = True
+
+    def handle_error(self, request, client_address) -> None:
+        # A peer dying mid-request is an expected fault path (the
+        # queue recovers via lease expiry); no stderr traceback.
+        pass
+
+
+class CoordinatorServer:
+    """One queue directory served over HTTP.
+
+    ``port=0`` binds an ephemeral port (see :attr:`url`); a fixed port
+    lets a killed coordinator restart at the same address, which is
+    what lets in-flight clients ride through on their retry budget.
+    Use :meth:`start` for a background thread (tests, embedding) or
+    :meth:`serve_forever` to donate the calling thread (the CLI).
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_fresh: float = 5.0,
+    ) -> None:
+        self.state = CoordinatorState(
+            queue_dir, worker_fresh=worker_fresh
+        )
+        self._httpd = _CoordinatorHTTPServer(
+            (host, port), _CoordinatorHandler
+        )
+        self._httpd.state = self.state  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        if host in ("0.0.0.0", "::", ""):
+            host = "127.0.0.1"
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "CoordinatorServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# -- client plumbing ---------------------------------------------------------
+
+
+#: Exception classes that mean "the coordinator is unreachable right
+#: now" — retryable, unlike an HTTP status (which is an answer).
+_RETRYABLE = (
+    urllib.error.URLError,  # refused/reset/unreachable (incl. timeout)
+    ConnectionError,
+    TimeoutError,
+    socket.timeout,
+    http.client.HTTPException,  # IncompleteRead, RemoteDisconnected, …
+)
+
+
+class CoordinatorClient:
+    """Thin HTTP client with capped-exponential-backoff retries.
+
+    Connection-level failures (refused port while the coordinator
+    restarts, a reset mid-request) are retried with
+    ``min(backoff_cap, backoff_base * 2**n)`` seconds of delay,
+    jittered to avoid a worker fleet stampeding a freshly restarted
+    coordinator in lockstep, until ``retry_timeout`` seconds have
+    elapsed — then the last error propagates.  An HTTP *status* is
+    never retried here: it is an answer, and the caller decides what
+    it means.  ``sleep``/``clock``/``rng`` are injectable so fault
+    tests run on a virtual clock.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        retry_timeout: float = 60.0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        request_timeout: float = 30.0,
+        sleep=time.sleep,
+        clock=time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retry_timeout = retry_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.request_timeout = request_timeout
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+
+    def _backoff(self, failures: int) -> float:
+        delay = min(
+            self.backoff_cap,
+            self.backoff_base * (2.0 ** failures),
+        )
+        # Full jitter in (delay/2, delay]: spread without ever
+        # exceeding the cap.
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Optional[Dict[str, Any]] = None,
+        data: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        retry: bool = True,
+    ) -> Tuple[int, bytes]:
+        """``(status, body)`` of one API call (retrying connections)."""
+        send_headers = dict(headers or {})
+        if json_body is not None:
+            data = json.dumps(json_body).encode()
+            send_headers["Content-Type"] = "application/json"
+        started = self._clock()
+        failures = 0
+        while True:
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                headers=send_headers,
+                method=method,
+            )
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=self.request_timeout
+                ) as resp:
+                    return resp.status, resp.read()
+            except urllib.error.HTTPError as exc:
+                # A status line made it back: that is the answer.
+                with exc:
+                    return exc.code, exc.read()
+            except _RETRYABLE:
+                if not retry:
+                    raise
+                if self._clock() - started >= self.retry_timeout:
+                    raise
+                self._sleep(self._backoff(failures))
+                failures += 1
+
+    def request_json(
+        self, method: str, path: str, **kwargs: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        status, body = self.request(method, path, **kwargs)
+        try:
+            doc = json.loads(body)
+        except ValueError:
+            doc = {}
+        return status, doc if isinstance(doc, dict) else {}
+
+
+# -- worker side -------------------------------------------------------------
+
+
+class _HttpHeartbeat:
+    """Keeps one claimed unit's lease fresh via ``PUT /heartbeat``.
+
+    The HTTP analogue of the filesystem worker's lease-touching
+    thread.  A ``410 Gone`` means the coordinator no longer recognises
+    this worker's claim (expired + re-claimed, or cancelled):
+    :attr:`lost` is set and the worker must abort its publish — the
+    successor owns the unit now.  Connection errors are ridden out:
+    the coordinator may just be restarting, and the on-disk lease
+    keeps its last mtime meanwhile.
+    """
+
+    def __init__(
+        self,
+        client: CoordinatorClient,
+        unit_id: str,
+        worker_id: str,
+        interval: float,
+    ) -> None:
+        self._client = client
+        self._unit_id = unit_id
+        self._worker_id = worker_id
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self.lost = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                status, _ = self._client.request(
+                    "PUT",
+                    f"/heartbeat/{self._unit_id}",
+                    json_body={"worker": self._worker_id},
+                    retry=False,
+                )
+            except Exception:
+                continue  # unreachable coordinator: keep trying
+            if status == 410:
+                self.lost.set()
+                return
+
+    def __enter__(self) -> "_HttpHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def worker_loop_http(
+    url: str,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    max_idle: Optional[float] = None,
+    echo: bool = True,
+    retry_timeout: float = 60.0,
+) -> int:
+    """The ``repro worker --coordinator URL`` main loop; units executed.
+
+    The claim/execute/publish cycle of :func:`worker_loop`, with every
+    queue primitive replaced by an HTTP call — so the worker host
+    needs network reach to the coordinator and nothing else.  The
+    coordinator answers each claim with stop/retire verdicts (the
+    queue-wide and per-worker sentinels), so fleet drain and elastic
+    retirement work identically to the filesystem transport.
+    """
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    host = _host_label()
+    client = CoordinatorClient(url, retry_timeout=retry_timeout)
+    if echo:
+        print(f"[worker {worker_id}] serving coordinator {url}",
+              file=sys.stderr, flush=True)
+    executed = 0
+    idle_since = time.monotonic()
+    while True:
+        status, answer = client.request_json(
+            "POST", "/claim",
+            json_body={"worker": worker_id, "host": host},
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"coordinator rejected claim ({status}): {answer}"
+            )
+        if answer.get("stop") or answer.get("retire"):
+            if echo and answer.get("retire"):
+                print(f"[worker {worker_id}] retiring on request",
+                      file=sys.stderr, flush=True)
+            break
+        doc = answer.get("unit")
+        if doc is None:
+            if (max_idle is not None
+                    and time.monotonic() - idle_since > max_idle):
+                break
+            time.sleep(poll_interval)
+            continue
+        unit_id = str(doc["unit_id"])
+        heartbeat = _HttpHeartbeat(
+            client, unit_id, worker_id,
+            float(doc.get("heartbeat", 5.0)),
+        )
+        with heartbeat:
+            result = run_unit_doc(doc, worker_id)
+        if heartbeat.lost.is_set():
+            # The coordinator disowned our lease mid-unit: a successor
+            # is (or will be) computing the identical payload.  Do not
+            # publish against its attempt.
+            continue
+        status, answer = client.request_json(
+            "POST", f"/result/{unit_id}",
+            data=pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+            headers={
+                "X-Repro-Worker": worker_id,
+                "X-Repro-Attempt": str(result["attempt"]),
+            },
+        )
+        accepted = status == 200 and answer.get("accepted")
+        if echo:
+            verdict = ("done" if result["ok"] else "FAILED") \
+                if accepted else "dropped (stale attempt)"
+            print(f"[worker {worker_id}] {unit_id}: {verdict}",
+                  file=sys.stderr, flush=True)
+        executed += 1
+        idle_since = time.monotonic()
+    if echo:
+        print(f"[worker {worker_id}] exiting after {executed} unit(s)",
+              file=sys.stderr, flush=True)
+    return executed
+
+
+def _spawn_http_worker(
+    url: str, worker_id: str, poll_interval: float, log_dir: str
+) -> Tuple[subprocess.Popen, str]:
+    """Start one local ``repro worker --coordinator`` subprocess."""
+    os.makedirs(log_dir, exist_ok=True)
+    log_path = os.path.join(log_dir, worker_id + ".log")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    log = open(log_path, "ab")
+    try:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--coordinator", url,
+                "--worker-id", worker_id,
+                "--poll", str(poll_interval),
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+    finally:
+        log.close()
+    return proc, log_path
+
+
+class CoordinatorWorkerLauncher(WorkerLauncher):
+    """Launches local workers that join a coordinator over HTTP.
+
+    Plugged into an :class:`ElasticSupervisor` running next to the
+    coordinator (``repro coordinator --max-workers N``): the
+    supervisor observes the queue directory it shares with the
+    coordinator and scales a colocated pool, while remote hosts join
+    the same campaign with their own ``repro worker --coordinator``
+    processes.
+    """
+
+    def __init__(self, url: str, log_dir: str) -> None:
+        self.url = url
+        self.log_dir = log_dir
+        self.host = _host_label()
+
+    def launch(
+        self, worker_id: str, poll_interval: float
+    ) -> Tuple[subprocess.Popen, str]:
+        return _spawn_http_worker(
+            self.url, worker_id, poll_interval, self.log_dir
+        )
+
+
+# -- dispatcher side ---------------------------------------------------------
+
+
+class HttpQueueBackend(ExecutionBackend):
+    """Dispatches units to a coordinator over HTTP.
+
+    The network twin of :class:`WorkQueueBackend` — same task docs,
+    same lease-expiry re-enqueue bounded by ``max_attempts``, same
+    collect-before-requeue and straggler sweeping — with every queue
+    primitive an API call, so the dispatcher needs no filesystem
+    access to the queue at all.
+
+    Parameters mirror :class:`WorkQueueBackend` where they exist
+    there; ``retry_timeout`` bounds how long any one API call keeps
+    retrying an unreachable coordinator (the ride-through budget for
+    a coordinator crash/restart), and ``spawn_workers`` starts local
+    ``repro worker --coordinator`` subprocesses as a convenience.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.2,
+        max_attempts: int = 3,
+        spawn_workers: int = 0,
+        idle_timeout: Optional[float] = None,
+        retry_timeout: float = 60.0,
+        client: Optional[CoordinatorClient] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.url = url.rstrip("/")
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self.idle_timeout = idle_timeout
+        self.client = client if client is not None else CoordinatorClient(
+            self.url, retry_timeout=retry_timeout
+        )
+        self._outstanding: Dict[str, WorkUnit] = {}
+        self._attempts: Dict[str, int] = {}
+        self._cancelled_ids: Set[str] = set()
+        self._procs: List[subprocess.Popen] = []
+        self._log_paths: List[str] = []
+        self._log_dir: Optional[str] = None
+        # A stale queue-wide stop sentinel from an earlier campaign
+        # would retire fresh workers on their first claim.
+        self._call_json("DELETE", "/stop")
+        if spawn_workers:
+            self._log_dir = tempfile.mkdtemp(prefix="repro-http-workers-")
+            for index in range(spawn_workers):
+                self._spawn_worker(index)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call_json(
+        self, method: str, path: str, **kwargs: Any
+    ) -> Dict[str, Any]:
+        status, doc = self.client.request_json(method, path, **kwargs)
+        if status >= 400:
+            raise RuntimeError(
+                f"coordinator {method} {path} failed "
+                f"({status}): {doc.get('error', doc)}"
+            )
+        return doc
+
+    def _spawn_worker(self, index: int) -> None:
+        worker_id = f"spawned-{_host_label()}-{os.getpid()}-{index}"
+        proc, log_path = _spawn_http_worker(
+            self.url, worker_id, self.poll_interval,
+            self._log_dir or tempfile.gettempdir(),
+        )
+        self._procs.append(proc)
+        self._log_paths.append(log_path)
+
+    def live_worker_count(self) -> Optional[int]:
+        """Locally spawned live workers, else the coordinator's total
+        fleet view (``/stats``); None only when that call fails."""
+        by_host = self.workers_by_host()
+        if by_host is None:
+            return None
+        return sum(by_host.values())
+
+    def workers_by_host(self) -> Optional[Dict[str, int]]:
+        if self._procs:
+            alive = sum(
+                1 for proc in self._procs if proc.poll() is None
+            )
+            return {_host_label(): alive} if alive else {}
+        try:
+            stats = self._call_json("GET", "/stats")
+        except Exception:
+            return None
+        by_host = stats.get("workers_by_host")
+        return dict(by_host) if isinstance(by_host, dict) else None
+
+    def _check_spawned(self) -> None:
+        if not self._outstanding or not self._procs:
+            return
+        if any(proc.poll() is None for proc in self._procs):
+            return
+        raise RuntimeError(
+            "all spawned workers exited with "
+            f"{len(self._outstanding)} unit(s) outstanding\n"
+            + _log_tails(self._log_paths)
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def _task_doc(self, unit: WorkUnit, attempt: int) -> Dict[str, Any]:
+        doc = unit.to_doc()
+        doc["attempt"] = attempt
+        doc["heartbeat"] = max(0.05, self.lease_timeout / 4.0)
+        return doc
+
+    def submit(self, unit: WorkUnit) -> None:
+        if unit.unit_id in self._outstanding:
+            raise ValueError(f"unit {unit.unit_id!r} already submitted")
+        self._cancelled_ids.discard(unit.unit_id)
+        self._outstanding[unit.unit_id] = unit
+        self._attempts[unit.unit_id] = 1
+        # The coordinator sweeps the id's stale leftovers (reused
+        # queue dir) before writing the fresh task doc.
+        self._call_json(
+            "POST", "/submit", json_body=self._task_doc(unit, attempt=1)
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def completions(self) -> Iterator[WorkResult]:
+        last_alive = time.monotonic()
+        while self._outstanding:
+            progressed = False
+            poll = self._call_json(
+                "POST", "/poll",
+                json_body={
+                    "unit_ids": list(self._outstanding),
+                    "cancelled": list(self._cancelled_ids),
+                },
+            )
+            for unit_id in poll.get("swept", []):
+                self._cancelled_ids.discard(unit_id)
+            for unit_id in poll.get("ready", []):
+                if unit_id not in self._outstanding:
+                    continue
+                result = self._collect(unit_id)
+                if result is not None:
+                    progressed = True
+                    yield result
+            lease_ages = poll.get("lease_ages", {})
+            for result in self._requeue_expired(lease_ages):
+                progressed = True
+                yield result
+            any_live = any(
+                age is not None and age <= self.lease_timeout
+                for unit_id, age in lease_ages.items()
+                if unit_id in self._outstanding
+            )
+            if progressed or any_live:
+                last_alive = time.monotonic()
+            if not self._outstanding:
+                break
+            if not progressed:
+                self._check_spawned()
+                if (self.idle_timeout is not None
+                        and time.monotonic() - last_alive
+                        > self.idle_timeout):
+                    raise RuntimeError(
+                        f"coordinator queue idle for "
+                        f"{self.idle_timeout:.0f}s with "
+                        f"{len(self._outstanding)} unit(s) outstanding "
+                        "— are any workers running? (start one with: "
+                        f"repro worker --coordinator {self.url})"
+                    )
+                time.sleep(self.poll_interval)
+
+    def _collect(self, unit_id: str) -> Optional[WorkResult]:
+        status, body = self.client.request("GET", f"/result/{unit_id}")
+        if status == 404:
+            return None
+        if status >= 400:
+            raise RuntimeError(
+                f"coordinator GET /result/{unit_id} failed ({status})"
+            )
+        unit = self._outstanding.get(unit_id)
+        try:
+            doc = pickle.loads(body)
+        except Exception:
+            # A corrupt result over HTTP means the *queue disk* tore
+            # the write (the transport length-checks every body).
+            # Same recovery as the filesystem backend: quarantine the
+            # evidence coordinator-side and burn an attempt.
+            if unit is None:
+                self._call_json("DELETE", f"/result/{unit_id}")
+                return None
+            self._quarantine_and_requeue(unit_id, unit)
+            return None
+        if unit is None:
+            # Cancelled, but a straggler published anyway: consume it
+            # so a reused queue directory never replays it.
+            self._call_json("DELETE", f"/result/{unit_id}")
+            return None
+        self._call_json("DELETE", f"/result/{unit_id}")
+        if not doc.get("ok"):
+            raise RuntimeError(
+                f"unit {unit_id} ({unit.label}) failed on worker "
+                f"{doc.get('worker')}:\n{doc.get('error')}"
+            )
+        attempts = self._attempts.pop(unit_id)
+        del self._outstanding[unit_id]
+        return WorkResult(
+            unit=unit,
+            payload=doc["payload"],
+            elapsed=float(doc.get("elapsed", 0.0)),
+            worker=doc.get("worker"),
+            attempts=attempts,
+        )
+
+    def _quarantine_and_requeue(
+        self, unit_id: str, unit: WorkUnit
+    ) -> None:
+        attempts = self._attempts[unit_id] + 1
+        if attempts > self.max_attempts:
+            raise RuntimeError(
+                f"unit {unit_id} ({unit.label}): corrupt result "
+                f"document (quarantined coordinator-side) and the "
+                f"{self.max_attempts}-attempt budget is exhausted — "
+                "is the coordinator's queue filesystem tearing writes?"
+            )
+        self._attempts[unit_id] = attempts
+        self._call_json(
+            "POST", f"/requeue/{unit_id}?quarantine=1",
+            json_body=self._task_doc(unit, attempt=attempts),
+        )
+
+    def _requeue_expired(
+        self, lease_ages: Dict[str, Optional[float]]
+    ) -> List[WorkResult]:
+        """Re-enqueue outstanding units whose lease went stale.
+
+        Collect-before-requeue is decided *on the coordinator*: the
+        ``/requeue`` call is refused (``has_result``) when a result
+        landed since the poll — the slow worker finished — and the
+        unit is collected here instead of burning an attempt.
+        """
+        collected: List[WorkResult] = []
+        for unit_id in list(self._outstanding):
+            age = lease_ages.get(unit_id)
+            if age is None or age <= self.lease_timeout:
+                continue
+            attempts = self._attempts[unit_id] + 1
+            if attempts > self.max_attempts:
+                raise RuntimeError(
+                    f"unit {unit_id} "
+                    f"({self._outstanding[unit_id].label}): lease "
+                    f"expired and the {self.max_attempts}-attempt "
+                    "budget is exhausted (workers keep dying "
+                    "mid-unit?)"
+                )
+            answer = self._call_json(
+                "POST", f"/requeue/{unit_id}",
+                json_body=self._task_doc(
+                    self._outstanding[unit_id], attempt=attempts
+                ),
+            )
+            if answer.get("has_result"):
+                result = self._collect(unit_id)
+                if result is not None:
+                    collected.append(result)
+                continue
+            self._attempts[unit_id] = attempts
+        return collected
+
+    # -- teardown ------------------------------------------------------------
+
+    def cancel(self) -> None:
+        self.cancel_units(list(self._outstanding))
+
+    def cancel_units(self, unit_ids: Iterable[str]) -> None:
+        ids = [u for u in unit_ids if u in self._outstanding]
+        if not ids:
+            return
+        answer = self._call_json(
+            "POST", "/cancel", json_body={"unit_ids": ids}
+        )
+        removed = answer.get("removed", {})
+        for unit_id in ids:
+            stages = removed.get(unit_id, {})
+            # Same straggler reasoning as WorkQueueBackend: only track
+            # ids a live worker might still publish.
+            straggler_possible = (
+                self._attempts[unit_id] > 1
+                or (not stages.get("task") and not stages.get("result"))
+            )
+            if straggler_possible:
+                self._cancelled_ids.add(unit_id)
+            del self._outstanding[unit_id]
+            del self._attempts[unit_id]
+
+    def close(self) -> None:
+        if self._procs:
+            try:
+                self._call_json("POST", "/stop")
+            except Exception:
+                pass  # coordinator gone: terminate the pool directly
+            deadline = time.monotonic() + 10.0
+            for proc in self._procs:
+                _stop_proc(proc, deadline)
+            self._procs = []
+        if self._cancelled_ids:
+            try:
+                self._call_json(
+                    "POST", "/poll",
+                    json_body={
+                        "unit_ids": [],
+                        "cancelled": list(self._cancelled_ids),
+                    },
+                )
+            except Exception:
+                pass
+            self._cancelled_ids = set()

@@ -64,9 +64,26 @@ TASKS_DIR = "tasks"
 LEASES_DIR = "leases"
 RESULTS_DIR = "results"
 WORKERS_DIR = "workers"
+#: Quarantine for truncated/corrupt task or result documents: the
+#: evidence is preserved for diagnosis instead of being re-parsed (and
+#: re-failed) on every dispatcher poll forever.
+CORRUPT_DIR = "corrupt"
 STOP_SENTINEL = "stop"
 
-_SUBDIRS = (TASKS_DIR, LEASES_DIR, RESULTS_DIR, WORKERS_DIR)
+_SUBDIRS = (TASKS_DIR, LEASES_DIR, RESULTS_DIR, WORKERS_DIR, CORRUPT_DIR)
+
+
+def _host_label() -> str:
+    """This host's identity for worker ids and fleet stats.
+
+    Worker ids generated from pids alone collide the moment two hosts
+    share one queue directory (or coordinator): pid 4242's supervisor
+    on host A and host B would both mint ``elastic-4242-0``, and their
+    heartbeat/log/sentinel files would clobber each other.  Every
+    generated id therefore carries the hostname, exactly as
+    :func:`worker_loop`'s default worker id always has.
+    """
+    return socket.gethostname()
 
 
 def ensure_queue_dirs(queue_dir: str) -> None:
@@ -104,6 +121,28 @@ def _lease_path(queue_dir: str, unit_id: str) -> str:
 
 def _result_path(queue_dir: str, unit_id: str) -> str:
     return os.path.join(queue_dir, RESULTS_DIR, unit_id + ".pkl")
+
+
+def quarantine_file(queue_dir: str, path: str) -> Optional[str]:
+    """Move a corrupt queue document into ``corrupt/``; its new path.
+
+    The move is an ``os.replace`` within the queue filesystem —
+    atomic, so no reader ever sees the document half-moved — with a
+    timestamp suffix so repeated corruption of the same unit never
+    overwrites earlier evidence.  Returns None when the file vanished
+    before it could be moved (e.g. swept by a concurrent cancel).
+    """
+    corrupt_dir = os.path.join(queue_dir, CORRUPT_DIR)
+    os.makedirs(corrupt_dir, exist_ok=True)
+    target = os.path.join(
+        corrupt_dir,
+        f"{os.path.basename(path)}.{time.time_ns():x}",
+    )
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        return None
+    return target
 
 
 # -- worker side -------------------------------------------------------------
@@ -218,18 +257,77 @@ def _release_lease(lease_path: str, worker_id: str) -> None:
     may since have been claimed by another worker — that successor's
     fresh lease must survive the predecessor finishing late, or the
     successor would look dead while actively computing.
+
+    The check-then-remove must not be a read followed by an unlink:
+    between reading the owner and unlinking, an expiry re-enqueue plus
+    a successor claim can land, and the unlink would then destroy the
+    *successor's* live lease (it would sit leaseless while actively
+    computing, look dead, and burn an attempt — or the budget).  So
+    the release captures the file first with an atomic
+    rename-to-tombstone, verifies ownership on the captured copy, and
+    either completes the release (unlink the tombstone) or undoes the
+    capture (rename it back) when the lease turned out to belong to
+    someone else — including the not-yet-stamped window after a
+    successor's claim, where the doc carries no owner at all.
     """
+    tombstone = f"{lease_path}.releasing.{worker_id}"
     try:
-        with open(lease_path) as handle:
+        os.rename(lease_path, tombstone)
+    except OSError:
+        return  # already gone (expired/cancelled) — nothing to release
+    try:
+        with open(tombstone) as handle:
             owner = json.load(handle).get("worker")
     except (OSError, ValueError):
+        owner = None  # torn/corrupt capture: treat as not provably ours
+    if owner == worker_id:
+        try:
+            os.unlink(tombstone)
+        except FileNotFoundError:
+            pass
         return
-    if owner != worker_id:
-        return
+    # Someone else's lease (or an unstamped claim): restore it.  The
+    # capture window is a few syscalls wide; a successor heartbeat
+    # touching the momentarily-missing path merely skips one beat.  If
+    # the successor re-wrote the path meanwhile (its ownership stamp),
+    # the newer doc wins and the stale capture is dropped instead of
+    # renamed over it.
     try:
-        os.unlink(lease_path)
-    except FileNotFoundError:
+        if os.path.exists(lease_path):
+            os.unlink(tombstone)
+        else:
+            os.rename(tombstone, lease_path)
+    except OSError:
         pass
+
+
+def run_unit_doc(doc: Dict[str, Any], worker_id: str) -> Dict[str, Any]:
+    """Execute one wire-form unit doc; the result doc to publish.
+
+    The single execution path every worker transport shares (the
+    filesystem queue's :func:`_execute_claimed` and the HTTP worker in
+    :mod:`repro.backends.coordinator`): kind-module side-effect import,
+    payload computation, and clean-failure capture — so a unit doc
+    produces byte-identical result docs no matter which transport
+    delivered it.
+    """
+    result: Dict[str, Any] = {
+        "worker": worker_id,
+        "attempt": int(doc.get("attempt", 1)),
+    }
+    try:
+        module = doc.get("kind_module")
+        if module:
+            # Registers kinds defined outside the built-ins (same
+            # trick as pickling run-fn references to a process pool:
+            # importing the module re-runs its register_experiment
+            # side effects).
+            importlib.import_module(module)
+        payload, elapsed = execute_unit(WorkUnit.from_doc(doc))
+        result.update(ok=True, payload=payload, elapsed=elapsed)
+    except Exception:
+        result.update(ok=False, error=traceback.format_exc())
+    return result
 
 
 def _execute_claimed(
@@ -253,24 +351,9 @@ def _execute_claimed(
     # predecessor finishing late cannot tear down this lease.
     doc["worker"] = worker_id
     atomic_write_bytes(lease_path, json.dumps(doc).encode())
-    result: Dict[str, Any] = {
-        "worker": worker_id,
-        "attempt": int(doc.get("attempt", 1)),
-    }
     heartbeat = _Heartbeat(lease_path, float(doc.get("heartbeat", 5.0)))
     with heartbeat:
-        try:
-            module = doc.get("kind_module")
-            if module:
-                # Registers kinds defined outside the built-ins
-                # (same trick as pickling run-fn references to a
-                # process pool: importing the module re-runs its
-                # register_experiment side effects).
-                importlib.import_module(module)
-            payload, elapsed = execute_unit(WorkUnit.from_doc(doc))
-            result.update(ok=True, payload=payload, elapsed=elapsed)
-        except Exception:
-            result.update(ok=False, error=traceback.format_exc())
+        result = run_unit_doc(doc, worker_id)
     if heartbeat.failed.is_set():
         # The beat thread died mid-unit: the lease went stale with us
         # still executing, so the dispatcher has (or will) re-enqueue
@@ -315,6 +398,7 @@ def worker_loop(
         info_path,
         json.dumps({
             "worker_id": worker_id,
+            "host": socket.gethostname(),
             "pid": os.getpid(),
             "started": time.time(),
         }).encode(),
@@ -433,6 +517,48 @@ def _spawn_worker_process(
     return proc, log_path
 
 
+class WorkerLauncher:
+    """Where and how an :class:`ElasticSupervisor` starts one worker.
+
+    The supervisor's scaling loop is transport-agnostic: it decides
+    *when* the pool grows or drains from queue pressure, and delegates
+    *how* a worker process comes to exist to a launcher.  A launcher
+    is host-aware (:attr:`host` labels where its workers run) so fleet
+    stats can aggregate per host; today's launchers start local
+    subprocesses — one serving a queue directory, one joining a
+    coordinator over HTTP — and the same seam is where SSH/container
+    launchers plug in without touching the scaling logic.
+    """
+
+    #: Host label the launched workers run on (fleet-stats key).
+    host: str = "localhost"
+
+    def launch(
+        self, worker_id: str, poll_interval: float
+    ) -> "tuple[subprocess.Popen, str]":
+        """Start one worker; ``(process handle, log path)``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__} on {self.host}"
+
+
+class QueueWorkerLauncher(WorkerLauncher):
+    """Launches local ``repro worker --queue DIR`` subprocesses — the
+    original (and default) launcher for filesystem-served queues."""
+
+    def __init__(self, queue_dir: str) -> None:
+        self.queue_dir = queue_dir
+        self.host = _host_label()
+
+    def launch(
+        self, worker_id: str, poll_interval: float
+    ) -> "tuple[subprocess.Popen, str]":
+        return _spawn_worker_process(
+            self.queue_dir, worker_id, poll_interval
+        )
+
+
 @dataclass
 class ElasticStats:
     """Lifetime counters of one :class:`ElasticSupervisor`."""
@@ -485,6 +611,7 @@ class ElasticSupervisor:
         worker_poll: float = 0.2,
         heartbeat_fresh: float = 2.0,
         clock=time.monotonic,
+        launcher: Optional[WorkerLauncher] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -494,6 +621,13 @@ class ElasticSupervisor:
                 f"(got {min_workers}..{max_workers})"
             )
         self.queue_dir = queue_dir
+        #: How new workers are started (and on which host) — the
+        #: fleet seam; defaults to local ``repro worker --queue``
+        #: subprocesses.
+        self.launcher = (
+            launcher if launcher is not None
+            else QueueWorkerLauncher(queue_dir)
+        )
         self.min_workers = min_workers
         self.max_workers = max_workers
         self.poll_interval = poll_interval
@@ -578,15 +712,17 @@ class ElasticSupervisor:
                 external += 1
         return external
 
-    def _fresh_external_workers(self) -> int:
-        """Externally-started workers with a fresh idle heartbeat."""
+    def _fresh_externals(self) -> Dict[str, str]:
+        """``{worker id: host}`` of externally-started workers with a
+        fresh idle heartbeat (busy externals advertise liveness
+        through their stamped lease instead)."""
         own = set(self._procs) | set(self._retiring)
         workers_dir = os.path.join(self.queue_dir, WORKERS_DIR)
         try:
             names = os.listdir(workers_dir)
         except FileNotFoundError:
-            return 0
-        fresh = 0
+            return {}
+        fresh: Dict[str, str] = {}
         now = time.time()
         for name in names:
             if not name.endswith(".json"):
@@ -594,15 +730,24 @@ class ElasticSupervisor:
             worker_id = name[: -len(".json")]
             if worker_id in own:
                 continue
+            path = os.path.join(workers_dir, name)
             try:
-                age = now - os.stat(
-                    os.path.join(workers_dir, name)
-                ).st_mtime
+                age = now - os.stat(path).st_mtime
             except FileNotFoundError:
                 continue
-            if age <= self.heartbeat_fresh:
-                fresh += 1
+            if age > self.heartbeat_fresh:
+                continue
+            try:
+                with open(path) as handle:
+                    host = json.load(handle).get("host") or "external"
+            except (OSError, ValueError):
+                host = "external"
+            fresh[worker_id] = host
         return fresh
+
+    def _fresh_external_workers(self) -> int:
+        """Externally-started workers with a fresh idle heartbeat."""
+        return len(self._fresh_externals())
 
     def live_worker_count(self) -> int:
         """Workers believed to be serving the queue right now (the
@@ -616,13 +761,36 @@ class ElasticSupervisor:
             return len(self._procs) + alive \
                 + self._fresh_external_workers()
 
+    def workers_by_host(self) -> Dict[str, int]:
+        """Live workers aggregated per host: the supervisor's own pool
+        (every worker on :attr:`launcher` ``.host``) plus
+        heartbeat-fresh externals under the host their info doc
+        advertises.  The fleet operator's gauge — on a shared queue it
+        shows each joined machine's contribution, not one number."""
+        with self._lock:
+            self._reap()
+            counts: Dict[str, int] = {}
+            own = len(self._procs) + sum(
+                1 for proc in self._retiring.values()
+                if proc.poll() is None
+            )
+            if own:
+                counts[self.launcher.host] = own
+            for host in self._fresh_externals().values():
+                counts[host] = counts.get(host, 0) + 1
+            return counts
+
     # -- pool mutation -------------------------------------------------------
 
     def _spawn_one(self) -> None:
-        worker_id = f"elastic-{os.getpid()}-{self._seq}"
+        # Host-qualified: supervisors on two hosts sharing one queue
+        # (same pid by coincidence) must never mint the same id.
+        worker_id = (
+            f"elastic-{self.launcher.host}-{os.getpid()}-{self._seq}"
+        )
         self._seq += 1
-        proc, log_path = _spawn_worker_process(
-            self.queue_dir, worker_id, self.worker_poll
+        proc, log_path = self.launcher.launch(
+            worker_id, self.worker_poll
         )
         self._procs[worker_id] = proc
         self._log_paths[worker_id] = log_path
@@ -905,7 +1073,10 @@ class WorkQueueBackend(ExecutionBackend):
     # -- worker management ---------------------------------------------------
 
     def _spawn_worker(self, index: int) -> None:
-        worker_id = f"spawned-{os.getpid()}-{index}"
+        # Host-qualified for the same reason as the elastic ids: two
+        # dispatch hosts sharing one queue directory must not collide
+        # on a coincidental pid match.
+        worker_id = f"spawned-{_host_label()}-{os.getpid()}-{index}"
         proc, log_path = _spawn_worker_process(
             self.queue_dir, worker_id, self.poll_interval
         )
@@ -921,6 +1092,18 @@ class WorkQueueBackend(ExecutionBackend):
             return self.supervisor.live_worker_count()
         if self._procs:
             return sum(1 for proc in self._procs if proc.poll() is None)
+        return None
+
+    def workers_by_host(self) -> Optional[Dict[str, int]]:
+        """Live workers per host, or None when unknowable (same
+        conditions as :meth:`live_worker_count`)."""
+        if self.supervisor is not None:
+            return self.supervisor.workers_by_host()
+        if self._procs:
+            alive = sum(
+                1 for proc in self._procs if proc.poll() is None
+            )
+            return {_host_label(): alive} if alive else {}
         return None
 
     def _check_spawned(self) -> None:
@@ -1018,6 +1201,15 @@ class WorkQueueBackend(ExecutionBackend):
                 doc = pickle.load(handle)
         except FileNotFoundError:
             return None
+        except Exception:
+            # Truncated/corrupt result document (a torn write on a
+            # non-atomic shared filesystem, disk trouble).  Treating
+            # it as absent would re-parse and re-fail it on every poll
+            # forever — the dispatcher would sit on a unit that can
+            # never complete.  Quarantine the evidence and re-enqueue
+            # the unit (counting against max_attempts, like any other
+            # failed delivery).
+            doc = None
         unit = self._outstanding.get(unit_id)
         if unit is None:
             # Cancelled mid-drain, but a straggler worker published its
@@ -1027,6 +1219,9 @@ class WorkQueueBackend(ExecutionBackend):
                 os.unlink(path)
             except FileNotFoundError:
                 pass
+            return None
+        if doc is None:
+            self._quarantine_and_requeue(unit_id, unit, path)
             return None
         if not doc.get("ok"):
             # Consume the error result: leaving it on disk would make
@@ -1045,6 +1240,38 @@ class WorkQueueBackend(ExecutionBackend):
             elapsed=float(doc.get("elapsed", 0.0)),
             worker=doc.get("worker"),
             attempts=attempts,
+        )
+
+    def _quarantine_and_requeue(
+        self, unit_id: str, unit: WorkUnit, result_path: str
+    ) -> None:
+        """Handle a corrupt result: preserve it, retry the unit.
+
+        The corrupt document moves to ``corrupt/`` (atomic rename, so
+        no poll ever re-reads it) and the unit goes back to ``tasks/``
+        with an incremented attempt — bounded by ``max_attempts``, so
+        a filesystem that keeps tearing writes fails the campaign with
+        a diagnosis instead of looping forever.
+        """
+        quarantined = quarantine_file(self.queue_dir, result_path)
+        if quarantined is None:
+            return  # vanished mid-read; the next poll resolves it
+        attempts = self._attempts[unit_id] + 1
+        if attempts > self.max_attempts:
+            raise RuntimeError(
+                f"unit {unit_id} ({unit.label}): corrupt result "
+                f"document (quarantined to {quarantined}) and the "
+                f"{self.max_attempts}-attempt budget is exhausted — "
+                "is the queue filesystem tearing writes?"
+            )
+        self._attempts[unit_id] = attempts
+        try:
+            os.unlink(_lease_path(self.queue_dir, unit_id))
+        except FileNotFoundError:
+            pass
+        atomic_write_bytes(
+            _task_path(self.queue_dir, unit_id),
+            self._task_doc(unit, attempt=attempts),
         )
 
     def _lease_age(self, unit_id: str) -> Optional[float]:

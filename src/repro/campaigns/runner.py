@@ -275,20 +275,44 @@ class ResultCache:
             f"{shard.start}-{shard.end}.pkl",
         )
 
-    @staticmethod
-    def _load(path: str) -> Optional[Any]:
+    def _load(self, path: str) -> Optional[Any]:
         """Unpickle ``path``, or None on any failure.
 
-        Load failures — missing files, but also stale entries
-        referencing payload classes a newer version renamed or moved
-        (AttributeError/ImportError) — degrade to a recompute rather
-        than aborting the campaign.
+        Load failures — stale entries referencing payload classes a
+        newer version renamed or moved (AttributeError/ImportError),
+        truncated documents from a torn write on a shared filesystem —
+        degrade to a recompute rather than aborting the campaign.  A
+        file that *exists but cannot load* is additionally moved to a
+        ``corrupt/`` subdirectory: left in place it would make
+        ``has()`` (and every ``--dry-run`` plan) keep advertising an
+        entry that silently recomputes on each run, and the broken
+        bytes would be re-parsed — and re-failed — forever instead of
+        being preserved once for diagnosis.
         """
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except Exception:
+        except FileNotFoundError:
             return None
+        except Exception:
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unloadable cache file into ``corrupt/`` (atomic,
+        best effort — quarantine trouble must never fail a run)."""
+        corrupt_dir = os.path.join(self.cache_dir, "corrupt")
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(
+                path,
+                os.path.join(
+                    corrupt_dir,
+                    f"{os.path.basename(path)}.{time.time_ns():x}",
+                ),
+            )
+        except OSError:
+            pass
 
     def _early_marker_path(self, spec_hash: str) -> str:
         return os.path.join(self.cache_dir, spec_hash + ".early")

@@ -317,11 +317,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "geometry knobs)"
                 )
             shard_policy = ShardPolicy()
+        if args.backend == "http" and not args.coordinator:
+            raise ValueError(
+                "--backend http needs --coordinator URL (start one "
+                "with: repro coordinator --queue-dir DIR)"
+            )
+        if args.coordinator and args.backend == "auto":
+            # Naming a coordinator is asking for the HTTP backend.
+            args.backend = "http"
+        if args.coordinator and args.backend != "http":
+            raise ValueError(
+                "--coordinator needs --backend http "
+                f"(got --backend {args.backend})"
+            )
         elastic = args.max_workers is not None
         min_workers = 1 if args.min_workers is None else args.min_workers
         if not elastic and args.min_workers is not None:
             raise ValueError("--min-workers needs --max-workers "
                              "(the elastic pool bounds come as a pair)")
+        if elastic and args.backend == "http":
+            raise ValueError(
+                "the elastic pool lives coordinator-side under "
+                "--backend http — use 'repro coordinator "
+                "--max-workers N' (the dispatcher's --workers only "
+                "spawns a fixed local pool)"
+            )
         if elastic:
             if args.max_workers < 1:
                 raise ValueError("--max-workers must be >= 1")
@@ -391,6 +411,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 print(f"work queue: {queue_dir} "
                       f"({pool_desc} worker(s))",
                       file=sys.stderr)
+        elif args.backend == "http":
+            from repro.backends import HttpQueueBackend
+
+            backend = HttpQueueBackend(
+                args.coordinator,
+                lease_timeout=args.lease_timeout,
+                idle_timeout=args.idle_timeout or None,
+                spawn_workers=workers,
+            )
+            if not args.quiet:
+                pool_desc = (f"{workers} spawned" if workers
+                             else "remote")
+                print(f"coordinator: {args.coordinator} "
+                      f"({pool_desc} worker(s))",
+                      file=sys.stderr)
         elif args.backend == "serial":
             from repro.backends import SerialBackend
 
@@ -404,8 +439,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not args.quiet:
         # Progress/ETA lines stream to stderr (one per finished cell or
         # shard), keeping stdout clean for the table/JSON result.  The
-        # work queue contributes a live worker-count column.
-        worker_gauge = getattr(backend, "live_worker_count", None)
+        # queue backends contribute a live worker gauge — per host
+        # when they can tell hosts apart (elastic fleets, HTTP
+        # coordinator stats), a plain count otherwise.
+        worker_gauge = (
+            getattr(backend, "workers_by_host", None)
+            or getattr(backend, "live_worker_count", None)
+        )
         progress = CampaignProgress(
             *campaign_totals(specs), worker_gauge=worker_gauge
         )
@@ -466,6 +506,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    if bool(args.queue) == bool(args.coordinator):
+        print("error: need exactly one of --queue (filesystem) or "
+              "--coordinator URL (HTTP)", file=sys.stderr)
+        return 2
+    if args.coordinator:
+        from repro.backends import worker_loop_http
+
+        worker_loop_http(
+            args.coordinator,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            max_idle=args.max_idle,
+            echo=not args.quiet,
+        )
+        return 0
     from repro.backends import worker_loop
 
     worker_loop(
@@ -475,6 +530,62 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_idle=args.max_idle,
         echo=not args.quiet,
     )
+    return 0
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    from repro.backends import CoordinatorServer
+
+    try:
+        if (args.min_workers is not None
+                and args.max_workers is None):
+            raise ValueError("--min-workers needs --max-workers "
+                             "(the elastic pool bounds come as a pair)")
+        server = CoordinatorServer(
+            args.queue_dir, host=args.host, port=args.port
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    supervisor = None
+    if args.max_workers is not None:
+        # A colocated elastic pool: the supervisor watches the queue
+        # directory it shares with the coordinator, and its workers
+        # join through the HTTP front door like any remote host's.
+        import os as _os
+
+        from repro.backends import (
+            CoordinatorWorkerLauncher,
+            ElasticSupervisor,
+        )
+
+        supervisor = ElasticSupervisor(
+            args.queue_dir,
+            min_workers=(
+                1 if args.min_workers is None else args.min_workers
+            ),
+            max_workers=args.max_workers,
+            launcher=CoordinatorWorkerLauncher(
+                server.url,
+                log_dir=_os.path.join(args.queue_dir, "workers"),
+            ),
+        ).start()
+    if not args.quiet:
+        pool = ("no local workers" if supervisor is None else
+                f"elastic {supervisor.min_workers}.."
+                f"{supervisor.max_workers} local worker(s)")
+        print(f"coordinator serving {args.queue_dir} at {server.url} "
+              f"({pool})\n"
+              f"join with: repro worker --coordinator {server.url}",
+              file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if supervisor is not None:
+            supervisor.shutdown()
+        server.shutdown()
     return 0
 
 
@@ -529,16 +640,24 @@ def build_parser() -> argparse.ArgumentParser:
                                "--max-workers pool; results are "
                                "bit-identical in every mode)")
     campaign.add_argument("--backend", default="auto",
-                          choices=("auto", "serial", "pool", "workqueue"),
+                          choices=("auto", "serial", "pool",
+                                   "workqueue", "http"),
                           help="execution backend: 'auto' picks serial "
                                "or a process pool from --workers; "
                                "'workqueue' dispatches through a "
                                "filesystem queue to independent "
-                               "'repro worker' processes")
+                               "'repro worker' processes; 'http' "
+                               "dispatches to a 'repro coordinator' "
+                               "service (needs --coordinator)")
     campaign.add_argument("--queue-dir", default=None,
                           help="work-queue directory for --backend "
                                "workqueue (shared with workers; a "
                                "temp dir when omitted)")
+    campaign.add_argument("--coordinator", default=None, metavar="URL",
+                          help="coordinator base URL for --backend "
+                               "http (implies it under --backend "
+                               "auto); workers on any host join with "
+                               "'repro worker --coordinator URL'")
     campaign.add_argument("--lease-timeout", type=float, default=60.0,
                           help="seconds without a worker heartbeat "
                                "before a claimed work unit is "
@@ -636,12 +755,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = sub.add_parser(
         "worker",
-        help="serve a work-queue directory as an execution worker",
+        help="serve a work queue (directory or coordinator URL) as an "
+             "execution worker",
     )
-    worker.add_argument("--queue", required=True,
+    worker.add_argument("--queue", default=None,
                         help="queue directory (the dispatcher's "
                              "--queue-dir; may be on a shared "
-                             "filesystem)")
+                             "filesystem); exactly one of --queue/"
+                             "--coordinator")
+    worker.add_argument("--coordinator", default=None, metavar="URL",
+                        help="join a 'repro coordinator' service over "
+                             "HTTP instead of mounting a queue "
+                             "directory (any host with network reach)")
     worker.add_argument("--worker-id", default=None,
                         help="stable identity for heartbeat/log files "
                              "(default: host-pid)")
@@ -653,6 +778,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "appears)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-unit log lines on stderr")
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="serve a queue directory over HTTP to a worker fleet",
+    )
+    coordinator.add_argument("--queue-dir", required=True,
+                             help="queue directory the coordinator "
+                                  "owns (all state lives here — a "
+                                  "killed coordinator restarted on "
+                                  "the same directory resumes "
+                                  "mid-campaign)")
+    coordinator.add_argument("--port", type=int, default=8642,
+                             help="TCP port to bind (default 8642; "
+                                  "0 = ephemeral)")
+    coordinator.add_argument("--host", default="0.0.0.0",
+                             help="bind address (default 0.0.0.0 — "
+                                  "reachable by remote workers)")
+    coordinator.add_argument("--min-workers", type=int, default=None,
+                             metavar="N",
+                             help="colocated elastic pool: never drain "
+                                  "below N local workers (default 1; "
+                                  "needs --max-workers)")
+    coordinator.add_argument("--max-workers", type=int, default=None,
+                             metavar="N",
+                             help="run an ElasticSupervisor next to "
+                                  "the coordinator scaling local "
+                                  "'repro worker --coordinator' "
+                                  "processes up to N with queue "
+                                  "pressure (remote hosts join on "
+                                  "top of this pool)")
+    coordinator.add_argument("--quiet", action="store_true",
+                             help="suppress the startup banner")
 
     return parser
 
@@ -666,6 +823,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "campaign": _cmd_campaign,
     "worker": _cmd_worker,
+    "coordinator": _cmd_coordinator,
 }
 
 

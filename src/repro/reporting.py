@@ -29,6 +29,7 @@ from typing import (
     Callable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     TextIO,
@@ -132,11 +133,14 @@ class CampaignProgress:
     clock:
         Injectable time source for tests.
     worker_gauge:
-        Optional live worker-count source (e.g.
-        ``WorkQueueBackend.live_worker_count``): when it returns a
-        number, every progress line gains a ``workers N`` column — the
-        operator's view of an elastic pool growing and draining.
-        Errors and None readings simply omit the column.
+        Optional live worker source: returning a number (e.g.
+        ``WorkQueueBackend.live_worker_count``) gains every progress
+        line a ``workers N`` column — the operator's view of an
+        elastic pool growing and draining.  Returning a host→count
+        mapping (``workers_by_host`` on the queue backends) renders
+        the fleet total with a per-host breakdown whenever more than
+        one host is serving.  Errors and None readings simply omit
+        the column.
     """
 
     #: Summary fields shown on a partial-preview line, at most.
@@ -148,7 +152,9 @@ class CampaignProgress:
         total_work: int,
         stream: Optional[TextIO] = None,
         clock=time.monotonic,
-        worker_gauge: Optional[Callable[[], Optional[int]]] = None,
+        worker_gauge: Optional[
+            Callable[[], "Optional[int | Mapping[str, int]]"]
+        ] = None,
     ) -> None:
         self.total_cells = max(0, total_cells)
         self.total_work = max(1, total_work)
@@ -168,7 +174,17 @@ class CampaignProgress:
             count = self.worker_gauge()
         except Exception:
             return ""  # a broken gauge must never break progress
-        return "" if count is None else f" | workers {count}"
+        if count is None:
+            return ""
+        if isinstance(count, Mapping):
+            total = sum(count.values())
+            if len(count) > 1:
+                hosts = ", ".join(
+                    f"{host}:{n}" for host, n in sorted(count.items())
+                )
+                return f" | workers {total} ({hosts})"
+            return f" | workers {total}"
+        return f" | workers {count}"
 
     def eta_seconds(self) -> Optional[float]:
         """Remaining seconds (≥ 0), or None with no fresh unit done

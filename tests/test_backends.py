@@ -1283,3 +1283,165 @@ class TestEarlyStopAcrossBackends:
         assert all(
             e.from_cache for e in events if e.event == "shard"
         )
+
+
+class TestMultiHostIdentity:
+    """Regression: supervisor- and dispatcher-generated worker ids
+    were minted from pids alone (``elastic-{pid}-{seq}``,
+    ``spawned-{pid}-{index}``), so two hosts sharing one queue
+    directory or coordinator collided the moment their pids matched —
+    heartbeat, log and retirement-sentinel files clobbered each
+    other.  Every generated id now carries the host label."""
+
+    def _fake_spawn(self, spawned):
+        def fake(queue_dir, worker_id, poll_interval):
+            spawned.append(worker_id)
+            return _FakeProc(), os.path.join(
+                queue_dir, WORKERS_DIR, worker_id + ".log"
+            )
+
+        return fake
+
+    def test_elastic_ids_do_not_collide_across_hosts(
+        self, tmp_path, monkeypatch
+    ):
+        spawned = []
+        monkeypatch.setattr(
+            wq, "_spawn_worker_process", self._fake_spawn(spawned)
+        )
+        ids = {}
+        for host in ("alpha", "beta"):
+            monkeypatch.setattr(wq, "_host_label", lambda h=host: h)
+            supervisor = ElasticSupervisor(
+                str(tmp_path), min_workers=1, max_workers=1
+            )
+            supervisor.tick()
+            ids[host] = spawned[-1]
+            # The host label flows into the fleet view too.
+            assert supervisor.workers_by_host() == {host: 1}
+        # Same pid, same sequence number, different hosts: the ids
+        # must still differ, and each must carry its host.
+        assert ids["alpha"] != ids["beta"]
+        assert ids["alpha"].startswith(f"elastic-alpha-{os.getpid()}-")
+        assert ids["beta"].startswith(f"elastic-beta-{os.getpid()}-")
+
+    def test_spawned_pool_ids_host_qualified(self, tmp_path, monkeypatch):
+        spawned = []
+        monkeypatch.setattr(
+            wq, "_spawn_worker_process", self._fake_spawn(spawned)
+        )
+        monkeypatch.setattr(wq, "_host_label", lambda: "gamma")
+        backend = WorkQueueBackend(str(tmp_path), spawn_workers=2)
+        backend.close()
+        assert len(spawned) == 2
+        assert all(
+            worker_id.startswith(f"spawned-gamma-{os.getpid()}-")
+            for worker_id in spawned
+        )
+
+
+class TestReleaseLeaseRace:
+    """Fault injection for the read-then-unlink race in lease release:
+    between a slow predecessor reading the owner and removing the
+    file, an expiry re-enqueue plus a successor claim (and ownership
+    stamp) can land — the release must never destroy that successor's
+    live lease."""
+
+    def test_successor_stamp_during_release_survives(
+        self, tmp_path, monkeypatch
+    ):
+        """The lease is re-written by its new owner *while* the
+        predecessor's release is verifying its captured copy: the
+        fresh lease wins, the stale capture is dropped."""
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"worker": "w2"}))
+        fresh_doc = {"worker": "w2", "attempt": 2, "stamped": "late"}
+        real_load = json.load
+
+        def load_and_interleave(handle):
+            doc = real_load(handle)
+            # The successor stamps its ownership right in the window
+            # between capture and verification.
+            lease.write_text(json.dumps(fresh_doc))
+            return doc
+
+        monkeypatch.setattr(wq.json, "load", load_and_interleave)
+        wq._release_lease(str(lease), "w1")
+        # The successor's freshly-stamped lease is intact — not
+        # clobbered by the captured pre-stamp copy...
+        assert json.loads(lease.read_text()) == fresh_doc
+        # ...and the tombstone did not linger as litter.
+        assert list(tmp_path.iterdir()) == [lease]
+
+    def test_unstamped_successor_claim_restored(self, tmp_path):
+        """A successor claim that has not stamped ownership yet (the
+        doc carries no worker) is not provably the predecessor's —
+        the release must restore it untouched."""
+        lease = tmp_path / "u.json"
+        lease.write_text(json.dumps({"attempt": 2}))
+        wq._release_lease(str(lease), "w1")
+        assert json.loads(lease.read_text()) == {"attempt": 2}
+        assert list(tmp_path.iterdir()) == [lease]
+
+    def test_torn_capture_restored_not_released(self, tmp_path):
+        """A capture that cannot be parsed (torn write) is treated as
+        not-provably-ours and restored."""
+        lease = tmp_path / "u.json"
+        lease.write_text("{not json")
+        wq._release_lease(str(lease), "w1")
+        assert lease.read_text() == "{not json"
+        assert list(tmp_path.iterdir()) == [lease]
+
+
+class TestCorruptResultQuarantine:
+    """Regression: a truncated/corrupt result document was treated as
+    silently absent — the dispatcher re-parsed and re-failed it on
+    every poll forever.  It is now quarantined to ``corrupt/`` and the
+    unit re-enqueued, counting against ``max_attempts``."""
+
+    def _submit_and_corrupt(self, tmp_path, backend):
+        unit = WorkUnit(
+            unit_id="u1", spec=timing_spec(num_samples=64)
+        )
+        backend.submit(unit)
+        # A worker claims the unit, then its result write tears.
+        assert wq._claim_next(str(tmp_path)) == "u1"
+        (tmp_path / RESULTS_DIR / "u1.pkl").write_bytes(
+            b"\x80\x04 definitely not a pickle"
+        )
+        return unit
+
+    def test_quarantined_and_retried(self, tmp_path):
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=60.0, idle_timeout=30.0,
+            poll_interval=0.05,
+        )
+        self._submit_and_corrupt(tmp_path, backend)
+        worker = threading.Thread(
+            target=run_worker_once, args=(str(tmp_path),),
+            kwargs={"max_idle": 10.0}, daemon=True,
+        )
+        worker.start()
+        try:
+            results = list(backend.completions())
+        finally:
+            backend.close()
+            worker.join(timeout=30.0)
+        assert len(results) == 1
+        assert results[0].attempts == 2
+        quarantined = os.listdir(tmp_path / "corrupt")
+        assert len(quarantined) == 1
+        assert quarantined[0].startswith("u1.pkl")
+        # The evidence is preserved verbatim.
+        assert (tmp_path / "corrupt" / quarantined[0]).read_bytes() \
+            == b"\x80\x04 definitely not a pickle"
+
+    def test_attempt_budget_bounds_the_retries(self, tmp_path):
+        backend = WorkQueueBackend(
+            str(tmp_path), lease_timeout=60.0, idle_timeout=30.0,
+            poll_interval=0.05, max_attempts=1,
+        )
+        self._submit_and_corrupt(tmp_path, backend)
+        with pytest.raises(RuntimeError, match="budget is exhausted"):
+            list(backend.completions())
+        backend.close()

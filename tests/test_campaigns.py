@@ -456,6 +456,31 @@ class TestResultCache:
         assert not result.cells[0].from_cache
         assert result.cells[0].payload.accesses == 12000
 
+    def test_corrupt_entry_quarantined_not_reparsed(self, tmp_path):
+        """Regression: a torn cache document was treated as silently
+        absent and re-parsed (and re-failed) on every later run.  It
+        is now moved to ``corrupt/`` — evidence preserved, the path
+        freed for the fresh recompute's entry."""
+        cache = ResultCache(str(tmp_path))
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+        cache_file = tmp_path / (spec.spec_hash() + ".pkl")
+        cache_file.write_bytes(b"torn write")
+        assert cache.get(spec) is None
+        quarantined = os.listdir(tmp_path / "corrupt")
+        assert len(quarantined) == 1
+        assert quarantined[0].startswith(spec.spec_hash() + ".pkl")
+        assert (tmp_path / "corrupt" / quarantined[0]).read_bytes() \
+            == b"torn write"
+        # The fresh run caches normally; the quarantined evidence does
+        # not shadow or confuse the new entry.
+        result = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert not result.cells[0].from_cache
+        rerun = CampaignRunner(cache_dir=str(tmp_path)).run([spec])
+        assert rerun.cells[0].from_cache
+
 
 class TestResultCacheGC:
     def _spec(self, seed=1):

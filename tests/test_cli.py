@@ -117,14 +117,47 @@ class TestParser:
         assert args.min_workers == 1
         assert args.max_workers == 3
 
-    def test_worker_requires_queue(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["worker"])
+    def test_worker_transport_flags(self):
         args = build_parser().parse_args(
             ["worker", "--queue", "/tmp/q", "--max-idle", "5"]
         )
         assert args.queue == "/tmp/q"
+        assert args.coordinator is None
         assert args.max_idle == 5.0
+        args = build_parser().parse_args(
+            ["worker", "--coordinator", "http://host:8642"]
+        )
+        assert args.queue is None
+        assert args.coordinator == "http://host:8642"
+
+    def test_worker_needs_exactly_one_transport(self, capsys):
+        """``repro worker`` must be told where its work lives —
+        exactly one of --queue / --coordinator."""
+        assert main(["worker"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["worker", "--queue", "/tmp/q",
+                     "--coordinator", "http://host:8642"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_coordinator_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["coordinator", "--queue-dir", "/tmp/q"]
+        )
+        assert args.queue_dir == "/tmp/q"
+        assert args.port == 8642
+        assert args.host == "0.0.0.0"
+        assert args.min_workers is None
+        assert args.max_workers is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["coordinator"])  # queue-dir required
+
+    def test_campaign_http_backend_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "contention",
+            "--backend", "http", "--coordinator", "http://host:8642",
+        ])
+        assert args.backend == "http"
+        assert args.coordinator == "http://host:8642"
 
 
 class TestCommands:
@@ -315,6 +348,27 @@ class TestCommands:
         assert main(["campaign", "contention", "--backend", "serial",
                      "--max-workers", "3", "--quiet"]) == 2
         assert "workqueue" in capsys.readouterr().err
+
+    def test_campaign_http_backend_needs_coordinator(self, capsys):
+        """--backend http without a coordinator URL is an error with a
+        hint on how to start one."""
+        assert main(["campaign", "contention", "--backend", "http",
+                     "--quiet"]) == 2
+        assert "repro coordinator" in capsys.readouterr().err
+        # And a coordinator URL on an explicitly local backend is an
+        # error, not a silently ignored flag.
+        assert main(["campaign", "contention", "--backend", "serial",
+                     "--coordinator", "http://host:8642",
+                     "--quiet"]) == 2
+        assert "--backend http" in capsys.readouterr().err
+
+    def test_campaign_max_workers_conflicts_with_http(self, capsys):
+        """Dispatcher-side elastic bounds make no sense over HTTP —
+        the pool lives next to the coordinator."""
+        assert main(["campaign", "contention", "--backend", "http",
+                     "--coordinator", "http://host:8642",
+                     "--max-workers", "3", "--quiet"]) == 2
+        assert "coordinator-side" in capsys.readouterr().err
 
     def test_campaign_max_workers_implies_workqueue(self, capsys):
         """--max-workers without --backend runs the elastic work queue

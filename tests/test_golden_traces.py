@@ -41,8 +41,10 @@ from repro.core.setups import SETUP_NAMES, make_setup
 GOLDEN_WORKERS = int(os.environ.get("REPRO_GOLDEN_WORKERS", "1"))
 
 #: Execution backend for the campaign-path goldens: "local" (serial /
-#: process pool from GOLDEN_WORKERS) or "workqueue" (filesystem queue
-#: + spawned ``repro worker`` subprocesses).
+#: process pool from GOLDEN_WORKERS), "workqueue" (filesystem queue
+#: + spawned ``repro worker`` subprocesses), or "http" (a
+#: CoordinatorServer + spawned ``repro worker --coordinator``
+#: subprocesses — no shared-filesystem assumption).
 GOLDEN_BACKEND = os.environ.get("REPRO_GOLDEN_BACKEND", "local")
 
 #: Shard geometry for the campaign-path goldens: "even" (default) or
@@ -99,6 +101,26 @@ def golden_runner(**kwargs):
                 yield CampaignRunner(backend=backend, **kwargs)
             finally:
                 backend.close()
+    elif GOLDEN_BACKEND == "http":
+        # The campaign goldens through a real HTTP coordinator: an
+        # in-process CoordinatorServer over a temp queue directory,
+        # drained by spawned ``repro worker --coordinator``
+        # subprocesses — CI's proof that the network transport cannot
+        # perturb a single frozen byte.
+        from repro.backends import CoordinatorServer, HttpQueueBackend
+
+        with tempfile.TemporaryDirectory(prefix="repro-golden-q-") as qdir:
+            with CoordinatorServer(qdir) as server:
+                backend = HttpQueueBackend(
+                    server.url,
+                    spawn_workers=max(2, GOLDEN_WORKERS),
+                    lease_timeout=300.0,
+                    idle_timeout=600.0,
+                )
+                try:
+                    yield CampaignRunner(backend=backend, **kwargs)
+                finally:
+                    backend.close()
     else:
         yield CampaignRunner(workers=GOLDEN_WORKERS, **kwargs)
 
