@@ -126,6 +126,40 @@ def run_benchmark(trials_scale: float = 1.0, repeats: int = 3) -> dict:
     }
 
 
+#: History entries kept in BENCH_kernels.json — enough to see a
+#: regression trend without the file growing forever.
+HISTORY_LIMIT = 50
+
+
+def append_history(doc: dict, json_path: str) -> dict:
+    """Fold the prior file's run history into ``doc``.
+
+    Every run appends one stamped summary entry (UTC stamp, max
+    speedup, per-setup speedups) to a ``history`` list carried across
+    rewrites, so a speedup regression shows as a *trajectory* — not
+    just a pass/fail against the static floor.  A missing or corrupt
+    prior file starts a fresh history.
+    """
+    history = []
+    try:
+        with open(json_path) as handle:
+            history = json.load(handle).get("history", [])
+    except (OSError, ValueError):
+        pass
+    if not isinstance(history, list):
+        history = []
+    history.append({
+        "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "max_speedup": doc["max_speedup"],
+        "speedups": {
+            f"{row['kind']}/{row['setup']}": row["speedup"]
+            for row in doc["setups"]
+        },
+    })
+    doc["history"] = history[-HISTORY_LIMIT:]
+    return doc
+
+
 def report(doc: dict) -> None:
     lines = []
     for row in doc["setups"]:
@@ -171,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     doc = run_benchmark(trials_scale=args.trials_scale,
                         repeats=args.repeats)
     report(doc)
+    append_history(doc, args.json)
     with open(args.json, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -121,6 +121,12 @@ class WorkResult:
     #: 1 + the number of times the unit was re-enqueued before this
     #: result arrived (lease expiries under the work queue).
     attempts: int = 1
+    #: Execution-only phase timings stamped by the worker (wall-clock
+    #: start/end, CPU seconds, host) — telemetry metadata that rides
+    #: the wire next to the payload but, like
+    #: :data:`~repro.campaigns.spec.EXECUTION_PARAMS`, never enters
+    #: spec identity or the payload bytes.
+    timings: Optional[Mapping[str, Any]] = None
 
 
 def resolve_unit_kind(unit: WorkUnit) -> ExperimentKind:
@@ -142,6 +148,24 @@ def execute_unit(unit: WorkUnit) -> Tuple[Any, float]:
     else:
         payload = kind.run_shard(unit.spec, unit.shard)
     return payload, time.perf_counter() - start
+
+
+def stamp_timings(started: float, cpu_started: float) -> "dict":
+    """The execution-phase timing doc every executor stamps.
+
+    ``started``/``cpu_started`` are ``time.time()`` /
+    ``time.process_time()`` readings taken just before the unit ran.
+    One shared builder so local backends and both worker transports
+    produce the same keys (the journal's span fields).
+    """
+    import socket
+
+    return {
+        "started": started,
+        "ended": time.time(),
+        "cpu": time.process_time() - cpu_started,
+        "host": socket.gethostname(),
+    }
 
 
 class ExecutionBackend(abc.ABC):

@@ -92,6 +92,7 @@ from repro.backends.workqueue import (
     run_unit_doc,
 )
 from repro.common.fsio import atomic_write_bytes
+from repro.telemetry.events import make_event
 
 DEFAULT_PORT = 8642
 
@@ -117,6 +118,12 @@ class CoordinatorState:
         #: advertise through their stamped lease instead).
         self.worker_fresh = worker_fresh
         self.lock = threading.Lock()
+        #: Process-lifetime throughput counters behind ``GET
+        #: /metrics``.  Deliberately *not* persisted: a restarted
+        #: coordinator reports its own uptime and post count, so the
+        #: throughput line always describes the serving process.
+        self.started = time.time()
+        self.results_posted = 0
         ensure_queue_dirs(queue_dir)
 
     # Each helper below runs under ``self.lock`` (the handler takes
@@ -218,6 +225,7 @@ class CoordinatorState:
             if doc is None or int(doc.get("attempt", 1)) != attempt:
                 return False
         atomic_write_bytes(result_path, body)
+        self.results_posted += 1
         if release_lease:
             try:
                 os.unlink(lease_path)
@@ -317,10 +325,11 @@ class CoordinatorState:
         proceeds.
         """
         result_path = _result_path(self.queue_dir, unit_id)
+        quarantined = None
         if os.path.exists(result_path):
             if not quarantine:
                 return {"requeued": False, "has_result": True}
-            quarantine_file(self.queue_dir, result_path)
+            quarantined = quarantine_file(self.queue_dir, result_path)
         try:
             os.unlink(_lease_path(self.queue_dir, unit_id))
         except FileNotFoundError:
@@ -329,7 +338,10 @@ class CoordinatorState:
             _task_path(self.queue_dir, unit_id),
             json.dumps(doc).encode(),
         )
-        return {"requeued": True, "has_result": False}
+        return {
+            "requeued": True, "has_result": False,
+            "quarantined": quarantined,
+        }
 
     def cancel(self, unit_ids: List[str]) -> Dict[str, Dict[str, bool]]:
         removed: Dict[str, Dict[str, bool]] = {}
@@ -412,6 +424,24 @@ class CoordinatorState:
             "stopped": os.path.exists(_stop_path(self.queue_dir)),
             "workers_by_host": by_host,
         }
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` fleet snapshot.
+
+        The :func:`~repro.telemetry.status.queue_dir_status` document
+        (per-lease ages, per-worker states, host counts) computed
+        coordinator-side, plus the serving process's uptime and
+        result-post counter so ``repro status --coordinator`` can
+        print a throughput line without any filesystem access.
+        """
+        from repro.telemetry.status import queue_dir_status
+
+        doc = queue_dir_status(
+            self.queue_dir, heartbeat_fresh=self.worker_fresh
+        )
+        doc["uptime"] = round(time.time() - self.started, 3)
+        doc["results_posted"] = self.results_posted
+        return doc
 
 
 class _CoordinatorHandler(BaseHTTPRequestHandler):
@@ -590,6 +620,9 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         if head == "stats":
             with self.state.lock:
                 return self._send_json(200, self.state.stats())
+        if head == "metrics":
+            with self.state.lock:
+                return self._send_json(200, self.state.metrics())
         return self._send_json(404, {"error": f"no route {self.path}"})
 
     def do_DELETE(self) -> None:  # noqa: N802
@@ -1005,6 +1038,7 @@ class HttpQueueBackend(ExecutionBackend):
         idle_timeout: Optional[float] = None,
         retry_timeout: float = 60.0,
         client: Optional[CoordinatorClient] = None,
+        telemetry=None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
@@ -1015,6 +1049,14 @@ class HttpQueueBackend(ExecutionBackend):
         self.poll_interval = poll_interval
         self.max_attempts = max_attempts
         self.idle_timeout = idle_timeout
+        #: Optional :class:`repro.telemetry.sink.TelemetrySink` for
+        #: the fault-recovery events (heartbeat gaps, lease expiries,
+        #: requeues, quarantines) — the HTTP twin of
+        #: :class:`WorkQueueBackend`'s journal trail.
+        self.telemetry = telemetry
+        #: ``(unit, attempt)`` pairs already warned about via a
+        #: heartbeat_gap event — one early warning per delivery.
+        self._gap_warned: Set[Tuple[str, int]] = set()
         self.client = client if client is not None else CoordinatorClient(
             self.url, retry_timeout=retry_timeout
         )
@@ -1053,6 +1095,10 @@ class HttpQueueBackend(ExecutionBackend):
         )
         self._procs.append(proc)
         self._log_paths.append(log_path)
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "worker_spawn", worker=worker_id, host=_host_label(),
+            ))
 
     def live_worker_count(self) -> Optional[int]:
         """Locally spawned live workers, else the coordinator's total
@@ -1195,6 +1241,7 @@ class HttpQueueBackend(ExecutionBackend):
             elapsed=float(doc.get("elapsed", 0.0)),
             worker=doc.get("worker"),
             attempts=attempts,
+            timings=doc.get("timings"),
         )
 
     def _quarantine_and_requeue(
@@ -1209,10 +1256,18 @@ class HttpQueueBackend(ExecutionBackend):
                 "is the coordinator's queue filesystem tearing writes?"
             )
         self._attempts[unit_id] = attempts
-        self._call_json(
+        answer = self._call_json(
             "POST", f"/requeue/{unit_id}?quarantine=1",
             json_body=self._task_doc(unit, attempt=attempts),
         )
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "quarantine", unit=unit_id,
+                path=answer.get("quarantined") or "coordinator-side",
+            ))
+            self.telemetry.emit(make_event(
+                "requeue", unit=unit_id, attempt=attempts,
+            ))
 
     def _requeue_expired(
         self, lease_ages: Dict[str, Optional[float]]
@@ -1227,7 +1282,22 @@ class HttpQueueBackend(ExecutionBackend):
         collected: List[WorkResult] = []
         for unit_id in list(self._outstanding):
             age = lease_ages.get(unit_id)
-            if age is None or age <= self.lease_timeout:
+            if age is None:
+                continue
+            if age <= self.lease_timeout:
+                # Early warning: the lease aged past half its window
+                # without a heartbeat — same one-event-per-attempt
+                # tripwire as the filesystem backend.
+                if (self.telemetry is not None
+                        and age > self.lease_timeout / 2.0):
+                    key = (unit_id, self._attempts[unit_id])
+                    if key not in self._gap_warned:
+                        self._gap_warned.add(key)
+                        self.telemetry.emit(make_event(
+                            "heartbeat_gap", unit=unit_id,
+                            age=round(age, 3),
+                            attempt=self._attempts[unit_id],
+                        ))
                 continue
             attempts = self._attempts[unit_id] + 1
             if attempts > self.max_attempts:
@@ -1249,6 +1319,15 @@ class HttpQueueBackend(ExecutionBackend):
                 if result is not None:
                     collected.append(result)
                 continue
+            if self.telemetry is not None:
+                self.telemetry.emit(make_event(
+                    "lease_expired", unit=unit_id,
+                    age=round(age, 3),
+                    attempt=self._attempts[unit_id],
+                ))
+                self.telemetry.emit(make_event(
+                    "requeue", unit=unit_id, attempt=attempts,
+                ))
             self._attempts[unit_id] = attempts
         return collected
 

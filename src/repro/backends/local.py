@@ -19,6 +19,7 @@ from repro.backends.base import (
     WorkUnit,
     execute_unit,
     resolve_unit_kind,
+    stamp_timings,
 )
 from repro.campaigns.spec import ExperimentSpec
 from repro.core.batch import Shard
@@ -40,8 +41,12 @@ class SerialBackend(ExecutionBackend):
     def completions(self) -> Iterator[WorkResult]:
         while self._queue:
             unit = self._queue.popleft()
+            started, cpu0 = time.time(), time.process_time()
             payload, elapsed = execute_unit(unit)
-            yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+            yield WorkResult(
+                unit=unit, payload=payload, elapsed=elapsed,
+                timings=stamp_timings(started, cpu0),
+            )
 
     def cancel(self) -> None:
         self._queue.clear()
@@ -57,7 +62,7 @@ class SerialBackend(ExecutionBackend):
 
 
 def _pool_execute(run_fn, spec: ExperimentSpec, shard: Optional[Shard]):
-    """(payload, compute seconds) on a pool worker.
+    """(payload, compute seconds, timings doc) on a pool worker.
 
     Receives the kind's run function directly rather than re-resolving
     ``spec.kind``: under the ``spawn`` start method a worker process
@@ -67,9 +72,11 @@ def _pool_execute(run_fn, spec: ExperimentSpec, shard: Optional[Shard]):
     worker, so parallel units report their own compute time rather
     than time-since-pool-start.
     """
+    started, cpu0 = time.time(), time.process_time()
     start = time.perf_counter()
     payload = run_fn(spec) if shard is None else run_fn(spec, shard)
-    return payload, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    return payload, elapsed, stamp_timings(started, cpu0)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -115,8 +122,11 @@ class ProcessPoolBackend(ExecutionBackend):
                 if future.cancelled() or unit.unit_id in self._cancelled:
                     self._cancelled.discard(unit.unit_id)
                     continue
-                payload, elapsed = future.result()
-                yield WorkResult(unit=unit, payload=payload, elapsed=elapsed)
+                payload, elapsed, timings = future.result()
+                yield WorkResult(
+                    unit=unit, payload=payload, elapsed=elapsed,
+                    timings=timings,
+                )
         finally:
             # A drain abandoned mid-way (a worker error raised out of
             # result(), or the consumer closed the generator) must not

@@ -50,15 +50,26 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.backends.base import (
     ExecutionBackend,
     WorkResult,
     WorkUnit,
     execute_unit,
+    stamp_timings,
 )
 from repro.common.fsio import atomic_write_bytes
+from repro.telemetry.events import make_event
 
 TASKS_DIR = "tasks"
 LEASES_DIR = "leases"
@@ -315,6 +326,7 @@ def run_unit_doc(doc: Dict[str, Any], worker_id: str) -> Dict[str, Any]:
         "worker": worker_id,
         "attempt": int(doc.get("attempt", 1)),
     }
+    started, cpu0 = time.time(), time.process_time()
     try:
         module = doc.get("kind_module")
         if module:
@@ -324,7 +336,14 @@ def run_unit_doc(doc: Dict[str, Any], worker_id: str) -> Dict[str, Any]:
             # side effects).
             importlib.import_module(module)
         payload, elapsed = execute_unit(WorkUnit.from_doc(doc))
-        result.update(ok=True, payload=payload, elapsed=elapsed)
+        # Phase timings are execution-only metadata riding next to
+        # the payload (like EXECUTION_PARAMS stays out of spec
+        # identity): telemetry reads them, payload bytes never
+        # depend on them.
+        result.update(
+            ok=True, payload=payload, elapsed=elapsed,
+            timings=stamp_timings(started, cpu0),
+        )
     except Exception:
         result.update(ok=False, error=traceback.format_exc())
     return result
@@ -460,16 +479,34 @@ def _stop_proc(proc: subprocess.Popen, deadline: float) -> None:
             proc.wait()
 
 
+#: Bytes of log tail read per file for crash diagnostics.  Worker logs
+#: grow unbounded on long campaigns; a diagnostic must never slurp a
+#: multi-gigabyte log into memory to show its last 20 lines.
+_LOG_TAIL_BYTES = 4096
+
+
 def _log_tails(paths: Iterable[str], lines: int = 20) -> str:
-    """The last ``lines`` of each worker log, joined for diagnostics."""
+    """The last ``lines`` of each worker log, joined for diagnostics.
+
+    Reads only the final :data:`_LOG_TAIL_BYTES` of each file — the
+    first line of a mid-file seek may be torn, which is fine for a
+    crash tail.
+    """
     tails = []
     for path in paths:
         try:
-            with open(path, errors="replace") as handle:
-                tails.append(f"--- {path} ---\n"
-                             + "".join(handle.readlines()[-lines:]))
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - _LOG_TAIL_BYTES))
+                data = handle.read(_LOG_TAIL_BYTES)
         except OSError:
             continue
+        text = data.decode("utf-8", errors="replace")
+        tails.append(
+            f"--- {path} ---\n"
+            + "\n".join(text.splitlines()[-lines:])
+        )
     return "\n".join(tails)
 
 
@@ -612,6 +649,7 @@ class ElasticSupervisor:
         heartbeat_fresh: float = 2.0,
         clock=time.monotonic,
         launcher: Optional[WorkerLauncher] = None,
+        telemetry=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -635,14 +673,19 @@ class ElasticSupervisor:
         self.worker_poll = worker_poll
         self.heartbeat_fresh = heartbeat_fresh
         self.clock = clock
+        #: Optional :class:`repro.telemetry.sink.TelemetrySink`:
+        #: scaling decisions (with their queue-pressure inputs) and
+        #: worker spawn/retire/crash events go here when set.
+        self.telemetry = telemetry
         ensure_queue_dirs(queue_dir)
         self.stats = ElasticStats()
         #: Workers that exited without being asked to retire
         #: (lifetime count, for reporting).
         self.abnormal_exits = 0
-        #: Monotonic timestamps of recent abnormal exits — the
-        #: crash-*loop* signal (a crash an hour ago is not a loop).
-        self._abnormal_at: List[float] = []
+        #: ``(monotonic time, worker id)`` of recent abnormal exits —
+        #: the crash-*loop* signal (a crash an hour ago is not a
+        #: loop), with the ids for the diagnosis message.
+        self._abnormal_at: List[Tuple[float, str]] = []
         #: Seconds within which repeated crashes count as a loop.
         self.crash_window = 60.0
         #: When tick() started failing (None = healthy) + the last
@@ -798,6 +841,11 @@ class ElasticSupervisor:
         self.stats.peak_workers = max(
             self.stats.peak_workers, len(self._procs)
         )
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "worker_spawn",
+                worker=worker_id, host=self.launcher.host,
+            ))
 
     def _retire_one(self) -> None:
         """Drain the newest worker via its per-worker stop sentinel."""
@@ -808,6 +856,11 @@ class ElasticSupervisor:
         )
         self._retiring[worker_id] = proc
         self.stats.retired += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "worker_retire",
+                worker=worker_id, host=self.launcher.host,
+            ))
 
     def _reap(self) -> None:
         """Collect exited processes and their queue-side litter.
@@ -827,7 +880,13 @@ class ElasticSupervisor:
             del self._procs[worker_id]
             if proc.returncode != 0:
                 self.abnormal_exits += 1
-                self._abnormal_at.append(self.clock())
+                self._abnormal_at.append((self.clock(), worker_id))
+                if self.telemetry is not None:
+                    self.telemetry.emit(make_event(
+                        "worker_crash",
+                        worker=worker_id, host=self.launcher.host,
+                        returncode=proc.returncode,
+                    ))
             # A fresh leftover heartbeat must not read as an external
             # worker and suppress the replacement spawn.
             _cleanup_worker_files(self.queue_dir, worker_id)
@@ -848,6 +907,7 @@ class ElasticSupervisor:
                     demand - self._fresh_external_workers()),
             )
             if own < target and (pending > 0 or own < self.min_workers):
+                self._emit_scale("spawn", pending, busy, own, target)
                 for _ in range(target - own):
                     self._spawn_one()
                 self._surplus_since = None
@@ -858,11 +918,29 @@ class ElasticSupervisor:
                 if self._surplus_since is None:
                     self._surplus_since = now
                 elif now - self._surplus_since >= self.idle_grace:
+                    self._emit_scale(
+                        "retire", pending, busy, own, target
+                    )
                     for _ in range(own - target):
                         self._retire_one()
                     self._surplus_since = None
             else:
                 self._surplus_since = None
+
+    def _emit_scale(
+        self, action: str, pending: int, busy: int, own: int,
+        target: int,
+    ) -> None:
+        """Journal one scaling decision with the queue-pressure
+        inputs that drove it — the record feedback-controlled
+        scheduling will learn from."""
+        if self.telemetry is None:
+            return
+        self.telemetry.emit(make_event(
+            "scale",
+            action=action, pending=pending, busy=busy,
+            own=own, target=target,
+        ))
 
     def check_health(self) -> None:
         """Raise when the pool demonstrably cannot serve.
@@ -909,16 +987,25 @@ class ElasticSupervisor:
                     "last error:\n" + (self.last_error or "<unknown>")
                 )
             self._abnormal_at = [
-                at for at in self._abnormal_at
-                if now - at <= self.crash_window
+                entry for entry in self._abnormal_at
+                if now - entry[0] <= self.crash_window
             ]
             if len(self._abnormal_at) < 3:
                 return
+            # Ids are host-qualified at mint time (elastic-<host>-…),
+            # so on a shared multi-host queue the message names which
+            # machine's workers are dying — and the tails shown are
+            # the crashed workers' own logs, not just the newest.
+            crashed = [worker for _, worker in self._abnormal_at]
             raise RuntimeError(
                 f"elastic supervisor: {len(self._abnormal_at)} "
                 f"worker(s) crashed within {self.crash_window:.0f}s "
-                "and none are running\n"
-                + _log_tails(list(self._log_paths.values())[-3:])
+                f"and none are running: {', '.join(crashed)}\n"
+                + _log_tails([
+                    self._log_paths[worker]
+                    for worker in crashed[-3:]
+                    if worker in self._log_paths
+                ])
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -1027,6 +1114,7 @@ class WorkQueueBackend(ExecutionBackend):
         min_workers: Optional[int] = None,
         max_workers: Optional[int] = None,
         elastic_idle_grace: float = 2.0,
+        telemetry=None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
@@ -1044,6 +1132,14 @@ class WorkQueueBackend(ExecutionBackend):
         self.poll_interval = poll_interval
         self.max_attempts = max_attempts
         self.idle_timeout = idle_timeout
+        #: Optional :class:`repro.telemetry.sink.TelemetrySink` for
+        #: the queue's fault-recovery events (heartbeat gaps, lease
+        #: expiries, requeues, quarantines); shared with the attached
+        #: elastic supervisor.
+        self.telemetry = telemetry
+        #: ``(unit, attempt)`` pairs already warned about via a
+        #: heartbeat_gap event — one early warning per delivery.
+        self._gap_warned: Set[Tuple[str, int]] = set()
         ensure_queue_dirs(queue_dir)
         # A stale sentinel from a previous campaign would make fresh
         # workers exit immediately.
@@ -1066,6 +1162,7 @@ class WorkQueueBackend(ExecutionBackend):
                 poll_interval=poll_interval,
                 idle_grace=elastic_idle_grace,
                 worker_poll=poll_interval,
+                telemetry=telemetry,
             ).start()
         for index in range(spawn_workers):
             self._spawn_worker(index)
@@ -1082,6 +1179,10 @@ class WorkQueueBackend(ExecutionBackend):
         )
         self._procs.append(proc)
         self._log_paths.append(log_path)
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "worker_spawn", worker=worker_id, host=_host_label(),
+            ))
 
     def live_worker_count(self) -> Optional[int]:
         """Workers serving the queue, or None when unknowable (no
@@ -1240,6 +1341,7 @@ class WorkQueueBackend(ExecutionBackend):
             elapsed=float(doc.get("elapsed", 0.0)),
             worker=doc.get("worker"),
             attempts=attempts,
+            timings=doc.get("timings"),
         )
 
     def _quarantine_and_requeue(
@@ -1256,6 +1358,10 @@ class WorkQueueBackend(ExecutionBackend):
         quarantined = quarantine_file(self.queue_dir, result_path)
         if quarantined is None:
             return  # vanished mid-read; the next poll resolves it
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "quarantine", unit=unit_id, path=quarantined,
+            ))
         attempts = self._attempts[unit_id] + 1
         if attempts > self.max_attempts:
             raise RuntimeError(
@@ -1273,6 +1379,10 @@ class WorkQueueBackend(ExecutionBackend):
             _task_path(self.queue_dir, unit_id),
             self._task_doc(unit, attempt=attempts),
         )
+        if self.telemetry is not None:
+            self.telemetry.emit(make_event(
+                "requeue", unit=unit_id, attempt=attempts,
+            ))
 
     def _lease_age(self, unit_id: str) -> Optional[float]:
         try:
@@ -1303,7 +1413,23 @@ class WorkQueueBackend(ExecutionBackend):
         collected: List[WorkResult] = []
         for unit_id, unit in list(self._outstanding.items()):
             age = self._lease_age(unit_id)
-            if age is None or age <= self.lease_timeout:
+            if age is None:
+                continue
+            if age <= self.lease_timeout:
+                # Early warning: the lease aged past half its window
+                # without a heartbeat — the worker is struggling (or
+                # its beat thread is), even if it recovers.  One
+                # event per delivery attempt.
+                if (self.telemetry is not None
+                        and age > self.lease_timeout / 2.0):
+                    key = (unit_id, self._attempts[unit_id])
+                    if key not in self._gap_warned:
+                        self._gap_warned.add(key)
+                        self.telemetry.emit(make_event(
+                            "heartbeat_gap", unit=unit_id,
+                            age=round(age, 3),
+                            attempt=self._attempts[unit_id],
+                        ))
                 continue
             result = self._collect(unit_id)
             if result is not None:
@@ -1315,6 +1441,12 @@ class WorkQueueBackend(ExecutionBackend):
                     pass
                 collected.append(result)
                 continue
+            if self.telemetry is not None:
+                self.telemetry.emit(make_event(
+                    "lease_expired", unit=unit_id,
+                    age=round(age, 3),
+                    attempt=self._attempts[unit_id],
+                ))
             attempts = self._attempts[unit_id] + 1
             if attempts > self.max_attempts:
                 raise RuntimeError(
@@ -1331,6 +1463,10 @@ class WorkQueueBackend(ExecutionBackend):
                 _task_path(self.queue_dir, unit_id),
                 self._task_doc(unit, attempt=attempts),
             )
+            if self.telemetry is not None:
+                self.telemetry.emit(make_event(
+                    "requeue", unit=unit_id, attempt=attempts,
+                ))
         return collected
 
     # -- teardown ------------------------------------------------------------

@@ -621,6 +621,13 @@ class CampaignRunner:
         ``early_stop=True`` runners, while a full-budget runner
         recomputes (and overwrites) it.  Only sharded cells can stop
         early — a whole-cell unit has no partials to rule on.
+    telemetry:
+        Optional :class:`~repro.telemetry.sink.TelemetrySink`
+        receiving typed span events (unit queued/done with phase
+        timings, merges, cache hits and partial restores, early-stop
+        decisions, campaign start/end) alongside the ``progress``
+        callback.  Default None builds no events at all; enabling it
+        never changes a payload byte.
     """
 
     def __init__(
@@ -633,6 +640,7 @@ class CampaignRunner:
         shard_policy: Optional[ShardPolicy] = None,
         stream_partials: bool = False,
         early_stop: bool = False,
+        telemetry=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -648,6 +656,22 @@ class CampaignRunner:
         )
         self.stream_partials = stream_partials
         self.early_stop = early_stop
+        #: Optional :class:`repro.telemetry.sink.TelemetrySink`.
+        #: Default None is *zero-cost*: no event dict is ever built.
+        #: Enabling it is bit-identity-neutral — events observe
+        #: execution, payloads never depend on them.
+        self.telemetry = telemetry
+        #: Wall-clock submit time per outstanding unit id — the
+        #: queued→running phase split in unit_done spans.
+        self._queued_at: Dict[str, float] = {}
+
+    def _emit(self, type_: str, **fields: Any) -> None:
+        """Emit one telemetry event (no-op without a sink)."""
+        if self.telemetry is None:
+            return
+        from repro.telemetry.events import make_event
+
+        self.telemetry.emit(make_event(type_, **fields))
 
     # -- planning ----------------------------------------------------------
 
@@ -730,6 +754,11 @@ class CampaignRunner:
 
     # -- execution ---------------------------------------------------------
 
+    def _backend_label(self) -> str:
+        if self.backend is not None:
+            return type(self.backend).__name__
+        return "serial" if self.workers == 1 else f"pool({self.workers})"
+
     def run(self, specs: Sequence[ExperimentSpec]) -> CampaignResult:
         """Execute every cell, returning results in spec order."""
         specs = list(specs)
@@ -737,6 +766,13 @@ class CampaignRunner:
         # (possibly hours-long) cell executes.
         for spec in specs:
             get_experiment(spec.kind)
+        run_started = time.monotonic()
+        self._emit(
+            "campaign_start",
+            cells=len(specs),
+            backend=self._backend_label(),
+            total_work=sum(cell_weight(spec) for spec in specs),
+        )
 
         results: List[Optional[CellResult]] = [None] * len(specs)
         pending: List[_PendingCell] = []
@@ -755,6 +791,9 @@ class CampaignRunner:
                 results[index] = CellResult(
                     spec=spec, payload=payload, elapsed=0.0,
                     from_cache=True, early_stopped=was_early_stopped,
+                )
+                self._emit(
+                    "cache_hit", cell=spec.cell_id, kind=spec.kind,
                 )
                 self._report(ProgressEvent(
                     event="cell",
@@ -783,12 +822,18 @@ class CampaignRunner:
             self._execute(pending, results)
 
         assert all(result is not None for result in results)
+        self._emit(
+            "campaign_end",
+            cells=len(specs),
+            elapsed=time.monotonic() - run_started,
+        )
         return CampaignResult(cells=[r for r in results if r is not None])
 
     def _restore_shards(self, cell: _PendingCell) -> None:
         """Adopt persisted shard partials from an interrupted run."""
         if self.cache is None or cell.plan is None:
             return
+        restored_before = cell.restored
         for index, payload in sorted(
             self.cache.get_shards(cell.spec, cell.plan).items()
         ):
@@ -803,6 +848,13 @@ class CampaignRunner:
                 from_cache=True,
                 shard=cell.plan[index],
             ))
+        if cell.restored > restored_before:
+            self._emit(
+                "partial_restore",
+                cell=cell.spec.cell_id,
+                shards=cell.restored - restored_before,
+                of=len(cell.plan),
+            )
 
     def _make_units(
         self, pending: Sequence[_PendingCell]
@@ -858,8 +910,16 @@ class CampaignRunner:
         if backend is None:
             backend = self._make_backend(len(units))
         try:
-            for unit, _, _ in units:
+            for unit, cell, _ in units:
                 backend.submit(unit)
+                if self.telemetry is not None:
+                    self._queued_at[unit.unit_id] = time.time()
+                    self._emit(
+                        "unit_queued",
+                        unit=unit.unit_id,
+                        cell=cell.spec.cell_id,
+                        kind=cell.spec.kind,
+                    )
             # Completion order (backend-defined), so finished cells
             # hit the cache and the progress callback immediately
             # instead of waiting behind a slow earlier cell.  Shard
@@ -867,6 +927,8 @@ class CampaignRunner:
             # completion-order independent.
             for result in backend.completions():
                 cell, shard = by_id[result.unit.unit_id]
+                if self.telemetry is not None:
+                    self._emit_unit_done(cell, result)
                 if cell.done:
                     # A straggler of an early-stopped cell (its unit
                     # was already running when the cancel landed).
@@ -885,8 +947,40 @@ class CampaignRunner:
         finally:
             if owns_backend:
                 backend.close()
+            self._queued_at.clear()
 
     # -- unit completion ---------------------------------------------------
+
+    def _emit_unit_done(self, cell: _PendingCell, result: Any) -> None:
+        """Close one unit's span: phase split + worker timings.
+
+        ``queue_wait`` is submit-to-execution-start, from the worker's
+        own wall clock when it stamped timings (clamped at 0 against
+        cross-host clock skew); the remaining fields ride straight
+        from the result doc.
+        """
+        unit_id = result.unit.unit_id
+        queued = self._queued_at.pop(unit_id, None)
+        queue_wait = None
+        timings = result.timings
+        if queued is not None:
+            started = (timings or {}).get("started")
+            reference = started if started is not None else time.time()
+            queue_wait = max(0.0, reference - queued)
+        fields: Dict[str, Any] = dict(
+            unit=unit_id,
+            cell=cell.spec.cell_id,
+            kind=cell.spec.kind,
+            attempts=getattr(result, "attempts", 1),
+            elapsed=result.elapsed,
+        )
+        if getattr(result, "worker", None) is not None:
+            fields["worker"] = result.worker
+        if queue_wait is not None:
+            fields["queue_wait"] = round(queue_wait, 6)
+        if timings is not None:
+            fields["timings"] = dict(timings)
+        self._emit("unit_done", **fields)
 
     def _merge(self, cell: _PendingCell) -> Any:
         """Merge a sharded cell's partials (shard order, not completion
@@ -895,7 +989,14 @@ class CampaignRunner:
         start = time.perf_counter()
         parts = [cell.parts[i] for i in range(len(cell.plan))]
         payload = cell.kind.merge_shards(cell.spec, parts)
-        cell.elapsed += time.perf_counter() - start
+        seconds = time.perf_counter() - start
+        cell.elapsed += seconds
+        self._emit(
+            "merge",
+            cell=cell.spec.cell_id,
+            shards=len(parts),
+            seconds=round(seconds, 6),
+        )
         return payload
 
     def _finish(
@@ -924,6 +1025,14 @@ class CampaignRunner:
             elapsed=cell.elapsed,
             num_shards=num_shards,
             shards_restored=cell.restored,
+            early_stopped=early_stopped,
+        )
+        self._emit(
+            "cell_done",
+            cell=cell.spec.cell_id,
+            kind=cell.spec.kind,
+            elapsed=round(cell.elapsed, 6),
+            shards=num_shards,
             early_stopped=early_stopped,
         )
         # Sharded cells already reported their work shard by shard;
@@ -1020,14 +1129,21 @@ class CampaignRunner:
             return  # an erroring rule must never fail the campaign
         if not stop:
             return
-        if backend is not None:
-            remaining = [
-                unit_id
-                for index, unit_id in cell.unit_ids.items()
-                if index not in cell.parts
-            ]
-            if remaining:
-                backend.cancel_units(remaining)
+        remaining = [
+            unit_id
+            for index, unit_id in cell.unit_ids.items()
+            if index not in cell.parts
+        ]
+        if backend is not None and remaining:
+            backend.cancel_units(remaining)
+        # decided_at: the trial count the verdict was reached at — the
+        # end of the merged contiguous prefix the rule fired on.
+        self._emit(
+            "early_stop",
+            cell=cell.spec.cell_id,
+            decided_at=cell.plan[done - 1].end,
+            cancelled=len(remaining),
+        )
         self._finish(results, cell, payload, early_stopped=True)
 
     def _report(self, event: ProgressEvent) -> None:

@@ -49,6 +49,14 @@ Commands
     units published by a ``repro campaign --backend workqueue``
     dispatcher (on this or any host sharing the directory) until the
     queue's stop sentinel appears.
+``trace``
+    Analyze a ``--telemetry`` run journal: per-cell time breakdown
+    (queue wait vs. run vs. merge), slowest units, and requeue chains
+    reconstructed per unit; ``--validate`` schema-checks every event.
+``status``
+    Live fleet snapshot from a queue directory or a coordinator's
+    ``GET /metrics``: per-host worker counts, in-flight lease ages,
+    queue depth and throughput.
 """
 
 from __future__ import annotations
@@ -374,6 +382,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{min_workers}..{args.max_workers}" if elastic else workers
     )
 
+    telemetry = None
+    if (args.telemetry or args.journal) and not args.dry_run:
+        from repro.telemetry import RunJournal
+
+        if args.journal:
+            telemetry = RunJournal(args.journal)
+        else:
+            # An explicit queue directory outlives the run (an
+            # ephemeral one is swept at exit, taking any journal with
+            # it); the cache dir is the next most durable home.
+            telemetry = RunJournal.in_dir(
+                args.queue_dir or args.cache_dir or "."
+            )
+        if not args.quiet:
+            print(f"telemetry journal: {telemetry.path}",
+                  file=sys.stderr)
+
     backend = None
     ephemeral_queue = None
     if not args.dry_run:
@@ -405,6 +430,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 queue_dir,
                 lease_timeout=args.lease_timeout,
                 idle_timeout=args.idle_timeout or None,
+                telemetry=telemetry,
                 **pool_kwargs,
             )
             if not args.quiet:
@@ -419,6 +445,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 lease_timeout=args.lease_timeout,
                 idle_timeout=args.idle_timeout or None,
                 spawn_workers=workers,
+                telemetry=telemetry,
             )
             if not args.quiet:
                 pool_desc = (f"{workers} spawned" if workers
@@ -461,6 +488,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             shard_policy=shard_policy,
             stream_partials=args.stream_partials,
             early_stop=args.early_stop,
+            telemetry=telemetry,
         )
         if args.dry_run:
             return _cmd_dry_run(runner, specs, args.name)
@@ -476,6 +504,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
             shutil.rmtree(ephemeral_queue, ignore_errors=True)
     wall = time.perf_counter() - started
+    if telemetry is not None and telemetry.dropped and not args.quiet:
+        print(f"warning: {telemetry.dropped} telemetry event(s) "
+              "dropped (journal write errors)", file=sys.stderr)
 
     summaries = result.summaries()
     if args.json:
@@ -533,6 +564,80 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        TraceReport,
+        load_journal,
+        replay_journal,
+        validate_journal,
+    )
+
+    try:
+        events = load_journal(args.journal)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validate_journal(events)
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"{args.journal}: {len(events)} event(s), "
+              f"{len(errors)} schema error(s)")
+        return 1 if errors else 0
+    report = TraceReport(events)
+    if args.json:
+        from repro.reporting import render_json
+
+        print(render_json({
+            "journal": args.journal,
+            "events": len(events),
+            "campaign": {
+                k: v for k, v in report.campaign.items()
+                if k not in ("type", "ts")
+            },
+            "cells": {
+                name: {**row, "flags": sorted(row["flags"])}
+                for name, row in report.cells.items()
+            },
+            "chains": {
+                unit: [dict(e) for e in chain]
+                for unit, chain in report.chains.items()
+            },
+            "metrics": replay_journal(args.journal).registry.snapshot(),
+        }))
+        return 0
+    print(report.render())
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        coordinator_status,
+        queue_dir_status,
+        render_status,
+    )
+
+    if bool(args.queue_dir) == bool(args.coordinator):
+        print("error: need exactly one of --queue-dir (filesystem) or "
+              "--coordinator URL (HTTP)", file=sys.stderr)
+        return 2
+    try:
+        if args.coordinator:
+            doc = coordinator_status(args.coordinator)
+        else:
+            doc = queue_dir_status(args.queue_dir)
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        from repro.reporting import render_json
+
+        print(render_json(doc))
+        return 0
+    print(render_status(doc))
+    return 0
+
+
 def _cmd_coordinator(args: argparse.Namespace) -> int:
     from repro.backends import CoordinatorServer
 
@@ -547,6 +652,14 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import RunJournal
+
+        telemetry = RunJournal.in_dir(args.queue_dir)
+        if not args.quiet:
+            print(f"telemetry journal: {telemetry.path}",
+                  file=sys.stderr)
     supervisor = None
     if args.max_workers is not None:
         # A colocated elastic pool: the supervisor watches the queue
@@ -569,6 +682,7 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
                 server.url,
                 log_dir=_os.path.join(args.queue_dir, "workers"),
             ),
+            telemetry=telemetry,
         ).start()
     if not args.quiet:
         pool = ("no local workers" if supervisor is None else
@@ -752,6 +866,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress the per-cell/per-shard "
                                "progress/ETA lines on stderr")
+    campaign.add_argument("--telemetry", action="store_true",
+                          help="journal structured run events (spans, "
+                               "cache hits, requeues, scaling "
+                               "decisions) to a JSONL file for 'repro "
+                               "trace'; payloads are bit-identical "
+                               "with or without it")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="telemetry journal path (implies "
+                               "--telemetry; default: a stamped file "
+                               "in --queue-dir, else --cache-dir, "
+                               "else the working directory)")
 
     worker = sub.add_parser(
         "worker",
@@ -808,8 +933,43 @@ def build_parser() -> argparse.ArgumentParser:
                                   "processes up to N with queue "
                                   "pressure (remote hosts join on "
                                   "top of this pool)")
+    coordinator.add_argument("--telemetry", action="store_true",
+                             help="journal the colocated pool's "
+                                  "scaling/worker events to a stamped "
+                                  "JSONL file in --queue-dir")
     coordinator.add_argument("--quiet", action="store_true",
                              help="suppress the startup banner")
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze a telemetry journal: per-cell timings, slowest "
+             "units, requeue chains",
+    )
+    trace.add_argument("journal",
+                       help="JSONL journal written by 'repro campaign "
+                            "--telemetry'")
+    trace.add_argument("--validate", action="store_true",
+                       help="check every event against the journal "
+                            "schema and exit nonzero on violations "
+                            "(the CI gate)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the aggregated report (cells, "
+                            "chains, metric summaries) as JSON")
+
+    status = sub.add_parser(
+        "status",
+        help="live fleet snapshot: workers, in-flight leases, queue "
+             "depth, throughput",
+    )
+    status.add_argument("--queue-dir", default=None,
+                        help="inspect a filesystem work queue "
+                             "directly; exactly one of --queue-dir/"
+                             "--coordinator")
+    status.add_argument("--coordinator", default=None, metavar="URL",
+                        help="ask a 'repro coordinator' service for "
+                             "its /metrics snapshot")
+    status.add_argument("--json", action="store_true",
+                        help="emit the snapshot document as JSON")
 
     return parser
 
@@ -824,6 +984,8 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "worker": _cmd_worker,
     "coordinator": _cmd_coordinator,
+    "trace": _cmd_trace,
+    "status": _cmd_status,
 }
 
 

@@ -28,3 +28,22 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+
+
+def append_line(path: str, line: str) -> None:
+    """Append one newline-terminated line via a single O_APPEND write.
+
+    POSIX guarantees a single ``write(2)`` on an ``O_APPEND`` descriptor
+    lands contiguously, so concurrent appenders (a journal shared by a
+    dispatcher and a supervisor thread) interleave whole lines, never
+    torn ones.  The line is flushed but not fsynced — journals trade a
+    crash window of a few records for not serializing every event on
+    disk latency; the documents that decide correctness (tasks, leases,
+    results) keep using :func:`atomic_write_bytes`.
+    """
+    data = (line.rstrip("\n") + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)

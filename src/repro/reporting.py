@@ -91,7 +91,24 @@ def render_json(payload: Any, *, indent: Optional[int] = 2) -> str:
 
 
 def format_duration(seconds: float) -> str:
-    """Compact human-readable duration (``47s``, ``3m12s``, ``2h05m``)."""
+    """Compact human-readable duration (``820ms``, ``47s``, ``3m12s``,
+    ``2h05m``).
+
+    Negative inputs (clock skew between the hosts stamping a span)
+    clamp to ``0s``.  Sub-second durations render in milliseconds, and
+    positive values below a millisecond render ``<1ms`` — a span that
+    took *some* time must never read as taking none.
+    """
+    if seconds <= 0.0:
+        return "0s"
+    if seconds < 1.0:
+        millis = int(round(seconds * 1000.0))
+        if millis < 1:
+            return "<1ms"
+        if millis < 1000:
+            return f"{millis}ms"
+        # 0.9996s rounds up to 1000ms: fall through to the whole-
+        # second path rather than rendering "1000ms".
     whole = int(round(max(0.0, seconds)))
     if whole < 60:
         return f"{whole}s"
@@ -177,10 +194,16 @@ class CampaignProgress:
         if count is None:
             return ""
         if isinstance(count, Mapping):
-            total = sum(count.values())
-            if len(count) > 1:
+            # A host whose pool drained to zero mid-campaign is stale
+            # bookkeeping, not fleet state — drop it rather than
+            # rendering a noisy "hostB:0".
+            live = {
+                host: n for host, n in count.items() if n > 0
+            }
+            total = sum(live.values())
+            if len(live) > 1:
                 hosts = ", ".join(
-                    f"{host}:{n}" for host, n in sorted(count.items())
+                    f"{host}:{n}" for host, n in sorted(live.items())
                 )
                 return f" | workers {total} ({hosts})"
             return f" | workers {total}"

@@ -1,0 +1,212 @@
+"""Journal analyzers behind ``repro trace``.
+
+Turns one run's JSONL journal into the operator's three questions:
+
+* **where did the time go** — a per-cell breakdown splitting queue
+  wait from run time and merge cost,
+* **what was slow** — the slowest units with their attempt counts and
+  serving workers,
+* **what went wrong** — requeue chains reconstructed per unit from
+  lease expiries, quarantines and re-enqueues, in attempt order.
+
+Everything renders through :mod:`repro.reporting` so trace output
+matches the rest of the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.reporting import format_table
+
+#: Event types that mark a unit's delivery as faulted (chain members).
+_FAULT_TYPES = ("heartbeat_gap", "lease_expired", "requeue", "quarantine")
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    """Sub-second-friendly seconds for trace tables (units often run
+    milliseconds; ``format_duration`` rounds those to ``<1ms``/``Nms``
+    strings meant for ETAs, not columns)."""
+    if seconds is None:
+        return "-"
+    return f"{seconds:.3f}s"
+
+
+class TraceReport:
+    """One journal, aggregated for rendering (and for tests)."""
+
+    def __init__(self, events: "list[Mapping[str, Any]]") -> None:
+        self.events = events
+        self.campaign: Dict[str, Any] = {}
+        #: cell → aggregate row.
+        self.cells: Dict[str, Dict[str, Any]] = {}
+        #: unit → its unit_done event (the span's closing record).
+        self.units: Dict[str, Mapping[str, Any]] = {}
+        #: unit → fault/requeue events in journal order.
+        self.chains: Dict[str, List[Mapping[str, Any]]] = {}
+        self._build()
+
+    def _cell(self, name: str) -> Dict[str, Any]:
+        return self.cells.setdefault(name, {
+            "cell": name,
+            "kind": None,
+            "units": 0,
+            "run_s": 0.0,
+            "queue_wait_s": 0.0,
+            "merge_s": 0.0,
+            "merges": 0,
+            "flags": set(),
+        })
+
+    def _build(self) -> None:
+        for event in self.events:
+            type_ = event.get("type")
+            if type_ == "campaign_start":
+                self.campaign.update(event)
+            elif type_ == "campaign_end":
+                self.campaign["elapsed"] = event.get("elapsed")
+            elif type_ == "unit_done":
+                unit = str(event.get("unit"))
+                self.units[unit] = event
+                row = self._cell(str(event.get("cell")))
+                row["units"] += 1
+                row["run_s"] += float(event.get("elapsed", 0.0))
+                wait = event.get("queue_wait")
+                if wait is not None:
+                    row["queue_wait_s"] += float(wait)
+                if event.get("kind"):
+                    row["kind"] = event["kind"]
+                if int(event.get("attempts", 1)) > 1:
+                    # The span closed after at least one redelivery —
+                    # keep it in the chain view even if the expiry
+                    # events landed in another process's journal.
+                    self.chains.setdefault(unit, [])
+            elif type_ == "merge":
+                row = self._cell(str(event.get("cell")))
+                row["merge_s"] += float(event.get("seconds", 0.0))
+                row["merges"] += 1
+            elif type_ == "cache_hit":
+                self._cell(str(event.get("cell")))["flags"].add("cached")
+            elif type_ == "partial_restore":
+                self._cell(str(event.get("cell")))["flags"].add(
+                    f"restored {event.get('shards')} shard(s)"
+                )
+            elif type_ == "early_stop":
+                self._cell(str(event.get("cell")))["flags"].add(
+                    f"early-stop @ {event.get('decided_at')}"
+                )
+            elif type_ in _FAULT_TYPES:
+                unit = str(event.get("unit"))
+                self.chains.setdefault(unit, []).append(event)
+
+    # -- rendering -----------------------------------------------------------
+
+    def cell_rows(self) -> List[List[str]]:
+        rows = []
+        for name in sorted(self.cells):
+            row = self.cells[name]
+            rows.append([
+                name,
+                row["kind"] or "-",
+                str(row["units"]),
+                _fmt_s(row["run_s"]),
+                _fmt_s(row["queue_wait_s"]),
+                f"{_fmt_s(row['merge_s'])} ({row['merges']})",
+                ", ".join(sorted(row["flags"])) or "-",
+            ])
+        return rows
+
+    def slowest_units(self, top: int = 10) -> List[List[str]]:
+        ranked = sorted(
+            self.units.values(),
+            key=lambda e: float(e.get("elapsed", 0.0)),
+            reverse=True,
+        )[:top]
+        rows = []
+        for event in ranked:
+            timings = event.get("timings") or {}
+            rows.append([
+                str(event.get("unit")),
+                _fmt_s(float(event.get("elapsed", 0.0))),
+                _fmt_s(event.get("queue_wait")),
+                _fmt_s(timings.get("cpu")),
+                str(event.get("attempts", 1)),
+                str(event.get("worker") or "-"),
+            ])
+        return rows
+
+    def chain_lines(self) -> List[str]:
+        """Requeue chains, one narrative line per faulted unit."""
+        lines = []
+        for unit in sorted(self.chains):
+            steps = []
+            for event in self.chains[unit]:
+                type_ = event.get("type")
+                if type_ == "heartbeat_gap":
+                    steps.append(
+                        f"heartbeat gap ({event.get('age', 0):.1f}s)"
+                    )
+                elif type_ == "lease_expired":
+                    steps.append(
+                        f"lease expired (attempt "
+                        f"{event.get('attempt')}, age "
+                        f"{event.get('age', 0):.1f}s)"
+                    )
+                elif type_ == "requeue":
+                    steps.append(
+                        f"requeued as attempt {event.get('attempt')}"
+                    )
+                elif type_ == "quarantine":
+                    steps.append(
+                        f"corrupt result quarantined "
+                        f"({event.get('path')})"
+                    )
+            done = self.units.get(unit)
+            if done is not None:
+                steps.append(
+                    f"done (attempt {done.get('attempts')}, worker "
+                    f"{done.get('worker') or '?'}, "
+                    f"{_fmt_s(float(done.get('elapsed', 0.0)))})"
+                )
+            else:
+                steps.append("never completed in this journal")
+            lines.append(f"{unit}: " + " -> ".join(steps))
+        return lines
+
+    def render(self) -> str:
+        """The full ``repro trace`` text report."""
+        out: List[str] = []
+        backend = self.campaign.get("backend", "?")
+        cells = self.campaign.get("cells", len(self.cells))
+        elapsed = self.campaign.get("elapsed")
+        head = f"journal: {len(self.events)} event(s), " \
+               f"{cells} cell(s), backend {backend}"
+        if elapsed is not None:
+            head += f", campaign wall {float(elapsed):.3f}s"
+        out.append(head)
+        if self.cells:
+            out.append("")
+            out.append("Per-cell breakdown "
+                       "(run = summed unit wall time):")
+            out.append(format_table(
+                ["cell", "kind", "units", "run", "queue-wait",
+                 "merge (n)", "notes"],
+                self.cell_rows(),
+            ))
+        if self.units:
+            out.append("")
+            out.append("Slowest units:")
+            out.append(format_table(
+                ["unit", "wall", "queue-wait", "cpu", "attempts",
+                 "worker"],
+                self.slowest_units(),
+            ))
+        if self.chains:
+            out.append("")
+            out.append("Requeue chains:")
+            out.extend("  " + line for line in self.chain_lines())
+        return "\n".join(out)
+
+
+def render_trace(events: "list[Mapping[str, Any]]") -> str:
+    return TraceReport(events).render()

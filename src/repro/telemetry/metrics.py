@@ -1,0 +1,235 @@
+"""Pure-Python metrics: counters, gauges, histograms, and the sink
+that folds journal events into them.
+
+No new dependencies and no background threads — a registry is a dict
+of instruments keyed by ``(name, sorted label items)``, cheap enough
+to live inside a dispatcher loop.  The same fold
+(:class:`MetricsSink`) serves two consumers: live aggregation during a
+run (wired behind a :class:`~repro.telemetry.sink.MultiSink` next to
+the journal) and offline replay of a finished journal
+(:func:`replay_journal`), so ``repro trace`` and the coordinator's
+``/metrics`` endpoint report identical numbers for identical events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def percentile(sorted_values: "list[float]", q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending list, by linear
+    interpolation between closest ranks (matches ``numpy.percentile``
+    defaults, without importing numpy for three numbers)."""
+    if not sorted_values:
+        raise ValueError("percentile of empty list")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class Counter:
+    """Monotonic event count."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value (pool targets, queue depth)."""
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """All observations kept, summarized on demand.
+
+    Campaign cardinality is bounded (units per run, not requests per
+    second), so keeping raw observations is cheaper than getting
+    bucket boundaries wrong — and exact p50/p90/p99 beats approximate.
+    """
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": percentile(ordered, 0.50),
+            "p90": percentile(ordered, 0.90),
+            "p99": percentile(ordered, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Instruments keyed by ``(name, labels)``; JSON-able snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram()
+        return self._histograms[key]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as a plain-JSON document, sorted for
+        stable rendering and golden assertions."""
+
+        def rows(table, value_of):
+            out = []
+            for (name, labels) in sorted(table):
+                out.append({
+                    "name": name,
+                    "labels": dict(labels),
+                    **value_of(table[(name, labels)]),
+                })
+            return out
+
+        return {
+            "counters": rows(
+                self._counters, lambda c: {"value": c.value}
+            ),
+            "gauges": rows(
+                self._gauges, lambda g: {"value": g.value}
+            ),
+            "histograms": rows(
+                self._histograms, lambda h: h.summary()
+            ),
+        }
+
+
+class MetricsSink:
+    """Folds telemetry events into a :class:`MetricsRegistry`.
+
+    The one place the event vocabulary maps to instruments — the
+    latency/queue-wait/merge histograms the ISSUE's percentile
+    summaries come from, plus fault and fleet counters.  Unknown
+    event types are ignored (an old analyzer reading a newer journal
+    degrades, it does not crash).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        reg = self.registry
+        type_ = event.get("type")
+        if type_ == "unit_done":
+            labels = {"cell": event.get("cell", "?")}
+            kind = event.get("kind")
+            if kind:
+                labels["kind"] = kind
+            reg.histogram("unit_latency_s", **labels).observe(
+                float(event.get("elapsed", 0.0))
+            )
+            wait = event.get("queue_wait")
+            if wait is not None:
+                reg.histogram("queue_wait_s", **labels).observe(
+                    float(wait)
+                )
+            timings = event.get("timings") or {}
+            host = timings.get("host") or event.get("host")
+            if host:
+                reg.counter("units_by_host", host=host).inc()
+            if "cpu" in timings:
+                reg.histogram("unit_cpu_s", **labels).observe(
+                    float(timings["cpu"])
+                )
+            reg.counter("units_done").inc()
+            if int(event.get("attempts", 1)) > 1:
+                reg.counter("units_retried").inc()
+        elif type_ == "merge":
+            reg.histogram(
+                "merge_s", cell=event.get("cell", "?")
+            ).observe(float(event.get("seconds", 0.0)))
+        elif type_ == "cache_hit":
+            reg.counter("cache_hits").inc()
+        elif type_ == "partial_restore":
+            reg.counter("partial_restores").inc()
+            reg.counter("shards_restored").inc(
+                float(event.get("shards", 0))
+            )
+        elif type_ == "early_stop":
+            reg.counter("early_stops").inc()
+        elif type_ == "heartbeat_gap":
+            reg.counter("heartbeat_gaps").inc()
+        elif type_ == "lease_expired":
+            reg.counter("lease_expiries").inc()
+        elif type_ == "requeue":
+            reg.counter("requeues").inc()
+        elif type_ == "quarantine":
+            reg.counter("quarantines").inc()
+        elif type_ == "scale":
+            reg.counter(
+                "scale_actions", action=event.get("action", "?")
+            ).inc()
+            reg.gauge("scale_target").set(
+                float(event.get("target", 0))
+            )
+        elif type_ == "worker_spawn":
+            reg.counter(
+                "workers_spawned", host=event.get("host", "?")
+            ).inc()
+        elif type_ == "worker_retire":
+            reg.counter(
+                "workers_retired", host=event.get("host", "?")
+            ).inc()
+        elif type_ == "worker_crash":
+            reg.counter(
+                "worker_crashes", host=event.get("host", "?")
+            ).inc()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+
+def replay_journal(path: str) -> MetricsSink:
+    """Fold a finished journal into a fresh registry."""
+    from repro.telemetry.sink import read_journal
+
+    sink = MetricsSink()
+    for event in read_journal(path):
+        sink.emit(event)
+    return sink

@@ -1,0 +1,135 @@
+"""Telemetry sinks: where campaign events go.
+
+The instrumentation contract is deliberately thin — a sink is anything
+with ``emit(event_doc)`` — and **optional**: every instrumented layer
+takes ``telemetry=None`` and guards each emission site on it, so a
+campaign run without telemetry pays nothing (no event dicts are even
+built).  The sinks here cover the three shapes consumers need:
+
+* :class:`RunJournal` — the durable one: JSONL, one event per line,
+  appended with a single ``O_APPEND`` write per event
+  (:func:`repro.common.fsio.append_line`), so the dispatcher thread
+  and the supervisor thread sharing one journal interleave whole
+  records.  A journal is an *operator artifact*: a write failure
+  increments :attr:`RunJournal.dropped` and never fails the campaign.
+* :class:`~repro.telemetry.metrics.MetricsSink` — live aggregation
+  into counters/gauges/histograms (defined with the registry).
+* :class:`MultiSink` — fan-out, for journal + metrics together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterator, List, Mapping, Optional
+
+from repro.common.fsio import append_line
+
+
+class TelemetrySink:
+    """Protocol: anything accepting event docs via :meth:`emit`."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class NullSink(TelemetrySink):
+    """Swallows everything (for tests that just need *a* sink)."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        pass
+
+
+class MultiSink(TelemetrySink):
+    """Fans each event out to several sinks (journal + live metrics)."""
+
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self.sinks: List[TelemetrySink] = list(sinks)
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class RecordingSink(TelemetrySink):
+    """Collects events in memory — the test double."""
+
+    def __init__(self) -> None:
+        self.events: List[Mapping[str, Any]] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def of_type(self, type_: str) -> List[Mapping[str, Any]]:
+        return [e for e in self.events if e.get("type") == type_]
+
+
+class RunJournal(TelemetrySink):
+    """Append-only JSONL journal — one campaign run's event record.
+
+    Each event lands as one compact JSON line via a single
+    ``O_APPEND`` write, so concurrent emitters (dispatcher loop,
+    supervisor thread) never tear each other's records.  Telemetry is
+    an observer: an unwritable journal (disk full, permissions) counts
+    the event in :attr:`dropped` instead of raising into the campaign.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Events lost to write errors (an operator diagnostic; the
+        #: campaign itself is never failed over a journal write).
+        self.dropped = 0
+
+    @classmethod
+    def in_dir(cls, directory: str, stamp: Optional[str] = None
+               ) -> "RunJournal":
+        """Mint ``<directory>/journal-<stamp>.jsonl`` (dir created)."""
+        os.makedirs(directory, exist_ok=True)
+        if stamp is None:
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            # Collision guard: two runs starting within one second
+            # share a second-resolution stamp.
+            candidate = os.path.join(directory, f"journal-{stamp}.jsonl")
+            seq = 0
+            while os.path.exists(candidate):
+                seq += 1
+                candidate = os.path.join(
+                    directory, f"journal-{stamp}.{seq}.jsonl"
+                )
+            return cls(candidate)
+        return cls(os.path.join(directory, f"journal-{stamp}.jsonl"))
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        try:
+            append_line(
+                self.path,
+                json.dumps(event, separators=(",", ":"), sort_keys=True),
+            )
+        except (OSError, TypeError, ValueError):
+            self.dropped += 1
+
+
+def read_journal(path: str) -> Iterator[Mapping[str, Any]]:
+    """Yield a journal's events in order, skipping torn/blank lines.
+
+    A journal is flushed-not-fsynced by design, so the final line of a
+    crashed run may be truncated — analyzers skip it rather than
+    refusing the whole file.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict):
+                yield doc
+
+
+def load_journal(path: str) -> "list[Mapping[str, Any]]":
+    """The journal's events as a list (see :func:`read_journal`)."""
+    return list(read_journal(path))

@@ -65,6 +65,12 @@ GOLDEN_ELASTIC = os.environ.get("REPRO_GOLDEN_ELASTIC", "") == "1"
 #: frozen GOLDEN_CONTENTION values apply verbatim.
 GOLDEN_KERNEL = os.environ.get("REPRO_GOLDEN_KERNEL", "")
 
+#: With REPRO_GOLDEN_TELEMETRY=1 every golden campaign run journals
+#: its events to a temp JSONL file, which is schema-validated (and
+#: required to have dropped nothing) after the run — while the frozen
+#: digests above prove telemetry never touches a payload byte.
+GOLDEN_TELEMETRY = os.environ.get("REPRO_GOLDEN_TELEMETRY", "") == "1"
+
 
 def golden_policy() -> ShardPolicy:
     if GOLDEN_SHARD_POLICY == "adaptive":
@@ -75,54 +81,90 @@ def golden_policy() -> ShardPolicy:
 
 
 @contextlib.contextmanager
+def _golden_journal():
+    """A RunJournal under REPRO_GOLDEN_TELEMETRY=1 (else None);
+    schema-validated after a successful run."""
+    if not GOLDEN_TELEMETRY:
+        yield None
+        return
+    from repro.telemetry import RunJournal, load_journal, validate_journal
+
+    fd, path = tempfile.mkstemp(
+        prefix="repro-golden-journal-", suffix=".jsonl"
+    )
+    os.close(fd)
+    journal = RunJournal(path)
+    try:
+        yield journal
+        assert journal.dropped == 0
+        events = load_journal(path)
+        assert events, "telemetry-on golden run journaled nothing"
+        assert validate_journal(events) == []
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+@contextlib.contextmanager
 def golden_runner(**kwargs):
     """A CampaignRunner on the backend CI asked for (env knobs above)."""
     kwargs.setdefault("shard_policy", golden_policy())
-    if GOLDEN_BACKEND == "workqueue":
-        from repro.backends import WorkQueueBackend
+    with _golden_journal() as journal:
+        kwargs["telemetry"] = journal
+        if GOLDEN_BACKEND == "workqueue":
+            from repro.backends import WorkQueueBackend
 
-        with tempfile.TemporaryDirectory(prefix="repro-golden-q-") as qdir:
-            if GOLDEN_ELASTIC:
-                backend = WorkQueueBackend(
-                    qdir,
-                    min_workers=1,
-                    max_workers=max(3, GOLDEN_WORKERS),
-                    lease_timeout=300.0,
-                    idle_timeout=600.0,
-                )
-            else:
-                backend = WorkQueueBackend(
-                    qdir,
-                    spawn_workers=max(2, GOLDEN_WORKERS),
-                    lease_timeout=300.0,
-                    idle_timeout=600.0,
-                )
-            try:
-                yield CampaignRunner(backend=backend, **kwargs)
-            finally:
-                backend.close()
-    elif GOLDEN_BACKEND == "http":
-        # The campaign goldens through a real HTTP coordinator: an
-        # in-process CoordinatorServer over a temp queue directory,
-        # drained by spawned ``repro worker --coordinator``
-        # subprocesses — CI's proof that the network transport cannot
-        # perturb a single frozen byte.
-        from repro.backends import CoordinatorServer, HttpQueueBackend
-
-        with tempfile.TemporaryDirectory(prefix="repro-golden-q-") as qdir:
-            with CoordinatorServer(qdir) as server:
-                backend = HttpQueueBackend(
-                    server.url,
-                    spawn_workers=max(2, GOLDEN_WORKERS),
-                    lease_timeout=300.0,
-                    idle_timeout=600.0,
-                )
+            with tempfile.TemporaryDirectory(
+                prefix="repro-golden-q-"
+            ) as qdir:
+                if GOLDEN_ELASTIC:
+                    backend = WorkQueueBackend(
+                        qdir,
+                        min_workers=1,
+                        max_workers=max(3, GOLDEN_WORKERS),
+                        lease_timeout=300.0,
+                        idle_timeout=600.0,
+                        telemetry=journal,
+                    )
+                else:
+                    backend = WorkQueueBackend(
+                        qdir,
+                        spawn_workers=max(2, GOLDEN_WORKERS),
+                        lease_timeout=300.0,
+                        idle_timeout=600.0,
+                        telemetry=journal,
+                    )
                 try:
                     yield CampaignRunner(backend=backend, **kwargs)
                 finally:
                     backend.close()
-    else:
-        yield CampaignRunner(workers=GOLDEN_WORKERS, **kwargs)
+        elif GOLDEN_BACKEND == "http":
+            # The campaign goldens through a real HTTP coordinator: an
+            # in-process CoordinatorServer over a temp queue directory,
+            # drained by spawned ``repro worker --coordinator``
+            # subprocesses — CI's proof that the network transport
+            # cannot perturb a single frozen byte.
+            from repro.backends import CoordinatorServer, HttpQueueBackend
+
+            with tempfile.TemporaryDirectory(
+                prefix="repro-golden-q-"
+            ) as qdir:
+                with CoordinatorServer(qdir) as server:
+                    backend = HttpQueueBackend(
+                        server.url,
+                        spawn_workers=max(2, GOLDEN_WORKERS),
+                        lease_timeout=300.0,
+                        idle_timeout=600.0,
+                        telemetry=journal,
+                    )
+                    try:
+                        yield CampaignRunner(backend=backend, **kwargs)
+                    finally:
+                        backend.close()
+        else:
+            yield CampaignRunner(workers=GOLDEN_WORKERS, **kwargs)
 
 GOLDEN_KEY = bytes(range(16))
 GOLDEN_SAMPLES = 4096

@@ -251,6 +251,48 @@ class TestWorkerGauge:
         progress(_event(work=100))
         assert "workers" not in stream.getvalue()
 
+    def test_host_mapping_renders_fleet_breakdown(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            1, 100, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: {"hostA": 2, "hostB": 3},
+        )
+        progress(_event(work=100))
+        assert stream.getvalue().splitlines()[0].endswith(
+            "| workers 5 (hostA:2, hostB:3)"
+        )
+
+    def test_host_drained_to_zero_disappears(self):
+        """A host whose elastic pool drained mid-campaign drops out of
+        the gauge entirely — never rendered as a noisy 'hostB:0'."""
+        stream = io.StringIO()
+        readings = iter([
+            {"hostA": 2, "hostB": 3},
+            {"hostA": 2, "hostB": 0},
+        ])
+        progress = CampaignProgress(
+            2, 200, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: next(readings),
+        )
+        progress(_event(work=100))
+        progress(_event(work=100))
+        lines = stream.getvalue().splitlines()
+        assert lines[0].endswith("| workers 5 (hostA:2, hostB:3)")
+        # One live host left: total only, no parenthesised breakdown.
+        assert lines[1].endswith("| workers 2")
+        assert "hostB" not in lines[1]
+
+    def test_all_hosts_drained_reads_zero(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            1, 100, stream=stream, clock=_FakeClock(),
+            worker_gauge=lambda: {"hostA": 0},
+        )
+        progress(_event(work=100))
+        line = stream.getvalue().splitlines()[0]
+        assert line.endswith("| workers 0")
+        assert "hostA" not in line
+
 
 class TestCampaignProgressGuards:
     """Degenerate campaign shapes must never divide by zero or print
@@ -325,6 +367,25 @@ class TestFormatDuration:
         assert format_duration(192) == "3m12s"
         assert format_duration(7500) == "2h05m"
         assert format_duration(-5) == "0s"
+
+    def test_negative_and_zero_clamp(self):
+        """Clock skew between span-stamping hosts can make a span
+        negative: clamp, never render '-2s'."""
+        assert format_duration(-0.001) == "0s"
+        assert format_duration(0.0) == "0s"
+
+    def test_sub_second_renders_millis(self):
+        assert format_duration(0.25) == "250ms"
+        assert format_duration(0.001) == "1ms"
+
+    def test_sub_millisecond_never_reads_as_nothing(self):
+        assert format_duration(0.0004) == "<1ms"
+        assert format_duration(1e-9) == "<1ms"
+
+    def test_millis_rounding_up_falls_to_seconds(self):
+        # 999.6ms would round to "1000ms": must read as a second.
+        assert format_duration(0.9996) == "1s"
+        assert format_duration(0.9994) == "999ms"
 
 
 class TestHelpers:
