@@ -1,9 +1,10 @@
-"""Scalar vs. vector trial-kernel throughput, tracked in BENCH_kernels.json.
+"""Scalar vs. vector kernel throughput, tracked in BENCH_kernels.json.
 
-Measures the batched NumPy trial kernels (:mod:`repro.kernels`)
-against the scalar per-trial loop on the contention-attack hot path,
-building each attack exactly the way a campaign cell does (same specs,
-same per-trial seed hooks).  Every measured pair is also asserted
+Measures the batched NumPy kernels (:mod:`repro.kernels`) against the
+scalar loops on the two hot paths — contention-attack trial blocks and
+trace replay (pwcet run batches, missrate set-parallel rounds) —
+building each cell exactly the way a campaign does (same specs, same
+per-trial seed hooks).  Every measured pair is also asserted
 bit-identical — a benchmark that drifted from the scalar semantics
 would fail, not report a bogus speedup.
 
@@ -13,12 +14,14 @@ Results go three places:
   (``benchmarks/results.txt``);
 * machine-readable ``BENCH_kernels.json`` at the repo root — the
   tracked perf trajectory, refreshed whenever the kernels change;
-* the exit code, when ``--check-floor X`` is given: nonzero if the
-  best in-envelope speedup falls below ``X`` (the CI perf gate).
+* the exit code, when ``--check-floor`` is given: nonzero if *any*
+  setup's speedup falls below its own per-setup floor (the CI perf
+  gate — per-setup, so a regression in one envelope corner cannot
+  hide behind another setup's headline number).
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py --check-floor 2.5
+    PYTHONPATH=src python benchmarks/bench_kernels.py --check-floor
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ import sys
 import time
 from typing import List, Optional
 
+import numpy as np
+
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if _REPO_ROOT not in sys.path:
     sys.path.insert(0, _REPO_ROOT)
@@ -38,32 +43,52 @@ from repro.campaigns import ExperimentSpec
 from repro.campaigns.experiments import (
     _contention_attack,
     _contention_seeder,
+    _pwcet_times,
     resolve_contention_kernel,
+    resolve_missrate_kernel,
+    resolve_pwcet_kernel,
+    run_missrate,
 )
 from benchmarks.reporting import emit
 
 DEFAULT_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_kernels.json")
 
-#: The measured grid: campaign-shaped contention cells.  The
-#: "deterministic" setups are the acceptance targets (pure LRU, fully
-#: inside the vector envelope); the "tscache" setups add the
-#: per-trial per-process seed hook, with replacement pinned to LRU so
-#: they stay in-envelope (stock TSCache pairs random placement with
-#: random replacement, whose draw sequencing forces the scalar path —
-#: that escape hatch is exercised by the golden suite, not timed
-#: here).  Trial budgets are sized so the batched kernel's fixed
-#: per-block overhead amortizes the way real campaign blocks do.
+#: The measured grid: campaign-shaped contention cells, each with its
+#: own conservative CI floor (kept well under the tracked speedups so
+#: runner jitter never flakes the build).  The "deterministic" setups
+#: are the original acceptance targets (pure LRU); "tscache" stock
+#: pairs random placement with random replacement (in-envelope since
+#: the draw-sequencing kernels landed), "rpcache" exercises the
+#: permutation-table placement plus interference redirection, and
+#: "mbpta" the RM+hashRP random hierarchy.  Trial budgets are sized so
+#: the batched kernel's fixed per-block overhead amortizes the way
+#: real campaign blocks do.
 SETUPS = (
-    ("prime_probe", "deterministic", (), 256),
-    ("prime_probe", "tscache", (("replacement", "lru"),), 256),
-    ("evict_time", "deterministic", (), 96),
-    ("evict_time", "tscache", (("replacement", "lru"),), 96),
+    # (kind, setup, params, trials, floor)
+    ("prime_probe", "deterministic", (), 256, 2.5),
+    ("prime_probe", "tscache", (("replacement", "lru"),), 256, 2.5),
+    ("prime_probe", "tscache", (), 256, 2.0),
+    ("prime_probe", "rpcache", (), 256, 2.0),
+    ("prime_probe", "mbpta", (), 256, 2.0),
+    ("evict_time", "deterministic", (), 96, 2.5),
+    ("evict_time", "tscache", (), 96, 2.0),
+)
+
+#: Trace-replay cells: pwcet batches runs of a two-level hierarchy,
+#: missrate replays one cache set-parallel.  Modest floors — replay
+#: speedups scale with the run budget / trace shape, and CI runs the
+#: scaled-down grid.
+REPLAYS = (
+    # (kind, setup-or-policy label, params, budget, floor)
+    ("pwcet", "tscache", (("analyse", False),), 48, 2.0),
+    ("pwcet", "deterministic", (("analyse", False),), 48, 2.0),
+    ("missrate", "random_modulo", (("workload", "reuse"),), 1, 1.0),
 )
 
 
-def _bench_spec(kind, setup, params, trials) -> ExperimentSpec:
+def _bench_spec(kind, setup, params, samples) -> ExperimentSpec:
     return ExperimentSpec(
-        kind=kind, setup=setup, num_samples=trials, seed=2018,
+        kind=kind, setup=setup, num_samples=samples, seed=2018,
         params=params,
     )
 
@@ -83,43 +108,112 @@ def _time_block(attack, trials, seeder, repeats: int) -> tuple:
     return best, correct
 
 
+def _time_fn(fn, repeats: int) -> tuple:
+    """(best seconds, first result) of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for i in range(repeats):
+        started = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - started)
+        if i == 0:
+            result = out
+    return best, result
+
+
+def _row(kind, setup, params, budget, floor, resolved,
+         check, scalar_s, vector_s) -> dict:
+    return {
+        "kind": kind,
+        "setup": setup,
+        "params": [list(item) for item in params],
+        "trials": budget,
+        "resolved_kernel": resolved.kernel,
+        "fallback_reason": resolved.reason,
+        "floor": floor,
+        "correct": check,
+        "scalar_s": round(scalar_s, 5),
+        "vector_s": round(vector_s, 5),
+        "scalar_trials_per_s": round(budget / scalar_s, 1),
+        "vector_trials_per_s": round(budget / vector_s, 1),
+        "speedup": round(scalar_s / vector_s, 2),
+    }
+
+
+def _bench_contention(kind, setup, params, trials, floor, repeats) -> dict:
+    spec = _bench_spec(kind, setup, params, trials)
+    seeder = _contention_seeder(spec)
+    resolved = resolve_contention_kernel(spec)
+    scalar = _contention_attack(spec.with_params(kernel="scalar"))
+    vector = _contention_attack(spec.with_params(kernel="vector"))
+    scalar_s, scalar_correct = _time_block(scalar, trials, seeder, repeats)
+    vector_s, vector_correct = _time_block(vector, trials, seeder, repeats)
+    if scalar_correct != vector_correct:
+        raise AssertionError(
+            f"{kind}/{setup}: vector kernel diverged from scalar "
+            f"({vector_correct} vs {scalar_correct} correct)"
+        )
+    return _row(kind, setup, params, trials, floor, resolved,
+                scalar_correct, scalar_s, vector_s)
+
+
+def _bench_pwcet(setup, params, runs, floor, repeats) -> dict:
+    spec = _bench_spec("pwcet", setup, params, runs)
+    resolved = resolve_pwcet_kernel(spec)
+    scalar_spec = spec.with_params(kernel="scalar")
+    vector_spec = spec.with_params(kernel="vector")
+    scalar_s, scalar_times = _time_fn(
+        lambda: _pwcet_times(scalar_spec, 0, runs), repeats
+    )
+    vector_s, vector_times = _time_fn(
+        lambda: _pwcet_times(vector_spec, 0, runs), repeats
+    )
+    if not np.array_equal(scalar_times, vector_times):
+        raise AssertionError(
+            f"pwcet/{setup}: vector replay diverged from scalar"
+        )
+    return _row("pwcet", setup, params, runs, floor, resolved,
+                int(scalar_times.sum()), scalar_s, vector_s)
+
+
+def _bench_missrate(policy, params, floor, repeats) -> dict:
+    spec = ExperimentSpec(
+        kind="missrate", num_samples=1, seed=0x1234,
+        params=(("policy", policy),) + params,
+    )
+    resolved = resolve_missrate_kernel(spec)
+    scalar_s, scalar_payload = _time_fn(
+        lambda: run_missrate(spec.with_params(kernel="scalar")), repeats
+    )
+    vector_s, vector_payload = _time_fn(
+        lambda: run_missrate(spec.with_params(kernel="vector")), repeats
+    )
+    if (scalar_payload.accesses, scalar_payload.misses) != (
+            vector_payload.accesses, vector_payload.misses):
+        raise AssertionError(
+            f"missrate/{policy}: vector replay diverged from scalar"
+        )
+    return _row("missrate", policy, params, 1, floor, resolved,
+                scalar_payload.misses, scalar_s, vector_s)
+
+
 def run_benchmark(trials_scale: float = 1.0, repeats: int = 3) -> dict:
     """Measure every setup; returns the BENCH_kernels.json document."""
     rows = []
-    for kind, setup, params, base_trials in SETUPS:
+    for kind, setup, params, base_trials, floor in SETUPS:
         trials = max(8, int(base_trials * trials_scale))
-        spec = _bench_spec(kind, setup, params, trials)
-        seeder = _contention_seeder(spec)
-        resolved = resolve_contention_kernel(spec)
-        scalar = _contention_attack(spec.with_params(kernel="scalar"))
-        vector = _contention_attack(spec.with_params(kernel="vector"))
-        scalar_s, scalar_correct = _time_block(
-            scalar, trials, seeder, repeats
+        rows.append(
+            _bench_contention(kind, setup, params, trials, floor, repeats)
         )
-        vector_s, vector_correct = _time_block(
-            vector, trials, seeder, repeats
-        )
-        if scalar_correct != vector_correct:
-            raise AssertionError(
-                f"{kind}/{setup}: vector kernel diverged from scalar "
-                f"({vector_correct} vs {scalar_correct} correct)"
-            )
-        rows.append({
-            "kind": kind,
-            "setup": setup,
-            "params": [list(item) for item in params],
-            "trials": trials,
-            "resolved_kernel": resolved,
-            "correct": scalar_correct,
-            "scalar_s": round(scalar_s, 5),
-            "vector_s": round(vector_s, 5),
-            "scalar_trials_per_s": round(trials / scalar_s, 1),
-            "vector_trials_per_s": round(trials / vector_s, 1),
-            "speedup": round(scalar_s / vector_s, 2),
-        })
+    for kind, label, params, budget, floor in REPLAYS:
+        if kind == "pwcet":
+            runs = max(4, int(budget * trials_scale))
+            rows.append(_bench_pwcet(label, params, runs, floor, repeats))
+        else:
+            rows.append(_bench_missrate(label, params, floor, repeats))
     return {
         "bench": "kernels",
-        "schema": 1,
+        "schema": 2,
         "repeats": repeats,
         "setups": rows,
         "max_speedup": max(row["speedup"] for row in rows),
@@ -160,6 +254,26 @@ def append_history(doc: dict, json_path: str) -> dict:
     return doc
 
 
+def check_floors(doc: dict, scale: float) -> List[str]:
+    """Per-setup floor failures (empty = gate green).
+
+    Each row is gated against ``scale`` times its own floor; scalar
+    fallback rows (if any appear in the grid) are exempt — there is
+    nothing to gate when the resolver says the cell runs scalar.
+    """
+    failures = []
+    for row in doc["setups"]:
+        if row["resolved_kernel"] != "vector":
+            continue
+        floor = row["floor"] * scale
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['kind']}/{row['setup']}: speedup "
+                f"{row['speedup']:.2f}x below its {floor:.2f}x floor"
+            )
+    return failures
+
+
 def report(doc: dict) -> None:
     lines = []
     for row in doc["setups"]:
@@ -167,13 +281,16 @@ def report(doc: dict) -> None:
             " " + ",".join(f"{k}={v}" for k, v in row["params"])
             if row["params"] else ""
         )
+        kernel = row["resolved_kernel"]
+        if row.get("fallback_reason"):
+            kernel += f" ({row['fallback_reason']})"
         lines.append(
             f"{row['kind']}/{row['setup']}{extra}: "
             f"{row['trials']} trials, "
             f"scalar {row['scalar_trials_per_s']:.0f}/s, "
             f"vector {row['vector_trials_per_s']:.0f}/s "
-            f"(speedup {row['speedup']:.2f}x, "
-            f"correct={row['correct']}, kernel={row['resolved_kernel']})"
+            f"(speedup {row['speedup']:.2f}x, floor {row['floor']:.1f}x, "
+            f"correct={row['correct']}, kernel={kernel})"
         )
     lines.append(f"max speedup: {doc['max_speedup']:.2f}x")
     emit("Trial kernels: scalar vs vector throughput", lines)
@@ -195,10 +312,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="timing repeats per (setup, kernel); best-of wins",
     )
     parser.add_argument(
-        "--check-floor", type=float, default=None, metavar="X",
-        help="exit nonzero unless the best speedup reaches X "
-             "(conservative CI gate; kept well under the tracked "
-             "numbers so runner jitter never flakes the build)",
+        "--check-floor", type=float, default=None, metavar="SCALE",
+        nargs="?", const=1.0,
+        help="exit nonzero if any setup's speedup falls below SCALE "
+             "times its per-setup floor (default SCALE=1.0; the CI "
+             "perf gate — floors are conservative so runner jitter "
+             "never flakes the build)",
     )
     args = parser.parse_args(argv)
 
@@ -211,13 +330,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.write("\n")
     print(f"wrote {args.json}")
 
-    if args.check_floor is not None and doc["max_speedup"] < args.check_floor:
-        print(
-            f"FAIL: max speedup {doc['max_speedup']:.2f}x below the "
-            f"{args.check_floor:.2f}x floor",
-            file=sys.stderr,
-        )
-        return 1
+    if args.check_floor is not None:
+        failures = check_floors(doc, args.check_floor)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
     return 0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
-from repro.common.prng import XorShift128
+from repro.common.prng import CounterStream, XorShift128, counter_key
 
 
 class ReplacementPolicy(ABC):
@@ -139,22 +139,78 @@ class NRUReplacement(ReplacementPolicy):
         return 0  # unreachable: _mark guarantees a clear bit exists
 
 
+#: Default victim-draw seed; every stock RandomReplacement instance
+#: starts its XorShift128 stream here, which is what makes the draw
+#: sequence reproducible across trials (and vectorizable: the batch
+#: kernels precompute the same stream as a shared table).
+RANDOM_REPLACEMENT_SEED = 0xC0FFEE
+
+
 class RandomReplacement(ReplacementPolicy):
-    """PRNG-driven random victim selection (MBPTA random replacement)."""
+    """PRNG-driven random victim selection (MBPTA random replacement).
+
+    Two draw sources, both one-draw-per-conflict-miss in access order:
+
+    * sequential (default): an :class:`XorShift128` stream, seeded at
+      :data:`RANDOM_REPLACEMENT_SEED` unless a ``prng`` is supplied or
+      :meth:`reseed` is called;
+    * counter-based: pass ``draws=CounterStream(key)`` and the k-th
+      victim is a pure function of ``(key, k)`` — the mode the vector
+      kernels can replay in lock-step across trials without serial
+      stepping.
+
+    Which source is in use (and where its stream currently is) is
+    exposed through :meth:`stream_descriptor` / ``draws_consumed`` so
+    the kernel envelope probe can tell whether a vector twin can
+    reproduce the remaining draw sequence bit-for-bit.  The descriptor
+    is execution metadata only — it never enters spec identity.
+    """
 
     name = "random"
 
     def __init__(self, num_sets: int, num_ways: int,
-                 prng: Optional[XorShift128] = None) -> None:
+                 prng: Optional[XorShift128] = None,
+                 draws: Optional[CounterStream] = None) -> None:
         super().__init__(num_sets, num_ways)
-        self._prng = prng if prng is not None else XorShift128(seed=0xC0FFEE)
+        if prng is not None and draws is not None:
+            raise ValueError("pass either prng= or draws=, not both")
+        self._draws = draws
+        if draws is not None:
+            self._prng = None
+            self._stream = ("counter", draws.key)
+        elif prng is not None:
+            self._prng = prng
+            self._stream = None  # externally-owned stream: position unknown
+        else:
+            self._prng = XorShift128(seed=RANDOM_REPLACEMENT_SEED)
+            self._stream = ("xorshift", RANDOM_REPLACEMENT_SEED)
+        self.draws_consumed = 0
         self._init_state()
 
     def _init_state(self) -> None:
-        pass  # stateless apart from the PRNG
+        pass  # stateless apart from the draw stream
+
+    def stream_descriptor(self) -> Optional[tuple]:
+        """``("xorshift", seed)`` / ``("counter", key)`` — or ``None``.
+
+        ``None`` means the draw source is an externally-owned PRNG whose
+        position cannot be reconstructed, so no vector twin exists.
+        """
+        return self._stream
 
     def reseed(self, seed: int) -> None:
-        self._prng.reseed(seed)
+        if self._draws is not None:
+            self._draws = CounterStream(counter_key(seed))
+            self._stream = ("counter", self._draws.key)
+        else:
+            self._prng.reseed(seed)
+            # After a reseed the stream is reconstructible from the seed
+            # alone — but only for the generator the vector twin speaks.
+            if isinstance(self._prng, XorShift128):
+                self._stream = ("xorshift", seed)
+            else:
+                self._stream = None
+        self.draws_consumed = 0
 
     def on_hit(self, set_index: int, way: int) -> None:
         pass
@@ -163,7 +219,12 @@ class RandomReplacement(ReplacementPolicy):
         pass
 
     def victim_way(self, set_index: int) -> int:
-        return self._prng.next_below(self.num_ways)
+        if self._draws is not None:
+            way = self._draws.draw(self.draws_consumed, self.num_ways)
+        else:
+            way = self._prng.next_below(self.num_ways)
+        self.draws_consumed += 1
+        return way
 
 
 class TreePLRUReplacement(ReplacementPolicy):

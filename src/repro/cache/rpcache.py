@@ -81,6 +81,9 @@ class RPCache(SetAssociativeCache):
         )
         super().__init__(geometry, placement, replacement, name=name)
         self._interference_prng = XorShift128(seed=prng_seed)
+        #: Seed of the interference stream — lets the vector kernel
+        #: rebuild the identical redirect-draw sequence as a table.
+        self.interference_seed = prng_seed
         #: Count of interference events resolved by random-set eviction.
         self.randomized_evictions = 0
         # Each pid's permutation table id defaults to the pid itself.

@@ -52,7 +52,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 import numpy as np
 
 from repro.attack.trials import KERNEL_CHOICES
-from repro.campaigns.registry import register_experiment
+from repro.campaigns.registry import KernelResolution, register_experiment
 from repro.campaigns.spec import ExperimentSpec
 from repro.cache.core import ARM920T_L1_GEOMETRY, SetAssociativeCache
 from repro.cache.placement import make_placement
@@ -67,7 +67,12 @@ from repro.core.batch import (
     TimingSamples,
     merge_shard_samples,
 )
-from repro.core.setups import SetupConfig, make_setup, make_setup_hierarchy
+from repro.core.setups import (
+    SetupConfig,
+    make_setup,
+    make_setup_hierarchy,
+    setup_hierarchy_config,
+)
 from repro.mbpta.analysis import MBPTAAnalysis, MBPTAReport
 from repro.workloads.generators import (
     matrix_walk_trace,
@@ -154,12 +159,33 @@ def resolve_engine_kernel(spec: ExperimentSpec) -> str:
     return "vector"
 
 
-def resolve_scalar_kernel(spec: ExperimentSpec) -> str:
-    """Kinds that replay traces through the scalar cache models one
-    access at a time (pwcet, missrate) have no batched path: the exact
-    replacement-state sequencing *is* the experiment."""
-    _spec_kernel(spec)
-    return "scalar"
+def resolve_pwcet_kernel(spec: ExperimentSpec) -> KernelResolution:
+    """pwcet cells batch over runs when the setup's hierarchy config is
+    inside the trace-replay envelope (vectorizable placements, fixed or
+    per-run-restarting replacement streams)."""
+    if _spec_kernel(spec) == "scalar":
+        return KernelResolution("scalar")
+    from repro.kernels.replay import hierarchy_support
+
+    reason = hierarchy_support(setup_hierarchy_config(spec.setup))
+    if reason is None:
+        return KernelResolution("vector")
+    return KernelResolution("scalar", reason)
+
+
+def resolve_missrate_kernel(spec: ExperimentSpec) -> KernelResolution:
+    """missrate cells replay set-parallel when the cache's per-set
+    state is independent across sets; random replacement's globally
+    sequenced draws keep it on the scalar path, with the reason
+    recorded."""
+    if _spec_kernel(spec) == "scalar":
+        return KernelResolution("scalar")
+    from repro.kernels.replay import missrate_support
+
+    reason = missrate_support(_missrate_cache(spec))
+    if reason is None:
+        return KernelResolution("vector")
+    return KernelResolution("scalar", reason)
 
 
 # -- bernstein --------------------------------------------------------------
@@ -403,6 +429,36 @@ def _pwcet_trace(spec: ExperimentSpec):
     )
 
 
+def _pwcet_run_seed(root, run: int) -> int:
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=root.spawn_key + (run,)
+    )
+    return int(child.generate_state(1)[0])
+
+
+def _pwcet_times_vector(
+    spec: ExperimentSpec, trace, start: int, end: int
+) -> Optional[np.ndarray]:
+    """Run-parallel replay of runs ``[start, end)``, or None outside
+    the vector envelope.
+
+    Each scalar run builds a *fresh* hierarchy (restarting every
+    replacement draw stream), so the batch reproduces it with one
+    seeded lane per run — bit-identical latencies, ``R`` runs wide.
+    """
+    from repro.kernels.replay import VectorHierarchyBatch, hierarchy_support
+
+    config = setup_hierarchy_config(spec.setup)
+    if hierarchy_support(config) is not None:
+        return None
+    batch = VectorHierarchyBatch(config, end - start)
+    if bool(spec.param("reseed", True)):
+        root = spec.seed_sequence()
+        for offset, run in enumerate(range(start, end)):
+            batch.set_seeds(offset, _pwcet_run_seed(root, run))
+    return batch.run_trace(trace).astype(np.float64)
+
+
 def _pwcet_times(spec: ExperimentSpec, start: int, end: int) -> np.ndarray:
     """Execution times of runs ``[start, end)`` of the cell's budget.
 
@@ -414,16 +470,17 @@ def _pwcet_times(spec: ExperimentSpec, start: int, end: int) -> np.ndarray:
     in what order.
     """
     trace = _pwcet_trace(spec)
+    if _spec_kernel(spec) != "scalar" and end > start:
+        times = _pwcet_times_vector(spec, trace, start, end)
+        if times is not None:
+            return times
     reseed = bool(spec.param("reseed", True))
     root = spec.seed_sequence() if reseed else None
     times = np.empty(end - start)
     for offset, run in enumerate(range(start, end)):
         hierarchy = make_setup_hierarchy(spec.setup)
         if root is not None:
-            child = np.random.SeedSequence(
-                entropy=root.entropy, spawn_key=root.spawn_key + (run,)
-            )
-            hierarchy.set_seeds(int(child.generate_state(1)[0]))
+            hierarchy.set_seeds(_pwcet_run_seed(root, run))
         times[offset] = hierarchy.run_trace(trace)
     return times
 
@@ -474,7 +531,7 @@ def merge_pwcet_partial(
     run_shard=run_pwcet_shard,
     merge_shards=merge_pwcet_shards,
     merge_partial=merge_pwcet_partial,
-    resolve_kernel=resolve_scalar_kernel,
+    resolve_kernel=resolve_pwcet_kernel,
 )
 def run_pwcet(spec: ExperimentSpec) -> PwcetPayload:
     """MBPTA collection + analysis on one setup (``num_samples`` runs).
@@ -654,23 +711,23 @@ def _contention_attack(spec: ExperimentSpec):
     return cls(**kwargs)
 
 
-def resolve_contention_kernel(spec: ExperimentSpec) -> str:
+def resolve_contention_kernel(spec: ExperimentSpec) -> KernelResolution:
     """The kernel a contention cell will actually execute on.
 
     Resolves the spec's hint against the vector envelope by probing a
     freshly-built cache with the *same* capability check the attack
-    applies per block ("auto"/"vector" silently fall back to scalar
-    outside it — e.g. rpcache, random replacement, wide hashRP)."""
+    applies per block; "auto"/"vector" fall back to scalar outside it
+    (e.g. a custom replacement PRNG, a wide hashRP) with the probe's
+    reason attached."""
     kernel = _spec_kernel(spec)
     if kernel == "scalar":
-        return "scalar"
-    from repro.kernels.trials import supports_vector_cache
+        return KernelResolution("scalar")
+    from repro.kernels.trials import vector_cache_support
 
-    return (
-        "vector"
-        if supports_vector_cache(_contention_cache_factory(spec)())
-        else "scalar"
-    )
+    reason = vector_cache_support(_contention_cache_factory(spec)())
+    if reason is None:
+        return KernelResolution("vector")
+    return KernelResolution("scalar", reason)
 
 
 def _summarize_contention(spec: ExperimentSpec, payload) -> Dict[str, Any]:
@@ -868,10 +925,28 @@ def _summarize_missrate(
     }
 
 
+def _missrate_cache(spec: ExperimentSpec) -> SetAssociativeCache:
+    """The cell's cache, fresh — shared by the runner and the kernel
+    resolver's envelope probe."""
+    policy = spec.param("policy")
+    if policy is None:
+        raise ValueError("missrate cells need 'policy' and 'workload' params")
+    geometry = ARM920T_L1_GEOMETRY
+    return SetAssociativeCache(
+        geometry,
+        make_placement(policy, geometry.layout()),
+        make_replacement(
+            spec.param("replacement", "lru"),
+            geometry.num_sets,
+            geometry.num_ways,
+        ),
+    )
+
+
 @register_experiment(
     "missrate",
     summarize=_summarize_missrate,
-    resolve_kernel=resolve_scalar_kernel,
+    resolve_kernel=resolve_missrate_kernel,
 )
 def run_missrate(spec: ExperimentSpec) -> MissRatePayload:
     """Miss rate of one placement policy on one synthetic workload.
@@ -892,17 +967,20 @@ def run_missrate(spec: ExperimentSpec) -> MissRatePayload:
             f"unknown workload {workload!r}; "
             f"choose from {sorted(WORKLOAD_BUILDERS)}"
         ) from None
-    geometry = ARM920T_L1_GEOMETRY
-    cache = SetAssociativeCache(
-        geometry,
-        make_placement(policy, geometry.layout()),
-        make_replacement(
-            spec.param("replacement", "lru"),
-            geometry.num_sets,
-            geometry.num_ways,
-        ),
-    )
+    cache = _missrate_cache(spec)
     cache.set_seed(spec.seed)
+    if _spec_kernel(spec) != "scalar":
+        from repro.kernels.replay import missrate_support, replay_missrate
+
+        if missrate_support(cache) is None:
+            accesses, misses = replay_missrate(cache, trace)
+            return MissRatePayload(
+                policy=policy,
+                workload=workload,
+                accesses=accesses,
+                misses=misses,
+                miss_rate=misses / accesses if accesses else 0.0,
+            )
     for access in trace:
         cache.access(access)
     stats = cache.stats

@@ -12,10 +12,25 @@ register their own with :func:`register_experiment`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.campaigns.spec import ExperimentSpec
 from repro.core.batch import Shard, ShardPlan, ShardPolicy
+
+
+@dataclass(frozen=True)
+class KernelResolution:
+    """The kernel a cell will execute on, with the fallback reason.
+
+    ``reason`` is a stable machine-readable string (``None`` unless a
+    requested/auto vector path fell back to scalar) — surfaced in the
+    ``--dry-run`` kernel column and journaled as a ``kernel_fallback``
+    telemetry event so scalar fallbacks are never silent.
+    """
+
+    kernel: str
+    reason: Optional[str] = None
+
 
 #: ``plan_shards`` hooks take ``(spec, max_shards, policy=None)`` — the
 #: optional :class:`~repro.core.batch.ShardPolicy` selects the cut
@@ -29,7 +44,9 @@ MergeShardsFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 MergePartialFn = Callable[[ExperimentSpec, Sequence[Any]], Any]
 ShouldStopFn = Callable[[ExperimentSpec, Any], bool]
 StopRuleFn = Callable[[ExperimentSpec], str]
-ResolveKernelFn = Callable[[ExperimentSpec], str]
+#: May return a bare kernel name or a :class:`KernelResolution` when a
+#: fallback reason should travel with it.
+ResolveKernelFn = Callable[[ExperimentSpec], Union[str, KernelResolution]]
 
 
 @dataclass(frozen=True)

@@ -66,7 +66,11 @@ from typing import (
     Tuple,
 )
 
-from repro.campaigns.registry import ExperimentKind, get_experiment
+from repro.campaigns.registry import (
+    ExperimentKind,
+    KernelResolution,
+    get_experiment,
+)
 from repro.campaigns.spec import ExperimentSpec
 from repro.common.fsio import atomic_write_bytes
 from repro.core.batch import Shard, ShardPlan, ShardPolicy
@@ -565,10 +569,31 @@ class CellPlan:
     #: hint; None when the kind does not report one.  Informational:
     #: kernels change throughput, never payloads.
     kernel: Optional[str] = None
+    #: Machine-readable reason a requested/auto vector kernel fell back
+    #: to scalar (None when in-envelope or not reported) — shown in the
+    #: ``--dry-run`` kernel column and journaled as a
+    #: ``kernel_fallback`` event so fallbacks are never silent.
+    kernel_reason: Optional[str] = None
 
     @property
     def num_shards(self) -> int:
         return len(self.plan) if self.plan is not None else 1
+
+
+def _resolved_kernel(
+    kind: ExperimentKind, spec: ExperimentSpec
+) -> "Tuple[Optional[str], Optional[str]]":
+    """``(kernel, fallback_reason)`` from the kind's resolver.
+
+    Normalizes the two resolver signatures: a bare kernel name (legacy,
+    no reason travels with it) or a :class:`KernelResolution`.
+    """
+    if kind.resolve_kernel is None:
+        return None, None
+    resolved = kind.resolve_kernel(spec)
+    if isinstance(resolved, KernelResolution):
+        return resolved.kernel, resolved.reason
+    return resolved, None
 
 
 class CampaignRunner:
@@ -736,11 +761,7 @@ class CampaignRunner:
                     if _plan_hook_accepts_policy(kind.plan_shards)
                     else "kind-defined"
                 )
-            kernel = (
-                kind.resolve_kernel(spec)
-                if kind.resolve_kernel is not None
-                else None
-            )
+            kernel, kernel_reason = _resolved_kernel(kind, spec)
             plans.append(CellPlan(
                 spec=spec,
                 cached=cached,
@@ -749,6 +770,7 @@ class CampaignRunner:
                 stop_rule=stop_rule,
                 geometry=geometry,
                 kernel=kernel,
+                kernel_reason=kernel_reason,
             ))
         return plans
 
@@ -810,6 +832,18 @@ class CampaignRunner:
                 kind=get_experiment(spec.kind),
                 plan=self._shard_plan(spec),
             )
+            if self.telemetry is not None:
+                # Resolve only when a sink listens: probing the vector
+                # envelope builds a template cache, and the default
+                # telemetry=None path stays zero-cost.
+                kernel, reason = _resolved_kernel(cell.kind, spec)
+                if reason is not None:
+                    self._emit(
+                        "kernel_fallback",
+                        cell=spec.cell_id,
+                        kernel=kernel,
+                        reason=reason,
+                    )
             self._restore_shards(cell)
             if cell.plan is not None and len(cell.parts) == len(cell.plan):
                 # Every shard was persisted before the interruption;

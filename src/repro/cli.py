@@ -223,11 +223,16 @@ def _cmd_dry_run(runner, specs, name: str) -> int:
         )
         if not cell_plan.cached:
             total_units += cell_plan.num_shards - cell_plan.shards_cached
+        kernel = cell_plan.kernel or "-"
+        if cell_plan.kernel_reason is not None:
+            # A vector request/auto that fell back — show why inline,
+            # so a scalar resolution is never a silent surprise.
+            kernel = f"{kernel} ({cell_plan.kernel_reason})"
         rows.append([
             cell_plan.spec.cell_id,
             cell_plan.num_shards,
             cell_plan.geometry or "-",
-            cell_plan.kernel or "-",
+            kernel,
             shards,
             status,
             cell_plan.stop_rule or "-",

@@ -108,10 +108,12 @@ def make_setup(name: str) -> SetupConfig:
         ) from None
 
 
-def make_setup_hierarchy(
+def setup_hierarchy_config(
     name: str, latencies: LatencyConfig = LatencyConfig()
-) -> CacheHierarchy:
-    """Scalar two-level hierarchy for a setup (trace-driven studies).
+) -> HierarchyConfig:
+    """The :class:`HierarchyConfig` a setup's scalar hierarchy is built
+    from — also what the vector trace-replay kernel probes and builds
+    its batched twin from, without constructing cache objects.
 
     The RPCache setup maps to modulo at the hierarchy level because
     :class:`repro.cache.rpcache.RPCache` replaces the L1 data cache
@@ -119,7 +121,7 @@ def make_setup_hierarchy(
     """
     setup = make_setup(name)
     l1 = setup.l1_policy if setup.l1_policy != "rpcache" else "modulo"
-    config = HierarchyConfig(
+    return HierarchyConfig(
         l1_geometry=ARM920T_L1_GEOMETRY,
         l2_geometry=ARM920T_L2_GEOMETRY,
         l1_placement=l1,
@@ -127,4 +129,10 @@ def make_setup_hierarchy(
         l1_replacement=setup.l1_replacement,
         latencies=latencies,
     )
-    return CacheHierarchy(config)
+
+
+def make_setup_hierarchy(
+    name: str, latencies: LatencyConfig = LatencyConfig()
+) -> CacheHierarchy:
+    """Scalar two-level hierarchy for a setup (trace-driven studies)."""
+    return CacheHierarchy(setup_hierarchy_config(name, latencies))

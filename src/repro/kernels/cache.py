@@ -3,29 +3,35 @@
 :class:`VectorCacheBatch` simulates ``T`` *independent* caches — one
 per trial — as ``(T, num_sets, num_ways)`` NumPy arrays, advancing all
 of them by one access per step.  It reproduces the scalar
-:class:`repro.cache.core.SetAssociativeCache` with LRU replacement
-bit for bit:
+:class:`repro.cache.core.SetAssociativeCache` bit for bit:
 
 * hit detection compares full line addresses, so there is never a
   false hit (tags store the whole line address, as in the scalar
   core);
 * on a miss the fill claims the first invalid way in way order —
   exactly the scalar ``_choose_victim`` scan;
-* with all ways valid the victim is the way with the smallest
-  last-touch stamp.  This equals the scalar LRU recency stack because
-  ``victim_way`` is only ever consulted once every way is valid, by
-  which point every way has been touched (each fill touches), so the
-  stamps are distinct and total-order the ways by recency.
+* with all ways valid the victim comes from a pluggable
+  :class:`repro.kernels.replacement.VectorReplacement` engine (LRU,
+  FIFO, NRU, tree-PLRU, or random with draw-sequencing parity), which
+  is consulted only on conflict misses of active rows — the same
+  discipline as the scalar core, so sequential draw streams stay in
+  lock-step.
 
 Seeds follow the scalar :class:`~repro.cache.core.SeedRegister`
 semantics: one global seed per trial plus per-pid overrides, resolved
 at lookup time.
 
-What this kernel deliberately does **not** model — dirty bits, store
-accounting, protected ranges, non-LRU replacement, RPCache's
-interference redirection — is exactly what the capability probe in
+:class:`VectorRPCacheBatch` extends the fill path with RPCache's
+interference redirection: per-pid permutation tables (the pid *is* the
+table id) and cross-pid conflict evictions redirected to a random set
+drawn from the fixed interference stream — again one draw per
+redirect, in access order, via a shared table plus per-trial counters.
+
+What the kernels deliberately do **not** model — dirty bits, store
+accounting, protected ranges — is exactly what the capability probe in
 :mod:`repro.kernels.trials` checks before selecting the vector path;
-anything outside the envelope falls back to the scalar cache.
+anything outside the envelope falls back to the scalar cache with a
+machine-readable reason.
 """
 
 from __future__ import annotations
@@ -36,7 +42,13 @@ import numpy as np
 
 from repro.cache.core import CacheGeometry, SeedRegister
 from repro.common.bitops import mask
+from repro.common.prng import XorShift128
 from repro.kernels.placement import VectorPlacement
+from repro.kernels.replacement import (
+    FixedDrawTable,
+    VectorLRU,
+    VectorReplacement,
+)
 
 _M64 = mask(64)
 
@@ -49,6 +61,7 @@ class VectorCacheBatch:
         geometry: CacheGeometry,
         placement: VectorPlacement,
         num_trials: int,
+        replacement: Optional[VectorReplacement] = None,
     ) -> None:
         if num_trials <= 0:
             raise ValueError("num_trials must be positive")
@@ -63,8 +76,12 @@ class VectorCacheBatch:
         shape = (num_trials, geometry.num_sets, geometry.num_ways)
         self.valid = np.zeros(shape, dtype=bool)
         self.line_addr = np.zeros(shape, dtype=np.int64)
-        self.last_touch = np.zeros(shape, dtype=np.int64)
-        self._stamp = 0
+        self.line_pid = np.zeros(shape, dtype=np.int64)
+        self.replacement = (
+            replacement
+            if replacement is not None
+            else VectorLRU(num_trials, geometry.num_sets, geometry.num_ways)
+        )
         self._rows = np.arange(num_trials)
         self._global_seed = np.zeros(num_trials, dtype=np.uint64)
         #: pid -> (values, set_mask); unset entries fall back to the
@@ -137,6 +154,24 @@ class VectorCacheBatch:
 
     # -- the access step ---------------------------------------------------
 
+    def _fill_targets(self, rows, sets, pid: int):
+        """Choose ``(sets, ways)`` for one fill per row.
+
+        First invalid way in way order, else the replacement engine's
+        victim — consulted only for the conflict rows, preserving the
+        scalar core's one-draw-per-conflict-miss sequencing.  Subclasses
+        may redirect the fill to a different set (RPCache).
+        """
+        set_valid = self.valid[rows, sets]
+        invalid = ~set_valid
+        ways = np.argmax(invalid, axis=1)
+        conflict = ~invalid.any(axis=1)
+        if conflict.any():
+            ways[conflict] = self.replacement.victim_ways(
+                rows[conflict], sets[conflict]
+            )
+        return sets, ways
+
     def access(
         self,
         addresses,
@@ -154,34 +189,39 @@ class VectorCacheBatch:
         )
         lines, tags, indices = self._fields(addresses)
         sets = self.placement.map_sets(tags, indices, self.seeds_for(pid))
+        return self._access_mapped(lines, sets, pid, active)
+
+    def _access_mapped(
+        self,
+        lines: np.ndarray,
+        sets: np.ndarray,
+        pid: int,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Access step with set indices already computed (``(T,)`` each).
+
+        The trace-replay kernel precomputes every access's set mapping
+        up front and replays through this entry point.
+        """
         rows = self._rows
         set_valid = self.valid[rows, sets]  # (T, W) gather
         set_lines = self.line_addr[rows, sets]
         match = set_valid & (set_lines == lines[:, None])
         hit = match.any(axis=1)
-        hit_way = np.argmax(match, axis=1)
-        # Fill target: first invalid way in way order, else true LRU.
-        invalid = ~set_valid
-        first_invalid = np.argmax(invalid, axis=1)
-        lru_way = np.argmin(self.last_touch[rows, sets], axis=1)
-        fill_way = np.where(invalid.any(axis=1), first_invalid, lru_way)
-        way = np.where(hit, hit_way, fill_way)
-
-        if active is None:
-            touch_rows, touch_sets, touch_ways = rows, sets, way
-        else:
+        if active is not None:
             hit = hit & active
-            touch_rows = rows[active]
-            touch_sets = sets[active]
-            touch_ways = way[active]
-        self._stamp += 1
-        self.last_touch[touch_rows, touch_sets, touch_ways] = self._stamp
+        hit_way = np.argmax(match, axis=1)
+        if hit.any():
+            self.replacement.touch_hits(rows[hit], sets[hit], hit_way[hit])
 
         miss = ~hit if active is None else active & ~hit
         if miss.any():
-            fr, fs, fw = rows[miss], sets[miss], way[miss]
+            fr = rows[miss]
+            fs, fw = self._fill_targets(fr, sets[miss], pid)
             self.valid[fr, fs, fw] = True
             self.line_addr[fr, fs, fw] = lines[miss]
+            self.line_pid[fr, fs, fw] = pid
+            self.replacement.touch_fills(fr, fs, fw)
         return hit
 
     def probe_many(self, addresses, pid: int):
@@ -205,3 +245,78 @@ class VectorCacheBatch:
         return sorted(
             int(v) for v in self.line_addr[trial][self.valid[trial]]
         )
+
+
+class VectorRPCacheBatch(VectorCacheBatch):
+    """``T`` independent RPCaches stepped in lock-step.
+
+    Reproduces :class:`repro.cache.rpcache.RPCache` exactly:
+
+    * each pid's permutation table id is the pid itself (the scalar
+      default), so ``seeds_for`` hands the placement adapter table ids
+      rather than seed-register values;
+    * a conflict victim owned by another pid redirects the fill to a
+      random set from the fixed interference stream
+      (``XorShift128(interference_seed)``, fresh per scalar cache ⇒
+      shared draw table + per-trial counters, one draw per redirect in
+      access order);
+    * in the redirected set the fill claims the first invalid way, else
+      the replacement victim — the scalar ``super()._fill`` path.
+
+    The scalar ``_fill`` consults ``victim_way`` once before deciding
+    to redirect and (for the non-redirected case) again inside
+    ``_choose_victim``; with LRU both consultations return the same way
+    and draw nothing, which is why the envelope pins RPCache to LRU
+    replacement.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        placement: VectorPlacement,
+        num_trials: int,
+        interference_seed: int,
+    ) -> None:
+        super().__init__(geometry, placement, num_trials)
+        self._interference = FixedDrawTable(
+            XorShift128(seed=interference_seed), geometry.num_sets
+        )
+        self._interference_counters = np.zeros(num_trials, dtype=np.int64)
+
+    def seeds_for(self, pid: int) -> np.ndarray:
+        # RPCache placement is keyed by permutation-table id, not by the
+        # seed register; each pid's table id defaults to the pid itself.
+        return np.full(self.num_trials, np.uint64(pid))
+
+    def _fill_targets(self, rows, sets, pid: int):
+        set_valid = self.valid[rows, sets]
+        invalid = ~set_valid
+        ways = np.argmax(invalid, axis=1)
+        conflict = ~invalid.any(axis=1)
+        if not conflict.any():
+            return sets, ways
+        cr, cs = rows[conflict], sets[conflict]
+        victims = self.replacement.victim_ways(cr, cs)
+        ways[conflict] = victims
+        redirect = self.line_pid[cr, cs, victims] != pid
+        if redirect.any():
+            rr = cr[redirect]
+            draw_idx = self._interference_counters[rr]
+            self._interference_counters[rr] = draw_idx + 1
+            new_sets = self._interference.take(draw_idx)
+            # Re-choose the way in the redirected set: first invalid in
+            # way order, else the replacement victim (scalar _choose_victim).
+            new_valid = self.valid[rr, new_sets]
+            new_invalid = ~new_valid
+            new_ways = np.argmax(new_invalid, axis=1)
+            new_conflict = ~new_invalid.any(axis=1)
+            if new_conflict.any():
+                new_ways[new_conflict] = self.replacement.victim_ways(
+                    rr[new_conflict], new_sets[new_conflict]
+                )
+            sets = sets.copy()
+            conflict_pos = np.flatnonzero(conflict)
+            redirect_pos = conflict_pos[redirect]
+            sets[redirect_pos] = new_sets
+            ways[redirect_pos] = new_ways
+        return sets, ways

@@ -35,6 +35,7 @@ from repro.cache.placement import (
     RandomModuloPlacement,
     XorIndexPlacement,
 )
+from repro.cache.rpcache import PermutationTablePlacement
 from repro.common.bitops import mask
 
 U64 = np.uint64
@@ -189,6 +190,30 @@ class _VectorRandomModulo(VectorPlacement):
         return value.astype(np.int64)
 
 
+class _VectorPermutation(VectorPlacement):
+    """RPCache's per-process permutation tables (seed = table id).
+
+    Delegates table generation to the scalar policy's memoised
+    ``table_for`` — the Fisher-Yates stream is exactly the scalar one —
+    and vectorizes the lookup.  The number of distinct table ids per
+    batch is the number of pids (tiny), so the per-id loop is cheap.
+    """
+
+    def map_sets(self, tags, indices, seeds) -> np.ndarray:
+        tags, indices, seeds = np.broadcast_arrays(
+            _as_u64(tags), _as_u64(indices), _as_u64(seeds)
+        )
+        out = np.empty(indices.shape, dtype=np.int64)
+        idx = indices.astype(np.int64)
+        for table_id in np.unique(seeds):
+            table = np.asarray(
+                self.policy.table_for(int(table_id)), dtype=np.int64
+            )
+            chosen = seeds == table_id
+            out[chosen] = table[idx[chosen]]
+        return out
+
+
 #: Exact policy classes with a verified vector twin.  Subclasses are
 #: deliberately excluded: they may override ``map_set``.
 _VECTOR_ADAPTERS = {
@@ -196,6 +221,7 @@ _VECTOR_ADAPTERS = {
     XorIndexPlacement: _VectorXorIndex,
     HashRPPlacement: _VectorHashRP,
     RandomModuloPlacement: _VectorRandomModulo,
+    PermutationTablePlacement: _VectorPermutation,
 }
 
 

@@ -17,13 +17,14 @@ exactly:
   completion orders.
 
 **Escape hatch.**  Each executor first checks the attack's cache
-against :func:`supports_vector_cache` and dry-runs the seeding hook
+against :func:`vector_cache_support` and dry-runs the seeding hook
 against a proxy; if anything falls outside the vector envelope —
-random replacement's sequential PRNG draws, RPCache's interference
-redirection, protected ranges, a placement or replacement subclass, a
-hook that needs the full cache object — it returns ``None`` and the
-caller runs the scalar path.  Falling back is silent and loses no
-fidelity, only speed.
+an externally-owned replacement PRNG, protected ranges, a placement
+or replacement subclass, a hook that needs the full cache object — it
+returns ``None`` and the caller runs the scalar path.  Falling back
+loses no fidelity, only speed, and is never silent: the support probe
+returns a machine-readable reason that ``--dry-run`` prints and the
+runner journals as a ``kernel_fallback`` event.
 """
 
 from __future__ import annotations
@@ -34,24 +35,71 @@ import numpy as np
 
 from repro.cache.core import SetAssociativeCache
 from repro.cache.replacement import LRUReplacement
-from repro.kernels.cache import VectorCacheBatch
+from repro.cache.rpcache import RPCache
+from repro.kernels.cache import VectorCacheBatch, VectorRPCacheBatch
 from repro.kernels.placement import vector_placement
+from repro.kernels.replacement import replacement_support, vector_replacement
+
+
+def vector_cache_support(cache) -> Optional[str]:
+    """``None`` when ``cache`` behaves exactly like the vector kernel,
+    else a machine-readable reason for the scalar fallback.
+
+    Deliberately conservative: exact types only, because subclasses
+    override the access path in ways the array kernel does not model
+    (``RPCache`` itself has a dedicated batch and is in-envelope).
+    """
+    if type(cache) is RPCache:
+        if cache._table_ids:
+            return "rpcache:custom-table-assignment"
+        if type(cache.replacement) is not LRUReplacement:
+            # The scalar fill consults victim_way twice per conflict; a
+            # draw-consuming policy would desequence its stream.
+            return f"rpcache:replacement-{cache.replacement.name}"
+        if cache.randomized_evictions:
+            return "rpcache:interference-stream-consumed"
+    elif type(cache) is not SetAssociativeCache:
+        return f"cache:subclass-{type(cache).__name__}"
+    else:
+        reason = replacement_support(cache.replacement)
+        if reason is not None:
+            return reason
+    if not cache.write_allocate:
+        return "cache:no-write-allocate"
+    if cache._protected_ranges:
+        return "cache:protected-ranges"
+    if vector_placement(cache.placement) is None:
+        return f"placement:{cache.placement.name}-unsupported"
+    return None
 
 
 def supports_vector_cache(cache) -> bool:
-    """True when ``cache`` behaves exactly like the vector kernel.
+    """True when ``cache`` behaves exactly like the vector kernel."""
+    return vector_cache_support(cache) is None
 
-    Deliberately conservative: exact types only, because subclasses
-    (RPCache most prominently) override the access path in ways the
-    array kernel does not model.
+
+def make_vector_batch(cache, num_elements: int) -> Optional[VectorCacheBatch]:
+    """A seeded batch reproducing ``num_elements`` copies of ``cache``.
+
+    ``cache`` must be factory-fresh (the batch starts empty); returns
+    None when it falls outside the vector envelope.
     """
-    return (
-        type(cache) is SetAssociativeCache
-        and type(cache.replacement) is LRUReplacement
-        and cache.write_allocate
-        and not cache._protected_ranges
-        and vector_placement(cache.placement) is not None
-    )
+    if vector_cache_support(cache) is not None:
+        return None
+    adapter = vector_placement(cache.placement)
+    if type(cache) is RPCache:
+        batch: VectorCacheBatch = VectorRPCacheBatch(
+            cache.geometry, adapter, num_elements, cache.interference_seed
+        )
+    else:
+        batch = VectorCacheBatch(
+            cache.geometry,
+            adapter,
+            num_elements,
+            replacement=vector_replacement(cache.replacement, num_elements),
+        )
+    batch.init_seeds(cache.seeds)
+    return batch
 
 
 class _SeedRegisterProxy:
@@ -78,14 +126,11 @@ def _make_batch(attack, num_elements: int, start: int, end: int,
     Evict+Time's trial x entry grid).
     """
     template = attack.cache_factory()
-    if not supports_vector_cache(template) or template.resident_lines():
+    if template.resident_lines():
         return None
-    batch = VectorCacheBatch(
-        template.geometry,
-        vector_placement(template.placement),
-        num_elements,
-    )
-    batch.init_seeds(template.seeds)
+    batch = make_vector_batch(template, num_elements)
+    if batch is None:
+        return None
     if seed_victim is not None:
         hook_calls = {}
         for trial in range(start, end):

@@ -199,14 +199,50 @@ GOLDEN_ATTACKS = {
 #: must reproduce on any backend, shard count and completion order.
 GOLDEN_CONTENTION = {
     ("prime_probe", "deterministic"): (64, 64),
+    ("prime_probe", "rpcache"): (64, 4),
+    ("prime_probe", "mbpta"): (64, 64),
     ("prime_probe", "tscache"): (64, 5),
     ("evict_time", "deterministic"): (10, 10),
+    ("evict_time", "rpcache"): (10, 0),
+    ("evict_time", "mbpta"): (10, 10),
     ("evict_time", "tscache"): (10, 0),
 }
 
+#: Frozen per-run hierarchy latencies of a 6-run pwcet cell (default
+#: trace shape, ``analyse=False``) at root seed 2018 — one cell per
+#: setup, covering the deterministic hierarchies and the random
+#: RM+hashRP ones (per-run reseeding included).  CI's
+#: ``REPRO_GOLDEN_KERNEL=vector`` pass replays these through
+#: :class:`repro.kernels.replay.VectorHierarchyBatch`.
+GOLDEN_PWCET = {
+    "deterministic": (73856.0,) * 6,
+    "rpcache": (73856.0,) * 6,
+    "mbpta": (77086.0, 72086.0, 72086.0, 78086.0, 72086.0, 72086.0),
+    "tscache": (72086.0,) * 6,
+}
+
+#: Frozen (accesses, misses) of missrate cells at root seed 2018 —
+#: spanning placements, set-local replacements, and one random-
+#: replacement cell whose globally-sequenced draws keep it on the
+#: documented scalar fallback even under ``REPRO_GOLDEN_KERNEL=vector``.
+GOLDEN_MISSRATE = {
+    ("modulo", "stride", "lru"): (6144, 6144),
+    ("random_modulo", "stride", "lru"): (6144, 6144),
+    ("random_modulo", "reuse", "plru"): (12000, 2674),
+    ("hashrp", "reuse", "nru"): (12000, 3235),
+    ("xor_index", "stride", "fifo"): (6144, 6144),
+    ("random_modulo", "stride", "random"): (6144, 6093),
+}
+
+
+def _apply_golden_kernel(specs):
+    if GOLDEN_KERNEL:
+        return [spec.with_params(kernel=GOLDEN_KERNEL) for spec in specs]
+    return specs
+
 
 def contention_specs():
-    specs = [
+    return _apply_golden_kernel([
         ExperimentSpec(
             kind=kind,
             setup=setup,
@@ -214,10 +250,28 @@ def contention_specs():
             seed=2018,
         )
         for (kind, setup), (trials, _) in sorted(GOLDEN_CONTENTION.items())
-    ]
-    if GOLDEN_KERNEL:
-        specs = [spec.with_params(kernel=GOLDEN_KERNEL) for spec in specs]
-    return specs
+    ])
+
+
+def pwcet_specs():
+    return _apply_golden_kernel([
+        ExperimentSpec(
+            kind="pwcet", setup=setup, num_samples=6, seed=2018,
+            params={"analyse": False},
+        )
+        for setup in sorted(GOLDEN_PWCET)
+    ])
+
+
+def missrate_specs():
+    return _apply_golden_kernel([
+        ExperimentSpec(
+            kind="missrate", seed=2018, num_samples=1,
+            params={"policy": policy, "workload": workload,
+                    "replacement": replacement},
+        )
+        for policy, workload, replacement in sorted(GOLDEN_MISSRATE)
+    ])
 
 
 def sample_digest(samples) -> str:
@@ -367,3 +421,52 @@ class TestContentionGoldens:
             assert shd.num_shards > 1
             assert ser.payload == shd.payload
             assert type(ser.payload) is type(shd.payload)
+
+
+class TestReplayGoldens:
+    """The trace-replay kinds under the golden regime: frozen per-run
+    pwcet latencies and missrate counters, asserted on the serial path
+    and (for the shardable pwcet cells) on CI's selected backend.
+    Under ``REPRO_GOLDEN_KERNEL=vector`` the in-envelope cells run the
+    batched replay kernels (:mod:`repro.kernels.replay`) and must
+    reproduce the same frozen values byte for byte — the random-
+    replacement missrate cell takes the documented scalar fallback
+    either way."""
+
+    @pytest.fixture(scope="class")
+    def pwcet_serial(self):
+        return CampaignRunner().run(pwcet_specs())
+
+    def test_pwcet_matches_frozen_latencies(self, pwcet_serial):
+        for cell in pwcet_serial:
+            expected = np.array(GOLDEN_PWCET[cell.spec.setup])
+            assert np.array_equal(cell.payload.times, expected), (
+                f"pwcet/{cell.spec.setup}: per-run latencies changed — "
+                "if this is intentional, refresh GOLDEN_PWCET"
+            )
+
+    def test_pwcet_sharded_backend_bit_identical(self, pwcet_serial):
+        with golden_runner(max_shards_per_cell=3) as runner:
+            sharded = runner.run(pwcet_specs())
+        for ser, shd in zip(pwcet_serial, sharded):
+            assert ser.spec == shd.spec
+            assert shd.num_shards > 1
+            assert (
+                ser.payload.times.tobytes() == shd.payload.times.tobytes()
+            )
+
+    def test_missrate_matches_frozen_counters(self):
+        with golden_runner() as runner:
+            cells = runner.run(missrate_specs())
+        for cell in cells:
+            key = (
+                cell.spec.param("policy"),
+                cell.spec.param("workload"),
+                cell.spec.param("replacement"),
+            )
+            assert (
+                cell.payload.accesses, cell.payload.misses
+            ) == GOLDEN_MISSRATE[key], (
+                f"missrate/{key}: counters changed — if this is "
+                "intentional, refresh GOLDEN_MISSRATE"
+            )

@@ -14,9 +14,19 @@ shrink-free generators, as in ``test_cache_properties.py``):
   correct-guess counts of the scalar trial loop, with and without a
   per-trial ``seed_victim`` hook, and independently of how a block is
   tiled;
+* every vectorized replacement engine (LRU, FIFO, NRU, tree-PLRU,
+  random in both fixed-stream and counter-stream modes) and the
+  RPCache batch (permutation placement + interference redirection)
+  replay conflict-heavy traces bit-identically to banks of scalar
+  caches;
 * the capability probe refuses everything outside the envelope
-  (random replacement, RPCache, protected ranges, subclasses, wide
-  hashRP lines), so "auto" can never select an unfaithful kernel;
+  (an externally-owned replacement PRNG, consumed draw streams,
+  protected ranges, subclasses, wide hashRP lines) with a
+  machine-readable reason, so "auto" can never select an unfaithful
+  kernel and a scalar fallback is never silent (``--dry-run`` column,
+  ``kernel_fallback`` telemetry event);
+* the trace-replay kernels (pwcet run-parallel hierarchies, missrate
+  set-parallel rounds) reproduce the scalar per-access loops exactly;
 * the ``kernel`` param is a pure execution hint — same ``spec_hash``,
   same seed stream, same campaign payloads — and the frozen golden
   contention outcomes reproduce with ``kernel=vector``.
@@ -31,13 +41,19 @@ from repro.attack.evict_time import EvictTimeAttack
 from repro.attack.prime_probe import PrimeProbeAttack
 from repro.cache.core import CacheGeometry, SetAssociativeCache
 from repro.cache.placement import make_placement
-from repro.cache.replacement import make_replacement
+from repro.cache.replacement import (
+    RandomReplacement,
+    make_replacement,
+)
 from repro.cache.rpcache import RPCache
 from repro.campaigns import CampaignRunner, ExperimentSpec
+from repro.common.prng import CounterStream, XorShift128, counter_key
 from repro.common.trace import MemoryAccess
 from repro.kernels import (
     VectorCacheBatch,
+    make_vector_batch,
     supports_vector_cache,
+    vector_cache_support,
     vector_placement,
 )
 
@@ -162,6 +178,107 @@ class TestVectorCacheEquivalence:
                 )
 
 
+def replay_trace_check(factory, num_trials=6, steps=200, seed_parts=()):
+    """Replay a conflict-heavy random trace through ``num_trials``
+    scalar caches and the matched vector batch; assert every hit bit
+    and the final resident lines agree.  Returns the scalar caches so
+    callers can assert the interesting path (draws, redirects) was
+    actually exercised."""
+    template = factory()
+    geometry = template.geometry
+    batch = make_vector_batch(factory(), num_trials)
+    assert batch is not None
+    scalars = [factory() for _ in range(num_trials)]
+    rng = random.Random(stable_seed("replay", *seed_parts))
+    # ~2x capacity so conflict misses (the draw-consuming path) occur.
+    pool = [rng.getrandbits(22) * geometry.line_size
+            for _ in range(2 * geometry.num_sets * geometry.num_ways)]
+    for _ in range(steps):
+        pid = rng.choice((1, 2))
+        addresses = np.array(
+            [rng.choice(pool) for _ in range(num_trials)], dtype=np.int64
+        )
+        got = batch.access(addresses, pid)
+        expected = [
+            scalars[t].access(
+                MemoryAccess(int(addresses[t]), pid=pid)
+            ).hit
+            for t in range(num_trials)
+        ]
+        assert got.tolist() == expected
+    for trial in range(num_trials):
+        assert batch.resident_lines(trial) == scalars[trial].resident_lines()
+    return scalars
+
+
+class TestReplacementEquivalence:
+    """Every replacement engine, scalar vs vector, under conflict
+    pressure — the draw-sequencing cases the original LRU-only suite
+    never reached."""
+
+    @pytest.mark.parametrize("replacement_name",
+                             ("fifo", "nru", "plru", "random"))
+    @pytest.mark.parametrize("policy_name", ("modulo", "random_modulo"))
+    @pytest.mark.parametrize("geometry", GEOMETRIES[:3],
+                             ids=lambda g: f"{g.total_size}B/{g.num_ways}w")
+    def test_trace_replay_bit_identical(self, replacement_name,
+                                        policy_name, geometry):
+        def factory():
+            return SetAssociativeCache(
+                geometry,
+                make_placement(policy_name, geometry.layout()),
+                make_replacement(replacement_name, geometry.num_sets,
+                                 geometry.num_ways),
+            )
+
+        scalars = replay_trace_check(
+            factory,
+            seed_parts=(replacement_name, policy_name, geometry.total_size),
+        )
+        if replacement_name == "random":
+            # Guard against a degenerate trace: the fixed draw stream
+            # must actually have been consumed for this to prove
+            # anything about sequencing.
+            assert scalars[0].replacement.draws_consumed > 0
+
+    def test_counter_stream_random_bit_identical(self):
+        """Counter-mode random replacement (splitmix64 draws indexed
+        by miss ordinal) — the O(1)-random-access stream the vector
+        engine steps without materializing a table."""
+        geometry = GEOMETRIES[0]
+        key = counter_key(0xFEED)
+
+        def factory():
+            return SetAssociativeCache(
+                geometry,
+                make_placement("modulo", geometry.layout()),
+                RandomReplacement(geometry.num_sets, geometry.num_ways,
+                                  draws=CounterStream(key)),
+            )
+
+        scalars = replay_trace_check(factory, seed_parts=("counter",))
+        assert scalars[0].replacement.draws_consumed > 0
+
+    def test_counter_stream_matches_scalar_draw_sequencing(self):
+        """One draw per conflict miss, in access order: the counter
+        stream consumed k draws produces the same victims as replaying
+        draws 0..k-1 — the identity the vector engine relies on."""
+        stream = CounterStream(counter_key(7))
+        replayed = [stream.draw(k, 4) for k in range(64)]
+        assert replayed == [stream.draw(k, 4) for k in range(64)]
+        assert len(set(replayed)) > 1
+
+    def test_rpcache_trace_replay_bit_identical(self):
+        """RPCache's permutation-table placement plus the randomized
+        cross-process interference redirects, trial-parallel."""
+        geometry = CacheGeometry(total_size=2048, num_ways=4, line_size=32)
+        scalars = replay_trace_check(
+            lambda: RPCache(geometry), seed_parts=("rpcache",)
+        )
+        # The interference stream must actually have fired.
+        assert sum(c.randomized_evictions for c in scalars) > 0
+
+
 def contention_geometry():
     return CacheGeometry(total_size=2048, num_ways=4, line_size=32)
 
@@ -228,18 +345,59 @@ class TestVectorEnvelope:
             build_lru_cache(contention_geometry(), "random_modulo")
         )
 
-    def test_random_replacement_is_outside(self):
+    def _random_cache(self, **kwargs):
         geometry = contention_geometry()
-        cache = SetAssociativeCache(
+        return SetAssociativeCache(
             geometry,
             make_placement("modulo", geometry.layout()),
-            make_replacement("random", geometry.num_sets,
-                             geometry.num_ways),
+            RandomReplacement(geometry.num_sets, geometry.num_ways,
+                              **kwargs),
         )
-        assert not supports_vector_cache(cache)
 
-    def test_rpcache_is_outside(self):
-        assert not supports_vector_cache(RPCache(contention_geometry()))
+    def test_stock_random_replacement_is_inside(self):
+        """Every fresh stock instance restarts the same fixed draw
+        stream, which the vector engine replays from a shared table."""
+        assert supports_vector_cache(self._random_cache())
+
+    def test_counter_random_replacement_is_inside(self):
+        assert supports_vector_cache(self._random_cache(
+            draws=CounterStream(counter_key(3))
+        ))
+
+    def test_custom_prng_random_is_outside(self):
+        """An externally-owned PRNG may have unknown state — the probe
+        refuses with the documented reason."""
+        cache = self._random_cache(prng=XorShift128(seed=99))
+        assert vector_cache_support(cache) == \
+            "replacement:random-custom-prng"
+
+    def test_consumed_draw_stream_is_outside(self):
+        """A cache whose replacement already drew is mid-stream; the
+        shared-table replay would desequence it."""
+        cache = self._random_cache()
+        cache.replacement.victim_way(0)
+        assert vector_cache_support(cache) == \
+            "replacement:random-stream-consumed"
+
+    def test_rpcache_is_inside(self):
+        assert supports_vector_cache(RPCache(contention_geometry()))
+
+    def test_rpcache_custom_tables_are_outside(self):
+        rp = RPCache(contention_geometry())
+        rp.assign_table(1, 5)
+        assert vector_cache_support(rp) == "rpcache:custom-table-assignment"
+
+    def test_rpcache_non_lru_replacement_is_outside(self):
+        """The scalar RPCache fill consults victim_way twice per
+        redirected conflict — safe only for stateless-read LRU."""
+        rp = RPCache(contention_geometry(), replacement_name="random")
+        assert vector_cache_support(rp) == "rpcache:replacement-random"
+
+    def test_rpcache_consumed_interference_is_outside(self):
+        rp = RPCache(contention_geometry())
+        rp.randomized_evictions = 1
+        assert vector_cache_support(rp) == \
+            "rpcache:interference-stream-consumed"
 
     def test_protected_ranges_are_outside(self):
         cache = build_lru_cache(contention_geometry(), "modulo")
@@ -332,15 +490,153 @@ class TestKernelSeam:
             ExperimentSpec(kind="prime_probe", setup="deterministic",
                            num_samples=8, seed=1,
                            params={"kernel": "scalar"}),
-            # rpcache is outside the envelope: "auto" resolves scalar.
+            # rpcache, the random setups and the replay kinds are all
+            # in-envelope now: "auto" resolves vector.
             ExperimentSpec(kind="prime_probe", setup="rpcache",
                            num_samples=8, seed=1),
+            ExperimentSpec(kind="prime_probe", setup="mbpta",
+                           num_samples=8, seed=1),
+            ExperimentSpec(kind="pwcet", setup="tscache",
+                           num_samples=4, seed=1),
             ExperimentSpec(kind="missrate", seed=1,
                            params={"policy": "modulo",
                                    "workload": "stride"}),
             ExperimentSpec(kind="timing_samples", setup="tscache",
                            num_samples=1024, seed=1),
         ]
-        kernels = [plan.kernel for plan in runner.plan(specs)]
-        assert kernels == ["vector", "scalar", "scalar", "scalar",
-                           "vector"]
+        plans = runner.plan(specs)
+        kernels = [plan.kernel for plan in plans]
+        assert kernels == ["vector", "scalar", "vector", "vector",
+                           "vector", "vector", "vector"]
+        assert all(plan.kernel_reason is None for plan in plans)
+
+    def test_dry_run_plan_reports_fallback_reason(self):
+        """A missrate cell with random replacement cannot replay
+        set-parallel — the plan carries the machine-readable reason."""
+        runner = CampaignRunner()
+        spec = ExperimentSpec(
+            kind="missrate", seed=1,
+            params={"policy": "modulo", "workload": "stride",
+                    "replacement": "random"},
+        )
+        plan = runner.plan([spec])[0]
+        assert plan.kernel == "scalar"
+        assert plan.kernel_reason == \
+            "replacement:random-draws-globally-sequenced"
+        # An explicit scalar request is a choice, not a fallback.
+        plan = runner.plan([spec.with_params(kernel="scalar")])[0]
+        assert plan.kernel == "scalar"
+        assert plan.kernel_reason is None
+
+    def test_kernel_fallback_event_journaled(self):
+        """Scalar fallbacks are never silent: the runner journals one
+        schema-valid kernel_fallback event per falling-back cell."""
+        from repro.telemetry.events import EVENT_SCHEMA
+        from repro.telemetry.sink import RecordingSink
+
+        sink = RecordingSink()
+        runner = CampaignRunner(telemetry=sink)
+        runner.run([
+            ExperimentSpec(
+                kind="missrate", seed=1,
+                params={"policy": "modulo", "workload": "stride",
+                        "replacement": "random"},
+            ),
+            ExperimentSpec(
+                kind="missrate", seed=1,
+                params={"policy": "modulo", "workload": "stride"},
+            ),
+        ])
+        events = sink.of_type("kernel_fallback")
+        assert len(events) == 1
+        assert events[0]["kernel"] == "scalar"
+        assert events[0]["reason"] == \
+            "replacement:random-draws-globally-sequenced"
+        assert EVENT_SCHEMA["kernel_fallback"] <= set(events[0])
+
+
+class TestReplayKernels:
+    """The batched trace-replay kernels against the scalar per-access
+    loops, through the public experiment kinds (so seeding, trace
+    construction and payload assembly are the campaign's own)."""
+
+    @pytest.mark.parametrize("setup", ("deterministic", "rpcache",
+                                       "mbpta", "tscache"))
+    @pytest.mark.parametrize("reseed", [True, False],
+                             ids=["reseeding", "fixed-platform"])
+    def test_pwcet_times_bit_identical(self, setup, reseed):
+        from repro.campaigns.experiments import run_pwcet
+
+        spec = ExperimentSpec(
+            kind="pwcet", setup=setup, num_samples=5, seed=7,
+            params={"analyse": False, "reseed": reseed},
+        )
+        scalar = run_pwcet(spec.with_params(kernel="scalar")).times
+        vector = run_pwcet(spec.with_params(kernel="vector")).times
+        assert scalar.dtype == vector.dtype
+        assert np.array_equal(scalar, vector)
+
+    @pytest.mark.parametrize("policy", PLACEMENTS)
+    @pytest.mark.parametrize("replacement", ("lru", "fifo", "nru", "plru"))
+    def test_missrate_counters_bit_identical(self, policy, replacement):
+        from repro.campaigns.experiments import run_missrate
+
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234, num_samples=1,
+            params={"policy": policy, "workload": "stride",
+                    "replacement": replacement},
+        )
+        scalar = run_missrate(spec.with_params(kernel="scalar"))
+        vector = run_missrate(spec.with_params(kernel="vector"))
+        assert (scalar.accesses, scalar.misses, scalar.miss_rate) == \
+            (vector.accesses, vector.misses, vector.miss_rate)
+
+    def test_missrate_interleaved_sets_bit_identical(self):
+        """A reuse workload interleaves sets heavily — the round
+        scheduler must preserve in-set access order exactly."""
+        from repro.campaigns.experiments import run_missrate
+
+        spec = ExperimentSpec(
+            kind="missrate", seed=0x1234, num_samples=1,
+            params={"policy": "random_modulo", "workload": "reuse",
+                    "replacement": "plru"},
+        )
+        scalar = run_missrate(spec.with_params(kernel="scalar"))
+        vector = run_missrate(spec.with_params(kernel="vector"))
+        assert (scalar.accesses, scalar.misses) == \
+            (vector.accesses, vector.misses)
+
+    def test_hierarchy_support_reasons(self):
+        import dataclasses
+
+        from repro.core.setups import setup_hierarchy_config
+        from repro.kernels import hierarchy_support
+
+        for setup in ("deterministic", "rpcache", "mbpta", "tscache"):
+            assert hierarchy_support(setup_hierarchy_config(setup)) is None
+        config = dataclasses.replace(
+            setup_hierarchy_config("deterministic"), l1_replacement="mru"
+        )
+        assert hierarchy_support(config) == \
+            "l1:replacement-mru-unsupported"
+
+    def test_missrate_support_reasons(self):
+        from repro.kernels import missrate_support
+
+        geometry = contention_geometry()
+        cache = SetAssociativeCache(
+            geometry,
+            make_placement("modulo", geometry.layout()),
+            make_replacement("random", geometry.num_sets,
+                             geometry.num_ways),
+        )
+        assert missrate_support(cache) == \
+            "replacement:random-draws-globally-sequenced"
+        lru = SetAssociativeCache(
+            geometry,
+            make_placement("modulo", geometry.layout()),
+            make_replacement("lru", geometry.num_sets, geometry.num_ways),
+        )
+        assert missrate_support(lru) is None
+        lru.protect_range(0, 4096)
+        assert missrate_support(lru) == "cache:protected-ranges"
