@@ -124,6 +124,12 @@ class CoordinatorState:
         #: throughput line always describes the serving process.
         self.started = time.time()
         self.results_posted = 0
+        #: Optional :class:`~repro.service.scheduler.CampaignScheduler`
+        #: behind the ``/campaigns`` routes (attached by ``repro
+        #: serve``).  The scheduler has its own lock — campaign routes
+        #: never take ``self.lock``, so a submission can never block a
+        #: worker's claim/result round-trip.
+        self.scheduler = None
         ensure_queue_dirs(queue_dir)
 
     # Each helper below runs under ``self.lock`` (the handler takes
@@ -441,6 +447,10 @@ class CoordinatorState:
         )
         doc["uptime"] = round(time.time() - self.started, 3)
         doc["results_posted"] = self.results_posted
+        if self.scheduler is not None:
+            # Per-tenant queue depth / in-flight / dedup hits — the
+            # scheduler takes its own lock, never ``self.lock``.
+            doc["service"] = self.scheduler.stats()
         return doc
 
 
@@ -590,6 +600,23 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             with state.lock:
                 state.set_stop(True)
             return self._send_json(200, {"ok": True})
+        if head == "campaigns" and not rest:
+            scheduler = state.scheduler
+            if scheduler is None:
+                return self._send_json(404, {
+                    "error": "campaign scheduling is not enabled "
+                             "(start the daemon with `repro serve`)"
+                })
+            doc = self._read_json_body()
+            if doc is None:
+                return self._send_json(400, {"error": "bad body"})
+            try:
+                campaign_id = scheduler.submit_doc(doc)
+            except ValueError as exc:
+                return self._send_json(400, {"error": str(exc)})
+            except RuntimeError as exc:  # scheduler closed
+                return self._send_json(503, {"error": str(exc)})
+            return self._send_json(200, {"id": campaign_id})
         return self._send_json(404, {"error": f"no route {self.path}"})
 
     def do_PUT(self) -> None:  # noqa: N802
@@ -623,6 +650,46 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         if head == "metrics":
             with self.state.lock:
                 return self._send_json(200, self.state.metrics())
+        if head == "campaigns":
+            scheduler = self.state.scheduler
+            if scheduler is None:
+                return self._send_json(
+                    404, {"error": "campaign scheduling is not enabled"}
+                )
+            if not rest:
+                return self._send_json(
+                    200, {"campaigns": scheduler.list_campaigns()}
+                )
+            if len(rest) == 1:
+                try:
+                    after = int(self._query().get("after", "0"))
+                except ValueError:
+                    after = 0
+                doc = scheduler.status_doc(rest[0], after=after)
+                if doc is None:
+                    return self._send_json(
+                        404, {"error": f"no campaign {rest[0]!r}"}
+                    )
+                return self._send_json(200, doc)
+            if len(rest) == 2 and rest[1] == "result":
+                state_name, record = scheduler.result_record(rest[0])
+                if state_name is None:
+                    return self._send_json(
+                        404, {"error": f"no campaign {rest[0]!r}"}
+                    )
+                if record is None:
+                    # 409: the id exists but there is nothing to fetch
+                    # (yet) — running, failed or cancelled.
+                    return self._send_json(
+                        409, {"error": f"campaign is {state_name}",
+                              "state": state_name}
+                    )
+                return self._send_bytes(
+                    200,
+                    pickle.dumps(
+                        record, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
         return self._send_json(404, {"error": f"no route {self.path}"})
 
     def do_DELETE(self) -> None:  # noqa: N802
@@ -635,6 +702,18 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             with self.state.lock:
                 self.state.set_stop(False)
             return self._send_json(200, {"ok": True})
+        if head == "campaigns" and rest:
+            scheduler = self.state.scheduler
+            if scheduler is None:
+                return self._send_json(
+                    404, {"error": "campaign scheduling is not enabled"}
+                )
+            if scheduler.status_doc(rest[0]) is None:
+                return self._send_json(
+                    404, {"error": f"no campaign {rest[0]!r}"}
+                )
+            cancelled = scheduler.cancel(rest[0])
+            return self._send_json(200, {"cancelled": cancelled})
         return self._send_json(404, {"error": f"no route {self.path}"})
 
 

@@ -37,17 +37,16 @@ from repro.campaigns.registry import (
     get_experiment,
     register_experiment,
 )
-from repro.campaigns.runner import (
-    CacheGCStats,
+from repro.campaigns.cache import CacheGCStats, ResultCache
+from repro.campaigns.engine import CampaignExecution
+from repro.campaigns.plan import CellPlan, plan_cells
+from repro.campaigns.results import (
     CampaignResult,
-    CampaignRunner,
-    CellPlan,
     CellResult,
     ProgressEvent,
-    ResultCache,
     cell_weight,
-    execute_cell,
 )
+from repro.campaigns.runner import CampaignRunner, execute_cell
 from repro.campaigns.spec import ExperimentSpec
 from repro.core.batch import Shard, ShardPlan, ShardPolicy
 
@@ -58,6 +57,7 @@ __all__ = [
     "CAMPAIGNS",
     "CacheGCStats",
     "CampaignDefinition",
+    "CampaignExecution",
     "CampaignResult",
     "CampaignRunner",
     "CellPlan",
@@ -78,6 +78,7 @@ __all__ = [
     "experiment_kinds",
     "get_experiment",
     "missrate_grid",
+    "plan_cells",
     "pwcet_grid",
     "register_experiment",
 ]

@@ -1,4 +1,4 @@
-"""Campaign execution: backend-agnostic, durable, streaming.
+"""Single-campaign execution: the classic ``CampaignRunner`` facade.
 
 A *campaign* is a list of :class:`ExperimentSpec` cells.  The
 :class:`CampaignRunner` turns them into self-describing work units —
@@ -18,6 +18,23 @@ Results are bit-identical on every backend and for any completion
 order, because each unit draws exclusively from randomness keyed to
 its spec (and, for shards, to absolute sample positions) — never from
 shared mutable state.
+
+This module is the *single-campaign facade* over the layered campaign
+engine; the pieces live in focused modules and are re-exported here
+for backward compatibility:
+
+* :mod:`repro.campaigns.cache` — :class:`ResultCache` (durability:
+  whole-cell entries, per-shard partials, early-stop markers, gc with
+  liveness leases),
+* :mod:`repro.campaigns.plan` — :class:`CellPlan` and the shard/kernel
+  planning helpers (the ``--dry-run`` layer),
+* :mod:`repro.campaigns.results` — :class:`CellResult`,
+  :class:`ProgressEvent`, :class:`CampaignResult`,
+* :mod:`repro.campaigns.engine` — :class:`CampaignExecution`, the
+  backend-agnostic per-campaign state machine this runner drives over
+  exactly one backend (and the multi-tenant
+  :class:`~repro.service.scheduler.CampaignScheduler` drives many of
+  over one shared backend).
 
 **Durability** (``cache_dir``): finished cells are skipped on re-runs
 (keyed by :meth:`ExperimentSpec.spec_hash`), and *per-shard partials*
@@ -49,551 +66,48 @@ attack/pWCET results long before the cell finishes.
 
 from __future__ import annotations
 
-import inspect
-import os
-import pickle
-import time
-from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Any,
-    Callable,
-    Dict,
-    Iterator,
     List,
     Optional,
     Sequence,
-    Tuple,
 )
 
-from repro.campaigns.registry import (
-    ExperimentKind,
-    KernelResolution,
-    get_experiment,
+from repro.campaigns.cache import CacheGCStats, ResultCache  # noqa: F401
+from repro.campaigns.engine import CampaignExecution, CellState
+from repro.campaigns.plan import (  # noqa: F401
+    CellPlan,
+    plan_cells,
+    plan_hook_accepts_policy,
+    resolved_kernel,
+    shard_plan_for,
+)
+from repro.campaigns.registry import get_experiment
+from repro.campaigns.results import (  # noqa: F401
+    CampaignResult,
+    CellResult,
+    ProgressEvent,
+    ProgressFn,
+    cell_weight,
 )
 from repro.campaigns.spec import ExperimentSpec
-from repro.common.fsio import atomic_write_bytes
-from repro.core.batch import Shard, ShardPlan, ShardPolicy
+from repro.core.batch import ShardPlan, ShardPolicy
 
 if TYPE_CHECKING:  # runtime import is deferred: backends import us
     from repro.backends.base import ExecutionBackend
 
-ProgressFn = Callable[["ProgressEvent"], None]
+#: Backward-compatible aliases for the pre-split private names (the
+#: split moved these helpers into :mod:`repro.campaigns.plan` /
+#: :mod:`repro.campaigns.engine` under public names).
+_plan_hook_accepts_policy = plan_hook_accepts_policy
+_resolved_kernel = resolved_kernel
+_PendingCell = CellState
 
 
 def execute_cell(spec: ExperimentSpec) -> Any:
     """Run one cell and return its payload (module-level: picklable)."""
     return get_experiment(spec.kind).run(spec)
-
-
-def _plan_hook_accepts_policy(hook: Any) -> bool:
-    """Whether a ``plan_shards`` hook takes the policy argument.
-
-    Decided by signature, not by try/except TypeError: a retry-style
-    probe would re-invoke the hook (doubling its work — the bernstein
-    planner builds a whole case study) and mask TypeErrors raised
-    *inside* a modern hook.  Unintrospectable callables are assumed
-    modern.
-    """
-    try:
-        params = list(inspect.signature(hook).parameters.values())
-    except (TypeError, ValueError):
-        return True
-    if any(p.kind is p.VAR_POSITIONAL for p in params):
-        return True
-    positional = [
-        p for p in params
-        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
-    ]
-    return len(positional) >= 3
-
-
-@dataclass
-class CellResult:
-    """One executed (or cache-restored) cell."""
-
-    spec: ExperimentSpec
-    payload: Any
-    #: Compute seconds: one timed execution for whole cells; for
-    #: sharded cells the *sum* over freshly-computed shards plus the
-    #: merge — i.e. total CPU cost, which exceeds wall clock when
-    #: shards ran concurrently (cache restores report 0).
-    elapsed: float
-    from_cache: bool = False
-    #: Shards the cell was split into (1 = executed whole).
-    num_shards: int = 1
-    #: Shards restored from persisted partials instead of recomputed.
-    shards_restored: int = 0
-    #: The cell's ``should_stop`` hook decided its verdict on a
-    #: contiguous shard prefix; the payload covers only the samples up
-    #: to that decision point (its decided-at count), and the
-    #: remaining shards were cancelled, never computed.
-    early_stopped: bool = False
-
-    def summary(self) -> Dict[str, Any]:
-        """Flat JSON-able record: spec identity + kind-specific fields."""
-        record: Dict[str, Any] = {
-            "kind": self.spec.kind,
-            "setup": self.spec.setup,
-            "num_samples": self.spec.num_samples,
-            "seed": self.spec.seed,
-            "elapsed_s": round(self.elapsed, 3),
-            "from_cache": self.from_cache,
-        }
-        if self.early_stopped:
-            record["early_stopped"] = True
-        record.update(dict(self.spec.params))
-        kind = get_experiment(self.spec.kind)
-        record.update(kind.summarize(self.spec, self.payload))
-        return record
-
-
-@dataclass(frozen=True)
-class ProgressEvent:
-    """One completed unit of campaign progress.
-
-    ``event`` is ``"cell"`` (a cell finished — fresh, merged, or
-    cache-restored), ``"shard"`` (one shard of a sharded cell finished
-    or was restored from a persisted partial), or ``"partial"`` (a
-    streaming merge of the contiguous shard prefix completed so far —
-    carries ``partial``/``summary``, see
-    :attr:`CampaignRunner.stream_partials`).  ``work`` is the number
-    of samples this event newly completes: shard events carry their
-    shard's size and the final merged-cell event carries whatever the
-    shards did not already report — 0 for a fully-computed sharded
-    cell, the *skipped* remainder for an early-stopped one — so
-    consumers summing ``work`` never double-count and always reach the
-    campaign total (partial events carry 0 — they re-package work
-    already counted shard by shard); cells executed whole (or restored
-    from cache) carry the full cell weight.  ``elapsed`` is the unit's
-    compute seconds (for a sharded cell's final event: the sum over
-    its shards plus the merge — CPU cost, not wall clock).
-    """
-
-    event: str
-    spec: ExperimentSpec
-    elapsed: float
-    work: int
-    from_cache: bool = False
-    shard: Optional[Shard] = None
-    result: Optional[CellResult] = None
-    #: "partial" events: merged payload of shards ``0..shards_done-1``.
-    partial: Optional[Any] = None
-    #: "partial" events: the kind's flat summary of ``partial``.
-    summary: Optional[Dict[str, Any]] = None
-    #: "partial" events: contiguous shards merged, out of shards_total.
-    shards_done: int = 0
-    shards_total: int = 0
-
-    @property
-    def label(self) -> str:
-        """Human-readable unit label for progress lines."""
-        if self.event == "partial":
-            return (
-                f"{self.spec.cell_id} "
-                f"partial {self.shards_done}/{self.shards_total}"
-            )
-        if self.shard is not None:
-            # The range doubles as a shard-size readout, so progress
-            # lines show adaptive geometry (small lead, growing tail).
-            return (
-                f"{self.spec.cell_id} "
-                f"shard {self.shard.index + 1}/{self.shard.num_shards} "
-                f"[{self.shard.start},{self.shard.end})"
-            )
-        return self.spec.cell_id
-
-
-def cell_weight(spec: ExperimentSpec) -> int:
-    """Progress weight of one cell (≥ 1 even for sample-less kinds)."""
-    return max(spec.num_samples, 1)
-
-
-@dataclass
-class CampaignResult:
-    """All cells of one campaign, in spec order."""
-
-    cells: List[CellResult] = field(default_factory=list)
-
-    def __iter__(self) -> Iterator[CellResult]:
-        return iter(self.cells)
-
-    def __len__(self) -> int:
-        return len(self.cells)
-
-    def payloads(self) -> List[Any]:
-        return [cell.payload for cell in self.cells]
-
-    def by_setup(self) -> Dict[str, Any]:
-        """``{setup name: payload}`` (requires unique setups)."""
-        table: Dict[str, Any] = {}
-        for cell in self.cells:
-            name = cell.spec.setup
-            if name is None:
-                raise ValueError(f"cell {cell.spec.cell_id} has no setup")
-            if name in table:
-                raise ValueError(f"duplicate setup {name!r} in campaign")
-            table[name] = cell.payload
-        return table
-
-    def summaries(self) -> List[Dict[str, Any]]:
-        return [cell.summary() for cell in self.cells]
-
-    @property
-    def total_elapsed(self) -> float:
-        """Sum of per-cell compute time (not wall clock when parallel)."""
-        return sum(cell.elapsed for cell in self.cells)
-
-    @property
-    def cache_hits(self) -> int:
-        return sum(1 for cell in self.cells if cell.from_cache)
-
-
-class ResultCache:
-    """Pickle-per-cell on-disk cache keyed by the stable spec hash.
-
-    Besides whole-cell payloads it stores *per-shard partials*
-    (``<hash>.shard.<i>of<k>.<start>-<end>.pkl``) so an interrupted
-    sharded cell resumes from its completed shards; partials are
-    swept once the full cell payload lands.  Every write is atomic
-    (temp file + fsync + rename) — a crash at any instant can leave a
-    stray temp file, never a truncated entry, so later runs can never
-    be poisoned by a half-written cache hit.
-    """
-
-    def __init__(self, cache_dir: str) -> None:
-        self.cache_dir = cache_dir
-        os.makedirs(cache_dir, exist_ok=True)
-
-    def _path(self, spec: ExperimentSpec) -> str:
-        return os.path.join(self.cache_dir, spec.spec_hash() + ".pkl")
-
-    def _shard_prefix(self, spec: ExperimentSpec) -> str:
-        return spec.spec_hash() + ".shard."
-
-    def _shard_path(self, spec: ExperimentSpec, shard: Shard) -> str:
-        return os.path.join(
-            self.cache_dir,
-            f"{self._shard_prefix(spec)}"
-            f"{shard.index}of{shard.num_shards}."
-            f"{shard.start}-{shard.end}.pkl",
-        )
-
-    def _load(self, path: str) -> Optional[Any]:
-        """Unpickle ``path``, or None on any failure.
-
-        Load failures — stale entries referencing payload classes a
-        newer version renamed or moved (AttributeError/ImportError),
-        truncated documents from a torn write on a shared filesystem —
-        degrade to a recompute rather than aborting the campaign.  A
-        file that *exists but cannot load* is additionally moved to a
-        ``corrupt/`` subdirectory: left in place it would make
-        ``has()`` (and every ``--dry-run`` plan) keep advertising an
-        entry that silently recomputes on each run, and the broken
-        bytes would be re-parsed — and re-failed — forever instead of
-        being preserved once for diagnosis.
-        """
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            self._quarantine(path)
-            return None
-
-    def _quarantine(self, path: str) -> None:
-        """Move an unloadable cache file into ``corrupt/`` (atomic,
-        best effort — quarantine trouble must never fail a run)."""
-        corrupt_dir = os.path.join(self.cache_dir, "corrupt")
-        try:
-            os.makedirs(corrupt_dir, exist_ok=True)
-            os.replace(
-                path,
-                os.path.join(
-                    corrupt_dir,
-                    f"{os.path.basename(path)}.{time.time_ns():x}",
-                ),
-            )
-        except OSError:
-            pass
-
-    def _early_marker_path(self, spec_hash: str) -> str:
-        return os.path.join(self.cache_dir, spec_hash + ".early")
-
-    def has(self, spec: ExperimentSpec) -> bool:
-        """Whether a whole-cell entry exists (without loading it)."""
-        return os.path.exists(self._path(spec))
-
-    def is_early_stopped(self, spec: ExperimentSpec) -> bool:
-        """Whether the cell's entry holds a truncated decided-at
-        payload — a cheap sidecar-marker check, no payload load, so
-        planning stays O(cells) rather than O(cached bytes)."""
-        return os.path.exists(self._early_marker_path(spec.spec_hash()))
-
-    def get_record(
-        self, spec: ExperimentSpec
-    ) -> Optional[Tuple[Any, bool]]:
-        """(payload, early_stopped) or None on miss/corruption.
-
-        The early-stop marker rides beside the entry so a warm-cache
-        rerun reports the restored cell exactly like the run that
-        computed it — a truncated decided-at payload must not
-        masquerade as a full-budget result.
-        """
-        payload = self._load(self._path(spec))
-        if payload is None:
-            return None
-        return payload, self.is_early_stopped(spec)
-
-    def get(self, spec: ExperimentSpec) -> Optional[Any]:
-        """The cached payload, or None on miss/corruption."""
-        return self._load(self._path(spec))
-
-    def put(
-        self,
-        spec: ExperimentSpec,
-        payload: Any,
-        *,
-        early_stopped: bool = False,
-    ) -> None:
-        """Store atomically so readers never see a partial pickle.
-
-        ``early_stopped`` is recorded as a sidecar marker file, not
-        inside the pickle.  Write ordering makes a crash at any
-        instant safe: the marker lands *before* an early-stopped
-        entry (a stray marker without its entry is inert) and is
-        removed *after* a full-budget entry lands (a stale marker
-        merely costs one recompute, never a truncated result served
-        as a full one).
-        """
-        marker = self._early_marker_path(spec.spec_hash())
-        if early_stopped:
-            atomic_write_bytes(marker, b"")
-        atomic_write_bytes(
-            self._path(spec),
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
-        if not early_stopped:
-            try:
-                os.unlink(marker)
-            except FileNotFoundError:
-                pass
-
-    # -- per-shard partials --------------------------------------------------
-
-    def put_shard(
-        self, spec: ExperimentSpec, shard: Shard, payload: Any
-    ) -> None:
-        """Persist one shard's partial payload (atomic, like put)."""
-        atomic_write_bytes(
-            self._shard_path(spec, shard),
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
-
-    def get_shards(
-        self, spec: ExperimentSpec, plan: ShardPlan
-    ) -> Dict[int, Any]:
-        """``{shard index: partial payload}`` for the plan's shards.
-
-        Only exact matches count: a partial is keyed by its full
-        identity (index, shard count, sample range), so partials from
-        a run with a different ``max_shards_per_cell`` are ignored
-        rather than mis-merged (they are swept when the cell
-        finishes).  Unreadable partials degrade to recomputes.
-        """
-        restored: Dict[int, Any] = {}
-        for shard in plan:
-            payload = self._load(self._shard_path(spec, shard))
-            if payload is not None:
-                restored[shard.index] = payload
-        return restored
-
-    def count_shards(self, spec: ExperimentSpec, plan: ShardPlan) -> int:
-        """How many of the plan's shards have persisted partials."""
-        return sum(
-            1 for shard in plan
-            if os.path.exists(self._shard_path(spec, shard))
-        )
-
-    def clear_shards(self, spec: ExperimentSpec) -> None:
-        """Sweep every persisted partial of the cell (any plan)."""
-        prefix = self._shard_prefix(spec)
-        for name in os.listdir(self.cache_dir):
-            if name.startswith(prefix):
-                try:
-                    os.unlink(os.path.join(self.cache_dir, name))
-                except FileNotFoundError:
-                    pass
-
-    # -- garbage collection --------------------------------------------------
-
-    def gc(self, max_age_days: float) -> "CacheGCStats":
-        """Sweep stale entries from a long-lived shared cache.
-
-        Removes whole-cell entries and shard partials whose mtime is
-        older than ``max_age_days`` days, plus *orphaned* partials —
-        shards whose *full-budget* whole-cell entry already landed
-        (normally swept at merge time, but a crash between ``put`` and
-        ``clear_shards`` can leave them behind).  Partials living
-        beside an early-stopped entry are **not** orphans: a
-        full-budget run ignores that entry and may be mid-resume on
-        exactly those partials.  Age-based only, by design: the cache
-        is content-addressed, so there is no LRU bookkeeping to
-        maintain, and deleting a live entry merely costs a recompute.
-        """
-        if max_age_days < 0:
-            raise ValueError("max_age_days must be non-negative")
-        cutoff = time.time() - max_age_days * 86400.0
-        removed_cells = removed_partials = freed = 0
-        names = sorted(os.listdir(self.cache_dir))
-        for name in names:
-            if not name.endswith(".pkl"):
-                continue
-            path = os.path.join(self.cache_dir, name)
-            try:
-                stat = os.stat(path)
-            except FileNotFoundError:
-                continue
-            is_partial = ".shard." in name
-            if is_partial:
-                spec_hash = name.split(".shard.", 1)[0]
-            else:
-                spec_hash = name[: -len(".pkl")]
-            orphaned = (
-                is_partial
-                and os.path.exists(
-                    os.path.join(self.cache_dir, spec_hash + ".pkl")
-                )
-                and not os.path.exists(self._early_marker_path(spec_hash))
-            )
-            if stat.st_mtime >= cutoff and not orphaned:
-                continue
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                continue
-            freed += stat.st_size
-            if is_partial:
-                removed_partials += 1
-            else:
-                removed_cells += 1
-                # The marker follows its entry out.
-                try:
-                    os.unlink(self._early_marker_path(spec_hash))
-                except FileNotFoundError:
-                    pass
-        # Sweep markers whose entry is gone.  A marker is removed with
-        # its entry above (the two are GC'd as a unit); an *orphaned*
-        # marker — entry unlinked by a crashed sweep, a manual delete,
-        # or a put() that died between marker and entry — is not just
-        # litter: while it lingers, is_early_stopped() keeps answering
-        # True for a spec hash with nothing cached, forcing every
-        # full-budget run at that hash into a spurious recompute.  So
-        # orphans are swept as soon as they outlive the put() grace
-        # window (marker lands moments before its entry; a concurrent
-        # gc must not unlink it inside that window, or an entry landing
-        # without its marker would serve a truncated payload as a full
-        # result) — NOT kept for max_age_days like real entries.
-        marker_cutoff = time.time() - 300.0
-        for name in names:
-            if not name.endswith(".early"):
-                continue
-            entry = name[: -len(".early")] + ".pkl"
-            if os.path.exists(os.path.join(self.cache_dir, entry)):
-                continue
-            path = os.path.join(self.cache_dir, name)
-            try:
-                if os.stat(path).st_mtime < marker_cutoff:
-                    os.unlink(path)
-            except FileNotFoundError:
-                pass
-        return CacheGCStats(
-            removed_cells=removed_cells,
-            removed_partials=removed_partials,
-            freed_bytes=freed,
-        )
-
-
-@dataclass(frozen=True)
-class CacheGCStats:
-    """What one :meth:`ResultCache.gc` sweep removed."""
-
-    removed_cells: int
-    removed_partials: int
-    freed_bytes: int
-
-
-@dataclass
-class _PendingCell:
-    """Book-keeping for one not-yet-finished cell."""
-
-    index: int
-    spec: ExperimentSpec
-    kind: ExperimentKind
-    plan: Optional[ShardPlan] = None
-    parts: Dict[int, Any] = field(default_factory=dict)
-    elapsed: float = 0.0
-    restored: int = 0
-    #: Shards covered by the last merged contiguous prefix (streamed
-    #: and/or evaluated for early stopping).
-    partial_done: int = 0
-    #: Sample work already reported through shard progress events.
-    reported_work: int = 0
-    #: unit_id per shard index (cancellation bookkeeping).
-    unit_ids: Dict[int, str] = field(default_factory=dict)
-    #: The cell finished (merged, restored or early-stopped); any
-    #: straggler shard results still arriving are discarded.
-    done: bool = False
-
-
-@dataclass(frozen=True)
-class CellPlan:
-    """One cell's execution plan (the ``--dry-run`` unit of output)."""
-
-    spec: ExperimentSpec
-    #: A whole-cell cache entry exists: the cell will be restored.
-    cached: bool
-    #: The shard plan a fresh execution would use (None = runs whole).
-    plan: Optional[ShardPlan] = None
-    #: Shards with persisted partials (restored, not recomputed).
-    shards_cached: int = 0
-    #: Human-readable stopping rule for early-stop-capable kinds
-    #: (None = the kind defines no ``should_stop`` hook).
-    stop_rule: Optional[str] = None
-    #: Shard-geometry label (the runner's :class:`ShardPolicy`) for
-    #: sharded cells; None when the cell runs whole.
-    geometry: Optional[str] = None
-    #: The execution kernel ("vector"/"scalar") the cell resolves to
-    #: — the kind's ``resolve_kernel`` verdict on the spec's ``kernel``
-    #: hint; None when the kind does not report one.  Informational:
-    #: kernels change throughput, never payloads.
-    kernel: Optional[str] = None
-    #: Machine-readable reason a requested/auto vector kernel fell back
-    #: to scalar (None when in-envelope or not reported) — shown in the
-    #: ``--dry-run`` kernel column and journaled as a
-    #: ``kernel_fallback`` event so fallbacks are never silent.
-    kernel_reason: Optional[str] = None
-
-    @property
-    def num_shards(self) -> int:
-        return len(self.plan) if self.plan is not None else 1
-
-
-def _resolved_kernel(
-    kind: ExperimentKind, spec: ExperimentSpec
-) -> "Tuple[Optional[str], Optional[str]]":
-    """``(kernel, fallback_reason)`` from the kind's resolver.
-
-    Normalizes the two resolver signatures: a bare kernel name (legacy,
-    no reason travels with it) or a :class:`KernelResolution`.
-    """
-    if kind.resolve_kernel is None:
-        return None, None
-    resolved = kind.resolve_kernel(spec)
-    if isinstance(resolved, KernelResolution):
-        return resolved.kernel, resolved.reason
-    return resolved, None
 
 
 class CampaignRunner:
@@ -686,37 +200,14 @@ class CampaignRunner:
         #: Enabling it is bit-identity-neutral — events observe
         #: execution, payloads never depend on them.
         self.telemetry = telemetry
-        #: Wall-clock submit time per outstanding unit id — the
-        #: queued→running phase split in unit_done spans.
-        self._queued_at: Dict[str, float] = {}
-
-    def _emit(self, type_: str, **fields: Any) -> None:
-        """Emit one telemetry event (no-op without a sink)."""
-        if self.telemetry is None:
-            return
-        from repro.telemetry.events import make_event
-
-        self.telemetry.emit(make_event(type_, **fields))
 
     # -- planning ----------------------------------------------------------
 
     def _shard_plan(self, spec: ExperimentSpec) -> Optional[ShardPlan]:
         """The cell's shard plan, or None to execute it whole."""
-        if self.max_shards_per_cell <= 1:
-            return None
-        kind = get_experiment(spec.kind)
-        if not kind.shardable or spec.num_samples <= 0:
-            return None
-        if _plan_hook_accepts_policy(kind.plan_shards):
-            plan = kind.plan_shards(
-                spec, self.max_shards_per_cell, self.shard_policy
-            )
-        else:
-            # A kind registered against the pre-policy two-argument
-            # hook (out-of-tree kinds): it plans its own geometry and
-            # simply cannot honour a shard policy.
-            plan = kind.plan_shards(spec, self.max_shards_per_cell)
-        return plan if len(plan) > 1 else None
+        return shard_plan_for(
+            spec, self.max_shards_per_cell, self.shard_policy
+        )
 
     def plan(self, specs: Sequence[ExperimentSpec]) -> List[CellPlan]:
         """What :meth:`run` would do, without executing anything.
@@ -726,53 +217,13 @@ class CampaignRunner:
         those shards have persisted partials — the ``--dry-run`` view
         of a campaign (what a distributed run would dispatch).
         """
-        plans: List[CellPlan] = []
-        for spec in specs:
-            kind = get_experiment(spec.kind)
-            cached = self.cache.has(spec) if self.cache else False
-            if cached and not self.early_stop \
-                    and self.cache.is_early_stopped(spec):
-                # Mirror run(): an early-stopped entry does not satisfy
-                # a full-budget runner, so the cell would recompute.
-                cached = False
-            shard_plan = None if cached else self._shard_plan(spec)
-            shards_cached = (
-                self.cache.count_shards(spec, shard_plan)
-                if self.cache and shard_plan is not None
-                else 0
-            )
-            # Only advertise a stopping rule the run would apply: a
-            # runner without early_stop executes the full budget, and
-            # the plan must say so.
-            stop_rule = None
-            if self.early_stop and kind.should_stop is not None:
-                stop_rule = (
-                    kind.stop_rule(spec)
-                    if kind.stop_rule is not None
-                    else "enabled"
-                )
-            geometry = None
-            if shard_plan is not None:
-                # A legacy two-argument hook planned its own geometry
-                # — advertising the runner's policy for it would
-                # mislabel the very ranges printed beside it.
-                geometry = (
-                    self.shard_policy.describe()
-                    if _plan_hook_accepts_policy(kind.plan_shards)
-                    else "kind-defined"
-                )
-            kernel, kernel_reason = _resolved_kernel(kind, spec)
-            plans.append(CellPlan(
-                spec=spec,
-                cached=cached,
-                plan=shard_plan,
-                shards_cached=shards_cached,
-                stop_rule=stop_rule,
-                geometry=geometry,
-                kernel=kernel,
-                kernel_reason=kernel_reason,
-            ))
-        return plans
+        return plan_cells(
+            specs,
+            cache=self.cache,
+            max_shards=self.max_shards_per_cell,
+            policy=self.shard_policy,
+            early_stop=self.early_stop,
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -781,141 +232,6 @@ class CampaignRunner:
             return type(self.backend).__name__
         return "serial" if self.workers == 1 else f"pool({self.workers})"
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> CampaignResult:
-        """Execute every cell, returning results in spec order."""
-        specs = list(specs)
-        # Validate kinds up front: a typo should fail before any
-        # (possibly hours-long) cell executes.
-        for spec in specs:
-            get_experiment(spec.kind)
-        run_started = time.monotonic()
-        self._emit(
-            "campaign_start",
-            cells=len(specs),
-            backend=self._backend_label(),
-            total_work=sum(cell_weight(spec) for spec in specs),
-        )
-
-        results: List[Optional[CellResult]] = [None] * len(specs)
-        pending: List[_PendingCell] = []
-        for index, spec in enumerate(specs):
-            cached = None
-            if self.cache is not None and (
-                self.early_stop or not self.cache.is_early_stopped(spec)
-            ):
-                # An early-stopped entry holds a truncated decided-at
-                # payload; a runner that did not opt into early
-                # stopping promised the full budget, so it recomputes
-                # (and overwrites) instead of loading it.
-                cached = self.cache.get_record(spec)
-            if cached is not None:
-                payload, was_early_stopped = cached
-                results[index] = CellResult(
-                    spec=spec, payload=payload, elapsed=0.0,
-                    from_cache=True, early_stopped=was_early_stopped,
-                )
-                self._emit(
-                    "cache_hit", cell=spec.cell_id, kind=spec.kind,
-                )
-                self._report(ProgressEvent(
-                    event="cell",
-                    spec=spec,
-                    elapsed=0.0,
-                    work=cell_weight(spec),
-                    from_cache=True,
-                    result=results[index],
-                ))
-                continue
-            cell = _PendingCell(
-                index=index,
-                spec=spec,
-                kind=get_experiment(spec.kind),
-                plan=self._shard_plan(spec),
-            )
-            if self.telemetry is not None:
-                # Resolve only when a sink listens: probing the vector
-                # envelope builds a template cache, and the default
-                # telemetry=None path stays zero-cost.
-                kernel, reason = _resolved_kernel(cell.kind, spec)
-                if reason is not None:
-                    self._emit(
-                        "kernel_fallback",
-                        cell=spec.cell_id,
-                        kernel=kernel,
-                        reason=reason,
-                    )
-            self._restore_shards(cell)
-            if cell.plan is not None and len(cell.parts) == len(cell.plan):
-                # Every shard was persisted before the interruption;
-                # only the merge is left.
-                self._finish(results, cell, self._merge(cell))
-            else:
-                pending.append(cell)
-
-        if pending:
-            self._execute(pending, results)
-
-        assert all(result is not None for result in results)
-        self._emit(
-            "campaign_end",
-            cells=len(specs),
-            elapsed=time.monotonic() - run_started,
-        )
-        return CampaignResult(cells=[r for r in results if r is not None])
-
-    def _restore_shards(self, cell: _PendingCell) -> None:
-        """Adopt persisted shard partials from an interrupted run."""
-        if self.cache is None or cell.plan is None:
-            return
-        restored_before = cell.restored
-        for index, payload in sorted(
-            self.cache.get_shards(cell.spec, cell.plan).items()
-        ):
-            cell.parts[index] = payload
-            cell.restored += 1
-            cell.reported_work += cell.plan[index].num_samples
-            self._report(ProgressEvent(
-                event="shard",
-                spec=cell.spec,
-                elapsed=0.0,
-                work=cell.plan[index].num_samples,
-                from_cache=True,
-                shard=cell.plan[index],
-            ))
-        if cell.restored > restored_before:
-            self._emit(
-                "partial_restore",
-                cell=cell.spec.cell_id,
-                shards=cell.restored - restored_before,
-                of=len(cell.plan),
-            )
-
-    def _make_units(
-        self, pending: Sequence[_PendingCell]
-    ) -> "List[Tuple[Any, _PendingCell, Optional[Shard]]]":
-        from repro.backends.base import WorkUnit
-
-        units: List[Tuple[Any, _PendingCell, Optional[Shard]]] = []
-        for cell in pending:
-            stem = f"c{cell.index:04d}-{cell.spec.spec_hash()[:12]}"
-            if cell.plan is None:
-                units.append(
-                    (WorkUnit(unit_id=stem, spec=cell.spec), cell, None)
-                )
-                continue
-            for shard in cell.plan:
-                unit_id = f"{stem}.{shard.start}-{shard.end}"
-                cell.unit_ids[shard.index] = unit_id
-                if shard.index in cell.parts:
-                    continue  # restored from a persisted partial
-                unit = WorkUnit(
-                    unit_id=unit_id,
-                    spec=cell.spec,
-                    shard=shard,
-                )
-                units.append((unit, cell, shard))
-        return units
-
     def _make_backend(self, num_units: int) -> "ExecutionBackend":
         from repro.backends.local import ProcessPoolBackend, SerialBackend
 
@@ -923,263 +239,40 @@ class CampaignRunner:
             return SerialBackend()
         return ProcessPoolBackend(min(self.workers, num_units))
 
-    def _execute(
-        self,
-        pending: Sequence[_PendingCell],
-        results: List[Optional[CellResult]],
-    ) -> None:
-        if self.early_stop:
-            # Shard partials restored from the cache may already carry
-            # a decidable prefix — settle those cells before
-            # dispatching any of their remaining shards.
-            for cell in pending:
-                self._after_prefix_grew(results, cell, backend=None)
-            pending = [cell for cell in pending if not cell.done]
-            if not pending:
-                return
-        units = self._make_units(pending)
-        by_id = {unit.unit_id: (cell, shard) for unit, cell, shard in units}
-        backend = self.backend
-        owns_backend = backend is None
-        if backend is None:
-            backend = self._make_backend(len(units))
-        try:
-            for unit, cell, _ in units:
-                backend.submit(unit)
-                if self.telemetry is not None:
-                    self._queued_at[unit.unit_id] = time.time()
-                    self._emit(
-                        "unit_queued",
-                        unit=unit.unit_id,
-                        cell=cell.spec.cell_id,
-                        kind=cell.spec.kind,
-                    )
-            # Completion order (backend-defined), so finished cells
-            # hit the cache and the progress callback immediately
-            # instead of waiting behind a slow earlier cell.  Shard
-            # partials are keyed by shard index, so the merge below is
-            # completion-order independent.
-            for result in backend.completions():
-                cell, shard = by_id[result.unit.unit_id]
-                if self.telemetry is not None:
-                    self._emit_unit_done(cell, result)
-                if cell.done:
-                    # A straggler of an early-stopped cell (its unit
-                    # was already running when the cancel landed).
-                    continue
-                if shard is None:
-                    cell.elapsed = result.elapsed
-                    self._finish(results, cell, result.payload)
-                else:
-                    self._shard_done(
-                        cell, shard, result.payload, result.elapsed
-                    )
-                    if len(cell.parts) == len(cell.plan):
-                        self._finish(results, cell, self._merge(cell))
-                    else:
-                        self._after_prefix_grew(results, cell, backend)
-        finally:
-            if owns_backend:
-                backend.close()
-            self._queued_at.clear()
-
-    # -- unit completion ---------------------------------------------------
-
-    def _emit_unit_done(self, cell: _PendingCell, result: Any) -> None:
-        """Close one unit's span: phase split + worker timings.
-
-        ``queue_wait`` is submit-to-execution-start, from the worker's
-        own wall clock when it stamped timings (clamped at 0 against
-        cross-host clock skew); the remaining fields ride straight
-        from the result doc.
-        """
-        unit_id = result.unit.unit_id
-        queued = self._queued_at.pop(unit_id, None)
-        queue_wait = None
-        timings = result.timings
-        if queued is not None:
-            started = (timings or {}).get("started")
-            reference = started if started is not None else time.time()
-            queue_wait = max(0.0, reference - queued)
-        fields: Dict[str, Any] = dict(
-            unit=unit_id,
-            cell=cell.spec.cell_id,
-            kind=cell.spec.kind,
-            attempts=getattr(result, "attempts", 1),
-            elapsed=result.elapsed,
+    def run(self, specs: Sequence[ExperimentSpec]) -> CampaignResult:
+        """Execute every cell, returning results in spec order."""
+        execution = CampaignExecution(
+            specs,
+            cache=self.cache,
+            max_shards_per_cell=self.max_shards_per_cell,
+            shard_policy=self.shard_policy,
+            stream_partials=self.stream_partials,
+            early_stop=self.early_stop,
+            progress=self.progress,
+            telemetry=self.telemetry,
+            backend_label=self._backend_label(),
         )
-        if getattr(result, "worker", None) is not None:
-            fields["worker"] = result.worker
-        if queue_wait is not None:
-            fields["queue_wait"] = round(queue_wait, 6)
-        if timings is not None:
-            fields["timings"] = dict(timings)
-        self._emit("unit_done", **fields)
-
-    def _merge(self, cell: _PendingCell) -> Any:
-        """Merge a sharded cell's partials (shard order, not completion
-        order) into the payload an unsharded run would produce."""
-        assert cell.plan is not None
-        start = time.perf_counter()
-        parts = [cell.parts[i] for i in range(len(cell.plan))]
-        payload = cell.kind.merge_shards(cell.spec, parts)
-        seconds = time.perf_counter() - start
-        cell.elapsed += seconds
-        self._emit(
-            "merge",
-            cell=cell.spec.cell_id,
-            shards=len(parts),
-            seconds=round(seconds, 6),
-        )
-        return payload
-
-    def _finish(
-        self,
-        results: List[Optional[CellResult]],
-        cell: _PendingCell,
-        payload: Any,
-        *,
-        early_stopped: bool = False,
-    ) -> None:
-        cell.done = True
-        if self.cache:
-            self.cache.put(cell.spec, payload, early_stopped=early_stopped)
-            if cell.plan is not None and not early_stopped:
-                # The full-budget entry supersedes the partials.  An
-                # early-stopped cell keeps its persisted shards: a
-                # later full-budget run rejects the truncated entry
-                # and resumes from exactly those partials instead of
-                # recomputing them (gc's orphan rule protects them
-                # for the same reason).
-                self.cache.clear_shards(cell.spec)
-        num_shards = len(cell.plan) if cell.plan else 1
-        results[cell.index] = CellResult(
-            spec=cell.spec,
-            payload=payload,
-            elapsed=cell.elapsed,
-            num_shards=num_shards,
-            shards_restored=cell.restored,
-            early_stopped=early_stopped,
-        )
-        self._emit(
-            "cell_done",
-            cell=cell.spec.cell_id,
-            kind=cell.spec.kind,
-            elapsed=round(cell.elapsed, 6),
-            shards=num_shards,
-            early_stopped=early_stopped,
-        )
-        # Sharded cells already reported their work shard by shard;
-        # the cell event carries only what they did not — 0 normally,
-        # the cancelled remainder when the cell stopped early.
-        if cell.plan is None:
-            work = cell_weight(cell.spec)
-        else:
-            work = max(0, cell_weight(cell.spec) - cell.reported_work)
-        self._report(ProgressEvent(
-            event="cell",
-            spec=cell.spec,
-            elapsed=cell.elapsed,
-            work=work,
-            result=results[cell.index],
-        ))
-
-    def _shard_done(
-        self, cell: _PendingCell, shard: Shard, payload: Any, elapsed: float
-    ) -> None:
-        cell.parts[shard.index] = payload
-        cell.elapsed += elapsed
-        cell.reported_work += shard.num_samples
-        # Persist before reporting: once an observer saw the shard
-        # complete, a crash must not lose it.
-        if self.cache is not None:
-            self.cache.put_shard(cell.spec, shard, payload)
-        self._report(ProgressEvent(
-            event="shard",
-            spec=cell.spec,
-            elapsed=elapsed,
-            work=shard.num_samples,
-            shard=shard,
-        ))
-
-    def _after_prefix_grew(
-        self,
-        results: List[Optional[CellResult]],
-        cell: _PendingCell,
-        backend: Optional["ExecutionBackend"],
-    ) -> None:
-        """React to a grown contiguous shard prefix: stream the merged
-        preview and/or rule on early stopping.  One merge serves both;
-        merge failures are skippable for previews but disable stopping
-        too (an undecidable prefix is simply not decided)."""
-        if cell.plan is None:
-            return
-        wants_stream = (
-            self.stream_partials and cell.kind.merge_partial is not None
-        )
-        wants_stop = (
-            self.early_stop and cell.kind.should_stop is not None
-        )
-        if not (wants_stream or wants_stop):
-            return
-        done = 0
-        while done in cell.parts:
-            done += 1
-        if done <= cell.partial_done or done >= len(cell.plan):
-            # No new contiguous prefix (or the cell is about to merge
-            # for real anyway).
-            return
-        cell.partial_done = done
-        try:
-            payload = cell.kind.merge_partial(
-                cell.spec, [cell.parts[i] for i in range(done)]
-            )
-        except Exception:
-            return  # an unmergeable prefix is simply not ruled on
-        if wants_stream:
-            # A failing summary only skips the preview line — it must
-            # not block the stopping decision, which needs nothing but
-            # the merged payload.
+        execution.begin()
+        units = execution.take_units()
+        if units:
+            backend = self.backend
+            owns_backend = backend is None
+            if backend is None:
+                backend = self._make_backend(len(units))
             try:
-                summary = cell.kind.summarize(cell.spec, payload)
-            except Exception:
-                pass
-            else:
-                self._report(ProgressEvent(
-                    event="partial",
-                    spec=cell.spec,
-                    elapsed=0.0,
-                    work=0,
-                    partial=payload,
-                    summary=summary,
-                    shards_done=done,
-                    shards_total=len(cell.plan),
-                ))
-        if not wants_stop:
-            return
-        try:
-            stop = bool(cell.kind.should_stop(cell.spec, payload))
-        except Exception:
-            return  # an erroring rule must never fail the campaign
-        if not stop:
-            return
-        remaining = [
-            unit_id
-            for index, unit_id in cell.unit_ids.items()
-            if index not in cell.parts
-        ]
-        if backend is not None and remaining:
-            backend.cancel_units(remaining)
-        # decided_at: the trial count the verdict was reached at — the
-        # end of the merged contiguous prefix the rule fired on.
-        self._emit(
-            "early_stop",
-            cell=cell.spec.cell_id,
-            decided_at=cell.plan[done - 1].end,
-            cancelled=len(remaining),
-        )
-        self._finish(results, cell, payload, early_stopped=True)
-
-    def _report(self, event: ProgressEvent) -> None:
-        if self.progress is not None:
-            self.progress(event)
+                for unit in units:
+                    backend.submit(unit)
+                    execution.note_queued(unit)
+                # Completion order (backend-defined), so finished
+                # cells hit the cache and the progress callback
+                # immediately instead of waiting behind a slow earlier
+                # cell.  Shard partials are keyed by shard index, so
+                # merges are completion-order independent.
+                for result in backend.completions():
+                    cancel = execution.on_result(result)
+                    if cancel:
+                        backend.cancel_units(cancel)
+            finally:
+                if owns_backend:
+                    backend.close()
+        return execution.finish()

@@ -1,0 +1,31 @@
+"""repro.service — campaign-as-a-service.
+
+The multi-tenant layer over the campaign engine: a
+:class:`CampaignScheduler` interleaves the work units of many
+concurrently-submitted campaigns over one shared
+:class:`~repro.backends.base.ExecutionBackend` (weighted-fair across
+tenants, single-flight deduplicated through the shared content-
+addressed :class:`~repro.campaigns.cache.ResultCache`), and a
+:class:`ServiceClient` talks to the ``repro serve`` daemon — the PR-7
+coordinator extended with ``/campaigns`` routes.
+
+Quickstart (one process)::
+
+    backend = WorkQueueBackend(queue_dir, max_workers=2)
+    scheduler = CampaignScheduler(backend, cache=ResultCache(cache_dir))
+    a = scheduler.submit(specs_a, tenant="alice")
+    b = scheduler.submit(specs_b, tenant="bob", weight=4.0)
+    scheduler.wait(b)          # bob's small grid is not starved
+    result = scheduler.result(a)
+
+Over the wire::
+
+    repro serve --queue-dir q --port 8765 --max-workers 4 &
+    repro submit contention --service http://host:8765 --tenant alice
+    repro watch <id> --service http://host:8765
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = ["CampaignScheduler", "ServiceClient"]

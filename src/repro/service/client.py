@@ -1,0 +1,223 @@
+"""Client for the ``repro serve`` campaign service.
+
+:class:`ServiceClient` wraps the coordinator's ``/campaigns`` routes
+behind the same :class:`~repro.backends.coordinator.CoordinatorClient`
+every worker uses, so submits and polls ride its capped-exponential-
+backoff connection retries — a daemon restart mid-watch is invisible
+as long as it comes back within the retry budget.
+
+The result wire format is the scheduler's pickled *result record*
+(spec docs + payload objects exactly as a solo
+:class:`~repro.campaigns.runner.CampaignRunner` would produce them);
+:func:`cells_from_record` rebuilds :class:`CellResult` objects from
+it, so callers compare payloads bit-for-bit against local runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.backends.coordinator import CoordinatorClient
+from repro.campaigns.results import CellResult
+from repro.campaigns.spec import ExperimentSpec
+
+
+class CampaignNotFound(KeyError):
+    """The service does not know this campaign id."""
+
+
+class CampaignNotDone(RuntimeError):
+    """The campaign exists but has not (successfully) finished.
+
+    Carries the service-reported ``state`` (``pending`` / ``running``
+    / ``failed`` / ``cancelled``) so callers can distinguish "poll
+    again" from "never going to finish".
+    """
+
+    def __init__(self, campaign_id: str, state: str, detail: str = ""):
+        super().__init__(
+            f"campaign {campaign_id} is {state}"
+            + (f": {detail}" if detail else "")
+        )
+        self.campaign_id = campaign_id
+        self.state = state
+
+
+#: Campaign states that will never change again.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def cells_from_record(record: Mapping[str, Any]) -> List[CellResult]:
+    """Rebuild :class:`CellResult` objects from a result record."""
+    return [
+        CellResult(
+            spec=ExperimentSpec.from_doc(cell["spec"]),
+            payload=cell["payload"],
+            elapsed=cell["elapsed"],
+            from_cache=cell["from_cache"],
+            num_shards=cell["num_shards"],
+            shards_restored=cell["shards_restored"],
+            early_stopped=cell["early_stopped"],
+        )
+        for cell in record["cells"]
+    ]
+
+
+class ServiceClient:
+    """Talks to a ``repro serve`` daemon's ``/campaigns`` API.
+
+    Parameters mirror :class:`CoordinatorClient`; pass an explicit
+    ``client`` to share one (or to inject a virtual clock in tests).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        retry_timeout: float = 60.0,
+        request_timeout: float = 30.0,
+        client: Optional[CoordinatorClient] = None,
+    ) -> None:
+        self.client = client if client is not None else CoordinatorClient(
+            base_url,
+            retry_timeout=retry_timeout,
+            request_timeout=request_timeout,
+        )
+
+    # -- submit ------------------------------------------------------------
+
+    def submit(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        tenant: str = "default",
+        weight: float = 1.0,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """Submit a campaign; returns its service-assigned id."""
+        doc: Dict[str, Any] = {
+            "tenant": tenant,
+            "weight": weight,
+            "specs": [spec.to_doc() for spec in specs],
+        }
+        if options:
+            doc["options"] = dict(options)
+        return self.submit_doc(doc)
+
+    def submit_doc(self, doc: Mapping[str, Any]) -> str:
+        """Submit a pre-built ``POST /campaigns`` document."""
+        status, body = self.client.request_json(
+            "POST", "/campaigns", json_body=dict(doc)
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"submit failed ({status}): {body.get('error', body)}"
+            )
+        return body["id"]
+
+    # -- inspect -----------------------------------------------------------
+
+    def list_campaigns(self) -> List[Dict[str, Any]]:
+        status, body = self.client.request_json("GET", "/campaigns")
+        if status != 200:
+            raise RuntimeError(f"list failed ({status}): {body}")
+        return body.get("campaigns", [])
+
+    def status(self, campaign_id: str, *, after: int = 0) -> Dict[str, Any]:
+        status, body = self.client.request_json(
+            "GET", f"/campaigns/{campaign_id}?after={int(after)}"
+        )
+        if status == 404:
+            raise CampaignNotFound(campaign_id)
+        if status != 200:
+            raise RuntimeError(f"status failed ({status}): {body}")
+        return body
+
+    def result_record(self, campaign_id: str) -> Dict[str, Any]:
+        """The finished campaign's unpickled result record.
+
+        Raises :class:`CampaignNotFound` for an unknown id and
+        :class:`CampaignNotDone` while the campaign is still running
+        (or after it failed / was cancelled).
+        """
+        status, body = self.client.request(
+            "GET", f"/campaigns/{campaign_id}/result"
+        )
+        if status == 404:
+            raise CampaignNotFound(campaign_id)
+        if status == 409:
+            try:
+                doc = json.loads(body)
+            except ValueError:
+                doc = {}
+            raise CampaignNotDone(
+                campaign_id,
+                doc.get("state", "unknown"),
+                doc.get("error", "") or "",
+            )
+        if status != 200:
+            raise RuntimeError(f"result failed ({status})")
+        return pickle.loads(body)
+
+    def results(self, campaign_id: str) -> List[CellResult]:
+        """:class:`CellResult` objects of a finished campaign."""
+        return cells_from_record(self.result_record(campaign_id))
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, campaign_id: str) -> bool:
+        """Cancel a campaign (idempotent; False if already terminal)."""
+        status, body = self.client.request_json(
+            "DELETE", f"/campaigns/{campaign_id}"
+        )
+        if status == 404:
+            raise CampaignNotFound(campaign_id)
+        if status != 200:
+            raise RuntimeError(f"cancel failed ({status}): {body}")
+        return bool(body.get("cancelled", False))
+
+    def watch(
+        self,
+        campaign_id: str,
+        *,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, Any]:
+        """Poll until the campaign is terminal; returns its final status.
+
+        ``on_event`` receives each feed event exactly once, in order —
+        the cursor advances by ``events_total`` per poll, so a
+        restarted daemon (which forgets campaigns) surfaces as
+        :class:`CampaignNotFound` rather than a silent replay.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            doc = self.status(campaign_id, after=cursor)
+            for event in doc.get("events", []):
+                cursor = max(cursor, int(event.get("seq", cursor)) + 1)
+                if on_event is not None:
+                    on_event(event)
+            if doc["state"] in TERMINAL_STATES:
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {doc['state']} "
+                    f"after {timeout:.1f}s"
+                )
+            sleep(poll)
+
+    def wait(
+        self,
+        campaign_id: str,
+        *,
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Block until terminal; returns the final state string."""
+        return self.watch(campaign_id, poll=poll, timeout=timeout)["state"]

@@ -1,0 +1,838 @@
+"""The multi-campaign scheduler: many tenants, one backend.
+
+:class:`CampaignScheduler` refactors campaign execution from "one
+runner owns one campaign and one backend" to "one scheduler interleaves
+many campaigns over one shared backend".  Each submitted campaign
+becomes a :class:`~repro.campaigns.engine.CampaignExecution` whose unit
+ids are namespaced ``{campaign_id}.{stem}`` (filename- and URL-safe, so
+many campaigns' units coexist in one work queue or coordinator), and a
+single dispatcher thread drives them all:
+
+* **Weighted-fair dispatch**: each tenant accrues *virtual time* —
+  dispatched sample-work divided by its weight — and the next unit is
+  always drawn from the runnable campaign whose tenant is furthest
+  behind.  A newly-active tenant's clock is advanced to the slowest
+  active tenant's, so joining late never grants a catch-up monopoly.
+* **Per-tenant in-flight budgets** (``tenant_inflight``): at most that
+  many of a tenant's units are outstanding on the backend at once.
+  Budgets are what makes fairness real on queue backends that serve
+  tasks in sorted-filename order — without them, a large campaign
+  submitted first would flood the queue and starve later tenants no
+  matter how dispatch was ordered.
+* **Single-flight dedup**: units are keyed by content (spec hash +
+  shard identity).  When a unit with the same key is already in
+  flight, the newcomer joins its *interest set* instead of dispatching
+  a duplicate — one computation, every interested campaign receives
+  the result (recorded as a ``cache_hit`` telemetry event with
+  ``tenant``/``campaign`` labels and ``dedup: true``).  Early-stop
+  cancellation drops only the canceller's interest; the backend unit
+  is cancelled only when no campaign wants it any more.  Completed
+  cells land in the shared content-addressed
+  :class:`~repro.campaigns.cache.ResultCache`, so campaigns submitted
+  *after* a cell finished dedup through the store instead.
+
+Payload bit-identity is inherited, not re-proven: every execution sees
+the same per-unit results a solo :class:`CampaignRunner` would, and all
+randomness is keyed to spec hashes and absolute sample positions —
+scheduling order can change *when* a payload is computed, never its
+bytes.
+
+Failure granularity is deliberately coarse in this first service cut:
+an exception escaping the shared backend's completion stream (e.g. a
+unit exhausting ``max_attempts``) fails every campaign with work in
+flight, the way it would fail a solo runner — the scheduler survives
+and keeps accepting new submissions.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.backends.base import ExecutionBackend, WorkResult, WorkUnit
+from repro.campaigns.cache import ResultCache
+from repro.campaigns.engine import CampaignExecution
+from repro.campaigns.registry import get_experiment
+from repro.campaigns.results import (
+    CampaignResult,
+    ProgressEvent,
+    cell_weight,
+)
+from repro.campaigns.spec import ExperimentSpec
+from repro.core.batch import ShardPolicy
+
+#: Tenant names travel in telemetry, status docs and URLs.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Content key of one unit: spec hash + shard identity (or None for a
+#: whole-cell unit).  Two units with equal keys compute identical
+#: bytes, whoever submitted them — the single-flight registry keys on
+#: exactly this.
+FlightKey = Tuple[str, Optional[Tuple[int, int, int, int]]]
+
+
+def _flight_key(unit: WorkUnit) -> FlightKey:
+    shard = unit.shard
+    if shard is None:
+        return (unit.spec.spec_hash(), None)
+    return (
+        unit.spec.spec_hash(),
+        (shard.index, shard.num_shards, shard.start, shard.end),
+    )
+
+
+def _unit_work(unit: WorkUnit) -> int:
+    """Sample-work a unit represents (the virtual-time charge)."""
+    if unit.shard is not None:
+        return max(1, unit.shard.num_samples)
+    return cell_weight(unit.spec)
+
+
+@dataclass
+class _Tenant:
+    """One tenant's fair-share accounting."""
+
+    name: str
+    weight: float = 1.0
+    #: Dispatched work / weight — the weighted-fair virtual clock.
+    vtime: float = 0.0
+    #: Units this tenant currently has outstanding on the backend.
+    inflight: int = 0
+    dispatched_units: int = 0
+    dedup_hits: int = 0
+    submitted: int = 0
+    finished: int = 0
+
+
+@dataclass
+class _Flight:
+    """One in-flight backend unit and every campaign wanting it."""
+
+    key: FlightKey
+    unit_id: str
+    #: The tenant whose budget/virtual time the unit was charged to.
+    tenant: str
+    #: ``(job, that job's own unit)`` — results are re-labelled per
+    #: interested campaign so each execution sees its own unit ids.
+    interested: List[Tuple["_Job", WorkUnit]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class _Job:
+    """One submitted campaign's lifecycle record."""
+
+    id: str
+    tenant: str
+    specs: List[ExperimentSpec]
+    execution: CampaignExecution
+    submitted_ts: float
+    #: pending → running → done | failed | cancelled
+    state: str = "pending"
+    error: Optional[str] = None
+    result: Optional[CampaignResult] = None
+    #: Not-yet-dispatched units, in execution order.
+    units: Deque[WorkUnit] = field(default_factory=deque)
+    #: The JSON-able progress feed served by ``GET /campaigns/{id}``
+    #: (every cell/shard completion and streamed ``merge_partial``).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    work_total: int = 0
+    work_done: int = 0
+    cells_done: int = 0
+    finished_ts: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+class CampaignScheduler:
+    """Interleaves many campaigns' units over one shared backend.
+
+    Parameters
+    ----------
+    backend:
+        The shared :class:`ExecutionBackend` every campaign's units run
+        on.  The caller owns its lifecycle (as with
+        :class:`CampaignRunner`); :meth:`close` cancels outstanding
+        units but does not close the backend.
+    cache:
+        The shared content-addressed :class:`ResultCache`.  Optional,
+        but the service promise — cross-tenant dedup through the store,
+        durable resume — needs one; without it only in-flight
+        single-flight dedup applies.
+    telemetry:
+        Optional sink; every execution's events carry ``campaign`` and
+        ``tenant`` labels, and the scheduler adds campaign lifecycle
+        events (submitted/done/cancelled) plus dedup ``cache_hit``\\ s.
+    tenant_inflight:
+        Per-tenant in-flight unit budget (≥ 1).  Small budgets are what
+        lets a later tenant's units reach sorted-order queue backends
+        ahead of an earlier tenant's backlog.
+    start:
+        Start the dispatcher thread immediately (tests pass False to
+        stage multiple submissions deterministically, then call
+        :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        *,
+        cache: Optional[ResultCache] = None,
+        telemetry=None,
+        tenant_inflight: int = 2,
+        poll_wait: float = 0.2,
+        start: bool = True,
+    ) -> None:
+        if tenant_inflight < 1:
+            raise ValueError("tenant_inflight must be >= 1")
+        self.backend = backend
+        self.cache = cache
+        self.telemetry = telemetry
+        self.tenant_inflight = tenant_inflight
+        self.poll_wait = poll_wait
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[str, _Job] = {}
+        self._tenants: Dict[str, _Tenant] = {}
+        self._flights: Dict[FlightKey, _Flight] = {}
+        #: backend unit id → flight key (completion routing).
+        self._by_backend_id: Dict[str, FlightKey] = {}
+        #: (campaign id, local unit id) → flight key (cancel routing).
+        self._interest_key: Dict[Tuple[str, str], FlightKey] = {}
+        self._seq = 0
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "CampaignScheduler":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop,
+                    name="campaign-scheduler",
+                    daemon=True,
+                )
+                self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop dispatching (cancels outstanding backend units)."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        # Unblock a dispatcher waiting inside completions(): with the
+        # outstanding set cancelled the stream drains immediately.
+        try:
+            self.backend.cancel()
+        except Exception:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _emit(self, type_: str, **fields: Any) -> None:
+        if self.telemetry is None:
+            return
+        from repro.telemetry.events import make_event
+
+        self.telemetry.emit(make_event(type_, **fields))
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        tenant: str = "default",
+        weight: float = 1.0,
+        max_shards_per_cell: int = 1,
+        shard_policy: Optional[ShardPolicy] = None,
+        stream_partials: bool = False,
+        early_stop: bool = False,
+    ) -> str:
+        """Enqueue one campaign; returns its scheduler-assigned id.
+
+        Raises ``ValueError`` on an unknown kind, a bad tenant name or
+        a non-positive weight — submission-time validation, so a typo
+        fails the HTTP request instead of the dispatcher.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("campaign has no cells")
+        for spec in specs:
+            get_experiment(spec.kind)
+        if not _TENANT_RE.match(tenant):
+            raise ValueError(
+                f"bad tenant name {tenant!r} "
+                "(letters, digits, dots, dashes, underscores)"
+            )
+        if not weight > 0:
+            raise ValueError("weight must be positive")
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            campaign_id = f"c{self._seq:03d}"
+            self._seq += 1
+            state = self._tenants.setdefault(tenant, _Tenant(tenant))
+            state.weight = float(weight)
+            state.submitted += 1
+            # A joining tenant starts at the slowest active clock:
+            # zero accrued virtual time must not become a monopoly.
+            active = [
+                t.vtime for t in self._tenants.values() if t.inflight > 0
+            ]
+            if active:
+                state.vtime = max(state.vtime, min(active))
+            job = _Job(
+                id=campaign_id,
+                tenant=tenant,
+                specs=specs,
+                execution=None,  # type: ignore[arg-type]  (set below)
+                submitted_ts=time.time(),
+                work_total=sum(cell_weight(s) for s in specs),
+            )
+            job.execution = CampaignExecution(
+                specs,
+                cache=self.cache,
+                max_shards_per_cell=max_shards_per_cell,
+                shard_policy=shard_policy,
+                stream_partials=stream_partials,
+                early_stop=early_stop,
+                progress=lambda ev, _job=job: self._on_progress(_job, ev),
+                telemetry=self.telemetry,
+                backend_label=type(self.backend).__name__,
+                unit_prefix=campaign_id + ".",
+                labels={"campaign": campaign_id, "tenant": tenant},
+            )
+            self._jobs[campaign_id] = job
+            self._emit(
+                "campaign_submitted",
+                campaign=campaign_id,
+                tenant=tenant,
+                cells=len(specs),
+            )
+            self._wake.notify_all()
+            return campaign_id
+
+    def submit_doc(self, doc: Mapping[str, Any]) -> str:
+        """Submit from the wire form ``POST /campaigns`` carries.
+
+        ``{"tenant", "weight", "specs": [spec docs], "options":
+        {"max_shards_per_cell", "shard_policy": {"mode", "min_block",
+        "growth"}, "stream_partials", "early_stop"}}`` — every field
+        beyond ``specs`` optional.  Raises ``ValueError`` on malformed
+        documents (the handler answers 400).
+        """
+        raw_specs = doc.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ValueError("body needs a non-empty 'specs' list")
+        try:
+            specs = [ExperimentSpec.from_doc(item) for item in raw_specs]
+        except Exception as exc:
+            raise ValueError(f"bad spec doc: {exc}") from None
+        options = doc.get("options") or {}
+        if not isinstance(options, Mapping):
+            raise ValueError("'options' must be an object")
+        policy = None
+        policy_doc = options.get("shard_policy")
+        if policy_doc is not None:
+            if not isinstance(policy_doc, Mapping):
+                raise ValueError("'shard_policy' must be an object")
+            try:
+                policy = ShardPolicy(
+                    mode=str(policy_doc.get("mode", "even")),
+                    min_block=int(policy_doc.get("min_block", 1024)),
+                    growth=float(policy_doc.get("growth", 2.0)),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"bad shard_policy: {exc}") from None
+        try:
+            max_shards = int(options.get("max_shards_per_cell", 1))
+            weight = float(doc.get("weight", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad option: {exc}") from None
+        return self.submit(
+            specs,
+            tenant=str(doc.get("tenant", "default")),
+            weight=weight,
+            max_shards_per_cell=max_shards,
+            shard_policy=policy,
+            stream_partials=bool(options.get("stream_partials", False)),
+            early_stop=bool(options.get("early_stop", False)),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def list_campaigns(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [self._brief(job) for job in self._jobs.values()]
+
+    def _brief(self, job: _Job) -> Dict[str, Any]:
+        return {
+            "id": job.id,
+            "tenant": job.tenant,
+            "state": job.state,
+            "cells": len(job.specs),
+            "cells_done": job.cells_done,
+            "work_total": job.work_total,
+            "work_done": job.work_done,
+        }
+
+    def status_doc(
+        self, campaign_id: str, *, after: int = 0
+    ) -> Optional[Dict[str, Any]]:
+        """The ``GET /campaigns/{id}`` document, or None if unknown.
+
+        ``after`` is the caller's event cursor: only feed events with
+        ``seq >= after`` are included, so a poll loop streams the
+        ``merge_partial``/shard/cell feed incrementally.
+        """
+        with self._lock:
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                return None
+            doc = self._brief(job)
+            doc["error"] = job.error
+            doc["units_pending"] = len(job.units)
+            doc["submitted"] = job.submitted_ts
+            doc["finished"] = job.finished_ts
+            doc["events_total"] = len(job.events)
+            doc["events"] = list(job.events[max(0, int(after)):])
+            return doc
+
+    def result(self, campaign_id: str) -> CampaignResult:
+        """The finished campaign's result (raises unless ``done``)."""
+        with self._lock:
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                raise KeyError(campaign_id)
+            if job.state != "done" or job.result is None:
+                raise RuntimeError(
+                    f"campaign {campaign_id} is {job.state}"
+                    + (f": {job.error}" if job.error else "")
+                )
+            return job.result
+
+    def result_record(
+        self, campaign_id: str
+    ) -> Tuple[Optional[str], Optional[Dict[str, Any]]]:
+        """``(state, record)`` — the ``GET /campaigns/{id}/result`` body.
+
+        ``state`` is None for an unknown id; ``record`` is a picklable
+        per-cell dump (payload bytes exactly as a solo runner would
+        produce, plus spec/summary/shard metadata) once the campaign is
+        ``done``, else None.  Summaries are computed outside the lock —
+        a finished job's result is immutable.
+        """
+        with self._lock:
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                return None, None
+            state, result = job.state, job.result
+            tenant, error = job.tenant, job.error
+        if state != "done" or result is None:
+            return state, None
+        cells = [
+            {
+                "spec": cell.spec.to_doc(),
+                "payload": cell.payload,
+                "summary": cell.summary(),
+                "elapsed": cell.elapsed,
+                "from_cache": cell.from_cache,
+                "num_shards": cell.num_shards,
+                "shards_restored": cell.shards_restored,
+                "early_stopped": cell.early_stopped,
+            }
+            for cell in result
+        ]
+        return state, {
+            "campaign": campaign_id,
+            "tenant": tenant,
+            "error": error,
+            "cells": cells,
+        }
+
+    def wait(
+        self, campaign_id: str, timeout: Optional[float] = None
+    ) -> str:
+        """Block until the campaign reaches a terminal state.
+
+        Returns that state (``done``/``failed``/``cancelled``); raises
+        ``TimeoutError`` if the deadline passes first.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._wake:
+            while True:
+                job = self._jobs.get(campaign_id)
+                if job is None:
+                    raise KeyError(campaign_id)
+                if job.terminal:
+                    return job.state
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"campaign {campaign_id} still "
+                            f"{job.state} after {timeout}s"
+                        )
+                self._wake.wait(
+                    remaining if remaining is not None else 0.5
+                )
+
+    def cancel(self, campaign_id: str) -> bool:
+        """Cancel a campaign (idempotent; False if unknown/terminal).
+
+        Undispatched units are dropped, and the campaign's interest in
+        every in-flight unit is withdrawn — backend units are cancelled
+        via the backend's ``cancel_units`` path only when no other
+        campaign still wants their content.
+        """
+        with self._wake:
+            job = self._jobs.get(campaign_id)
+            if job is None or job.terminal:
+                return False
+            job.state = "cancelled"
+            job.units.clear()
+            self._drop_job_interests(job)
+            job.finished_ts = time.time()
+            self._tenants[job.tenant].finished += 1
+            self._emit(
+                "campaign_cancelled",
+                campaign=job.id,
+                tenant=job.tenant,
+            )
+            self._wake.notify_all()
+            return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-tenant scheduler metrics (the ``/metrics`` extension).
+
+        ``queued`` counts a tenant's not-yet-dispatched units,
+        ``inflight`` its outstanding backend units, ``dedup_hits`` the
+        single-flight joins its campaigns rode instead of recomputing.
+        """
+        with self._lock:
+            queued: Dict[str, int] = {}
+            campaigns_running = 0
+            for job in self._jobs.values():
+                if job.state in ("pending", "running"):
+                    campaigns_running += 1
+                    queued[job.tenant] = (
+                        queued.get(job.tenant, 0) + len(job.units)
+                    )
+            tenants = {
+                name: {
+                    "weight": t.weight,
+                    "campaigns": t.submitted,
+                    "finished": t.finished,
+                    "queued": queued.get(name, 0),
+                    "inflight": t.inflight,
+                    "dispatched_units": t.dispatched_units,
+                    "dedup_hits": t.dedup_hits,
+                }
+                for name, t in sorted(self._tenants.items())
+            }
+            return {
+                "tenants": tenants,
+                "campaigns": {
+                    "total": len(self._jobs),
+                    "active": campaigns_running,
+                },
+                "inflight_units": len(self._by_backend_id),
+            }
+
+    # -- progress feed -------------------------------------------------------
+
+    def _on_progress(self, job: _Job, ev: ProgressEvent) -> None:
+        """Serialize one ProgressEvent into the campaign's feed."""
+        doc: Dict[str, Any] = {
+            "seq": len(job.events),
+            "ts": time.time(),
+            "event": ev.event,
+            "cell": ev.spec.cell_id,
+            "label": ev.label,
+            "work": ev.work,
+            "elapsed": round(ev.elapsed, 6),
+            "from_cache": ev.from_cache,
+        }
+        if ev.event == "partial":
+            doc["shards_done"] = ev.shards_done
+            doc["shards_total"] = ev.shards_total
+            if ev.summary is not None:
+                doc["summary"] = _jsonable(ev.summary)
+        if ev.event == "shard" and ev.shard is not None:
+            doc["shard"] = (
+                f"{ev.shard.index + 1}/{ev.shard.num_shards}"
+            )
+        if ev.event == "cell":
+            job.cells_done += 1
+            if ev.result is not None:
+                doc["num_shards"] = ev.result.num_shards
+                doc["early_stopped"] = ev.result.early_stopped
+        job.work_done += ev.work
+        job.events.append(doc)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._closed:
+                    return
+                self._admit()
+                self._dispatch()
+                if not self._by_backend_id:
+                    if not self._has_dispatchable():
+                        self._wake.wait(self.poll_wait)
+                    continue
+            try:
+                for result in self.backend.completions():
+                    with self._wake:
+                        if self._closed:
+                            return
+                        self._handle_result(result)
+                        self._admit()
+                        self._dispatch()
+            except Exception as exc:  # noqa: BLE001 — fail jobs, live on
+                with self._wake:
+                    if self._closed:
+                        return
+                    self._fail_active(exc)
+
+    def _has_dispatchable(self) -> bool:
+        return any(
+            job.state == "pending"
+            or (job.state == "running" and job.units)
+            for job in self._jobs.values()
+        )
+
+    def _admit(self) -> None:
+        """begin() newly-submitted campaigns on the dispatcher thread."""
+        for job in list(self._jobs.values()):
+            if job.state != "pending":
+                continue
+            job.state = "running"
+            try:
+                job.execution.begin()
+                job.units.extend(job.execution.take_units())
+            except Exception as exc:  # noqa: BLE001
+                job.state = "failed"
+                job.error = repr(exc)
+                job.finished_ts = time.time()
+                self._tenants[job.tenant].finished += 1
+                self._wake.notify_all()
+                continue
+            if job.execution.done:
+                # Every cell came from the shared store.
+                self._finish_job(job)
+
+    def _dispatch(self) -> None:
+        """Weighted-fair top-up of the backend within tenant budgets."""
+        while True:
+            candidates = [
+                job for job in self._jobs.values()
+                if job.state == "running" and job.units
+                and self._tenants[job.tenant].inflight
+                < self.tenant_inflight
+            ]
+            if not candidates:
+                return
+            job = min(
+                candidates,
+                key=lambda j: (self._tenants[j.tenant].vtime, j.id),
+            )
+            unit = job.units.popleft()
+            key = _flight_key(unit)
+            flight = self._flights.get(key)
+            tenant = self._tenants[job.tenant]
+            if flight is not None:
+                # Single-flight join: same content already computing
+                # for someone — ride it instead of dispatching a twin.
+                flight.interested.append((job, unit))
+                self._interest_key[(job.id, unit.unit_id)] = key
+                tenant.dedup_hits += 1
+                self._emit(
+                    "cache_hit",
+                    cell=unit.spec.cell_id,
+                    kind=unit.spec.kind,
+                    tenant=job.tenant,
+                    campaign=job.id,
+                    unit=unit.unit_id,
+                    dedup=True,
+                    primary=flight.unit_id,
+                )
+                continue
+            flight = _Flight(
+                key=key,
+                unit_id=unit.unit_id,
+                tenant=job.tenant,
+                interested=[(job, unit)],
+            )
+            self._flights[key] = flight
+            self._by_backend_id[unit.unit_id] = key
+            self._interest_key[(job.id, unit.unit_id)] = key
+            tenant.inflight += 1
+            tenant.dispatched_units += 1
+            tenant.vtime += _unit_work(unit) / max(tenant.weight, 1e-9)
+            self.backend.submit(unit)
+            job.execution.note_queued(unit)
+
+    def _handle_result(self, result: WorkResult) -> None:
+        key = self._by_backend_id.pop(result.unit.unit_id, None)
+        if key is None:
+            return  # straggler of a fully-cancelled flight
+        flight = self._flights.pop(key)
+        tenant = self._tenants.get(flight.tenant)
+        if tenant is not None:
+            tenant.inflight = max(0, tenant.inflight - 1)
+        first = True
+        for job, unit in list(flight.interested):
+            self._interest_key.pop((job.id, unit.unit_id), None)
+            if job.state != "running":
+                continue
+            # Re-label per campaign: each execution sees its own unit
+            # id; compute cost is charged once (followers ride free,
+            # like cache hits) so total_elapsed stays the true cost.
+            routed = WorkResult(
+                unit=unit,
+                payload=result.payload,
+                elapsed=result.elapsed if first else 0.0,
+                worker=result.worker,
+                attempts=result.attempts,
+                timings=result.timings if first else None,
+            )
+            first = False
+            try:
+                cancel = job.execution.on_result(routed)
+            except Exception as exc:  # noqa: BLE001
+                job.state = "failed"
+                job.error = repr(exc)
+                job.units.clear()
+                self._drop_job_interests(job)
+                job.finished_ts = time.time()
+                self._tenants[job.tenant].finished += 1
+                self._wake.notify_all()
+                continue
+            for unit_id in cancel:
+                self._drop_interest(job, unit_id)
+            if job.execution.done:
+                self._finish_job(job)
+
+    def _drop_interest(self, job: _Job, unit_id: str) -> None:
+        """Withdraw one campaign's claim on one unit (early stop)."""
+        key = self._interest_key.pop((job.id, unit_id), None)
+        if key is None:
+            # Never dispatched: still sitting in the job's own queue.
+            if any(u.unit_id == unit_id for u in job.units):
+                job.units = deque(
+                    u for u in job.units if u.unit_id != unit_id
+                )
+            return
+        flight = self._flights.get(key)
+        if flight is None:
+            return
+        flight.interested = [
+            (j, u) for (j, u) in flight.interested
+            if not (j is job and u.unit_id == unit_id)
+        ]
+        if flight.interested:
+            return
+        # Nobody wants the content any more: cancel on the backend.
+        self._flights.pop(key, None)
+        self._by_backend_id.pop(flight.unit_id, None)
+        tenant = self._tenants.get(flight.tenant)
+        if tenant is not None:
+            tenant.inflight = max(0, tenant.inflight - 1)
+        try:
+            self.backend.cancel_units([flight.unit_id])
+        except Exception:  # noqa: BLE001 — best effort, like the runner
+            pass
+
+    def _drop_job_interests(self, job: _Job) -> None:
+        for jid, unit_id in [
+            k for k in self._interest_key if k[0] == job.id
+        ]:
+            self._drop_interest(job, unit_id)
+
+    def _finish_job(self, job: _Job) -> None:
+        try:
+            job.result = job.execution.finish()
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001
+            job.state = "failed"
+            job.error = repr(exc)
+        job.finished_ts = time.time()
+        self._tenants[job.tenant].finished += 1
+        self._emit(
+            "campaign_done",
+            campaign=job.id,
+            tenant=job.tenant,
+            cells=len(job.specs),
+            state=job.state,
+            elapsed=round(job.finished_ts - job.submitted_ts, 6),
+        )
+        self._wake.notify_all()
+
+    def _fail_active(self, exc: Exception) -> None:
+        """A backend-stream failure takes every in-flight campaign."""
+        message = repr(exc)
+        for job in self._jobs.values():
+            if job.terminal or job.state == "pending":
+                continue
+            job.state = "failed"
+            job.error = message
+            job.units.clear()
+            job.finished_ts = time.time()
+            self._tenants[job.tenant].finished += 1
+        self._flights.clear()
+        self._by_backend_id.clear()
+        self._interest_key.clear()
+        for tenant in self._tenants.values():
+            tenant.inflight = 0
+        try:
+            self.backend.cancel()
+        except Exception:  # noqa: BLE001
+            pass
+        self._wake.notify_all()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a summary dict into plain-JSON types (numpy scalars)."""
+    import json
+
+    from repro.reporting import json_default
+
+    return json.loads(json.dumps(value, default=json_default))

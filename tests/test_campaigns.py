@@ -691,3 +691,207 @@ class TestRunAllSetups:
         )
         keys = {r.victim_key for r in results.values()}
         assert len(keys) == 1
+
+
+# -- cross-process cache races and liveness leases ---------------------------
+
+
+def _race_spec():
+    return ExperimentSpec(
+        kind="missrate", seed=77,
+        params=(("policy", "modulo"), ("workload", "reuse")),
+    )
+
+
+def _race_payload(tag):
+    # Large enough that a torn (non-atomic) write could interleave
+    # with the other writer's bytes.
+    return {"winner": tag, "blob": tag.encode() * 200_000}
+
+
+def _race_put_entry(cache_dir, tag, barrier):
+    cache = ResultCache(cache_dir)
+    spec, payload = _race_spec(), _race_payload(tag)
+    barrier.wait(timeout=30)
+    for _ in range(25):
+        cache.put(spec, payload)
+
+
+def _race_put_shard(cache_dir, tag, barrier):
+    from repro.core.batch import Shard
+
+    cache = ResultCache(cache_dir)
+    spec, payload = _race_spec(), _race_payload(tag)
+    shard = Shard(index=0, num_shards=2, start=0, end=8)
+    barrier.wait(timeout=30)
+    for _ in range(25):
+        cache.put_shard(spec, shard, payload)
+
+
+class TestResultCacheWriteRace:
+    """Two runners racing the same spec hash: atomic temp-file +
+    rename writes must always leave one intact winner — never a torn
+    or interleaved entry."""
+
+    def _race(self, tmp_path, target):
+        import multiprocessing as mp
+
+        barrier = mp.Barrier(2)
+        procs = [
+            mp.Process(target=target, args=(str(tmp_path), tag, barrier))
+            for tag in ("a", "b")
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+
+    def test_concurrent_put_yields_one_intact_winner(self, tmp_path):
+        self._race(tmp_path, _race_put_entry)
+        cache = ResultCache(str(tmp_path))
+        loaded = cache.get(_race_spec())
+        assert loaded in (_race_payload("a"), _race_payload("b"))
+        # Nothing was quarantined: every observable state was intact.
+        assert not os.path.exists(str(tmp_path / "corrupt"))
+
+    def test_concurrent_put_shard_yields_one_intact_winner(
+        self, tmp_path
+    ):
+        from repro.core.batch import Shard, ShardPlan
+
+        self._race(tmp_path, _race_put_shard)
+        cache = ResultCache(str(tmp_path))
+        plan = ShardPlan(16, [
+            Shard(index=0, num_shards=2, start=0, end=8),
+            Shard(index=1, num_shards=2, start=8, end=16),
+        ])
+        shards = cache.get_shards(_race_spec(), plan)
+        assert shards[0] in (_race_payload("a"), _race_payload("b"))
+        assert not os.path.exists(str(tmp_path / "corrupt"))
+
+
+class TestResultCacheLeases:
+    """GC liveness gating: entries/partials/markers of a cell some
+    runner or scheduler tenant is actively working (fresh ``.lease``)
+    must survive any sweep, however aggressive."""
+
+    def _spec(self, seed=1):
+        return ExperimentSpec(
+            kind="missrate", seed=seed,
+            params=(("policy", "modulo"), ("workload", "reuse")),
+        )
+
+    def _age(self, path, days):
+        old = time.time() - days * 86400.0
+        os.utime(path, (old, old))
+
+    def test_fresh_lease_shields_aged_entry_partials_marker(
+        self, tmp_path
+    ):
+        import repro.core.batch as batch
+
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        cache.put(spec, {"decided": True}, early_stopped=True)
+        shard = batch.Shard(index=0, num_shards=2, start=0, end=8)
+        cache.put_shard(spec, shard, {"p": 1})
+        spec_hash = spec.spec_hash()
+        self._age(cache._path(spec), days=10)
+        self._age(cache._shard_path(spec, shard), days=10)
+        self._age(cache._early_marker_path(spec_hash), days=10)
+        cache.touch_lease(spec)
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_cells == 0
+        assert stats.removed_partials == 0
+        assert cache.is_early_stopped(spec)
+        assert cache.get_record(spec) == ({"decided": True}, True)
+        # Released, the same sweep takes everything.
+        cache.release_lease(spec)
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_cells == 1
+        assert stats.removed_partials == 1
+        assert not cache.has(spec)
+        assert not cache.is_early_stopped(spec)
+
+    def test_active_tenant_partials_survive_aggressive_gc(
+        self, tmp_path
+    ):
+        """The scheduler-tenant regression: tenant A is mid-campaign
+        (partials on disk, lease fresh) while tenant B runs an
+        everything-goes gc — A's resume state must survive."""
+        import repro.core.batch as batch
+
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        shard = batch.Shard(index=0, num_shards=2, start=0, end=8)
+        cache.put_shard(spec, shard, {"p": 1})
+        self._age(cache._shard_path(spec, shard), days=1)
+        cache.touch_lease(spec)
+        stats = cache.gc(max_age_days=0)
+        assert stats.removed_partials == 0
+        plan = batch.ShardPlan(16, [
+            shard, batch.Shard(index=1, num_shards=2, start=8, end=16),
+        ])
+        assert cache.get_shards(spec, plan) == {0: {"p": 1}}
+        cache.release_lease(spec)
+        stats = cache.gc(max_age_days=0)
+        assert stats.removed_partials == 1
+
+    def test_stale_lease_is_swept_and_stops_shielding(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        cache.put(spec, {"x": 1})
+        self._age(cache._path(spec), days=10)
+        cache.touch_lease(spec)
+        # A lease last touched a day ago belongs to a dead campaign:
+        # it protects nothing and goes out as litter.
+        self._age(cache._lease_path(spec.spec_hash()), days=1)
+        stats = cache.gc(max_age_days=7)
+        assert stats.removed_cells == 1
+        assert not os.path.exists(cache._lease_path(spec.spec_hash()))
+
+    def test_lease_api_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = self._spec()
+        lease = cache._lease_path(spec.spec_hash())
+        assert not os.path.exists(lease)
+        cache.touch_lease(spec)
+        assert os.path.exists(lease)
+        cache.touch_lease(spec)  # refresh, not error
+        cache.release_lease(spec)
+        assert not os.path.exists(lease)
+        cache.release_lease(spec)  # idempotent
+
+    def test_mid_campaign_gc_cannot_sweep_live_partials(self, tmp_path):
+        """Integration: a concurrent aggressive sweep fired in the
+        middle of a sharded campaign (from a progress callback, i.e.
+        between shard completions) must not take the campaign's own
+        just-written partials — the engine keeps the lease fresh."""
+        cache = ResultCache(str(tmp_path))
+        spec = ExperimentSpec(
+            kind="timing_samples", setup="deterministic",
+            num_samples=4096, seed=9,
+        )
+        solo = CampaignRunner().run([spec])
+        swept = []
+
+        def progress(ev):
+            if ev.event == "shard":
+                swept.append(cache.gc(max_age_days=0).removed_partials)
+
+        result = CampaignRunner(
+            cache_dir=str(tmp_path), progress=progress,
+            max_shards_per_cell=2,
+        ).run([spec])
+        assert swept, "expected shard progress events"
+        assert all(count == 0 for count in swept)
+        assert (
+            result.cells[0].payload.timings.tobytes()
+            == solo.cells[0].payload.timings.tobytes()
+        )
+        # The finished campaign released its lease: nothing lingers
+        # to shield the (now complete) entry from future sweeps.
+        assert not os.path.exists(
+            cache._lease_path(spec.spec_hash())
+        )

@@ -1,0 +1,523 @@
+"""Tests for repro.service: the multi-tenant campaign scheduler and
+the ``repro serve`` HTTP surface.
+
+The invariants under test:
+
+* **Bit-identity** — a campaign scheduled among other tenants' work
+  produces byte-identical payloads to a solo ``CampaignRunner.run``.
+* **Single-flight dedup** — two tenants submitting the same cell
+  trigger exactly one computation; the second tenant joins the flight
+  and the join is surfaced as a ``cache_hit`` telemetry event with a
+  ``tenant`` label.
+* **Weighted-fair dispatch** — one tenant's large grid cannot starve
+  another's small one: the small campaign reaches its verdict while
+  the large one is still draining.
+* **The wire** — ``POST/GET/DELETE /campaigns`` round-trip submit,
+  status/feed, pickled results and cancellation through a real
+  coordinator, and the service block rides ``/metrics``.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.backends import SerialBackend, WorkQueueBackend
+from repro.backends.coordinator import CoordinatorServer
+from repro.campaigns import CampaignRunner, ExperimentSpec
+from repro.campaigns.cache import ResultCache
+from repro.campaigns.grids import contention_grid
+from repro.service import CampaignScheduler, ServiceClient
+from repro.service.client import (
+    CampaignNotDone,
+    CampaignNotFound,
+    cells_from_record,
+)
+from repro.telemetry.sink import RecordingSink
+
+
+def contention_specs(num_samples=2000, kind=None, seed=7):
+    specs = contention_grid(num_samples=num_samples, seed=seed)
+    if kind is not None:
+        specs = [s for s in specs if s.kind == kind]
+    return specs
+
+
+def payload_bytes(cell):
+    return pickle.dumps(cell.payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestSchedulerSoloEquivalence:
+    """A scheduled campaign is bit-identical to a solo runner."""
+
+    def test_payloads_match_solo_runner(self, cache):
+        specs = contention_specs()[:4]
+        solo = CampaignRunner().run(specs)
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        try:
+            campaign = scheduler.submit(specs, tenant="alice")
+            assert scheduler.wait(campaign, timeout=120.0) == "done"
+            served = scheduler.result(campaign)
+        finally:
+            scheduler.close()
+        assert len(served) == len(solo)
+        for ser, svc in zip(solo, served):
+            assert ser.spec == svc.spec
+            assert payload_bytes(ser) == payload_bytes(svc)
+
+    def test_result_record_round_trips_cells(self, cache):
+        specs = contention_specs()[:2]
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        try:
+            campaign = scheduler.submit(specs, tenant="alice")
+            scheduler.wait(campaign, timeout=120.0)
+            state, record = scheduler.result_record(campaign)
+        finally:
+            scheduler.close()
+        assert state == "done"
+        wire = pickle.loads(pickle.dumps(record))
+        cells = cells_from_record(wire)
+        solo = CampaignRunner().run(specs)
+        for ser, svc in zip(solo, cells):
+            assert ser.spec == svc.spec
+            assert payload_bytes(ser) == payload_bytes(svc)
+
+    def test_sharded_campaign_matches_solo(self, cache):
+        specs = contention_specs(kind="prime_probe")[:2]
+        solo = CampaignRunner().run(specs)
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        try:
+            campaign = scheduler.submit(
+                specs, tenant="alice", max_shards_per_cell=3
+            )
+            assert scheduler.wait(campaign, timeout=120.0) == "done"
+            served = scheduler.result(campaign)
+        finally:
+            scheduler.close()
+        for ser, svc in zip(solo, served):
+            assert svc.num_shards > 1
+            assert payload_bytes(ser) == payload_bytes(svc)
+
+    def test_campaign_events_carry_tenant_labels(self, cache):
+        sink = RecordingSink()
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, telemetry=sink
+        )
+        try:
+            campaign = scheduler.submit(
+                contention_specs()[:1], tenant="alice"
+            )
+            scheduler.wait(campaign, timeout=120.0)
+        finally:
+            scheduler.close()
+        types = {e["type"] for e in sink.events}
+        assert {"campaign_submitted", "campaign_start", "unit_queued",
+                "unit_done", "cell_done", "campaign_end",
+                "campaign_done"} <= types
+        for event in sink.events:
+            assert event["tenant"] == "alice"
+            assert event["campaign"] == campaign
+
+    def test_submit_rejects_bad_input(self, cache):
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        try:
+            with pytest.raises(ValueError):
+                scheduler.submit([], tenant="alice")
+            with pytest.raises(ValueError):
+                scheduler.submit(
+                    contention_specs()[:1], tenant="no spaces allowed"
+                )
+            with pytest.raises(ValueError):
+                scheduler.submit(
+                    contention_specs()[:1], tenant="a", weight=0.0
+                )
+            with pytest.raises(ValueError):
+                scheduler.submit_doc({"specs": []})
+            with pytest.raises(ValueError):
+                scheduler.submit_doc({"specs": "nope"})
+        finally:
+            scheduler.close()
+
+
+class TestSingleFlightDedup:
+    """Same spec from two tenants: one computation, one dedup join."""
+
+    def test_two_tenants_one_computation(self, cache):
+        specs = contention_specs()[:2]
+        sink = RecordingSink()
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, telemetry=sink, start=False
+        )
+        # Both campaigns are queued before the dispatcher starts, so
+        # every cell is guaranteed to be wanted by both tenants while
+        # in flight — the deterministic single-flight scenario.
+        a = scheduler.submit(specs, tenant="alice")
+        b = scheduler.submit(specs, tenant="bob")
+        scheduler.start()
+        try:
+            assert scheduler.wait(a, timeout=120.0) == "done"
+            assert scheduler.wait(b, timeout=120.0) == "done"
+            result_a = scheduler.result(a)
+            result_b = scheduler.result(b)
+        finally:
+            scheduler.close()
+
+        # Both tenants got full, identical results.
+        for cell_a, cell_b in zip(result_a, result_b):
+            assert cell_a.spec == cell_b.spec
+            assert payload_bytes(cell_a) == payload_bytes(cell_b)
+
+        # Exactly one computation per distinct cell...
+        queued = [e for e in sink.events if e["type"] == "unit_queued"]
+        assert len(queued) == len(specs)
+        # ...and every duplicate interest surfaced as a dedup
+        # cache_hit carrying the joining tenant.
+        joins = [
+            e for e in sink.events
+            if e["type"] == "cache_hit" and e.get("dedup")
+        ]
+        assert len(joins) == len(specs)
+        for join in joins:
+            assert join["tenant"] in ("alice", "bob")
+            assert join["primary"]
+        stats = scheduler.stats()
+        assert (
+            stats["tenants"]["alice"]["dedup_hits"]
+            + stats["tenants"]["bob"]["dedup_hits"]
+            == len(specs)
+        )
+        assert (
+            stats["tenants"]["alice"]["dispatched_units"]
+            + stats["tenants"]["bob"]["dispatched_units"]
+            == len(specs)
+        )
+
+    def test_dedup_payloads_match_solo(self, cache):
+        specs = contention_specs()[:2]
+        solo = CampaignRunner().run(specs)
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, start=False
+        )
+        a = scheduler.submit(specs, tenant="alice")
+        b = scheduler.submit(specs, tenant="bob")
+        scheduler.start()
+        try:
+            scheduler.wait(a, timeout=120.0)
+            scheduler.wait(b, timeout=120.0)
+            for campaign in (a, b):
+                for ser, svc in zip(solo, scheduler.result(campaign)):
+                    assert payload_bytes(ser) == payload_bytes(svc)
+        finally:
+            scheduler.close()
+
+
+class TestWeightedFairness:
+    """A big tenant cannot starve a small one off the fleet."""
+
+    def test_small_tenant_finishes_before_big_grid_drains(
+        self, tmp_path, cache
+    ):
+        # Tenant A floods the queue with 4 heavyweight cells; tenant B
+        # follows with one small cell.  Under weighted-fair dispatch
+        # with a per-tenant in-flight budget, B's unit must be
+        # dispatched long before A's backlog drains — B's verdict
+        # arrives while A is still running.
+        big = contention_specs(num_samples=12_000, kind="prime_probe")
+        small = contention_specs(num_samples=200, kind="evict_time")[:1]
+        backend = WorkQueueBackend(
+            str(tmp_path / "q"),
+            min_workers=1,
+            max_workers=2,
+            lease_timeout=300.0,
+        )
+        scheduler = CampaignScheduler(
+            backend, cache=cache, tenant_inflight=2
+        )
+        try:
+            a = scheduler.submit(big, tenant="alice")
+            b = scheduler.submit(small, tenant="bob")
+            assert scheduler.wait(b, timeout=180.0) == "done"
+            status_a = scheduler.status_doc(a)
+            # The moment B settles, A must still be mid-drain: its
+            # backlog alone exceeds what two workers can have
+            # finished.  (This is the starvation regression: FIFO
+            # dispatch would hold B's unit behind all of A's.)
+            assert status_a["state"] == "running"
+            assert scheduler.wait(a, timeout=600.0) == "done"
+            assert len(scheduler.result(b)) == 1
+            assert len(scheduler.result(a)) == len(big)
+        finally:
+            scheduler.close()
+            backend.close()
+
+    def test_weight_skews_dispatch_order(self, cache):
+        # With the dispatcher stopped, queue two equal-size campaigns
+        # whose tenants differ only in weight, then replay dispatch
+        # decisions on a serial backend: the weight-4 tenant must get
+        # its first unit dispatched no later than the weight-1 tenant
+        # gets its second (vtime advances 4x slower for it).
+        sink = RecordingSink()
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, telemetry=sink, start=False,
+            tenant_inflight=1,
+        )
+        light = scheduler.submit(
+            contention_specs(kind="prime_probe")[:2], tenant="light",
+            weight=1.0,
+        )
+        heavy = scheduler.submit(
+            contention_specs(kind="evict_time", seed=11)[:2],
+            tenant="heavy", weight=4.0,
+        )
+        scheduler.start()
+        try:
+            scheduler.wait(light, timeout=120.0)
+            scheduler.wait(heavy, timeout=120.0)
+        finally:
+            scheduler.close()
+        order = [
+            e["tenant"] for e in sink.events
+            if e["type"] == "unit_queued"
+        ]
+        assert sorted(order) == ["heavy", "heavy", "light", "light"]
+        # The heavy tenant's slower vtime advance means it is never
+        # two dispatches behind the light one.
+        first_heavy = order.index("heavy")
+        assert first_heavy <= 1
+
+
+class TestServiceHTTP:
+    """The /campaigns wire: submit, watch, result, cancel, metrics."""
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        server = CoordinatorServer(str(tmp_path / "q")).start()
+        server.state.scheduler = scheduler
+        client = ServiceClient(server.url, retry_timeout=10.0)
+        try:
+            yield client, scheduler, server
+        finally:
+            scheduler.close()
+            server.shutdown()
+
+    def test_submit_watch_result_round_trip(self, service):
+        client, _, _ = service
+        specs = contention_specs()[:2]
+        solo = CampaignRunner().run(specs)
+        campaign = client.submit(specs, tenant="alice")
+        events = []
+        final = client.watch(
+            campaign, on_event=events.append, poll=0.05, timeout=120.0
+        )
+        assert final["state"] == "done"
+        assert final["tenant"] == "alice"
+        # The feed streamed every cell completion exactly once.
+        cells_seen = [e for e in events if e["event"] == "cell"]
+        assert len(cells_seen) == len(specs)
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        for ser, svc in zip(solo, client.results(campaign)):
+            assert ser.spec == svc.spec
+            assert payload_bytes(ser) == payload_bytes(svc)
+
+    def test_status_and_listing(self, service):
+        client, _, _ = service
+        campaign = client.submit(contention_specs()[:1], tenant="alice")
+        client.wait(campaign, timeout=120.0)
+        doc = client.status(campaign)
+        assert doc["id"] == campaign
+        assert doc["cells"] == 1
+        listed = client.list_campaigns()
+        assert campaign in {c["id"] for c in listed}
+
+    def test_unknown_campaign_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(CampaignNotFound):
+            client.status("c999")
+        with pytest.raises(CampaignNotFound):
+            client.result_record("c999")
+        with pytest.raises(CampaignNotFound):
+            client.cancel("c999")
+
+    def test_result_before_done_is_conflict(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache2"))
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, start=False
+        )
+        server = CoordinatorServer(str(tmp_path / "q2")).start()
+        server.state.scheduler = scheduler
+        client = ServiceClient(server.url, retry_timeout=10.0)
+        try:
+            campaign = client.submit(
+                contention_specs()[:1], tenant="alice"
+            )
+            # The dispatcher never started: the campaign is pending.
+            with pytest.raises(CampaignNotDone) as exc_info:
+                client.result_record(campaign)
+            assert exc_info.value.state == "pending"
+        finally:
+            scheduler.close()
+            server.shutdown()
+
+    def test_cancel_pending_campaign(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache3"))
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, start=False
+        )
+        server = CoordinatorServer(str(tmp_path / "q3")).start()
+        server.state.scheduler = scheduler
+        client = ServiceClient(server.url, retry_timeout=10.0)
+        try:
+            campaign = client.submit(
+                contention_specs()[:1], tenant="alice"
+            )
+            assert client.cancel(campaign) is True
+            # Idempotent: a second DELETE reports nothing to do.
+            assert client.cancel(campaign) is False
+            scheduler.start()
+            assert client.status(campaign)["state"] == "cancelled"
+            with pytest.raises(CampaignNotDone) as exc_info:
+                client.result_record(campaign)
+            assert exc_info.value.state == "cancelled"
+        finally:
+            scheduler.close()
+            server.shutdown()
+
+    def test_bad_submissions_rejected(self, service):
+        client, _, _ = service
+        status, body = client.client.request_json(
+            "POST", "/campaigns", json_body={"specs": []}
+        )
+        assert status == 400
+        status, body = client.client.request_json(
+            "POST", "/campaigns",
+            json_body={"specs": [{"kind": "no_such_kind"}]},
+        )
+        assert status == 400
+
+    def test_metrics_carries_service_stats(self, service):
+        client, _, _ = service
+        campaign = client.submit(contention_specs()[:1], tenant="alice")
+        client.wait(campaign, timeout=120.0)
+        status, doc = client.client.request_json("GET", "/metrics")
+        assert status == 200
+        assert "service" in doc
+        tenants = doc["service"]["tenants"]
+        assert tenants["alice"]["finished"] == 1
+        assert doc["service"]["campaigns"]["total"] == 1
+
+    def test_campaigns_404_without_scheduler(self, tmp_path):
+        server = CoordinatorServer(str(tmp_path / "plain")).start()
+        client = ServiceClient(server.url, retry_timeout=10.0)
+        try:
+            status, body = client.client.request_json(
+                "GET", "/campaigns"
+            )
+            assert status == 404
+            status, body = client.client.request_json(
+                "POST", "/campaigns", json_body={"specs": [1]}
+            )
+            assert status == 404
+        finally:
+            server.shutdown()
+
+
+class TestStatusRendering:
+    """``repro status --coordinator`` grows per-tenant service columns."""
+
+    def test_render_status_shows_tenant_table(self, service):
+        from repro.telemetry import coordinator_status, render_status
+
+        client, _, server = service
+        campaign = client.submit(contention_specs()[:1], tenant="alice")
+        client.wait(campaign, timeout=120.0)
+        doc = coordinator_status(server.url)
+        assert doc["service"]["tenants"]["alice"]["finished"] == 1
+        text = render_status(doc)
+        assert "campaign service:" in text
+        assert "alice" in text
+        assert "dedup hits" in text
+
+    def test_render_status_without_service_block(self):
+        from repro.telemetry import render_status
+
+        text = render_status({"queue_dir": "/q", "tasks": 0,
+                              "results": 0})
+        assert "campaign service" not in text
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        server = CoordinatorServer(str(tmp_path / "q")).start()
+        server.state.scheduler = scheduler
+        client = ServiceClient(server.url, retry_timeout=10.0)
+        try:
+            yield client, scheduler, server
+        finally:
+            scheduler.close()
+            server.shutdown()
+
+
+class TestSchedulerRobustness:
+    def test_scheduler_survives_job_begin_failure(self, cache):
+        # An unknown kind fails validation at submit time; a knowable
+        # failure mid-admission (early-stop without shards is fine, so
+        # use a spec that validates but cannot plan) must fail only
+        # that campaign.
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        try:
+            with pytest.raises(ValueError):
+                scheduler.submit(
+                    [ExperimentSpec(kind="nope", num_samples=1, seed=1)],
+                    tenant="alice",
+                )
+            # The scheduler still schedules real work afterwards.
+            campaign = scheduler.submit(
+                contention_specs()[:1], tenant="alice"
+            )
+            assert scheduler.wait(campaign, timeout=120.0) == "done"
+        finally:
+            scheduler.close()
+
+    def test_close_is_idempotent(self, cache):
+        scheduler = CampaignScheduler(SerialBackend(), cache=cache)
+        scheduler.close()
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(contention_specs()[:1], tenant="alice")
+
+    def test_cache_shared_across_campaigns(self, cache):
+        # A second campaign over the same specs is served whole-cell
+        # from the shared store: no new units dispatched.
+        specs = contention_specs()[:2]
+        sink = RecordingSink()
+        scheduler = CampaignScheduler(
+            SerialBackend(), cache=cache, telemetry=sink
+        )
+        try:
+            first = scheduler.submit(specs, tenant="alice")
+            assert scheduler.wait(first, timeout=120.0) == "done"
+            second = scheduler.submit(specs, tenant="bob")
+            assert scheduler.wait(second, timeout=120.0) == "done"
+            result_a = scheduler.result(first)
+            result_b = scheduler.result(second)
+        finally:
+            scheduler.close()
+        for cell_a, cell_b in zip(result_a, result_b):
+            assert payload_bytes(cell_a) == payload_bytes(cell_b)
+        assert all(cell.from_cache for cell in result_b)
+        queued = [e for e in sink.events if e["type"] == "unit_queued"]
+        assert len(queued) == len(specs)
+        hits = [
+            e for e in sink.events
+            if e["type"] == "cache_hit" and e["tenant"] == "bob"
+        ]
+        assert len(hits) == len(specs)
